@@ -1,0 +1,168 @@
+// Theorem 10 — BFS on arbitrary graphs in SYNC[log n]:
+//  - exhaustive validation summary (all 5-node graphs, all schedules);
+//  - scaling and adversary ablation: rounds stay n+1, message bits stay
+//    within 6·log n, layers match reference BFS for every strategy;
+//  - the d0 ("change your mind") machinery at work: total d0 charges equal
+//    the number of intra-layer edges, the quantity condition (b) corrects;
+//  - head-to-head with the ASYNC bipartite protocol on inputs where the
+//    latter deadlocks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/enumerate.h"
+#include "src/graph/generators.h"
+#include "src/protocols/bfs_sync.h"
+#include "src/protocols/eob_bfs.h"
+#include "src/support/bits.h"
+#include "src/support/table.h"
+#include "src/wb/engine.h"
+#include "src/wb/exhaustive.h"
+
+namespace wb {
+namespace {
+
+void exhaustive_summary() {
+  bench::subsection("Thm 10 exhaustive validation (ALL graphs, n <= 5)");
+  const SyncBfsProtocol p;
+  std::uint64_t graphs = 0, execs = 0, failures = 0;
+  for (std::size_t n = 1; n <= 5; ++n) {
+    for_each_labeled_graph(n, [&](const Graph& g) {
+      ++graphs;
+      const BfsForest ref = bfs_forest(g);
+      for_each_execution(g, p, [&](const ExecutionResult& r) {
+        ++execs;
+        if (!r.ok()) {
+          ++failures;
+          return true;
+        }
+        const BfsProtocolOutput out = p.output(r.board, n);
+        if (out.layer != ref.layer || out.roots != ref.roots ||
+            !is_valid_bfs_forest(g, out.layer, out.parent)) {
+          ++failures;
+        }
+        return true;
+      });
+    });
+  }
+  std::printf(
+      "%llu graphs, %llu executions, %llu failures\n",
+      static_cast<unsigned long long>(graphs),
+      static_cast<unsigned long long>(execs),
+      static_cast<unsigned long long>(failures));
+}
+
+void adversary_ablation() {
+  bench::subsection("adversary ablation (connected G(n, 4/n), n = 300)");
+  const std::size_t n = 300;
+  const Graph g = connected_gnp(n, 4, n, 21);
+  const SyncBfsProtocol p;
+  const BfsForest ref = bfs_forest(g);
+  TextTable t({"adversary", "rounds", "max bits", "6*log2n", "ok", "ms"});
+  for (auto& adv : standard_adversaries(g, 9)) {
+    bench::WallTimer timer;
+    const ExecutionResult r = run_protocol(g, p, *adv);
+    const double ms = timer.ms();
+    const bool ok = r.ok() && p.output(r.board, n).layer == ref.layer;
+    t.add_row({adv->name(), std::to_string(r.stats.rounds),
+               std::to_string(r.stats.max_message_bits),
+               std::to_string(6 * (ceil_log2(n) + 1)), ok ? "yes" : "NO",
+               fmt_double(ms, 1)});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+void d0_accounting() {
+  bench::subsection("d0 accounting — intra-layer edges (condition (b))");
+  TextTable t({"graph", "intra-layer edges (ref)", "sum of d0 charges",
+               "equal"});
+  auto probe = [&](const std::string& name, const Graph& g) {
+    const std::size_t n = g.node_count();
+    const BfsForest ref = bfs_forest(g);
+    std::uint64_t intra = 0;
+    for (const Edge& e : g.edges()) {
+      if (ref.layer[e.u - 1] == ref.layer[e.v - 1]) ++intra;
+    }
+    const SyncBfsProtocol p;
+    RandomAdversary adv(7);
+    const ExecutionResult r = run_protocol(g, p, adv);
+    WB_CHECK(r.ok());
+    // Re-parse messages: the d0 field is the 5th; decode via the protocol's
+    // own output is not enough, so count via board replay: every message's
+    // d0 totals must equal the intra-layer edge count.
+    std::uint64_t d0_total = 0;
+    for (const Bits& m : r.board.messages()) {
+      BitReader reader(m);
+      const int idb = bits_for_id(n);
+      const int cb = bits_for_range(n);
+      (void)reader.read_uint(idb);        // id
+      (void)reader.read_uint(cb);         // layer
+      (void)reader.read_uint(cb);         // parent
+      (void)reader.read_uint(cb);         // d-1
+      d0_total += reader.read_uint(cb);   // d0
+    }
+    t.add_row({name, std::to_string(intra), std::to_string(d0_total),
+               intra == d0_total ? "yes" : "NO"});
+  };
+  probe("K6", complete_graph(6));
+  probe("C7", cycle_graph(7));
+  probe("grid 5x5", grid_graph(5, 5));
+  probe("G(60, 1/4)", connected_gnp(60, 1, 4, 3));
+  probe("two cliques (K5+K5)", two_cliques(5));
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "Every intra-layer edge is charged to d0 exactly once (by its later\n"
+      "writer) — the 2*Σd0 correction in conditions (b)/(c) is exact.\n");
+}
+
+void vs_async() {
+  bench::subsection("SYNC solves what ASYNC (bipartite mode) deadlocks on");
+  GraphBuilder b(6);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 6);
+  const Graph g = b.build();
+  const EobBfsProtocol async_p(EobMode::kBipartiteNoCheck);
+  const SyncBfsProtocol sync_p;
+  const ExecutionResult ra = run_protocol(g, async_p);
+  const ExecutionResult rs = run_protocol(g, sync_p);
+  std::printf("triangle+tail n=6: ASYNC bipartite protocol: %s after %zu/%zu "
+              "writes; SYNC protocol: %s (layers correct: %s)\n",
+              std::string(status_name(ra.status)).c_str(),
+              ra.board.message_count(), g.node_count(),
+              std::string(status_name(rs.status)).c_str(),
+              (rs.ok() && sync_p.output(rs.board, 6).layer ==
+                              bfs_forest(g).layer)
+                  ? "yes"
+                  : "no");
+}
+
+void BM_SyncBfsRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = connected_gnp(n, 4, n, 5);
+  const SyncBfsProtocol p;
+  for (auto _ : state) {
+    RandomAdversary adv(3);
+    benchmark::DoNotOptimize(run_protocol(g, p, adv));
+  }
+}
+BENCHMARK(BM_SyncBfsRun)->RangeMultiplier(2)->Range(32, 512);
+
+}  // namespace
+}  // namespace wb
+
+int main(int argc, char** argv) {
+  wb::bench::section("BFS — Thm 10 (SYNC yes on arbitrary graphs)");
+  wb::exhaustive_summary();
+  wb::adversary_ablation();
+  wb::d0_accounting();
+  wb::vs_async();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Figure 2 / Theorem 8: the EOB-BFS reduction gadget G_i and the executable
+// reduction EOB-BFS → BUILD for even-odd-bipartite graphs.
+//
+// Regenerated artifacts:
+//  1. the caption's claim "v_j is at layer 3 of the BFS rooted in v_1 iff
+//     {v_i, v_j} ∈ E(G)", checked exhaustively over all admissible inputs on
+//     n = 5, 7 and at random for larger n;
+//  2. the reduction pipeline driven end-to-end by the real ASYNC protocol of
+//     Theorem 7, measuring the Θ(n) protocol runs / Θ(n² log n) total
+//     whiteboard bits the reduction spends vs the single-run O(n log n)
+//     budget — the gap Lemma 3 turns into the SIMSYNC impossibility.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/protocols/eob_bfs.h"
+#include "src/reductions/counting.h"
+#include "src/reductions/eob_bfs_reduction.h"
+#include "src/wb/engine.h"
+#include "src/support/rng.h"
+#include "src/support/bits.h"
+#include "src/support/table.h"
+
+namespace wb {
+namespace {
+
+Graph make_input(std::size_t n, std::uint64_t p_num, std::uint64_t p_den,
+                 std::uint64_t seed) {
+  GraphBuilder b(n);
+  Rng rng(seed);
+  for (NodeId u = 2; u <= n; ++u) {
+    for (NodeId v = u + 1; v <= n; ++v) {
+      if ((u % 2) == (v % 2)) continue;
+      if (rng.chance(p_num, p_den)) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+void enumerate_inputs(std::size_t n, const std::function<void(const Graph&)>& fn) {
+  // All even-odd-bipartite graphs on {2..n}, node 1 isolated, n odd.
+  std::vector<Edge> pairs;
+  for (NodeId u = 2; u <= n; ++u) {
+    for (NodeId v = u + 1; v <= n; ++v) {
+      if ((u % 2) != (v % 2)) pairs.push_back(Edge{u, v});
+    }
+  }
+  WB_CHECK(pairs.size() <= 20);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << pairs.size());
+       ++mask) {
+    std::vector<Edge> edges;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if ((mask >> i) & 1u) edges.push_back(pairs[i]);
+    }
+    fn(Graph(n, edges));
+  }
+}
+
+void verify_gadget() {
+  bench::subsection("gadget property (Fig 2): layer 3 from v_1 = N(v_i)");
+  std::uint64_t checks = 0, mismatches = 0;
+  for (std::size_t n : {5u, 7u}) {
+    enumerate_inputs(n, [&](const Graph& g) {
+      for (NodeId i = 3; i <= n; i += 2) {
+        const Graph gadget = fig2_gadget(g, i);
+        const BfsResult bfs = bfs_from(gadget, 1);
+        for (NodeId j = 2; j <= n; ++j) {
+          if (j == i) continue;
+          ++checks;
+          if ((bfs.dist[j - 1] == 3) != g.has_edge(i, j)) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = make_input(21, 1, 2, seed);
+    for (NodeId i = 3; i <= 21; i += 2) {
+      const Graph gadget = fig2_gadget(g, i);
+      const BfsResult bfs = bfs_from(gadget, 1);
+      for (NodeId j = 2; j <= 21; ++j) {
+        if (j == i) continue;
+        ++checks;
+        if ((bfs.dist[j - 1] == 3) != g.has_edge(i, j)) ++mismatches;
+      }
+    }
+  }
+  std::printf("measured: %llu layer-3 membership checks, %llu mismatches\n",
+              static_cast<unsigned long long>(checks),
+              static_cast<unsigned long long>(mismatches));
+}
+
+void run_reduction() {
+  bench::subsection("executable Thm 8 reduction driven by the ASYNC protocol");
+  const EobBfsProtocol bfs;
+  const EobBfsToBuildReduction reduction(bfs);
+  TextTable t({"n", "gadget nodes", "runs", "reduction wb bits",
+               "single-run bits", "blowup", "exact?", "ms"});
+  for (std::size_t n : {5u, 9u, 13u, 17u, 21u, 25u}) {
+    const Graph g = make_input(n, 1, 2, n);
+    bench::WallTimer timer;
+    const auto result = reduction.run(g);
+    const double ms = timer.ms();
+    // Single run of the protocol on G itself for the bit comparison.
+    const ExecutionResult single = run_protocol(g, bfs);
+    const double blowup =
+        single.stats.total_bits == 0
+            ? 0.0
+            : static_cast<double>(result.total_whiteboard_bits) /
+                  static_cast<double>(single.stats.total_bits);
+    t.add_row({std::to_string(n), std::to_string(2 * n - 1),
+               std::to_string(result.gadget_runs),
+               std::to_string(result.total_whiteboard_bits),
+               std::to_string(single.stats.total_bits), fmt_double(blowup, 1),
+               result.reconstructed == g ? "yes" : "NO", fmt_double(ms, 2)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "Shape: runs = (n-1)/2 (one per odd i) and the reduction's whiteboard\n"
+      "spend grows ~n/2 times the single-run budget — exactly the gap that\n"
+      "contradicts Lemma 3 for a hypothetical SIMSYNC[o(n)] protocol.\n");
+}
+
+void counting_pressure() {
+  bench::subsection("Lemma 3 on the Thm 8 family (even-odd-bipartite)");
+  TextTable t({"n", "family bits ~n^2/4", "budget n*log2 n", "feasible?"});
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    const double family = log2_count_even_odd_bipartite(n);
+    const double budget = static_cast<double>(n) * (ceil_log2(n) + 1);
+    t.add_row({std::to_string(n), fmt_double(family, 0), fmt_double(budget, 0),
+               family <= budget ? "yes" : "no"});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+}  // namespace
+}  // namespace wb
+
+int main() {
+  wb::bench::section(
+      "Figure 2 / Theorem 8 — EOB-BFS not in SIMSYNC[o(n)], reduction "
+      "executable");
+  wb::verify_gadget();
+  wb::run_reduction();
+  wb::counting_pressure();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Lemma 3, made numeric across all the families the paper quantifies over:
+// BUILD restricted to a family of g(n) graphs needs log2 g(n) = O(n·f(n))
+// whiteboard bits in every model. This bench prints the full ledger —
+// family size vs whiteboard budgets at f = log n, √n, n — and flags each
+// (family, n, f) as feasible/infeasible, which is exactly the boundary the
+// paper's positive (§3) and negative (§4, §5) results trace.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/reductions/counting.h"
+#include "src/support/bits.h"
+#include "src/support/table.h"
+
+namespace wb {
+namespace {
+
+void main_table() {
+  bench::subsection("family sizes vs whiteboard budgets");
+  TextTable t({"family", "n", "log2 g(n)", "n*logn", "n*sqrt(n)", "n*n",
+               "log n ok?", "sqrt ok?"});
+  const std::vector<std::size_t> ns = {8, 16, 32, 64, 128, 256, 512, 1024};
+  for (const CountingRow& row : lemma3_table(ns)) {
+    t.add_row({row.family, std::to_string(row.n),
+               fmt_double(row.log2_family_size, 0),
+               fmt_double(row.budget_logn, 0), fmt_double(row.budget_sqrt, 0),
+               fmt_double(row.budget_linear, 0),
+               row.feasible_logn() ? "yes" : "no",
+               row.feasible_sqrt() ? "yes" : "no"});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+void narrative() {
+  std::printf(
+      "\nReading the ledger against the paper:\n"
+      " - labeled forests & k-degenerate graphs stay within n*O(log n):\n"
+      "   Theorem 2's SIMASYNC[log n] BUILD protocol is information-\n"
+      "   theoretically possible, and we implement it.\n"
+      " - all graphs / fixed-part bipartite (Thm 3) / even-odd-bipartite\n"
+      "   (Thm 8) grow like n^2 bits: BUILD-type targets are impossible at\n"
+      "   o(n) message size, which is what the reductions convert into the\n"
+      "   MIS, TRIANGLE and EOB-BFS impossibility rows of Table 2.\n");
+}
+
+void theorem9_ledger() {
+  bench::subsection("Theorem 9 ledger (prefix family, f = n/4)");
+  TextTable t({"n", "f(n)", "log2 g = C(f,2)", "budget n*f",
+               "counting forces g >=", "budget n*logn"});
+  for (const SubgraphRow& row : theorem9_table({64, 256, 1024, 4096, 16384})) {
+    t.add_row({std::to_string(row.n), std::to_string(row.f),
+               fmt_double(row.log2_family_size, 0), fmt_double(row.budget_f, 0),
+               fmt_double(row.min_g_bits, 1) + " bits",
+               fmt_double(row.budget_logn, 0)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "SUBGRAPH_f fits at message size f (SIMASYNC protocol implemented),\n"
+      "yet even the strongest model SYNC needs Θ(n)-bit messages for it —\n"
+      "message size is a resource orthogonal to synchronization power.\n");
+}
+
+}  // namespace
+}  // namespace wb
+
+int main() {
+  wb::bench::section("Lemma 3 — the information-theoretic ledger");
+  wb::main_table();
+  wb::narrative();
+  wb::theorem9_ledger();
+  return 0;
+}

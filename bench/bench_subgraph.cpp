@@ -1,0 +1,88 @@
+// Theorem 9 — SUBGRAPH_f and the orthogonality of message size:
+//  - the SIMASYNC[f] protocol run at f = log n, √n, n/4: measured bits per
+//    node track f, reconstruction exact;
+//  - the counting ledger: at f = n/4 even SYNC needs Θ(n)-bit messages, so
+//    the problem sits in PSIMASYNC[f] \ PSYNC[o(f)] — the weakest model with
+//    bigger messages beats the strongest model with smaller ones.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/graph/generators.h"
+#include "src/protocols/subgraph.h"
+#include "src/reductions/counting.h"
+#include "src/support/table.h"
+#include "src/wb/engine.h"
+
+namespace wb {
+namespace {
+
+Graph prefix_subgraph(const Graph& g, std::size_t f) {
+  GraphBuilder b(g.node_count());
+  for (const Edge& e : g.edges()) {
+    if (e.u <= f && e.v <= f) b.add_edge(e.u, e.v);
+  }
+  return b.build();
+}
+
+void protocol_sweep() {
+  bench::subsection("SUBGRAPH_f protocol sweep");
+  TextTable t({"n", "f", "f-shape", "max msg bits", "total bits", "exact",
+               "ms"});
+  for (std::size_t n : {64u, 256u, 1024u}) {
+    const std::size_t logf = static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(n))));
+    const std::size_t sqrtf = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    const std::size_t linf = n / 4;
+    const std::pair<std::size_t, const char*> shapes[] = {
+        {logf, "log n"}, {sqrtf, "sqrt n"}, {linf, "n/4"}};
+    for (const auto& [f, label] : shapes) {
+      const SubgraphProtocol p(f);
+      const Graph g = erdos_renyi(n, 1, 2, n + f);
+      RandomAdversary adv(n);
+      bench::WallTimer timer;
+      const ExecutionResult r = run_protocol(g, p, adv);
+      const double ms = timer.ms();
+      WB_CHECK(r.ok());
+      const bool exact = p.output(r.board, n) == prefix_subgraph(g, f);
+      t.add_row({std::to_string(n), std::to_string(f), label,
+                 std::to_string(r.stats.max_message_bits),
+                 std::to_string(r.stats.total_bits), exact ? "yes" : "NO",
+                 fmt_double(ms, 2)});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "Measured max message bits = f + id bits in every row: the protocol's\n"
+      "cost is governed by f alone, independent of the model axis.\n");
+}
+
+void orthogonality_ledger() {
+  bench::subsection("orthogonality ledger (Thm 9, f = n/4)");
+  TextTable t({"n", "f = n/4", "family bits C(f,2)", "protocol budget n*f",
+               "counting forces g >=", "n*log2 n"});
+  for (const SubgraphRow& row : theorem9_table({64, 256, 1024, 4096})) {
+    t.add_row({std::to_string(row.n), std::to_string(row.f),
+               fmt_double(row.log2_family_size, 0),
+               fmt_double(row.budget_f, 0),
+               fmt_double(row.min_g_bits, 1) + " bits/node",
+               fmt_double(row.budget_logn, 0)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "paper: SUBGRAPH_f in PSIMASYNC[f(n)] but not in PSYNC[g(n)] for any\n"
+      "g = o(f) — increasing synchronization power cannot compensate for\n"
+      "message size. The forced-g column grows linearly with n, while the\n"
+      "log n column's per-node budget stays logarithmic.\n");
+}
+
+}  // namespace
+}  // namespace wb
+
+int main() {
+  wb::bench::section("SUBGRAPH_f — Theorem 9, message size ⊥ synchronization");
+  wb::protocol_sweep();
+  wb::orthogonality_ledger();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Table 1 of the paper: the four protocol families
+//
+//                         | message frozen at activation | recomputed     |
+//   all active in round 1 | SIMASYNC[f(n)]               | SIMSYNC[f(n)]  |
+//   free activation       | ASYNC[f(n)]                  | SYNC[f(n)]     |
+//
+// This bench characterizes the four engine semantics on one task (BUILD of a
+// 2-degenerate graph, pushed through the Lemma 4 adapters so the same
+// computation runs in every model): measured activation pattern, freeze
+// semantics, rounds, whiteboard bits, and wall time per model and n.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/graph/generators.h"
+#include "src/protocols/build_degenerate.h"
+#include "src/support/table.h"
+#include "src/wb/adapters.h"
+#include "src/wb/engine.h"
+
+namespace wb {
+namespace {
+
+struct CellResult {
+  std::string model;
+  bool frozen;
+  bool simultaneous;
+  std::size_t round1_activations = 0;
+  std::size_t rounds = 0;
+  std::size_t total_bits = 0;
+  double ms = 0;
+  bool correct = false;
+};
+
+CellResult run_cell(const Graph& g, const ProtocolWithOutput<BuildOutput>& p) {
+  CellResult c;
+  c.model = std::string(model_name(p.model_class()));
+  c.frozen = is_asynchronous(p.model_class());
+  c.simultaneous = is_simultaneous(p.model_class());
+  RandomAdversary adv(17);
+  bench::WallTimer t;
+  const ExecutionResult r = run_protocol(g, p, adv);
+  c.ms = t.ms();
+  if (!r.ok()) return c;
+  for (std::size_t ar : r.stats.activation_round) {
+    if (ar == 1) ++c.round1_activations;
+  }
+  c.rounds = r.stats.rounds;
+  c.total_bits = r.stats.total_bits;
+  const BuildOutput out = p.output(r.board, g.node_count());
+  c.correct = out.has_value() && *out == g;
+  return c;
+}
+
+void run_for_n(std::size_t n) {
+  const Graph g = random_k_degenerate(n, 2, 25, 42);
+  const BuildDegenerateProtocol native(2);
+  const SimAsyncInSimSync<BuildOutput> simsync(native);
+  const Rebadge<BuildOutput> async_(native, ModelClass::kAsync);
+  const AsyncInSync<BuildOutput> sync_(async_);
+
+  TextTable table({"model", "frozen msg", "simultaneous", "round-1 act",
+                   "rounds", "wb bits", "ms", "reconstructed"});
+  for (const CellResult& c :
+       {run_cell(g, native), run_cell(g, simsync), run_cell(g, async_),
+        run_cell(g, sync_)}) {
+    table.add_row({c.model, c.frozen ? "yes" : "no",
+                   c.simultaneous ? "yes" : "no",
+                   std::to_string(c.round1_activations) + "/" + std::to_string(n),
+                   std::to_string(c.rounds), std::to_string(c.total_bits),
+                   fmt_double(c.ms, 2), c.correct ? "yes" : "NO"});
+  }
+  std::printf("n = %zu (2-degenerate workload, random adversary)\n%s\n",
+              n, table.render().c_str());
+}
+
+}  // namespace
+}  // namespace wb
+
+int main() {
+  wb::bench::section("Table 1 — the four shared-whiteboard models");
+  std::printf(
+      "paper:                      | msg at activation | no restriction |\n"
+      "  all active after round 1  | SIMASYNC[f(n)]    | SIMSYNC[f(n)]  |\n"
+      "  no restriction            | ASYNC[f(n)]       | SYNC[f(n)]     |\n\n"
+      "measured (same BUILD computation via the Lemma 4 adapters):\n\n");
+  for (std::size_t n : {64u, 256u, 1024u}) wb::run_for_n(n);
+  std::printf(
+      "Reading: SIM* rows activate all n nodes in round 1; free rows may\n"
+      "not (here the adapters keep everyone eager, so round-1 counts stay\n"
+      "n/n — the asynchronous column is enforced mechanically by the engine\n"
+      "freezing memories at activation). Rounds ~ n+1 in every model: one\n"
+      "write per round, as defined in §2.\n");
+  return 0;
+}

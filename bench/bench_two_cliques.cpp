@@ -1,0 +1,171 @@
+// §5.1 — 2-CLIQUES in SIMSYNC[log n], and Open Problem 1:
+//  - yes/no instances across n, exhaustive at small n, battery at medium n;
+//  - the side-flood phenomenon: on connected (n-1)-regular inputs some
+//    schedules produce no conflict message at all, and the output's
+//    side-count check is what rejects them (analyzed in two_cliques.h);
+//  - Open Problem 1 data: the counting ledger for the 2-CLIQUES family is
+//    tiny (one bit of answer), so Lemma 3 gives no obstruction — consistent
+//    with the problem's SIMASYNC status being open.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/protocols/randomized.h"
+#include "src/protocols/two_cliques.h"
+#include "src/support/bits.h"
+#include "src/support/table.h"
+#include "src/wb/engine.h"
+#include "src/wb/exhaustive.h"
+
+namespace wb {
+namespace {
+
+void exhaustive_summary() {
+  bench::subsection("exhaustive validation");
+  const TwoCliquesProtocol p;
+  TextTable t({"instance", "2n", "executions", "wrong verdicts",
+               "no-conflict executions"});
+  auto probe = [&](const std::string& name, const Graph& g, bool truth) {
+    std::uint64_t execs = 0, wrong = 0, floods = 0;
+    for_each_execution(g, p, [&](const ExecutionResult& r) {
+      ++execs;
+      if (!r.ok()) {
+        ++wrong;
+        return true;
+      }
+      const TwoCliquesOutput out = p.output(r.board, g.node_count());
+      if (out.yes != truth) ++wrong;
+      // Count executions whose rejection came from side counts only.
+      if (!out.yes) {
+        bool conflict = false;
+        for (const Bits& m : r.board.messages()) {
+          BitReader reader(m);
+          (void)reader.read_uint(bits_for_id(g.node_count()));
+          if (reader.read_uint(2) == 2) conflict = true;
+        }
+        if (!conflict) ++floods;
+      }
+      return true;
+    });
+    t.add_row({name, std::to_string(g.node_count()), std::to_string(execs),
+               std::to_string(wrong), std::to_string(floods)});
+  };
+  probe("K3+K3 (yes)", two_cliques(3), true);
+  probe("C6 (no)", cycle_graph(6), false);
+  probe("switched K3+K3 (no)", two_cliques_switched(3), false);
+  probe("K4+K4 (yes)", two_cliques(4), true);
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "The no-conflict column counts rejections that needed the side-count\n"
+      "check: a one-sided flood on a connected regular graph writes no\n"
+      "conflict message, yet must still be answered NO.\n");
+}
+
+void random_regular_no_instances() {
+  bench::subsection("random (n-1)-regular NO instances (pairing + switches)");
+  const TwoCliquesProtocol p;
+  std::size_t correct = 0, total = 0;
+  for (std::size_t n : {4u, 6u, 8u, 12u}) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const Graph g = random_regular(2 * n, n - 1, seed * 13 + n);
+      const bool truth = is_two_cliques(g);
+      for (auto& adv : standard_adversaries(g, seed)) {
+        const ExecutionResult r = run_protocol(g, p, *adv);
+        ++total;
+        if (r.ok() && p.output(r.board, 2 * n).yes == truth) ++correct;
+      }
+    }
+  }
+  std::printf("random regular instances across the battery: %zu/%zu correct\n",
+              correct, total);
+}
+
+void battery_scaling() {
+  bench::subsection("battery scaling");
+  const TwoCliquesProtocol p;
+  TextTable t({"instance", "2n", "adversaries ok", "bits/node", "ms"});
+  for (std::size_t n : {8u, 32u, 96u}) {
+    for (bool yes_instance : {true, false}) {
+      const Graph g = yes_instance ? two_cliques(n) : two_cliques_switched(n);
+      std::size_t ok = 0, total = 0;
+      std::size_t bits = 0;
+      bench::WallTimer timer;
+      for (auto& adv : standard_adversaries(g, n)) {
+        const ExecutionResult r = run_protocol(g, p, *adv);
+        ++total;
+        bits = std::max(bits, r.stats.max_message_bits);
+        if (r.ok() && p.output(r.board, 2 * n).yes == yes_instance) ++ok;
+      }
+      t.add_row({yes_instance ? "two cliques" : "switched",
+                 std::to_string(2 * n),
+                 std::to_string(ok) + "/" + std::to_string(total),
+                 std::to_string(bits), fmt_double(timer.ms(), 1)});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+void open_problem() {
+  bench::subsection("Open Problem 1 — 2-CLIQUES in SIMASYNC[f]?");
+  std::printf(
+      "paper: open for every f. Lemma 3 gives no obstruction (the answer is\n"
+      "one bit, not a reconstruction), and connectivity of (n-1)-regular\n"
+      "2n-node graphs is equivalent (\"two cliques iff disconnected\").\n"
+      "Our data point: the SIMSYNC protocol's decisions depend on write\n"
+      "order in an essential way — under SIMASYNC semantics (messages fixed\n"
+      "before any write), every node of a yes-instance would compose the\n"
+      "same side-0 message, making yes- and no-instances with equal local\n"
+      "views indistinguishable on the board. A SIMASYNC protocol, if one\n"
+      "exists, must use different invariants entirely.\n");
+}
+
+void randomized_simasync() {
+  bench::subsection(
+      "§7 / Open Problem 4 — randomized 2-CLIQUES in SIMASYNC[log n]");
+  std::printf(
+      "paper: \"2-CLIQUES admits a randomized protocol for these models\".\n"
+      "Implemented with public coins: each node writes a 61-bit polynomial\n"
+      "fingerprint of its closed neighborhood; YES iff exactly two classes\n"
+      "of size n. Completeness is deterministic; soundness holds except on\n"
+      "fingerprint collisions (prob ~ n/2^61 per pair).\n\n");
+  TextTable t({"2n", "yes accepted", "no rejected", "seeds", "bits/node"});
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    const Graph yes = two_cliques(n);
+    const Graph no = two_cliques_switched(n);
+    std::size_t yes_ok = 0, no_ok = 0;
+    const std::size_t seeds = 32;
+    std::size_t bits = 0;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const RandomizedTwoCliquesProtocol p(seed);
+      FirstAdversary adv;
+      ExecutionResult r = run_protocol(yes, p, adv);
+      bits = r.stats.max_message_bits;
+      if (r.ok() && p.output(r.board, 2 * n).yes) ++yes_ok;
+      r = run_protocol(no, p, adv);
+      if (r.ok() && !p.output(r.board, 2 * n).yes) ++no_ok;
+    }
+    t.add_row({std::to_string(2 * n),
+               std::to_string(yes_ok) + "/" + std::to_string(seeds),
+               std::to_string(no_ok) + "/" + std::to_string(seeds),
+               std::to_string(seeds), std::to_string(bits)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "The deterministic SIMASYNC status of 2-CLIQUES stays open (Open\n"
+      "Problem 1); with shared randomness the weakest model already decides\n"
+      "it at ~61 + log n bits per node.\n");
+}
+
+}  // namespace
+}  // namespace wb
+
+int main() {
+  wb::bench::section("2-CLIQUES — §5.1 (SIMSYNC yes; SIMASYNC open)");
+  wb::exhaustive_summary();
+  wb::random_regular_no_instances();
+  wb::battery_scaling();
+  wb::open_problem();
+  wb::randomized_simasync();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared helpers for the benchmark harnesses: wall-clock timing and common
+// formatting. Every bench prints the paper's expected row/series first, then
+// the measured values, so EXPERIMENTS.md can record the comparison verbatim.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace wb::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  /// Elapsed milliseconds since construction.
+  [[nodiscard]] double ms() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subsection(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+}  // namespace wb::bench

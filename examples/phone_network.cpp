@@ -1,0 +1,81 @@
+// The paper's motivating scenario (§1): a massive graph whose links are
+// *relationships* — phone numbers and who-called-whom — processed by one
+// tiny computing unit per node, with links that do NOT restrict
+// communication. Each node publishes one O(k² log n)-bit message on the
+// shared whiteboard; afterwards *any* question about the graph can be
+// answered from the whiteboard alone.
+//
+// Call graphs are sparse (few people are hubs): we model one as a
+// 3-degenerate graph, use the §3 BUILD protocol, and answer queries —
+// degrees, mutual contacts, triangles ("calling cliques"), connectivity —
+// from the reconstructed board, never touching the original graph again.
+#include <cstdio>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/protocols/build_degenerate.h"
+#include "src/wb/engine.h"
+
+int main() {
+  using namespace wb;
+
+  const std::size_t subscribers = 400;
+  const int degeneracy = 3;
+  const Graph calls = random_k_degenerate(subscribers, degeneracy, 25, 99);
+  std::printf("call graph: %zu subscribers, %zu call pairs\n",
+              calls.node_count(), calls.edge_count());
+
+  // Every subscriber writes one message; the adversary (the network's
+  // unpredictable scheduling) picks the order.
+  const BuildDegenerateProtocol protocol(degeneracy);
+  RandomAdversary scheduler(4242);
+  const ExecutionResult run = run_protocol(calls, protocol, scheduler);
+  if (!run.ok()) {
+    std::printf("protocol failed: %s\n", run.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "whiteboard: %zu messages, max %zu bits each (budget %zu), %zu bits "
+      "total — vs %zu bits for raw adjacency\n",
+      run.board.message_count(), run.stats.max_message_bits,
+      protocol.message_bit_limit(subscribers), run.stats.total_bits,
+      subscribers * subscribers);
+
+  // From here on, only the whiteboard is consulted.
+  const BuildOutput decoded = protocol.output(run.board, subscribers);
+  if (!decoded.has_value()) {
+    std::printf("input was not %d-degenerate — rejected\n", degeneracy);
+    return 1;
+  }
+  const Graph& g = *decoded;
+
+  std::printf("\nqueries answered from the whiteboard alone:\n");
+  NodeId hub = 1;
+  for (NodeId v = 2; v <= subscribers; ++v) {
+    if (g.degree(v) > g.degree(hub)) hub = v;
+  }
+  std::printf("  busiest subscriber: #%u with %zu contacts\n", hub,
+              g.degree(hub));
+
+  const auto nb = g.neighbors(hub);
+  std::size_t mutual = 0;
+  for (std::size_t i = 0; i < nb.size(); ++i) {
+    for (std::size_t j = i + 1; j < nb.size(); ++j) {
+      if (g.has_edge(nb[i], nb[j])) ++mutual;
+    }
+  }
+  std::printf("  contacts of #%u who also call each other: %zu pairs\n", hub,
+              mutual);
+  std::printf("  calling triangles in the network: %llu\n",
+              static_cast<unsigned long long>(count_triangles(g)));
+  const Components comps = connected_components(g);
+  std::printf("  connected components: %zu\n", comps.count);
+  std::printf("  exact reconstruction: %s\n", (g == calls) ? "yes" : "NO");
+
+  std::printf(
+      "\ntotal communication: %zu bits for n=%zu nodes — O(k^2 log n) per\n"
+      "node as promised by Lemma 1, against the Θ(n) bits/node a full\n"
+      "adjacency dump would need.\n",
+      run.stats.total_bits, subscribers);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "src/analysis/board_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+namespace wb {
+
+namespace {
+
+std::string key_of(const Bits& b) {
+  std::string key;
+  key.reserve(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    key.push_back(b.bit(i) ? '1' : '0');
+  }
+  return key;
+}
+
+}  // namespace
+
+BoardStats analyze_board(const Whiteboard& board) {
+  BoardStats s;
+  s.messages = board.message_count();
+  s.total_bits = board.total_bits();
+  if (s.messages == 0) return s;
+
+  std::map<std::string, std::size_t> contents;
+  s.min_message_bits = board.message(0).size();
+  for (const Bits& m : board.messages()) {
+    s.min_message_bits = std::min(s.min_message_bits, m.size());
+    s.max_message_bits = std::max(s.max_message_bits, m.size());
+    ++s.length_histogram[m.size()];
+    ++contents[key_of(m)];
+  }
+  s.mean_message_bits =
+      static_cast<double>(s.total_bits) / static_cast<double>(s.messages);
+  s.distinct_messages = contents.size();
+
+  double entropy = 0.0;
+  for (const auto& [content, count] : contents) {
+    const double p =
+        static_cast<double>(count) / static_cast<double>(s.messages);
+    entropy -= p * std::log2(p);
+  }
+  s.content_entropy_bits = entropy;
+  return s;
+}
+
+double budget_utilization(const BoardStats& stats, std::size_t n,
+                          std::size_t per_node_limit) {
+  const double budget =
+      static_cast<double>(n) * static_cast<double>(per_node_limit);
+  if (budget == 0) return 0.0;
+  return static_cast<double>(stats.total_bits) / budget;
+}
+
+}  // namespace wb

@@ -1,0 +1,44 @@
+// Whiteboard content statistics — the Lemma 3 side of a run, measured.
+//
+// Everything the output function can ever know is on the board; these
+// statistics quantify how much of the bit budget a protocol actually uses
+// and how much the adversary can reshuffle it (distinct boards under
+// reordering = order-sensitivity, the resource SIMASYNC lacks).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/wb/whiteboard.h"
+
+namespace wb {
+
+struct BoardStats {
+  std::size_t messages = 0;
+  std::size_t total_bits = 0;
+  std::size_t min_message_bits = 0;
+  std::size_t max_message_bits = 0;
+  double mean_message_bits = 0.0;
+
+  /// Message-length histogram (bits -> count).
+  std::map<std::size_t, std::size_t> length_histogram;
+
+  /// Number of distinct message contents (== messages for ID-carrying
+  /// protocols; can collapse for anonymous ones).
+  std::size_t distinct_messages = 0;
+
+  /// Shannon entropy (bits) of the empirical distribution of message
+  /// contents: 0 when all messages identical, log2(messages) when all
+  /// distinct.
+  double content_entropy_bits = 0.0;
+};
+
+[[nodiscard]] BoardStats analyze_board(const Whiteboard& board);
+
+/// Fraction of the declared budget (n · limit) the run actually consumed.
+[[nodiscard]] double budget_utilization(const BoardStats& stats,
+                                        std::size_t n,
+                                        std::size_t per_node_limit);
+
+}  // namespace wb

@@ -1,0 +1,42 @@
+#include "src/analysis/schedule_stats.h"
+
+#include <algorithm>
+
+namespace wb {
+
+ScheduleStats analyze_schedule(const ExecutionResult& result) {
+  ScheduleStats s;
+  s.rounds = result.stats.rounds;
+  s.writes = result.stats.writes;
+  s.activations_per_round.assign(s.rounds + 1, 0);
+
+  const auto& activation = result.stats.activation_round;
+  const auto& write = result.stats.write_round;
+  for (std::size_t i = 0; i < activation.size(); ++i) {
+    if (activation[i] == 0) continue;  // never activated (deadlocked run)
+    if (activation[i] <= s.rounds) {
+      ++s.activations_per_round[activation[i]];
+    }
+    if (write[i] >= activation[i] && write[i] != 0) {
+      const std::size_t lat = write[i] - activation[i];
+      s.latency.push_back(lat);
+      ++s.latency_histogram[lat];
+      s.max_latency = std::max(s.max_latency, lat);
+    }
+  }
+  for (std::size_t c : s.activations_per_round) {
+    if (c > 0) {
+      ++s.activation_waves;
+      s.max_wave = std::max(s.max_wave, c);
+    }
+  }
+  if (!s.latency.empty()) {
+    std::size_t total = 0;
+    for (std::size_t l : s.latency) total += l;
+    s.mean_latency =
+        static_cast<double>(total) / static_cast<double>(s.latency.size());
+  }
+  return s;
+}
+
+}  // namespace wb

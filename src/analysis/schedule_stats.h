@@ -1,0 +1,45 @@
+// Post-hoc analysis of protocol executions.
+//
+// The paper's activation disciplines leave fingerprints in a run: layered
+// protocols activate in waves (one per BFS layer), simultaneous protocols in
+// a single wave, sequential adapters in n waves of size one. Write latency
+// (rounds between raising one's hand and being scheduled) measures how much
+// re-ordering freedom the adversary actually had. These statistics feed the
+// benches' characterization tables and make regressions in activation logic
+// visible beyond pass/fail.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/wb/engine.h"
+
+namespace wb {
+
+struct ScheduleStats {
+  std::size_t rounds = 0;
+  std::size_t writes = 0;
+
+  /// activations_per_round[r] = nodes that became active in round r+1.
+  std::vector<std::size_t> activations_per_round;
+  /// Number of rounds with at least one activation ("waves").
+  std::size_t activation_waves = 0;
+  /// Size of the largest wave.
+  std::size_t max_wave = 0;
+
+  /// Write latency = write_round - activation_round, per node.
+  std::vector<std::size_t> latency;
+  double mean_latency = 0.0;
+  std::size_t max_latency = 0;
+
+  /// Latency histogram (latency value -> node count).
+  std::map<std::size_t, std::size_t> latency_histogram;
+};
+
+/// Compute schedule statistics from a finished execution. Requires a
+/// successful or deadlocked result (uses activation/write rounds from
+/// RunStats; nodes that never activated/wrote are skipped).
+[[nodiscard]] ScheduleStats analyze_schedule(const ExecutionResult& result);
+
+}  // namespace wb

@@ -1,0 +1,256 @@
+#include "src/cli/runners.h"
+
+#include <sstream>
+
+#include "src/analysis/board_stats.h"
+#include "src/analysis/schedule_stats.h"
+#include "src/cli/spec.h"
+#include "src/graph/algorithms.h"
+#include "src/protocols/bfs_sync.h"
+#include "src/protocols/build_degenerate.h"
+#include "src/protocols/build_forest.h"
+#include "src/protocols/build_full.h"
+#include "src/protocols/eob_bfs.h"
+#include "src/protocols/mis.h"
+#include "src/protocols/oracles.h"
+#include "src/protocols/randomized.h"
+#include "src/protocols/subgraph.h"
+#include "src/protocols/triangle.h"
+#include "src/protocols/two_cliques.h"
+#include "src/wb/engine.h"
+
+namespace wb::cli {
+
+namespace {
+
+void describe_run(std::ostringstream& os, const Graph& g, const Protocol& p,
+                  const ExecutionResult& r) {
+  os << "protocol   " << p.name() << " (" << model_name(p.model_class())
+     << "[" << p.message_bit_limit(g.node_count()) << " bits])\n";
+  os << "graph      n=" << g.node_count() << " m=" << g.edge_count() << "\n";
+  os << "status     " << status_name(r.status);
+  if (!r.error.empty()) os << " — " << r.error;
+  os << "\n";
+  const ScheduleStats sched = analyze_schedule(r);
+  const BoardStats board = analyze_board(r.board);
+  os << "schedule   rounds=" << sched.rounds << " writes=" << sched.writes
+     << " activation-waves=" << sched.activation_waves
+     << " mean-latency=" << sched.mean_latency << "\n";
+  os << "board      bits=" << board.total_bits << " max-msg="
+     << board.max_message_bits << " distinct=" << board.distinct_messages
+     << " utilization="
+     << budget_utilization(board, g.node_count(),
+                           p.message_bit_limit(g.node_count()))
+     << "\n";
+}
+
+/// Run a typed protocol and validate with `check(output)`.
+template <typename P, typename Check>
+RunReport run_typed(const P& protocol, const Graph& g, Adversary& adversary,
+                    const Check& check) {
+  RunReport report;
+  const ExecutionResult r = run_protocol(g, protocol, adversary);
+  std::ostringstream os;
+  describe_run(os, g, protocol, r);
+  report.executed = true;
+  report.status = std::string(status_name(r.status));
+  if (r.ok()) {
+    const auto out = protocol.output(r.board, g.node_count());
+    report.correct = check(out, os);
+  } else {
+    os << "verdict    (no output: run not successful)\n";
+  }
+  report.summary = os.str();
+  return report;
+}
+
+RunReport run_build(const Graph& g, Adversary& adv,
+                    const ProtocolWithOutput<BuildOutput>& p) {
+  return run_typed(p, g, adv, [&](const BuildOutput& out, std::ostringstream& os) {
+    if (!out.has_value()) {
+      os << "verdict    rejected (input outside promised class)\n";
+      // Rejection is the *correct* answer when the input is truly outside.
+      return true;
+    }
+    const bool exact = *out == g;
+    os << "verdict    reconstructed " << out->edge_count() << " edges — "
+       << (exact ? "exact" : "WRONG") << "\n";
+    return exact;
+  });
+}
+
+RunReport run_bfs(const Graph& g, Adversary& adv,
+                  const ProtocolWithOutput<BfsProtocolOutput>& p) {
+  return run_typed(p, g, adv,
+                   [&](const BfsProtocolOutput& out, std::ostringstream& os) {
+                     if (!out.valid) {
+                       os << "verdict    input reported invalid\n";
+                       return !is_even_odd_bipartite(g);
+                     }
+                     const BfsForest ref = bfs_forest(g);
+                     const bool ok = out.layer == ref.layer &&
+                                     is_valid_bfs_forest(g, out.layer,
+                                                         out.parent);
+                     os << "verdict    BFS forest with " << out.roots.size()
+                        << " roots — " << (ok ? "valid" : "WRONG") << "\n";
+                     return ok;
+                   });
+}
+
+}  // namespace
+
+RunReport run_protocol_spec(const std::string& spec, const Graph& g,
+                            Adversary& adversary) {
+  const auto parts = split_spec(spec);
+  const std::string& kind = parts[0];
+  const std::size_t n = g.node_count();
+
+  if (kind == "build-forest") {
+    return run_build(g, adversary, BuildForestProtocol{});
+  }
+  if (kind == "build-degenerate") {
+    WB_REQUIRE_MSG(parts.size() == 2, "expected build-degenerate:K");
+    const int k = static_cast<int>(parse_u64(parts[1], "K"));
+    return run_build(g, adversary, BuildDegenerateProtocol{k});
+  }
+  if (kind == "build-full") {
+    const BuildFullProtocol p;
+    return run_typed(p, g, adversary,
+                     [&](const Graph& out, std::ostringstream& os) {
+                       const bool exact = out == g;
+                       os << "verdict    reconstructed " << out.edge_count()
+                          << " edges — " << (exact ? "exact" : "WRONG") << "\n";
+                       return exact;
+                     });
+  }
+  if (kind == "mis") {
+    WB_REQUIRE_MSG(parts.size() == 2, "expected mis:ROOT");
+    const NodeId root = static_cast<NodeId>(parse_u64(parts[1], "root"));
+    WB_REQUIRE_MSG(root >= 1 && root <= n, "root out of range");
+    const RootedMisProtocol p(root);
+    return run_typed(p, g, adversary,
+                     [&](const MisOutput& out, std::ostringstream& os) {
+                       const bool ok = is_rooted_mis(g, out, root);
+                       os << "verdict    |MIS| = " << out.size() << " — "
+                          << (ok ? "valid rooted MIS" : "WRONG") << "\n";
+                       return ok;
+                     });
+  }
+  if (kind == "two-cliques" || kind == "rand-two-cliques") {
+    auto check = [&](const TwoCliquesOutput& out, std::ostringstream& os) {
+      const bool truth = is_two_cliques(g);
+      os << "verdict    " << (out.yes ? "YES" : "NO") << " (truth: "
+         << (truth ? "YES" : "NO") << ")\n";
+      return out.yes == truth;
+    };
+    if (kind == "two-cliques") {
+      return run_typed(TwoCliquesProtocol{}, g, adversary, check);
+    }
+    WB_REQUIRE_MSG(parts.size() == 2, "expected rand-two-cliques:SEED");
+    return run_typed(
+        RandomizedTwoCliquesProtocol{parse_u64(parts[1], "seed")}, g,
+        adversary, check);
+  }
+  if (kind == "eob-bfs") {
+    return run_bfs(g, adversary, EobBfsProtocol{});
+  }
+  if (kind == "bipartite-bfs") {
+    return run_bfs(g, adversary, EobBfsProtocol{EobMode::kBipartiteNoCheck});
+  }
+  if (kind == "sync-bfs") {
+    return run_bfs(g, adversary, SyncBfsProtocol{});
+  }
+  if (kind == "subgraph") {
+    WB_REQUIRE_MSG(parts.size() == 2, "expected subgraph:F");
+    const std::size_t f = parse_u64(parts[1], "F");
+    const SubgraphProtocol p(f);
+    return run_typed(p, g, adversary,
+                     [&](const Graph& out, std::ostringstream& os) {
+                       GraphBuilder expect(n);
+                       for (const Edge& e : g.edges()) {
+                         if (e.u <= f && e.v <= f) expect.add_edge(e.u, e.v);
+                       }
+                       const bool ok = out == expect.build();
+                       os << "verdict    prefix subgraph with "
+                          << out.edge_count() << " edges — "
+                          << (ok ? "exact" : "WRONG") << "\n";
+                       return ok;
+                     });
+  }
+  if (kind == "triangle-oracle" || kind == "pair-chase") {
+    const bool truth = has_triangle(g);
+    if (kind == "triangle-oracle") {
+      const TriangleOracleProtocol p;
+      return run_typed(p, g, adversary,
+                       [&](bool out, std::ostringstream& os) {
+                         os << "verdict    " << (out ? "TRIANGLE" : "none")
+                            << " (truth: " << (truth ? "TRIANGLE" : "none")
+                            << ")\n";
+                         return out == truth;
+                       });
+    }
+    const TrianglePairChaseProtocol p(0);
+    return run_typed(p, g, adversary,
+                     [&](TriangleVerdict v, std::ostringstream& os) {
+                       const char* verdict =
+                           v == TriangleVerdict::kYes
+                               ? "TRIANGLE"
+                               : (v == TriangleVerdict::kNo ? "none"
+                                                            : "unknown");
+                       os << "verdict    " << verdict << " (truth: "
+                          << (truth ? "TRIANGLE" : "none") << ")\n";
+                       // Soundness requirement only: kYes must imply truth.
+                       return v != TriangleVerdict::kYes || truth;
+                     });
+  }
+  if (kind == "spanning-forest") {
+    const SpanningForestProtocol p;
+    return run_typed(p, g, adversary,
+                     [&](const SpanningForestOutput& out,
+                         std::ostringstream& os) {
+                       const bool ok = is_spanning_forest_of(g, out);
+                       os << "verdict    " << out.edges.size() << " tree edges, "
+                          << out.components << " components, connected="
+                          << (out.connected ? "yes" : "no") << " — "
+                          << (ok ? "valid" : "WRONG") << "\n";
+                       return ok;
+                     });
+  }
+  if (kind == "square-oracle" || kind == "connectivity-oracle" ||
+      kind == "diameter-oracle") {
+    PropertyOracleProtocol p =
+        kind == "square-oracle"
+            ? square_oracle()
+            : (kind == "connectivity-oracle"
+                   ? connectivity_oracle()
+                   : diameter_at_most_oracle(static_cast<int>(
+                         parse_u64(parts.size() == 2 ? parts[1] : "3", "D"))));
+    const bool truth =
+        kind == "square-oracle"
+            ? has_square(g)
+            : (kind == "connectivity-oracle"
+                   ? is_connected(g)
+                   : (diameter(g) >= 0 &&
+                      diameter(g) <= static_cast<int>(parse_u64(
+                                         parts.size() == 2 ? parts[1] : "3",
+                                         "D"))));
+    return run_typed(p, g, adversary, [&](bool out, std::ostringstream& os) {
+      os << "verdict    " << (out ? "YES" : "NO") << " (truth: "
+         << (truth ? "YES" : "NO") << ")\n";
+      return out == truth;
+    });
+  }
+  WB_REQUIRE_MSG(false,
+                 "unknown protocol '" << kind << "'\n" << protocol_spec_help());
+  return {};  // unreachable
+}
+
+std::string protocol_spec_help() {
+  return "protocols: build-forest build-degenerate:K build-full mis:ROOT\n"
+         "           two-cliques rand-two-cliques:SEED eob-bfs bipartite-bfs\n"
+         "           sync-bfs subgraph:F triangle-oracle pair-chase\n"
+         "           spanning-forest square-oracle diameter-oracle:D\n"
+         "           connectivity-oracle";
+}
+
+}  // namespace wb::cli

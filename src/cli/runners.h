@@ -1,0 +1,28 @@
+// Protocol runner registry for wbsim: constructs a protocol from its spec,
+// runs it on a graph under an adversary, validates the output against the
+// centralized reference algorithms, and renders a one-screen report.
+#pragma once
+
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/wb/adversary.h"
+
+namespace wb::cli {
+
+struct RunReport {
+  bool executed = false;  // run reached a terminal engine state
+  bool correct = false;   // output validated against the reference
+  std::string status;     // engine status string
+  std::string summary;    // multi-line human-readable report
+};
+
+/// Run `protocol_spec` on `g` under `adversary`. Throws wb::DataError for
+/// unknown protocol specs.
+[[nodiscard]] RunReport run_protocol_spec(const std::string& protocol_spec,
+                                          const Graph& g, Adversary& adversary);
+
+/// List of known protocol specs for --help.
+[[nodiscard]] std::string protocol_spec_help();
+
+}  // namespace wb::cli

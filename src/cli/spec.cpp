@@ -1,0 +1,154 @@
+#include "src/cli/spec.h"
+
+#include <charconv>
+
+#include "src/graph/generators.h"
+#include "src/support/check.h"
+
+namespace wb::cli {
+
+std::vector<std::string> split_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = spec.find(':', start);
+    if (pos == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      return parts;
+    }
+    parts.push_back(spec.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::uint64_t parse_u64(const std::string& field, const std::string& what) {
+  std::uint64_t value = 0;
+  const auto* begin = field.data();
+  const auto* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  WB_REQUIRE_MSG(ec == std::errc{} && ptr == end,
+                 "bad " << what << ": '" << field << "'");
+  return value;
+}
+
+std::pair<std::uint64_t, std::uint64_t> parse_prob(const std::string& field) {
+  const std::size_t slash = field.find('/');
+  WB_REQUIRE_MSG(slash != std::string::npos,
+                 "probability must be NUM/DEN, got '" << field << "'");
+  const std::uint64_t num = parse_u64(field.substr(0, slash), "numerator");
+  const std::uint64_t den = parse_u64(field.substr(slash + 1), "denominator");
+  WB_REQUIRE_MSG(den > 0 && num <= den, "probability out of range: " << field);
+  return {num, den};
+}
+
+namespace {
+
+void expect_arity(const std::vector<std::string>& parts, std::size_t arity,
+                  const char* usage) {
+  WB_REQUIRE_MSG(parts.size() == arity, "expected spec " << usage);
+}
+
+}  // namespace
+
+Graph graph_from_spec(const std::string& spec) {
+  const auto parts = split_spec(spec);
+  const std::string& kind = parts[0];
+  if (kind == "path") {
+    expect_arity(parts, 2, "path:N");
+    return path_graph(parse_u64(parts[1], "N"));
+  }
+  if (kind == "cycle") {
+    expect_arity(parts, 2, "cycle:N");
+    return cycle_graph(parse_u64(parts[1], "N"));
+  }
+  if (kind == "complete") {
+    expect_arity(parts, 2, "complete:N");
+    return complete_graph(parse_u64(parts[1], "N"));
+  }
+  if (kind == "star") {
+    expect_arity(parts, 2, "star:N");
+    return star_graph(parse_u64(parts[1], "N"));
+  }
+  if (kind == "grid") {
+    expect_arity(parts, 2, "grid:RxC");
+    const std::size_t x = parts[1].find('x');
+    WB_REQUIRE_MSG(x != std::string::npos, "grid spec must be grid:RxC");
+    return grid_graph(parse_u64(parts[1].substr(0, x), "rows"),
+                      parse_u64(parts[1].substr(x + 1), "cols"));
+  }
+  if (kind == "twocliques") {
+    expect_arity(parts, 2, "twocliques:N");
+    return two_cliques(parse_u64(parts[1], "N"));
+  }
+  if (kind == "switched") {
+    expect_arity(parts, 2, "switched:N");
+    return two_cliques_switched(parse_u64(parts[1], "N"));
+  }
+  if (kind == "tree") {
+    expect_arity(parts, 3, "tree:N:SEED");
+    return random_tree(parse_u64(parts[1], "N"), parse_u64(parts[2], "seed"));
+  }
+  if (kind == "forest") {
+    expect_arity(parts, 4, "forest:N:PCT:SEED");
+    return random_forest(parse_u64(parts[1], "N"),
+                         static_cast<int>(parse_u64(parts[2], "percent")),
+                         parse_u64(parts[3], "seed"));
+  }
+  if (kind == "kdeg") {
+    expect_arity(parts, 5, "kdeg:N:K:PCT:SEED");
+    return random_k_degenerate(parse_u64(parts[1], "N"),
+                               static_cast<int>(parse_u64(parts[2], "K")),
+                               static_cast<int>(parse_u64(parts[3], "percent")),
+                               parse_u64(parts[4], "seed"));
+  }
+  if (kind == "gnp" || kind == "cgnp" || kind == "eob" || kind == "ceob") {
+    expect_arity(parts, 4, "gnp:N:NUM/DEN:SEED");
+    const std::uint64_t n = parse_u64(parts[1], "N");
+    const auto [num, den] = parse_prob(parts[2]);
+    const std::uint64_t seed = parse_u64(parts[3], "seed");
+    if (kind == "gnp") return erdos_renyi(n, num, den, seed);
+    if (kind == "cgnp") return connected_gnp(n, num, den, seed);
+    if (kind == "eob") return random_even_odd_bipartite(n, num, den, seed);
+    return connected_even_odd_bipartite(n, num, den, seed);
+  }
+  if (kind == "bipartite") {
+    expect_arity(parts, 5, "bipartite:A:B:NUM/DEN:SEED");
+    const auto [num, den] = parse_prob(parts[3]);
+    return random_bipartite(parse_u64(parts[1], "A"), parse_u64(parts[2], "B"),
+                            num, den, parse_u64(parts[4], "seed"));
+  }
+  WB_REQUIRE_MSG(false, "unknown graph kind '" << kind << "'\n"
+                                               << graph_spec_help());
+  return Graph(0);  // unreachable
+}
+
+std::unique_ptr<Adversary> adversary_from_spec(const std::string& spec,
+                                               const Graph& g) {
+  const auto parts = split_spec(spec);
+  const std::string& kind = parts[0];
+  if (kind == "first") return std::make_unique<FirstAdversary>();
+  if (kind == "last") return std::make_unique<LastAdversary>();
+  if (kind == "rotating") return std::make_unique<RotatingAdversary>();
+  if (kind == "maxdeg") return std::make_unique<MaxDegreeAdversary>(g);
+  if (kind == "mindeg") return std::make_unique<MinDegreeAdversary>(g);
+  if (kind == "random") {
+    expect_arity(parts, 2, "random:SEED");
+    return std::make_unique<RandomAdversary>(parse_u64(parts[1], "seed"));
+  }
+  WB_REQUIRE_MSG(false, "unknown adversary '" << kind << "'\n"
+                                              << adversary_spec_help());
+  return nullptr;  // unreachable
+}
+
+std::string graph_spec_help() {
+  return "graphs: path:N cycle:N complete:N star:N grid:RxC twocliques:N\n"
+         "        switched:N tree:N:SEED forest:N:PCT:SEED kdeg:N:K:PCT:SEED\n"
+         "        gnp:N:NUM/DEN:SEED cgnp:N:NUM/DEN:SEED eob:N:NUM/DEN:SEED\n"
+         "        ceob:N:NUM/DEN:SEED bipartite:A:B:NUM/DEN:SEED";
+}
+
+std::string adversary_spec_help() {
+  return "adversaries: first last rotating maxdeg mindeg random:SEED";
+}
+
+}  // namespace wb::cli

@@ -1,0 +1,55 @@
+// Text specs for the wbsim command-line driver (and for scripting tests).
+//
+// Colon-separated factory strings:
+//
+//   graphs:      path:N            cycle:N          complete:N     star:N
+//                grid:RxC          twocliques:N     switched:N
+//                tree:N:SEED       forest:N:PCT:SEED
+//                kdeg:N:K:PCT:SEED gnp:N:NUM/DEN:SEED
+//                cgnp:N:NUM/DEN:SEED    eob:N:NUM/DEN:SEED
+//                ceob:N:NUM/DEN:SEED    bipartite:A:B:NUM/DEN:SEED
+//
+//   adversaries: first | last | rotating | maxdeg | mindeg | random:SEED
+//
+//   protocols (see runners.h): build-forest | build-degenerate:K |
+//                build-full | mis:ROOT | two-cliques | eob-bfs |
+//                bipartite-bfs | sync-bfs | subgraph:F | triangle-oracle |
+//                pair-chase | spanning-forest | rand-two-cliques:SEED |
+//                square-oracle | diameter-oracle:D | connectivity-oracle
+//
+// Parsers throw wb::DataError with a usable message on malformed specs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/wb/adversary.h"
+
+namespace wb::cli {
+
+/// Split "a:b:c" into {"a","b","c"} (no empty-segment collapsing).
+[[nodiscard]] std::vector<std::string> split_spec(const std::string& spec);
+
+/// Parse helpers used across the factories.
+[[nodiscard]] std::uint64_t parse_u64(const std::string& field,
+                                      const std::string& what);
+/// "NUM/DEN" probability field.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> parse_prob(
+    const std::string& field);
+
+/// Build a graph from a spec string.
+[[nodiscard]] Graph graph_from_spec(const std::string& spec);
+
+/// Build an adversary from a spec string (graph needed for degree-based
+/// strategies).
+[[nodiscard]] std::unique_ptr<Adversary> adversary_from_spec(
+    const std::string& spec, const Graph& g);
+
+/// Human-readable lists for --help.
+[[nodiscard]] std::string graph_spec_help();
+[[nodiscard]] std::string adversary_spec_help();
+
+}  // namespace wb::cli

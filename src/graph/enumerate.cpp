@@ -1,0 +1,171 @@
+#include "src/graph/enumerate.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/graph/algorithms.h"
+
+namespace wb {
+
+namespace {
+
+std::vector<Edge> all_pairs(std::size_t n) {
+  std::vector<Edge> pairs;
+  for (NodeId u = 1; u <= n; ++u) {
+    for (NodeId v = u + 1; v <= n; ++v) pairs.push_back(Edge{u, v});
+  }
+  return pairs;
+}
+
+void for_each_graph_over_pairs(std::size_t n, const std::vector<Edge>& pairs,
+                               const std::function<void(const Graph&)>& fn) {
+  WB_CHECK_MSG(pairs.size() <= 28, "enumeration too large: 2^" << pairs.size());
+  const std::uint64_t total = std::uint64_t{1} << pairs.size();
+  std::vector<Edge> edges;
+  edges.reserve(pairs.size());
+  for (std::uint64_t mask = 0; mask < total; ++mask) {
+    edges.clear();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if ((mask >> i) & 1u) edges.push_back(pairs[i]);
+    }
+    fn(Graph(n, edges));
+  }
+}
+
+}  // namespace
+
+void for_each_labeled_graph(std::size_t n,
+                            const std::function<void(const Graph&)>& fn) {
+  WB_CHECK_MSG(n <= 8, "n too large for full enumeration");
+  for_each_graph_over_pairs(n, all_pairs(n), fn);
+}
+
+void for_each_connected_graph(std::size_t n,
+                              const std::function<void(const Graph&)>& fn) {
+  for_each_labeled_graph(n, [&](const Graph& g) {
+    if (is_connected(g)) fn(g);
+  });
+}
+
+void for_each_even_odd_bipartite_graph(
+    std::size_t n, const std::function<void(const Graph&)>& fn) {
+  WB_CHECK_MSG(n <= 10, "n too large for even-odd enumeration");
+  std::vector<Edge> pairs;
+  for (NodeId u = 1; u <= n; ++u) {
+    for (NodeId v = u + 1; v <= n; ++v) {
+      if ((u % 2) != (v % 2)) pairs.push_back(Edge{u, v});
+    }
+  }
+  for_each_graph_over_pairs(n, pairs, fn);
+}
+
+void for_each_labeled_forest(std::size_t n,
+                             const std::function<void(const Graph&)>& fn) {
+  for_each_labeled_graph(n, [&](const Graph& g) {
+    if (is_k_degenerate(g, 1)) fn(g);  // forests = 1-degenerate graphs
+  });
+}
+
+double log2_count_all_graphs(std::size_t n) {
+  return static_cast<double>(n * (n - 1) / 2);
+}
+
+double log2_count_bipartite_fixed_parts(std::size_t n) {
+  WB_CHECK(n % 2 == 0);
+  const double h = static_cast<double>(n) / 2.0;
+  return h * h;
+}
+
+double log2_count_even_odd_bipartite(std::size_t n) {
+  const double odd = static_cast<double>((n + 1) / 2);
+  const double even = static_cast<double>(n / 2);
+  return odd * even;
+}
+
+std::uint64_t count_labeled_forests_exact(std::size_t n) {
+  WB_CHECK_MSG(n <= 18, "exact forest count overflows past n=18");
+  // F(n) = sum over the size j of the component containing node n:
+  //   C(n-1, j-1) * T(j) * F(n-j),  T(j) = j^{j-2} labeled trees.
+  std::vector<std::uint64_t> F(n + 1, 0);
+  F[0] = 1;
+  auto trees = [](std::size_t j) -> std::uint64_t {
+    if (j <= 2) return 1;
+    std::uint64_t t = 1;
+    for (std::size_t i = 0; i + 2 < j; ++i) t *= j;
+    return t;
+  };
+  auto binom = [](std::size_t a, std::size_t b) -> std::uint64_t {
+    if (b > a) return 0;
+    std::uint64_t r = 1;
+    for (std::size_t i = 1; i <= b; ++i) r = r * (a - b + i) / i;
+    return r;
+  };
+  for (std::size_t m = 1; m <= n; ++m) {
+    std::uint64_t acc = 0;
+    for (std::size_t j = 1; j <= m; ++j) {
+      acc += binom(m - 1, j - 1) * trees(j) * F[m - j];
+    }
+    F[m] = acc;
+  }
+  return F[n];
+}
+
+double log2_count_labeled_forests(std::size_t n) {
+  WB_CHECK(n >= 1);
+  if (n <= 18) {
+    return std::log2(static_cast<double>(count_labeled_forests_exact(n)));
+  }
+  // Log-domain version of the same recurrence, using log-sum-exp.
+  std::vector<double> logF(n + 1, 0.0);  // log2 F(m); F(0)=1 -> 0
+  auto log2_trees = [](std::size_t j) -> double {
+    if (j <= 2) return 0.0;
+    return static_cast<double>(j - 2) * std::log2(static_cast<double>(j));
+  };
+  // log2 C(a, b) via lgamma.
+  auto log2_binom = [](std::size_t a, std::size_t b) -> double {
+    if (b > a) return -1e300;
+    return (std::lgamma(static_cast<double>(a) + 1) -
+            std::lgamma(static_cast<double>(b) + 1) -
+            std::lgamma(static_cast<double>(a - b) + 1)) /
+           std::log(2.0);
+  };
+  for (std::size_t m = 1; m <= n; ++m) {
+    double best = -1e300;
+    std::vector<double> terms;
+    terms.reserve(m);
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double t = log2_binom(m - 1, j - 1) + log2_trees(j) + logF[m - j];
+      terms.push_back(t);
+      best = std::max(best, t);
+    }
+    double sum = 0.0;
+    for (double t : terms) sum += std::exp2(t - best);
+    logF[m] = best + std::log2(sum);
+  }
+  return logF[n];
+}
+
+double log2_count_subgraph_family(std::size_t n, std::size_t f) {
+  WB_CHECK(f <= n);
+  // Graphs where all edges live inside {v_1..v_f}: 2^{C(f,2)} of them.
+  return static_cast<double>(f * (f - 1) / 2);
+}
+
+double log2_count_k_degenerate_lower(std::size_t n, int k) {
+  WB_CHECK(k >= 1);
+  // Constructive lower bound: in the fixed ID order, node i chooses any
+  // k-subset of its predecessors as back-neighbors. The map is injective —
+  // the graph determines each node's back-neighborhood N(i) ∩ {1..i-1}
+  // uniquely — and every such graph has degeneracy ≤ k. Hence the count is
+  // at least Π_{i>k} C(i-1, k), i.e. Ω(k·n·log n) bits.
+  double bits = 0.0;
+  for (std::size_t i = static_cast<std::size_t>(k) + 1; i <= n; ++i) {
+    bits += (std::lgamma(static_cast<double>(i)) -
+             std::lgamma(static_cast<double>(k) + 1) -
+             std::lgamma(static_cast<double>(i - static_cast<std::size_t>(k)))) /
+            std::log(2.0);
+  }
+  return bits;
+}
+
+}  // namespace wb

@@ -1,0 +1,108 @@
+// Workload generators for every graph family the paper's results range over.
+//
+// Each generator is deterministic in its seed. Families map to paper sections:
+//  - forests / k-degenerate graphs           → §3 (BUILD)
+//  - even-odd-bipartite graphs               → §5.2, Thm 7/8 (EOB-BFS)
+//  - bipartite graphs with fixed parts       → Thm 3 (triangle reduction)
+//  - two cliques / (n-1)-regular 2n-node     → §5.1 (2-CLIQUES, connectivity)
+//  - arbitrary / connected graphs            → Thm 10 (BFS in SYNC)
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace wb {
+
+// --- Deterministic structured families -------------------------------------
+
+[[nodiscard]] Graph path_graph(std::size_t n);
+[[nodiscard]] Graph cycle_graph(std::size_t n);
+[[nodiscard]] Graph complete_graph(std::size_t n);
+[[nodiscard]] Graph star_graph(std::size_t n);  // center is node 1
+[[nodiscard]] Graph empty_graph(std::size_t n);
+[[nodiscard]] Graph grid_graph(std::size_t rows, std::size_t cols);
+[[nodiscard]] Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Disjoint union of two complete graphs on n nodes each: {1..n}, {n+1..2n}
+/// (the YES instances of 2-CLIQUES, §5.1).
+[[nodiscard]] Graph two_cliques(std::size_t n);
+
+/// An (n-1)-regular connected 2n-node graph that is NOT two disjoint cliques:
+/// two cliques with a 2-switch applied (remove {a,b},{c,d}; add {a,c},{b,d}).
+/// The NO instances of 2-CLIQUES.
+[[nodiscard]] Graph two_cliques_switched(std::size_t n);
+
+/// d-dimensional hypercube on 2^d nodes (node v-1's bits are coordinates).
+[[nodiscard]] Graph hypercube_graph(int dimension);
+
+/// Wheel: cycle on nodes 2..n plus hub node 1 adjacent to all of it (n ≥ 4).
+[[nodiscard]] Graph wheel_graph(std::size_t n);
+
+/// Barbell: two k-cliques joined by a path of `bridge` extra nodes.
+[[nodiscard]] Graph barbell_graph(std::size_t k, std::size_t bridge);
+
+// --- Randomized families ----------------------------------------------------
+
+/// Uniform labeled tree on n nodes via a random Prüfer sequence.
+[[nodiscard]] Graph random_tree(std::size_t n, std::uint64_t seed);
+
+/// Random labeled forest: each node i ≥ 2 attaches to a uniform earlier node
+/// with probability attach_pct/100, else starts a new component; labels then
+/// shuffled. Degeneracy ≤ 1 by construction.
+[[nodiscard]] Graph random_forest(std::size_t n, int attach_pct,
+                                  std::uint64_t seed);
+
+/// Random graph of degeneracy ≤ k: in a random order, node i picks
+/// min(k, #earlier) earlier neighbors uniformly (or fewer when sparse_pct of
+/// slots are skipped); labels shuffled. Every planar-like / bounded-treewidth
+/// workload in the benches is drawn from this family (§3.2).
+[[nodiscard]] Graph random_k_degenerate(std::size_t n, int k, int sparse_pct,
+                                        std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p) with p = p_num/p_den.
+[[nodiscard]] Graph erdos_renyi(std::size_t n, std::uint64_t p_num,
+                                std::uint64_t p_den, std::uint64_t seed);
+
+/// Connected: random tree plus ER(p) edges on top.
+[[nodiscard]] Graph connected_gnp(std::size_t n, std::uint64_t p_num,
+                                  std::uint64_t p_den, std::uint64_t seed);
+
+/// Bipartite with the paper's fixed parts {v_1..v_a} and {v_{a+1}..v_{a+b}}
+/// (Thm 3 reduction family).
+[[nodiscard]] Graph random_bipartite(std::size_t a, std::size_t b,
+                                     std::uint64_t p_num, std::uint64_t p_den,
+                                     std::uint64_t seed);
+
+/// Even-odd-bipartite: edges only between odd and even IDs (§5.2).
+[[nodiscard]] Graph random_even_odd_bipartite(std::size_t n,
+                                              std::uint64_t p_num,
+                                              std::uint64_t p_den,
+                                              std::uint64_t seed);
+
+/// Even-odd-bipartite and connected (random alternating tree + extra edges).
+[[nodiscard]] Graph connected_even_odd_bipartite(std::size_t n,
+                                                 std::uint64_t p_num,
+                                                 std::uint64_t p_den,
+                                                 std::uint64_t seed);
+
+/// A graph whose only triangle is planted: a random even-odd-bipartite base
+/// (triangle-free) plus one edge closing exactly one triangle where possible.
+/// Returns the graph; `planted` reports whether a triangle was actually
+/// closed (it is when the base has any path of length 2).
+[[nodiscard]] Graph planted_triangle(std::size_t n, std::uint64_t p_num,
+                                     std::uint64_t p_den, std::uint64_t seed,
+                                     bool* planted);
+
+/// Random d-regular graph on n nodes (n·d even, d < n) via repeated
+/// pairing-model attempts; further randomized by degree-preserving 2-switch
+/// walks. Supplies the (n-1)-regular no-instances of 2-CLIQUES beyond the
+/// single 2-switch construction.
+[[nodiscard]] Graph random_regular(std::size_t n, std::size_t d,
+                                   std::uint64_t seed);
+
+/// Uniformly random permutation of 1..n.
+[[nodiscard]] std::vector<NodeId> random_permutation(std::size_t n,
+                                                     std::uint64_t seed);
+
+}  // namespace wb

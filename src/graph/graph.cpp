@@ -1,0 +1,83 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+namespace wb {
+
+Graph::Graph(std::size_t n) : Graph(n, {}) {}
+
+Graph::Graph(std::size_t n, std::span<const Edge> edges) : n_(n) {
+  edges_.assign(edges.begin(), edges.end());
+  std::sort(edges_.begin(), edges_.end());
+  WB_CHECK_MSG(
+      std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+      "duplicate edge in edge list");
+  m_ = edges_.size();
+
+  std::vector<std::size_t> deg(n_ + 1, 0);
+  for (const Edge& e : edges_) {
+    WB_CHECK_MSG(e.u >= 1 && e.v <= n_ && e.u < e.v,
+                 "edge {" << e.u << "," << e.v << "} invalid for n=" << n_);
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  offsets_.assign(n_ + 1, 0);
+  for (std::size_t v = 1; v <= n_; ++v) offsets_[v] = offsets_[v - 1] + deg[v];
+  adjacency_.resize(2 * m_);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    adjacency_[cursor[e.u - 1]++] = e.v;
+    adjacency_[cursor[e.v - 1]++] = e.u;
+  }
+  // Edge list was sorted, but per-node blocks interleave u- and v-sides;
+  // sort each block so neighbors() is ordered and has_edge can bisect.
+  for (std::size_t v = 1; v <= n_; ++v) {
+    std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v - 1]),
+              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]));
+  }
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_id(u);
+  check_id(v);
+  if (u == v) return false;
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+bool GraphBuilder::add_edge(NodeId a, NodeId b) {
+  WB_CHECK_MSG(a != b, "self-loop at node " << a);
+  WB_CHECK_MSG(a >= 1 && a <= n_ && b >= 1 && b <= n_,
+               "edge {" << a << "," << b << "} out of range 1.." << n_);
+  const Edge e = make_edge(a, b);
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+  if (it != edges_.end() && *it == e) return false;
+  edges_.insert(it, e);
+  return true;
+}
+
+bool GraphBuilder::has_edge(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  const Edge e = make_edge(a, b);
+  return std::binary_search(edges_.begin(), edges_.end(), e);
+}
+
+Graph GraphBuilder::build() const { return Graph(n_, edges_); }
+
+Graph relabel(const Graph& g, std::span<const NodeId> perm) {
+  WB_CHECK(perm.size() == g.node_count());
+  std::vector<bool> seen(g.node_count() + 1, false);
+  for (NodeId p : perm) {
+    WB_CHECK_MSG(p >= 1 && p <= g.node_count() && !seen[p],
+                 "not a permutation of 1..n");
+    seen[p] = true;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(g.edge_count());
+  for (const Edge& e : g.edges()) {
+    edges.push_back(make_edge(perm[e.u - 1], perm[e.v - 1]));
+  }
+  return Graph(g.node_count(), edges);
+}
+
+}  // namespace wb

@@ -1,0 +1,106 @@
+// Labeled simple undirected graphs, the input objects of every protocol.
+//
+// Following §2 of the paper, a graph on n nodes has unique identifiers 1..n;
+// node v_i knows n, its own ID i, and the set N(i) of neighbor IDs. The Graph
+// type is immutable after construction (CSR layout, sorted adjacency) so a
+// protocol's LocalView can hand out std::span views safely.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace wb {
+
+/// Node identifier, 1-based as in the paper. 0 is reserved as "none"
+/// (e.g. the parent of a BFS root).
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0;
+
+/// Undirected edge with endpoints normalized so that u < v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+[[nodiscard]] constexpr Edge make_edge(NodeId a, NodeId b) {
+  WB_CHECK(a != b && a != kNoNode && b != kNoNode);
+  return (a < b) ? Edge{a, b} : Edge{b, a};
+}
+
+class Graph {
+ public:
+  /// Empty graph on n nodes.
+  explicit Graph(std::size_t n);
+
+  /// Graph from an edge list (duplicates rejected, self-loops rejected,
+  /// endpoints must be in 1..n).
+  Graph(std::size_t n, std::span<const Edge> edges);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return m_; }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    check_id(v);
+    return offsets_[v] - offsets_[v - 1];
+  }
+
+  /// Sorted neighbor IDs of v.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    check_id(v);
+    return std::span<const NodeId>(adjacency_)
+        .subspan(offsets_[v - 1], offsets_[v] - offsets_[v - 1]);
+  }
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges, sorted by (u, v) with u < v.
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.n_ == b.n_ && a.edges_ == b.edges_;
+  }
+
+ private:
+  void check_id(NodeId v) const {
+    WB_CHECK_MSG(v >= 1 && v <= n_, "node id " << v << " out of range 1.." << n_);
+  }
+
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::vector<std::size_t> offsets_;  // offsets_[v] = end of v's block; [0]=0
+  std::vector<NodeId> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+/// Incremental edge-set builder with deduplication.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t n) : n_(n) {}
+
+  /// Add edge {a,b}; returns false if it was already present.
+  bool add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] Graph build() const;
+
+ private:
+  std::size_t n_;
+  std::vector<Edge> edges_;  // kept sorted for O(log m) dedup
+};
+
+/// The graph with node labels permuted: node v of `g` becomes perm[v-1] (a
+/// permutation of 1..n). Used to decouple structural families from the ID
+/// assignments protocols key on.
+[[nodiscard]] Graph relabel(const Graph& g, std::span<const NodeId> perm);
+
+}  // namespace wb

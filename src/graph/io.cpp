@@ -1,0 +1,50 @@
+#include "src/graph/io.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wb {
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << g.node_count() << " " << g.edge_count() << "\n";
+  for (const Edge& e : g.edges()) os << e.u << " " << e.v << "\n";
+  return os.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  std::size_t n = 0, m = 0;
+  WB_REQUIRE_MSG(static_cast<bool>(is >> n >> m), "missing graph header");
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    NodeId u = 0, v = 0;
+    WB_REQUIRE_MSG(static_cast<bool>(is >> u >> v), "truncated edge list");
+    WB_REQUIRE_MSG(u != v && u >= 1 && v >= 1 && u <= n && v <= n,
+                   "bad edge {" << u << "," << v << "}");
+    edges.push_back(make_edge(u, v));
+  }
+  return Graph(n, edges);
+}
+
+std::string to_dot(const Graph& g, const std::vector<NodeId>& highlight) {
+  std::ostringstream os;
+  os << "graph G {\n";
+  for (NodeId v : highlight) {
+    os << "  " << v << " [style=filled, fillcolor=lightblue];\n";
+  }
+  for (NodeId v = 1; v <= g.node_count(); ++v) {
+    if (g.degree(v) == 0 &&
+        std::find(highlight.begin(), highlight.end(), v) == highlight.end()) {
+      os << "  " << v << ";\n";
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace wb

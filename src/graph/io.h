@@ -1,0 +1,21 @@
+// Text serialization for graphs: compact edge-list format (round-trippable)
+// and Graphviz DOT output for the examples.
+#pragma once
+
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace wb {
+
+/// "n m\nu1 v1\nu2 v2\n..." — canonical since Graph::edges() is sorted.
+[[nodiscard]] std::string to_edge_list(const Graph& g);
+
+/// Parse the to_edge_list format. Throws wb::DataError on malformed input.
+[[nodiscard]] Graph from_edge_list(const std::string& text);
+
+/// Graphviz DOT (undirected). `highlight` nodes are drawn filled.
+[[nodiscard]] std::string to_dot(const Graph& g,
+                                 const std::vector<NodeId>& highlight = {});
+
+}  // namespace wb

@@ -1,0 +1,101 @@
+// Shared field codecs for protocol messages.
+//
+// All protocols encode node IDs, degrees/counters, layers and power sums with
+// the exact field widths counted here, so the engine's bit accounting matches
+// the paper's O(·) claims with explicit constants.
+#pragma once
+
+#include <cstdint>
+
+#include "src/support/bitio.h"
+#include "src/support/bits.h"
+#include "src/support/powersum.h"
+#include "src/graph/graph.h"
+
+namespace wb::codec {
+
+/// Width of a node-ID field for n-node graphs (IDs 1..n stored as id-1).
+[[nodiscard]] inline int id_bits(std::size_t n) {
+  return bits_for_id(static_cast<std::uint64_t>(n));
+}
+
+inline void write_id(BitWriter& w, NodeId id, std::size_t n) {
+  WB_CHECK(id >= 1 && id <= n);
+  w.write_uint(id - 1, id_bits(n));
+}
+
+[[nodiscard]] inline NodeId read_id(BitReader& r, std::size_t n) {
+  const auto raw = r.read_uint(id_bits(n)) + 1;
+  WB_REQUIRE_MSG(raw <= n, "decoded node id " << raw << " out of range");
+  return static_cast<NodeId>(raw);
+}
+
+/// Width of a counter in [0, n] (degrees, layer indices, edge counts per
+/// node).
+[[nodiscard]] inline int count_bits(std::size_t n) {
+  return bits_for_range(static_cast<std::uint64_t>(n));
+}
+
+inline void write_count(BitWriter& w, std::size_t value, std::size_t n) {
+  WB_CHECK(value <= n);
+  w.write_uint(value, count_bits(n));
+}
+
+[[nodiscard]] inline std::size_t read_count(BitReader& r, std::size_t n) {
+  const auto v = r.read_uint(count_bits(n));
+  WB_REQUIRE_MSG(v <= n, "decoded counter " << v << " out of range 0.." << n);
+  return static_cast<std::size_t>(v);
+}
+
+/// Parent field: 0 encodes ROOT, otherwise a node ID.
+[[nodiscard]] inline int parent_bits(std::size_t n) {
+  return bits_for_range(static_cast<std::uint64_t>(n));
+}
+
+inline void write_parent(BitWriter& w, NodeId parent, std::size_t n) {
+  WB_CHECK(parent <= n);
+  w.write_uint(parent, parent_bits(n));
+}
+
+[[nodiscard]] inline NodeId read_parent(BitReader& r, std::size_t n) {
+  const auto v = r.read_uint(parent_bits(n));
+  WB_REQUIRE_MSG(v <= n, "decoded parent " << v << " out of range");
+  return static_cast<NodeId>(v);
+}
+
+/// Width of the p-th power sum of at most n-1 IDs from {1..n}:
+/// value ≤ (n-1)·n^p < n^{p+1}, i.e. (p+1)·id-field widths plus change.
+[[nodiscard]] inline int power_sum_bits(std::size_t n, int p) {
+  // ceil(log2(n^{p+1})) = ceil((p+1)·log2 n); compute exactly on integers.
+  const int per = ceil_log2(static_cast<std::uint64_t>(n) + 1);
+  return (p + 1) * per;
+}
+
+/// Power sums can exceed 64 bits (width up to ~6·log2 n); split into two
+/// machine words on the wire.
+inline void write_power_sum(BitWriter& w, i128 value, std::size_t n, int p) {
+  WB_CHECK(value >= 0);
+  const int width = power_sum_bits(n, p);
+  const auto lo =
+      static_cast<std::uint64_t>(static_cast<u128>(value) & ~std::uint64_t{0});
+  const auto hi = static_cast<std::uint64_t>(static_cast<u128>(value) >> 64);
+  if (width <= 64) {
+    WB_CHECK_MSG(hi == 0, "power sum exceeds declared field width");
+    w.write_uint(lo, width);
+  } else {
+    w.write_uint(lo, 64);
+    w.write_uint(hi, width - 64);
+  }
+}
+
+[[nodiscard]] inline i128 read_power_sum(BitReader& r, std::size_t n, int p) {
+  const int width = power_sum_bits(n, p);
+  if (width <= 64) {
+    return static_cast<i128>(r.read_uint(width));
+  }
+  const std::uint64_t lo = r.read_uint(64);
+  const std::uint64_t hi = r.read_uint(width - 64);
+  return static_cast<i128>((static_cast<u128>(hi) << 64) | lo);
+}
+
+}  // namespace wb::codec

@@ -1,0 +1,44 @@
+// Output value types shared by the protocol implementations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace wb {
+
+/// Output of the BUILD protocols: the reconstructed graph, or std::nullopt
+/// when the input is (detectably) outside the protocol's promised class
+/// (e.g. a cycle handed to the forest builder). Corrupted whiteboards raise
+/// wb::DataError instead.
+using BuildOutput = std::optional<Graph>;
+
+/// Output of rooted MIS (Thm 5): the independent set, root included.
+using MisOutput = std::vector<NodeId>;
+
+/// Output of the BFS protocols (Thm 7/10): a BFS forest, or valid == false
+/// when the protocol reported the input outside its promise (EOB-BFS on a
+/// non-even-odd-bipartite graph).
+struct BfsProtocolOutput {
+  bool valid = true;
+  std::vector<int> layer;      // per node; -1 never happens on success
+  std::vector<NodeId> parent;  // kNoNode at roots
+  std::vector<NodeId> roots;   // ascending
+};
+
+/// Output of 2-CLIQUES (§5.1).
+struct TwoCliquesOutput {
+  bool yes = false;
+  /// Side assignment (0/1 per node) when yes; empty otherwise.
+  std::vector<int> side;
+};
+
+/// Output of the SIMSYNC triangle candidate (DESIGN.md §3 note 2).
+enum class TriangleVerdict {
+  kYes,      // certificate found (sound: implies a real triangle)
+  kNo,       // no certificate; consistent-graph analysis (if enabled) agrees
+  kUnknown,  // consistent graphs disagree — candidate protocol inconclusive
+};
+
+}  // namespace wb

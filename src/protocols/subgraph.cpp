@@ -1,0 +1,54 @@
+#include "src/protocols/subgraph.h"
+
+#include <vector>
+
+#include "src/protocols/codec.h"
+
+namespace wb {
+
+std::size_t SubgraphProtocol::message_bit_limit(std::size_t n) const {
+  // Prefix nodes write their ID plus f adjacency bits; the rest just their ID.
+  return static_cast<std::size_t>(codec::id_bits(n)) + std::min(f_, n);
+}
+
+Bits SubgraphProtocol::compose_initial(const LocalView& view) const {
+  const std::size_t n = view.n();
+  const std::size_t f = std::min(f_, n);
+  BitWriter w;
+  codec::write_id(w, view.id(), n);
+  if (view.id() <= f) {
+    for (NodeId u = 1; u <= f; ++u) w.write_bit(view.has_neighbor(u));
+  }
+  return w.take();
+}
+
+Graph SubgraphProtocol::output(const Whiteboard& board, std::size_t n) const {
+  WB_REQUIRE_MSG(board.message_count() == n,
+                 "expected " << n << " messages, got " << board.message_count());
+  const std::size_t f = std::min(f_, n);
+  std::vector<std::vector<bool>> row(f + 1);
+  std::vector<bool> seen(n + 1, false);
+  for (const Bits& m : board.messages()) {
+    BitReader r(m);
+    const NodeId id = codec::read_id(r, n);
+    WB_REQUIRE_MSG(!seen[id], "node " << id << " wrote twice");
+    seen[id] = true;
+    if (id <= f) {
+      row[id].resize(f + 1);
+      for (NodeId u = 1; u <= f; ++u) row[id][u] = r.read_bit();
+      WB_REQUIRE_MSG(!row[id][id], "self-loop bit set at node " << id);
+    }
+    WB_REQUIRE_MSG(r.exhausted(), "trailing bits in message of node " << id);
+  }
+  GraphBuilder builder(n);
+  for (NodeId u = 1; u <= f; ++u) {
+    for (NodeId v = u + 1; v <= f; ++v) {
+      WB_REQUIRE_MSG(row[u][v] == row[v][u],
+                     "asymmetric adjacency bits for {" << u << "," << v << "}");
+      if (row[u][v]) builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace wb

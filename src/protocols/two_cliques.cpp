@@ -1,0 +1,84 @@
+#include "src/protocols/two_cliques.h"
+
+#include <vector>
+
+#include "src/protocols/codec.h"
+
+namespace wb {
+
+namespace {
+
+// Message code values.
+constexpr std::uint64_t kSide0 = 0;
+constexpr std::uint64_t kSide1 = 1;
+constexpr std::uint64_t kConflict = 2;
+
+struct CliqueMessage {
+  NodeId id;
+  std::uint64_t code;
+};
+
+CliqueMessage parse(const Bits& m, std::size_t n) {
+  BitReader r(m);
+  const NodeId id = codec::read_id(r, n);
+  const std::uint64_t code = r.read_uint(2);
+  WB_REQUIRE_MSG(code <= kConflict, "bad 2-CLIQUES code " << code);
+  WB_REQUIRE_MSG(r.exhausted(), "trailing bits in message of node " << id);
+  return {id, code};
+}
+
+}  // namespace
+
+std::size_t TwoCliquesProtocol::message_bit_limit(std::size_t n) const {
+  return static_cast<std::size_t>(codec::id_bits(n)) + 2;
+}
+
+Bits TwoCliquesProtocol::compose(const LocalView& view,
+                                 const Whiteboard& board) const {
+  const std::size_t n = view.n();
+  std::uint64_t code;
+  if (board.empty()) {
+    code = kSide0;  // "I am the first" — valid exactly when chosen first
+  } else {
+    bool saw0 = false, saw1 = false, saw_any_neighbor = false;
+    for (const Bits& m : board.messages()) {
+      const CliqueMessage msg = parse(m, n);
+      if (!view.has_neighbor(msg.id)) continue;
+      saw_any_neighbor = true;
+      if (msg.code == kSide0) saw0 = true;
+      if (msg.code == kSide1) saw1 = true;
+    }
+    if (!saw_any_neighbor) {
+      code = kSide1;
+    } else if (saw0 && saw1) {
+      code = kConflict;
+    } else if (saw1) {
+      code = kSide1;
+    } else {
+      code = kSide0;
+    }
+  }
+  BitWriter w;
+  codec::write_id(w, view.id(), n);
+  w.write_uint(code, 2);
+  return w.take();
+}
+
+TwoCliquesOutput TwoCliquesProtocol::output(const Whiteboard& board,
+                                            std::size_t n) const {
+  TwoCliquesOutput out;
+  std::vector<int> side(n, -1);
+  std::size_t count[2] = {0, 0};
+  for (const Bits& m : board.messages()) {
+    const CliqueMessage msg = parse(m, n);
+    if (msg.code == kConflict) return out;  // yes = false
+    side[msg.id - 1] = static_cast<int>(msg.code);
+    ++count[msg.code];
+  }
+  if (n % 2 != 0 || count[0] != n / 2 || count[1] != n / 2) return out;
+  out.yes = true;
+  out.side = std::move(side);
+  return out;
+}
+
+}  // namespace wb

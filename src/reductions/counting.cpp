@@ -1,0 +1,62 @@
+#include "src/reductions/counting.h"
+
+#include <cmath>
+
+#include "src/support/bits.h"
+
+namespace wb {
+
+namespace {
+
+double budget(std::size_t n, double f_bits) {
+  return static_cast<double>(n) * f_bits;
+}
+
+CountingRow make_row(std::string family, std::size_t n, double log2_count) {
+  CountingRow row;
+  row.family = std::move(family);
+  row.n = n;
+  row.log2_family_size = log2_count;
+  row.budget_logn =
+      budget(n, static_cast<double>(ceil_log2(static_cast<std::uint64_t>(n)) + 1));
+  row.budget_sqrt = budget(n, std::ceil(std::sqrt(static_cast<double>(n))));
+  row.budget_linear = budget(n, static_cast<double>(n));
+  return row;
+}
+
+}  // namespace
+
+std::vector<CountingRow> lemma3_table(const std::vector<std::size_t>& ns) {
+  std::vector<CountingRow> rows;
+  for (std::size_t n : ns) {
+    rows.push_back(make_row("all graphs", n, log2_count_all_graphs(n)));
+    if (n % 2 == 0) {
+      rows.push_back(make_row("bipartite fixed parts (Thm 3)", n,
+                              log2_count_bipartite_fixed_parts(n)));
+    }
+    rows.push_back(make_row("even-odd-bipartite (Thm 8)", n,
+                            log2_count_even_odd_bipartite(n)));
+    rows.push_back(make_row("labeled forests (§3.1)", n,
+                            log2_count_labeled_forests(n)));
+    rows.push_back(make_row("3-degenerate lower bnd (§3.2)", n,
+                            log2_count_k_degenerate_lower(n, 3)));
+  }
+  return rows;
+}
+
+std::vector<SubgraphRow> theorem9_table(const std::vector<std::size_t>& ns) {
+  std::vector<SubgraphRow> rows;
+  for (std::size_t n : ns) {
+    SubgraphRow row;
+    row.n = n;
+    row.f = std::max<std::size_t>(1, n / 4);
+    row.log2_family_size = log2_count_subgraph_family(n, row.f);
+    row.budget_f = budget(n, static_cast<double>(row.f));
+    row.min_g_bits = row.log2_family_size / static_cast<double>(n);
+    row.budget_logn = budget(n, std::log2(static_cast<double>(n)));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace wb

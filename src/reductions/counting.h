@@ -1,0 +1,56 @@
+// Lemma 3 made numeric: BUILD restricted to a family G of g(n) graphs needs
+// log₂ g(n) = O(n·f(n)) whiteboard bits, in any of the four models.
+//
+// These helpers produce the exact information-theoretic ledger for the
+// families the paper's separations quantify over, so the benches can print
+// "bits the whiteboard can carry" against "bits the family requires" and
+// show exactly where each impossibility bites (Thm 3, 6, 8, 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/enumerate.h"
+
+namespace wb {
+
+struct CountingRow {
+  std::string family;
+  std::size_t n = 0;
+  double log2_family_size = 0.0;  // bits required to name a member
+  double budget_logn = 0.0;       // n · ceil(log2 n)   (f = log n)
+  double budget_sqrt = 0.0;       // n · ceil(sqrt n)   (f = √n)
+  double budget_linear = 0.0;     // n · n              (f = n, always enough)
+
+  [[nodiscard]] bool feasible_logn() const {
+    return log2_family_size <= budget_logn;
+  }
+  [[nodiscard]] bool feasible_sqrt() const {
+    return log2_family_size <= budget_sqrt;
+  }
+};
+
+/// One row per (family, n). Families: all graphs, bipartite with fixed
+/// parts (Thm 3), even-odd-bipartite (Thm 8), labeled forests (§3.1),
+/// k-degenerate lower bound (§3.2, k = 3).
+[[nodiscard]] std::vector<CountingRow> lemma3_table(
+    const std::vector<std::size_t>& ns);
+
+/// The Theorem 9 ledger with f(n) = n/4 (the regime where the counting
+/// argument bites): the family "edges only inside {v_1..v_f}" has 2^{C(f,2)}
+/// members, so any model needs per-node messages of at least C(f,2)/n bits
+/// — Θ(n) — while the SIMASYNC protocol with f-bit messages suffices.
+/// Hence PSIMASYNC[f] ⊄ PSYNC[g] for g = o(f): message size is orthogonal
+/// to synchronization power.
+struct SubgraphRow {
+  std::size_t n = 0;
+  std::size_t f = 0;             // n/4
+  double log2_family_size = 0.0; // C(f,2)
+  double budget_f = 0.0;         // n · f   (the protocol's own budget)
+  double min_g_bits = 0.0;       // C(f,2)/n: counting-forced message size
+  double budget_logn = 0.0;      // n · log2 n (hopeless)
+};
+[[nodiscard]] std::vector<SubgraphRow> theorem9_table(
+    const std::vector<std::size_t>& ns);
+
+}  // namespace wb

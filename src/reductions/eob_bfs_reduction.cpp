@@ -1,0 +1,68 @@
+#include "src/reductions/eob_bfs_reduction.h"
+
+#include "src/graph/algorithms.h"
+#include "src/wb/engine.h"
+
+namespace wb {
+
+Graph fig2_gadget(const Graph& g, NodeId i) {
+  const std::size_t n = g.node_count();
+  WB_CHECK_MSG(n >= 3 && n % 2 == 1, "gadget needs odd n >= 3");
+  WB_CHECK_MSG(g.degree(1) == 0, "node 1 must be isolated in the input");
+  WB_CHECK_MSG(is_even_odd_bipartite(g), "input must be even-odd-bipartite");
+  WB_CHECK_MSG(i >= 3 && i <= n && i % 2 == 1, "i must be an odd ID in [3,n]");
+
+  std::vector<Edge> edges = g.edges();
+  edges.push_back(make_edge(1, static_cast<NodeId>(i + n - 2)));
+  for (NodeId j = 3; j <= n; j += 2) {
+    edges.push_back(make_edge(j, static_cast<NodeId>(j + n - 2)));
+  }
+  for (NodeId j = 2; j + 1 <= n; j += 2) {
+    edges.push_back(make_edge(j, static_cast<NodeId>(j + n)));
+  }
+  return Graph(2 * n - 1, edges);
+}
+
+NodeId forest_root_of(const BfsProtocolOutput& forest, NodeId v) {
+  NodeId cur = v;
+  // layer[v] parent hops are exact; bounded walk guards corrupt forests.
+  for (std::size_t hops = 0; hops <= forest.parent.size(); ++hops) {
+    const NodeId p = forest.parent[cur - 1];
+    if (p == kNoNode) return cur;
+    cur = p;
+  }
+  WB_REQUIRE_MSG(false, "parent pointers contain a cycle at node " << v);
+  return kNoNode;
+}
+
+EobBfsToBuildReduction::EobBfsToBuildReduction(
+    const ProtocolWithOutput<BfsProtocolOutput>& bfs)
+    : bfs_(&bfs) {}
+
+EobBfsToBuildReduction::Result EobBfsToBuildReduction::run(
+    const Graph& g) const {
+  const std::size_t n = g.node_count();
+  Result result;
+  GraphBuilder builder(n);
+  for (NodeId i = 3; i <= n; i += 2) {
+    const Graph gadget = fig2_gadget(g, i);
+    const ExecutionResult run = run_protocol(gadget, *bfs_);
+    WB_REQUIRE_MSG(run.ok(), "BFS protocol failed on gadget G_" << i << ": "
+                                                                << run.error);
+    const BfsProtocolOutput forest =
+        bfs_->output(run.board, gadget.node_count());
+    WB_REQUIRE_MSG(forest.valid, "gadget G_" << i << " rejected as invalid");
+    ++result.gadget_runs;
+    result.total_whiteboard_bits += run.stats.total_bits;
+    for (NodeId j = 2; j <= n; ++j) {
+      if (j == i) continue;
+      if (forest.layer[j - 1] == 3 && forest_root_of(forest, j) == 1) {
+        if (!builder.has_edge(i, j)) builder.add_edge(i, j);
+      }
+    }
+  }
+  result.reconstructed = builder.build();
+  return result;
+}
+
+}  // namespace wb

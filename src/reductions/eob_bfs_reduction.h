@@ -1,0 +1,54 @@
+// Executable Theorem 8 (and Figure 2): EOB-BFS ∉ PSIMSYNC[o(n)].
+//
+// The gadget G_i (n odd; the even-odd-bipartite graph G lives on nodes
+// {v_2..v_n}, node v_1 is reserved): add fresh nodes {v_{n+1}..v_{2n-1}} and
+// the edges
+//     {v_1, v_{i+n-2}},
+//     {v_j, v_{j+n-2}} for every odd  j ∈ [3, n],
+//     {v_j, v_{j+n}}   for every even j ∈ [2, n-1].
+// G_i stays even-odd-bipartite, and a BFS from v_1 walks
+// v_1 → v_{i+n-2} → v_i, so its third layer is exactly N_G(v_i): reading one
+// BFS forest of G_i recovers all edges at v_i, and sweeping the odd i
+// recovers all of G (every EOB edge has an odd endpoint ≥ 3).
+//
+// The paper runs this against a hypothetical SIMSYNC protocol to contradict
+// Lemma 3 (2^{Ω(n²)} even-odd-bipartite graphs). Our executable version
+// drives it with the real ASYNC protocol of Theorem 7, demonstrating the
+// gadget equivalence and the Θ(n) protocol runs the reduction spends.
+#pragma once
+
+#include "src/protocols/eob_bfs.h"
+#include "src/protocols/outputs.h"
+#include "src/wb/protocol.h"
+
+namespace wb {
+
+/// Figure 2 gadget. `g` must have an isolated node 1, an even-odd-bipartite
+/// graph on {2..n}, and odd n ≥ 3; `i` must be an odd ID in [3, n].
+[[nodiscard]] Graph fig2_gadget(const Graph& g, NodeId i);
+
+/// Component root of `v` in a BFS-forest output (follows parents).
+[[nodiscard]] NodeId forest_root_of(const BfsProtocolOutput& forest, NodeId v);
+
+class EobBfsToBuildReduction {
+ public:
+  explicit EobBfsToBuildReduction(
+      const ProtocolWithOutput<BfsProtocolOutput>& bfs);
+
+  struct Result {
+    Graph reconstructed;
+    std::size_t gadget_runs = 0;
+    std::size_t total_whiteboard_bits = 0;  // across all gadget runs
+
+    Result() : reconstructed(0) {}
+  };
+
+  /// Reconstruct `g` (shape as required by fig2_gadget) by running the BFS
+  /// protocol on each gadget and reading layer-3 membership under root v_1.
+  [[nodiscard]] Result run(const Graph& g) const;
+
+ private:
+  const ProtocolWithOutput<BfsProtocolOutput>* bfs_;
+};
+
+}  // namespace wb

@@ -1,0 +1,84 @@
+#include "src/reductions/mis_reduction.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/support/bits.h"
+
+namespace wb {
+
+Graph mis_gadget(const Graph& g, NodeId i, NodeId j) {
+  const std::size_t n = g.node_count();
+  WB_CHECK(i >= 1 && j >= 1 && i < j && j <= n);
+  std::vector<Edge> edges = g.edges();
+  const NodeId apex = static_cast<NodeId>(n + 1);
+  for (NodeId v = 1; v <= n; ++v) {
+    if (v != i && v != j) edges.push_back(make_edge(v, apex));
+  }
+  return Graph(n + 1, edges);
+}
+
+MisToBuildReduction::MisToBuildReduction(
+    const ProtocolWithOutput<MisOutput>& mis)
+    : mis_(&mis) {
+  WB_CHECK_MSG(mis.model_class() == ModelClass::kSimAsync,
+               "Theorem 6 reduces from SIMASYNC MIS protocols");
+}
+
+MisToBuildReduction::Result MisToBuildReduction::run(const Graph& g) const {
+  const std::size_t n = g.node_count();
+  const std::size_t big = n + 1;
+  const NodeId apex = static_cast<NodeId>(big);
+  const Whiteboard empty;
+
+  Result result;
+  result.oracle_message_bits = mis_->message_bit_limit(big);
+
+  // m_k / m'_k of the proof: v_k's A-message when the apex is absent from /
+  // present in its neighborhood (k ∈ {i,j} vs k ∉ {i,j}).
+  std::vector<Bits> m_without(n), m_with(n);
+  for (NodeId k = 1; k <= n; ++k) {
+    const auto nb = g.neighbors(k);
+    const LocalView without(k, nb, big);
+    m_without[k - 1] = mis_->compose(without, empty);
+
+    std::vector<NodeId> with_apex(nb.begin(), nb.end());
+    with_apex.push_back(apex);
+    const LocalView with(k, with_apex, big);
+    m_with[k - 1] = mis_->compose(with, empty);
+
+    const std::size_t id_bits =
+        static_cast<std::size_t>(bits_for_id(static_cast<std::uint64_t>(n)));
+    result.aprime_max_message_bits =
+        std::max(result.aprime_max_message_bits,
+                 id_bits + m_without[k - 1].size() + m_with[k - 1].size());
+  }
+
+  // Apex view in every gadget G^(x)_{i,j}: adjacent to all but v_i, v_j.
+  GraphBuilder builder(n);
+  for (NodeId i = 1; i <= n; ++i) {
+    for (NodeId j = i + 1; j <= n; ++j) {
+      Whiteboard board;
+      for (NodeId k = 1; k <= n; ++k) {
+        board.append((k == i || k == j) ? m_without[k - 1] : m_with[k - 1]);
+      }
+      std::vector<NodeId> apex_nb;
+      for (NodeId v = 1; v <= n; ++v) {
+        if (v != i && v != j) apex_nb.push_back(v);
+      }
+      const LocalView apex_view(apex, apex_nb, big);
+      board.append(mis_->compose(apex_view, empty));
+
+      ++result.pairs_tested;
+      MisOutput out = mis_->output(board, big);
+      std::sort(out.begin(), out.end());
+      const MisOutput only_possible = {i, j, apex};
+      // {v_i, v_j} ∉ E  ⟺  the unique rooted MIS is {x, v_i, v_j}.
+      if (out != only_possible) builder.add_edge(i, j);
+    }
+  }
+  result.reconstructed = builder.build();
+  return result;
+}
+
+}  // namespace wb

@@ -1,0 +1,44 @@
+// Executable Theorem 6: rooted MIS ∉ PSIMASYNC[o(n)].
+//
+// From any SIMASYNC protocol A for rooted MIS one builds a SIMASYNC protocol
+// A' solving BUILD on *arbitrary* graphs: in the auxiliary graph G^(x)_{i,j}
+// (G plus an apex x = v_{n+1} adjacent to every node except v_i and v_j),
+// the only inclusion-maximal independent set containing x is {x, v_i, v_j}
+// iff {v_i, v_j} ∉ E. Every node sends the pair of A-messages for its two
+// possible neighborhoods (apex adjacent / not), and the output function
+// synthesizes A's whiteboard for each pair (i,j) and inspects A's output.
+// BUILD on all graphs needs Ω(n²) whiteboard bits (Lemma 3), so A's messages
+// must be Ω(n) bits.
+#pragma once
+
+#include "src/protocols/outputs.h"
+#include "src/wb/protocol.h"
+
+namespace wb {
+
+/// Theorem 6 gadget: G plus apex n+1 adjacent to all nodes except v_i, v_j.
+[[nodiscard]] Graph mis_gadget(const Graph& g, NodeId i, NodeId j);
+
+class MisToBuildReduction {
+ public:
+  /// `mis` must be a SIMASYNC rooted-MIS protocol whose root is the apex
+  /// node n+1 of the gadgets (n = node count of the graphs passed to run).
+  explicit MisToBuildReduction(const ProtocolWithOutput<MisOutput>& mis);
+
+  struct Result {
+    Graph reconstructed;
+    std::size_t aprime_max_message_bits = 0;
+    std::size_t oracle_message_bits = 0;
+    std::size_t pairs_tested = 0;
+
+    Result() : reconstructed(0) {}
+  };
+
+  /// Reconstruct an arbitrary graph `g` from A-messages alone.
+  [[nodiscard]] Result run(const Graph& g) const;
+
+ private:
+  const ProtocolWithOutput<MisOutput>* mis_;
+};
+
+}  // namespace wb

@@ -1,0 +1,106 @@
+// Exact bit-level message encoding.
+//
+// Every whiteboard message in this library is a bit string produced by a
+// BitWriter and consumed by a BitReader. The engine accounts message sizes in
+// bits, which is the currency of all bounds in the paper (O(log n), o(n), ...).
+//
+// Supported primitives:
+//  - fixed-width unsigned fields (width known to both sides),
+//  - Elias gamma codes for positive integers of unknown magnitude,
+//  - raw bit runs (adjacency rows for SUBGRAPH_f / BuildFull).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace wb {
+
+/// An immutable bit string with an exact length in bits.
+class Bits {
+ public:
+  Bits() = default;
+  Bits(std::vector<std::uint64_t> words, std::size_t n_bits)
+      : words_(std::move(words)), n_bits_(n_bits) {
+    WB_CHECK(words_.size() * 64 >= n_bits_);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_bits_; }
+  [[nodiscard]] bool empty() const noexcept { return n_bits_ == 0; }
+
+  [[nodiscard]] bool bit(std::size_t i) const {
+    WB_CHECK(i < n_bits_);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  friend bool operator==(const Bits& a, const Bits& b) {
+    if (a.n_bits_ != b.n_bits_) return false;
+    for (std::size_t i = 0; i < a.n_bits_; i += 64) {
+      if (a.words_[i / 64] != b.words_[i / 64]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t n_bits_ = 0;
+};
+
+/// Append-only bit sink.
+class BitWriter {
+ public:
+  /// Append the low `width` bits of `value` (LSB first). width in [0, 64];
+  /// value must fit in `width` bits.
+  void write_uint(std::uint64_t value, int width);
+
+  /// Append one bit.
+  void write_bit(bool b) { write_uint(b ? 1 : 0, 1); }
+
+  /// Elias gamma code for v >= 1: floor(log2 v) zeros, then v's bits from MSB.
+  /// Encodes arbitrary positive integers self-delimitingly in 2*floor(log2 v)+1
+  /// bits.
+  void write_gamma(std::uint64_t v);
+
+  /// Gamma code shifted to accept zero (encodes v+1).
+  void write_gamma0(std::uint64_t v) { write_gamma(v + 1); }
+
+  /// Number of bits written so far.
+  [[nodiscard]] std::size_t bit_count() const noexcept { return n_bits_; }
+
+  /// Finish and return the accumulated bit string.
+  [[nodiscard]] Bits take();
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t n_bits_ = 0;
+};
+
+/// Sequential reader over a Bits value. Throws wb::DataError on overrun, so a
+/// decoder reading a corrupted whiteboard fails loudly instead of reading
+/// garbage.
+class BitReader {
+ public:
+  explicit BitReader(const Bits& bits) : bits_(&bits) {}
+
+  [[nodiscard]] std::uint64_t read_uint(int width);
+  [[nodiscard]] bool read_bit() { return read_uint(1) != 0; }
+  [[nodiscard]] std::uint64_t read_gamma();
+  [[nodiscard]] std::uint64_t read_gamma0() { return read_gamma() - 1; }
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bits_->size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  const Bits* bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wb

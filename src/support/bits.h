@@ -1,0 +1,42 @@
+// Small bit-arithmetic helpers shared by the encoding layer and the engine's
+// message-size accounting. All message-size bounds in the paper are stated in
+// bits, so these helpers are the single source of truth for "how many bits
+// does a value of this range take".
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "src/support/check.h"
+
+namespace wb {
+
+/// Number of bits needed to represent x (0 needs 1 bit by convention).
+[[nodiscard]] constexpr int bit_width_u64(std::uint64_t x) noexcept {
+  return x == 0 ? 1 : std::bit_width(x);
+}
+
+/// ceil(log2(x)) for x >= 1; ceil_log2(1) == 0.
+[[nodiscard]] constexpr int ceil_log2(std::uint64_t x) {
+  WB_CHECK(x >= 1);
+  return (x == 1) ? 0 : std::bit_width(x - 1);
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int floor_log2(std::uint64_t x) {
+  WB_CHECK(x >= 1);
+  return std::bit_width(x) - 1;
+}
+
+/// Bits needed for a value in the closed range [0, max_value].
+[[nodiscard]] constexpr int bits_for_range(std::uint64_t max_value) noexcept {
+  return bit_width_u64(max_value);
+}
+
+/// Bits needed to encode a node identifier in {1..n} (we encode id-1).
+[[nodiscard]] constexpr int bits_for_id(std::uint64_t n) {
+  WB_CHECK(n >= 1);
+  return bits_for_range(n - 1);
+}
+
+}  // namespace wb

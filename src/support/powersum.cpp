@@ -1,0 +1,193 @@
+#include "src/support/powersum.h"
+
+#include <algorithm>
+
+namespace wb {
+
+namespace {
+
+// Guard rails keeping all intermediates comfortably inside signed 128 bits:
+// with x ≤ 2^20, k ≤ 8 we have x^k ≤ 2^160... which would overflow, so the
+// real constraint is x^k ≤ 2^126: x ≤ 2^20 allows k ≤ 6; the library only
+// exercises k ≤ 5. ipow checks multiplicative overflow explicitly, so these
+// constants are an early, readable failure rather than the enforcement.
+constexpr std::uint32_t kMaxValue = 1u << 20;
+constexpr int kMaxPower = 8;
+
+constexpr i128 kI128Max = (static_cast<i128>(1) << 126);
+
+}  // namespace
+
+std::string i128_to_string(i128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  u128 u = neg ? static_cast<u128>(-(v + 1)) + 1 : static_cast<u128>(v);
+  std::string digits;
+  while (u > 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(u % 10)));
+    u /= 10;
+  }
+  if (neg) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+i128 ipow(std::uint32_t x, int p) {
+  WB_CHECK(x >= 1 && x <= kMaxValue);
+  WB_CHECK(p >= 0 && p <= kMaxPower);
+  i128 r = 1;
+  for (int i = 0; i < p; ++i) {
+    WB_CHECK_MSG(r <= kI128Max / static_cast<i128>(x),
+                 "power-sum overflow: " << x << "^" << p);
+    r *= static_cast<i128>(x);
+  }
+  return r;
+}
+
+std::vector<i128> power_sums(std::span<const std::uint32_t> xs, int k) {
+  WB_CHECK(k >= 1 && k <= kMaxPower);
+  std::vector<i128> p(static_cast<std::size_t>(k), 0);
+  for (std::uint32_t x : xs) {
+    i128 xp = 1;
+    for (int j = 0; j < k; ++j) {
+      xp *= static_cast<i128>(x);
+      p[static_cast<std::size_t>(j)] += xp;
+    }
+  }
+  return p;
+}
+
+void power_sums_subtract(std::span<i128> p, std::uint32_t x) {
+  i128 xp = 1;
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    xp *= static_cast<i128>(x);
+    p[j] -= xp;
+  }
+}
+
+std::optional<std::vector<i128>> newton_identities(std::span<const i128> p,
+                                                   int d) {
+  WB_CHECK(d >= 0 && static_cast<std::size_t>(d) <= p.size());
+  // e[0] = e_0 = 1, e[j] = e_j.
+  std::vector<i128> e(static_cast<std::size_t>(d) + 1, 0);
+  e[0] = 1;
+  for (int j = 1; j <= d; ++j) {
+    i128 acc = 0;
+    i128 sign = 1;
+    for (int i = 1; i <= j; ++i) {
+      acc += sign * e[static_cast<std::size_t>(j - i)] *
+             p[static_cast<std::size_t>(i - 1)];
+      sign = -sign;
+    }
+    if (acc % j != 0) return std::nullopt;  // not power sums of any multiset
+    e[static_cast<std::size_t>(j)] = acc / j;
+  }
+  e.erase(e.begin());  // drop e_0; result is e_1..e_d
+  return e;
+}
+
+std::optional<std::vector<std::uint32_t>> decode_subset(
+    std::span<const i128> p, int d, std::uint32_t max_value) {
+  WB_CHECK(max_value >= 1 && max_value <= kMaxValue);
+  WB_CHECK(d >= 0 && static_cast<std::size_t>(d) <= p.size());
+  if (d == 0) {
+    for (i128 v : p) {
+      if (v != 0) return std::nullopt;
+    }
+    return std::vector<std::uint32_t>{};
+  }
+
+  auto e_opt = newton_identities(p, d);
+  if (!e_opt) return std::nullopt;
+  const std::vector<i128>& e = *e_opt;
+
+  // Monic polynomial with roots S: z^d - e1 z^{d-1} + e2 z^{d-2} - ...
+  // coeff[i] multiplies z^{d-i}; coeff[0] = 1.
+  std::vector<i128> coeff(static_cast<std::size_t>(d) + 1);
+  coeff[0] = 1;
+  i128 sign = -1;
+  for (int i = 1; i <= d; ++i) {
+    coeff[static_cast<std::size_t>(i)] = sign * e[static_cast<std::size_t>(i - 1)];
+    sign = -sign;
+  }
+
+  // Extract integer roots over candidates {1..max_value} by synthetic
+  // division. Roots are distinct IDs, so each candidate divides at most once.
+  std::vector<std::uint32_t> roots;
+  std::vector<i128> cur = coeff;
+  for (std::uint32_t c = 1; c <= max_value && roots.size() < static_cast<std::size_t>(d); ++c) {
+    // Horner evaluation, simultaneously producing the quotient.
+    std::vector<i128> quot(cur.size() - 1);
+    i128 acc = cur[0];
+    for (std::size_t i = 1; i < cur.size(); ++i) {
+      quot[i - 1] = acc;
+      acc = acc * static_cast<i128>(c) + cur[i];
+    }
+    if (acc == 0) {
+      roots.push_back(c);
+      cur = std::move(quot);
+    }
+  }
+  if (roots.size() != static_cast<std::size_t>(d)) return std::nullopt;
+
+  // Verify against *all* provided power sums (paranoia beyond the first d).
+  std::vector<i128> check = power_sums(roots, static_cast<int>(p.size()));
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    if (check[j] != p[j]) return std::nullopt;
+  }
+  return roots;
+}
+
+SubsetTable::SubsetTable(std::uint32_t n, int k) : n_(n), k_(k) {
+  WB_CHECK(n >= 1 && k >= 0 && k <= kMaxPower);
+  // Enumerate subsets of each size 0..k via lexicographic combinations.
+  for (int d = 0; d <= k; ++d) {
+    if (static_cast<std::uint32_t>(d) > n) break;
+    std::vector<std::uint32_t> combo(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) combo[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(i + 1);
+    while (true) {
+      entries_.push_back(Entry{power_sums(combo, std::max(1, d)), combo});
+      if (d == 0) break;
+      // Advance lexicographically.
+      int i = d - 1;
+      while (i >= 0 &&
+             combo[static_cast<std::size_t>(i)] == n - static_cast<std::uint32_t>(d - 1 - i)) {
+        --i;
+      }
+      if (i < 0) break;
+      ++combo[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < d; ++j) {
+        combo[static_cast<std::size_t>(j)] = combo[static_cast<std::size_t>(j - 1)] + 1;
+      }
+    }
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.subset.size() != b.subset.size()) {
+                return a.subset.size() < b.subset.size();
+              }
+              return a.key < b.key;
+            });
+}
+
+std::optional<std::vector<std::uint32_t>> SubsetTable::lookup(
+    std::span<const i128> p, int d) const {
+  WB_CHECK(d >= 0 && d <= k_);
+  std::vector<i128> key(p.begin(), p.end());
+  key.resize(static_cast<std::size_t>(std::max(1, d)));
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::pair(d, &key),
+      [](const Entry& a, const std::pair<int, const std::vector<i128>*>& q) {
+        if (a.subset.size() != static_cast<std::size_t>(q.first)) {
+          return a.subset.size() < static_cast<std::size_t>(q.first);
+        }
+        return a.key < *q.second;
+      });
+  if (it == entries_.end() || it->subset.size() != static_cast<std::size_t>(d) ||
+      it->key != key) {
+    return std::nullopt;
+  }
+  return it->subset;
+}
+
+}  // namespace wb

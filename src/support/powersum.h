@@ -1,0 +1,89 @@
+// Power-sum neighborhood fingerprints (paper §3.2–3.4).
+//
+// A node x of degree ≤ k encodes its neighborhood S ⊆ {1..n} as the vector
+// b(x) = (Σ_{w∈S} ID(w)^p)_{p=1..k}. Theorem 1 (Wright, "Equal sums of like
+// powers") guarantees the map S ↦ b(x) is injective over subsets of size ≤ k,
+// so the output function can recover S exactly.
+//
+// Two decoders are provided:
+//  - decode_subset: Newton's identities turn the first d power sums into the
+//    elementary symmetric polynomials of S, i.e. into the coefficients of the
+//    monic polynomial whose roots are exactly the IDs in S; integer roots are
+//    then extracted by synthetic division over the candidate range {1..n}.
+//    O(n·k) per decode — this is the practical decoder used by Algorithm 1.
+//  - SubsetTable: the Lemma 2 lookup table that pre-enumerates all ≤k-subsets
+//    (O(n^k) space); kept as a reference implementation and for the decoder
+//    ablation benchmark.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace wb {
+
+// __extension__ silences -Wpedantic for the non-standard 128-bit types; all
+// other code refers to them only through these aliases.
+__extension__ typedef __int128 i128;
+__extension__ typedef unsigned __int128 u128;
+
+/// Decimal rendering of a 128-bit integer (for diagnostics).
+[[nodiscard]] std::string i128_to_string(i128 v);
+
+/// Power sums p[j-1] = Σ_{x∈S} x^j for j = 1..k of a multiset of values.
+/// Values must be ≥ 1. Overflow-checked for value ≤ 2^20, k ≤ 8, |S| ≤ 2^20.
+[[nodiscard]] std::vector<i128> power_sums(std::span<const std::uint32_t> xs,
+                                           int k);
+
+/// x^p as i128 with the same guard rails as power_sums.
+[[nodiscard]] i128 ipow(std::uint32_t x, int p);
+
+/// Remove one member's contribution from a power-sum vector in place
+/// (the "pruning" update of Algorithm 1).
+void power_sums_subtract(std::span<i128> p, std::uint32_t x);
+
+/// Decode the unique subset S ⊆ {1..max_value} with |S| = d whose first d
+/// power sums equal p[0..d-1]. Requires d ≤ p.size(). Returns std::nullopt if
+/// no such subset of *distinct* in-range integers exists (e.g. a corrupted
+/// whiteboard). The returned IDs are sorted ascending.
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> decode_subset(
+    std::span<const i128> p, int d, std::uint32_t max_value);
+
+/// Lemma 2 lookup table: all subsets of {1..n} of size ≤ k keyed by their
+/// power-sum vector, sorted for binary search.
+class SubsetTable {
+ public:
+  /// Enumerates C(n,0)+...+C(n,k) subsets; intended for small n (≤ 64) and
+  /// k ≤ 3, mirroring the O(n^k) preprocessing of the paper.
+  SubsetTable(std::uint32_t n, int k);
+
+  /// Look up the subset with the given power sums p[0..d-1] (d = subset size).
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> lookup(
+      std::span<const i128> p, int d) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+
+ private:
+  struct Entry {
+    std::vector<i128> key;              // power sums p_1..p_{|subset|}
+    std::vector<std::uint32_t> subset;  // sorted ascending
+  };
+  std::uint32_t n_;
+  int k_;
+  std::vector<Entry> entries_;  // sorted by (subset size, key)
+};
+
+/// Elementary symmetric polynomials e_1..e_d from power sums p_1..p_d via
+/// Newton's identities: j·e_j = Σ_{i=1}^{j} (-1)^{i-1} e_{j-i} p_i.
+/// Returns std::nullopt when the identities do not divide evenly (impossible
+/// for genuine power sums of an integer multiset; signals corruption).
+[[nodiscard]] std::optional<std::vector<i128>> newton_identities(
+    std::span<const i128> p, int d);
+
+}  // namespace wb

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random generation for reproducible experiments.
+//
+// All randomized components (graph generators, random adversaries, shuffles)
+// take an explicit 64-bit seed and evolve through this generator only, so any
+// reported run can be replayed bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace wb {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, and good enough for
+/// workload generation (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) via Lemire-style rejection; bound >= 1.
+  std::uint64_t below(std::uint64_t bound) {
+    WB_CHECK(bound >= 1);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in the closed range [lo, hi].
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    WB_CHECK(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli(p) with p expressed as numer/denom.
+  bool chance(std::uint64_t numer, std::uint64_t denom) {
+    WB_CHECK(denom >= 1 && numer <= denom);
+    return below(denom) < numer;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A derived, independent stream (for splitting one seed across components).
+  [[nodiscard]] Rng split() noexcept { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace wb

@@ -1,0 +1,29 @@
+// Minimal fixed-width ASCII table printer used by the benchmark harnesses to
+// render paper tables (Table 1, Table 2, the Lemma 3 counting table, ...) in a
+// shape directly comparable to the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wb {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: fixed-precision double rendering.
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+
+}  // namespace wb

@@ -1,0 +1,42 @@
+#include "src/wb/adversary.h"
+
+#include <algorithm>
+
+namespace wb {
+
+std::size_t ScriptedAdversary::choose(std::span<const NodeId> candidates,
+                                      const Whiteboard&, std::size_t) {
+  WB_CHECK_MSG(next_ < order_.size(), "scripted adversary ran out of script");
+  const NodeId want = order_[next_++];
+  const auto it = std::lower_bound(candidates.begin(), candidates.end(), want);
+  WB_CHECK_MSG(it != candidates.end() && *it == want,
+               "scripted writer " << want << " is not an active candidate");
+  return static_cast<std::size_t>(it - candidates.begin());
+}
+
+std::size_t PreferenceAdversary::choose(std::span<const NodeId> candidates,
+                                        const Whiteboard&, std::size_t) {
+  for (NodeId want : preference_) {
+    const auto it =
+        std::lower_bound(candidates.begin(), candidates.end(), want);
+    if (it != candidates.end() && *it == want) {
+      return static_cast<std::size_t>(it - candidates.begin());
+    }
+  }
+  return 0;
+}
+
+std::vector<std::unique_ptr<Adversary>> standard_adversaries(
+    const Graph& g, std::uint64_t seed) {
+  std::vector<std::unique_ptr<Adversary>> out;
+  out.push_back(std::make_unique<FirstAdversary>());
+  out.push_back(std::make_unique<LastAdversary>());
+  out.push_back(std::make_unique<RandomAdversary>(seed));
+  out.push_back(std::make_unique<RandomAdversary>(seed ^ 0x5bd1e995u));
+  out.push_back(std::make_unique<RotatingAdversary>());
+  out.push_back(std::make_unique<MaxDegreeAdversary>(g));
+  out.push_back(std::make_unique<MinDegreeAdversary>(g));
+  return out;
+}
+
+}  // namespace wb

@@ -1,0 +1,160 @@
+// The adversary (§2): at each round it chooses, among the active nodes whose
+// message is not yet on the whiteboard, the one whose message gets written.
+//
+// A protocol solves a problem only if it succeeds against *every* adversary,
+// so the test-suite runs each protocol under all of these strategies, and —
+// for small n — under exhaustive exploration of every schedule
+// (src/wb/exhaustive.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/support/rng.h"
+#include "src/wb/whiteboard.h"
+
+namespace wb {
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Pick the writer among `candidates` (sorted ascending node IDs; never
+  /// empty). Returns an index into `candidates`.
+  [[nodiscard]] virtual std::size_t choose(std::span<const NodeId> candidates,
+                                           const Whiteboard& board,
+                                           std::size_t round) = 0;
+
+  /// Called once before each execution.
+  virtual void reset() {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Always the smallest-ID candidate (the "natural" order).
+class FirstAdversary final : public Adversary {
+ public:
+  std::size_t choose(std::span<const NodeId>, const Whiteboard&,
+                     std::size_t) override {
+    return 0;
+  }
+  std::string name() const override { return "first"; }
+};
+
+/// Always the largest-ID candidate (reverse order).
+class LastAdversary final : public Adversary {
+ public:
+  std::size_t choose(std::span<const NodeId> candidates, const Whiteboard&,
+                     std::size_t) override {
+    return candidates.size() - 1;
+  }
+  std::string name() const override { return "last"; }
+};
+
+/// Uniformly random candidate, deterministic in the seed.
+class RandomAdversary final : public Adversary {
+ public:
+  explicit RandomAdversary(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  std::size_t choose(std::span<const NodeId> candidates, const Whiteboard&,
+                     std::size_t) override {
+    return static_cast<std::size_t>(rng_.below(candidates.size()));
+  }
+  void reset() override { rng_ = Rng(seed_); }
+  std::string name() const override { return "random"; }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+/// Rotates through candidate positions with a large stride, exercising
+/// mid-list picks that first/last never produce.
+class RotatingAdversary final : public Adversary {
+ public:
+  std::size_t choose(std::span<const NodeId> candidates, const Whiteboard&,
+                     std::size_t round) override {
+    return (round * 7919) % candidates.size();
+  }
+  std::string name() const override { return "rotating"; }
+};
+
+/// Prefers the candidate of maximum degree in the input graph (needs the
+/// graph; the adversary may know everything).
+class MaxDegreeAdversary final : public Adversary {
+ public:
+  explicit MaxDegreeAdversary(const Graph& g) : g_(&g) {}
+  std::size_t choose(std::span<const NodeId> candidates, const Whiteboard&,
+                     std::size_t) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (g_->degree(candidates[i]) > g_->degree(candidates[best])) best = i;
+    }
+    return best;
+  }
+  std::string name() const override { return "max-degree"; }
+
+ private:
+  const Graph* g_;
+};
+
+/// Prefers the candidate of minimum degree.
+class MinDegreeAdversary final : public Adversary {
+ public:
+  explicit MinDegreeAdversary(const Graph& g) : g_(&g) {}
+  std::size_t choose(std::span<const NodeId> candidates, const Whiteboard&,
+                     std::size_t) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (g_->degree(candidates[i]) < g_->degree(candidates[best])) best = i;
+    }
+    return best;
+  }
+  std::string name() const override { return "min-degree"; }
+
+ private:
+  const Graph* g_;
+};
+
+/// Follows a scripted node order exactly; fails the run (throws LogicError)
+/// if the scripted next writer is not currently a candidate. Used by the
+/// reduction drivers, which know the activation pattern of the simulated
+/// protocol (e.g. Thm 8's order v_2, ..., v_{2n-1}, v_1).
+class ScriptedAdversary final : public Adversary {
+ public:
+  explicit ScriptedAdversary(std::vector<NodeId> order)
+      : order_(std::move(order)) {}
+  std::size_t choose(std::span<const NodeId> candidates, const Whiteboard&,
+                     std::size_t) override;
+  void reset() override { next_ = 0; }
+  std::string name() const override { return "scripted"; }
+
+ private:
+  std::vector<NodeId> order_;
+  std::size_t next_ = 0;
+};
+
+/// Scripted order, but nodes missing from the candidate set are skipped
+/// gracefully (falls back to the first candidate when the script is
+/// exhausted). Used to bias schedules without asserting feasibility.
+class PreferenceAdversary final : public Adversary {
+ public:
+  explicit PreferenceAdversary(std::vector<NodeId> preference)
+      : preference_(std::move(preference)) {}
+  std::size_t choose(std::span<const NodeId> candidates, const Whiteboard&,
+                     std::size_t) override;
+  std::string name() const override { return "preference"; }
+
+ private:
+  std::vector<NodeId> preference_;
+};
+
+/// The standard battery of adversaries used by tests and benches.
+/// MaxDegree/MinDegree are bound to `g`; `seed` feeds the random strategy.
+[[nodiscard]] std::vector<std::unique_ptr<Adversary>> standard_adversaries(
+    const Graph& g, std::uint64_t seed);
+
+}  // namespace wb

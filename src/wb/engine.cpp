@@ -1,0 +1,164 @@
+#include "src/wb/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wb {
+
+EngineState::EngineState(const Graph& g, const Protocol& p, EngineOptions opts)
+    : graph_(&g), protocol_(&p), opts_(opts), n_(g.node_count()) {
+  WB_CHECK_MSG(n_ >= 1, "protocols run on graphs with at least one node");
+  if (opts_.max_rounds == 0) opts_.max_rounds = 2 * n_ + 8;
+  state_.assign(n_, NodeState::kAwake);
+  memory_.assign(n_, Bits{});
+  written_.assign(n_, false);
+  stats_.activation_round.assign(n_, 0);
+  stats_.write_round.assign(n_, 0);
+}
+
+void EngineState::trace(TraceEvent::Kind kind, NodeId v) {
+  if (opts_.record_trace) trace_.push_back(TraceEvent{round_, kind, v});
+}
+
+void EngineState::compose_into(NodeId v) {
+  Bits message = protocol_->compose(view_of(v), board_);
+  const std::size_t limit = protocol_->message_bit_limit(n_);
+  if (message.size() > limit) {
+    std::ostringstream os;
+    os << "node " << v << " composed " << message.size()
+       << " bits, exceeding the declared bound of " << limit << " bits";
+    fail(RunStatus::kMessageOverflow, os.str());
+    return;
+  }
+  memory_[v - 1] = std::move(message);
+}
+
+void EngineState::begin_round() {
+  if (terminal()) return;
+  ++round_;
+  stats_.rounds = round_;
+  if (round_ > opts_.max_rounds) {
+    fail(RunStatus::kProtocolError, "round limit exceeded without progress");
+    return;
+  }
+
+  const bool sim = is_simultaneous(protocol_->model_class());
+  const bool async = is_asynchronous(protocol_->model_class());
+
+  // Phase 1: termination updates.
+  for (NodeId v = 1; v <= n_; ++v) {
+    if (state_[v - 1] == NodeState::kActive && written_[v - 1]) {
+      state_[v - 1] = NodeState::kTerminated;
+      trace(TraceEvent::Kind::kTerminate, v);
+    }
+  }
+
+  // Phase 2: activations (+ compositions).
+  bool newly_active = false;
+  for (NodeId v = 1; v <= n_; ++v) {
+    if (state_[v - 1] != NodeState::kAwake) continue;
+    const bool wants = protocol_->activate(view_of(v), board_);
+    if (sim && round_ == 1 && !wants) {
+      std::ostringstream os;
+      os << "protocol declares a simultaneous class but node " << v
+         << " did not activate in round 1";
+      fail(RunStatus::kProtocolError, os.str());
+      return;
+    }
+    if (!wants) continue;
+    state_[v - 1] = NodeState::kActive;
+    stats_.activation_round[v - 1] = round_;
+    newly_active = true;
+    trace(TraceEvent::Kind::kActivate, v);
+    if (async) {
+      // Asynchronous classes: the message is created now and frozen.
+      compose_into(v);
+      if (terminal()) return;
+    }
+  }
+  if (!async) {
+    // Synchronous classes: every active, unwritten node recomputes its local
+    // memory from the current whiteboard ("may change its mind").
+    for (NodeId v = 1; v <= n_; ++v) {
+      if (state_[v - 1] == NodeState::kActive && !written_[v - 1]) {
+        compose_into(v);
+        if (terminal()) return;
+      }
+    }
+  }
+
+  // Candidate set for the adversary.
+  candidates_.clear();
+  for (NodeId v = 1; v <= n_; ++v) {
+    if (state_[v - 1] == NodeState::kActive && !written_[v - 1]) {
+      candidates_.push_back(v);
+    }
+  }
+
+  if (candidates_.empty()) {
+    if (stats_.writes == n_) {
+      set_status(RunStatus::kSuccess);
+    } else {
+      // No node can write and — since the whiteboard can no longer change —
+      // no awake node will ever activate: corrupted configuration.
+      (void)newly_active;  // newly_active implies non-empty candidates
+      std::ostringstream os;
+      os << "deadlock after " << stats_.writes << "/" << n_ << " writes";
+      fail(RunStatus::kDeadlock, os.str());
+    }
+  }
+}
+
+void EngineState::write(std::size_t index) {
+  WB_CHECK(!terminal());
+  WB_CHECK_MSG(index < candidates_.size(), "adversary chose a non-candidate");
+  const NodeId v = candidates_[index];
+  const Bits& message = memory_[v - 1];
+  stats_.max_message_bits = std::max(stats_.max_message_bits, message.size());
+  board_.append(message);
+  stats_.total_bits = board_.total_bits();
+  written_[v - 1] = true;
+  stats_.write_round[v - 1] = round_;
+  ++stats_.writes;
+  write_order_.push_back(v);
+  trace(TraceEvent::Kind::kWrite, v);
+  candidates_.clear();
+}
+
+void EngineState::fail(RunStatus status, std::string error) {
+  status_ = status;
+  error_ = std::move(error);
+}
+
+ExecutionResult EngineState::finish() const {
+  WB_CHECK_MSG(terminal(), "finish() before the run reached a terminal state");
+  ExecutionResult r;
+  r.status = *status_;
+  r.board = board_;
+  r.stats = stats_;
+  r.write_order = write_order_;
+  r.error = error_;
+  r.trace = trace_;
+  return r;
+}
+
+ExecutionResult run_protocol(const Graph& g, const Protocol& p, Adversary& adv,
+                             EngineOptions opts) {
+  adv.reset();
+  EngineState s(g, p, opts);
+  while (true) {
+    s.begin_round();
+    if (s.terminal()) return s.finish();
+    const std::size_t pick =
+        adv.choose(s.candidates(), s.board(), s.round());
+    s.write(pick);
+  }
+}
+
+ExecutionResult run_protocol(const Graph& g, const Protocol& p,
+                             EngineOptions opts) {
+  FirstAdversary adv;
+  return run_protocol(g, p, adv, opts);
+}
+
+}  // namespace wb

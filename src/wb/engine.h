@@ -1,0 +1,155 @@
+// Execution engine for whiteboard protocols (§2 of the paper).
+//
+// One engine round performs, in order:
+//   1. termination updates — an active node whose message is on the
+//      whiteboard becomes terminated;
+//   2. activations — every awake node evaluates act(view, W); nodes that
+//      activate compose their message immediately from the same W
+//      (asynchronous classes freeze it; synchronous classes also recompose
+//      the memories of all previously active nodes from the current W);
+//   3. one adversarial write — the adversary picks an active node whose
+//      message is not yet on the whiteboard and the engine appends it.
+//
+// This collapses the paper's "activation round" and the following "write
+// round" into one step. The set of reachable whiteboard sequences is
+// unchanged: in both formulations a node's message can appear at any point
+// after its activation condition first holds, and the adversary ranges over
+// exactly those interleavings (see DESIGN.md §4).
+//
+// The engine is also the referee: it verifies the declared model class
+// (simultaneous classes must activate everyone in round one; asynchronous
+// messages are frozen by construction) and fails any run whose message
+// exceeds the protocol's declared f(n) bit bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/wb/adversary.h"
+#include "src/wb/protocol.h"
+
+namespace wb {
+
+enum class RunStatus {
+  kSuccess,          // all n messages written (successful configuration)
+  kDeadlock,         // corrupted configuration: stuck before n writes
+  kMessageOverflow,  // a node composed more bits than message_bit_limit(n)
+  kProtocolError,    // protocol violated its declared model class / no progress
+};
+
+[[nodiscard]] constexpr std::string_view status_name(RunStatus s) noexcept {
+  switch (s) {
+    case RunStatus::kSuccess: return "success";
+    case RunStatus::kDeadlock: return "deadlock";
+    case RunStatus::kMessageOverflow: return "message-overflow";
+    case RunStatus::kProtocolError: return "protocol-error";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  enum class Kind { kActivate, kWrite, kTerminate };
+  std::size_t round = 0;
+  Kind kind = Kind::kActivate;
+  NodeId node = kNoNode;
+};
+
+struct RunStats {
+  std::size_t rounds = 0;
+  std::size_t writes = 0;
+  std::size_t max_message_bits = 0;
+  std::size_t total_bits = 0;
+  /// Round at which each node activated (0 = never).
+  std::vector<std::size_t> activation_round;
+  /// Round at which each node's message was written (0 = never).
+  std::vector<std::size_t> write_round;
+};
+
+struct ExecutionResult {
+  RunStatus status = RunStatus::kProtocolError;
+  Whiteboard board;
+  RunStats stats;
+  /// Engine-side diagnostic: who wrote each message. Not available to the
+  /// protocol's output function.
+  std::vector<NodeId> write_order;
+  std::string error;
+  std::vector<TraceEvent> trace;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == RunStatus::kSuccess;
+  }
+};
+
+struct EngineOptions {
+  /// Safety valve; 0 = automatic (writes can't exceed n, so 2n+8 rounds).
+  std::size_t max_rounds = 0;
+  bool record_trace = false;
+};
+
+/// Stepwise engine state, copyable so the exhaustive explorer can branch on
+/// adversary decisions. Typical use is through run_protocol below.
+class EngineState {
+ public:
+  EngineState(const Graph& g, const Protocol& p, EngineOptions opts = {});
+
+  /// Phases 1–2 of the round (terminations, activations, compositions).
+  /// No-op if the run already reached a terminal status.
+  void begin_round();
+
+  /// Active nodes with unwritten messages, sorted by ID (adversary domain).
+  [[nodiscard]] std::span<const NodeId> candidates() const noexcept {
+    return candidates_;
+  }
+
+  /// Phase 3: write candidate `index`'s memory and finish the round.
+  void write(std::size_t index);
+
+  /// Terminal when a status is decided (success/deadlock/overflow/error).
+  [[nodiscard]] bool terminal() const noexcept { return status_.has_value(); }
+
+  [[nodiscard]] ExecutionResult finish() const;
+
+  [[nodiscard]] const Whiteboard& board() const noexcept { return board_; }
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+
+ private:
+  void fail(RunStatus status, std::string error);
+  void set_status(RunStatus status) { status_ = status; }
+  [[nodiscard]] LocalView view_of(NodeId v) const {
+    return LocalView(v, graph_->neighbors(v), graph_->node_count());
+  }
+  void compose_into(NodeId v);
+  void trace(TraceEvent::Kind kind, NodeId v);
+
+  const Graph* graph_;
+  const Protocol* protocol_;
+  EngineOptions opts_;
+  std::size_t n_;
+  std::size_t round_ = 0;
+
+  std::vector<NodeState> state_;
+  std::vector<Bits> memory_;
+  std::vector<bool> written_;
+  std::vector<NodeId> candidates_;
+  Whiteboard board_;
+  std::optional<RunStatus> status_;
+  std::string error_;
+
+  RunStats stats_;
+  std::vector<NodeId> write_order_;
+  std::vector<TraceEvent> trace_;
+};
+
+/// Run `p` on `g` to completion under `adv`.
+[[nodiscard]] ExecutionResult run_protocol(const Graph& g, const Protocol& p,
+                                           Adversary& adv,
+                                           EngineOptions opts = {});
+
+/// Convenience: run under the natural first-fit adversary.
+[[nodiscard]] ExecutionResult run_protocol(const Graph& g, const Protocol& p,
+                                           EngineOptions opts = {});
+
+}  // namespace wb

@@ -1,0 +1,90 @@
+#include "src/wb/exhaustive.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wb {
+
+namespace {
+
+struct Explorer {
+  const std::function<bool(const ExecutionResult&)>* visit;
+  std::uint64_t budget;
+  std::uint64_t visited = 0;
+  bool stopped = false;
+
+  // Depth-first over adversary choices. `s` is consumed (copied at branches).
+  void explore(EngineState s) {
+    if (stopped) return;
+    s.begin_round();
+    if (s.terminal()) {
+      WB_CHECK_MSG(visited < budget, "exhaustive exploration budget exceeded");
+      ++visited;
+      if (!(*visit)(s.finish())) stopped = true;
+      return;
+    }
+    const auto cands = s.candidates();
+    if (cands.size() == 1) {
+      s.write(0);  // no branching: reuse the state
+      explore(std::move(s));
+      return;
+    }
+    for (std::size_t i = 0; i < cands.size() && !stopped; ++i) {
+      EngineState branch = s;
+      branch.write(i);
+      explore(std::move(branch));
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t for_each_execution(
+    const Graph& g, const Protocol& p,
+    const std::function<bool(const ExecutionResult&)>& visit,
+    const ExhaustiveOptions& opts) {
+  Explorer e{&visit, opts.max_executions, 0, false};
+  e.explore(EngineState(g, p, opts.engine));
+  return e.visited;
+}
+
+bool all_executions_ok(
+    const Graph& g, const Protocol& p,
+    const std::function<bool(const ExecutionResult&)>& accept,
+    const ExhaustiveOptions& opts) {
+  bool ok = true;
+  for_each_execution(
+      g, p,
+      [&](const ExecutionResult& r) {
+        if (!r.ok() || !accept(r)) {
+          ok = false;
+          return false;
+        }
+        return true;
+      },
+      opts);
+  return ok;
+}
+
+std::uint64_t count_distinct_final_boards(const Graph& g, const Protocol& p,
+                                          const ExhaustiveOptions& opts) {
+  std::set<std::string> boards;
+  for_each_execution(
+      g, p,
+      [&](const ExecutionResult& r) {
+        std::string key;
+        for (const Bits& b : r.board.messages()) {
+          key.push_back('|');
+          for (std::size_t i = 0; i < b.size(); ++i) {
+            key.push_back(b.bit(i) ? '1' : '0');
+          }
+        }
+        boards.insert(std::move(key));
+        return true;
+      },
+      opts);
+  return static_cast<std::uint64_t>(boards.size());
+}
+
+}  // namespace wb

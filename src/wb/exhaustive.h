@@ -1,0 +1,50 @@
+// Exhaustive adversary: explore every schedule the adversary can force.
+//
+// A protocol solves a problem only if every execution (every sequence of
+// adversarial writer choices) is successful and yields a correct output
+// (§2). For small n this is checkable by brute force: the explorer branches
+// on each adversary decision and visits every maximal execution.
+//
+// This is the strongest evidence our simulator can produce for the "yes"
+// cells of Table 2, and the machinery behind the minimax searches in the
+// benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/wb/engine.h"
+
+namespace wb {
+
+struct ExhaustiveOptions {
+  /// Upper bound on executions to visit (the explorer throws LogicError when
+  /// the bound would be exceeded — a guard against accidental n! blowups).
+  std::uint64_t max_executions = 2'000'000;
+  EngineOptions engine;
+};
+
+/// Visit every maximal execution of `p` on `g`. The visitor may return false
+/// to stop early (e.g. after the first counterexample); for_each_execution
+/// then returns immediately.
+/// Returns the number of executions visited.
+std::uint64_t for_each_execution(
+    const Graph& g, const Protocol& p,
+    const std::function<bool(const ExecutionResult&)>& visit,
+    const ExhaustiveOptions& opts = {});
+
+/// True iff every execution is successful and `accept(result)` holds for all
+/// of them. Stops at the first violation.
+[[nodiscard]] bool all_executions_ok(
+    const Graph& g, const Protocol& p,
+    const std::function<bool(const ExecutionResult&)>& accept,
+    const ExhaustiveOptions& opts = {});
+
+/// Count distinct final whiteboards over all executions (by content).
+/// Diagnostic for order-oblivious protocols: a SIMASYNC whiteboard is a
+/// permutation of one fixed message multiset, so decoders must not depend on
+/// order; this reports how much the adversary can vary the board.
+[[nodiscard]] std::uint64_t count_distinct_final_boards(
+    const Graph& g, const Protocol& p, const ExhaustiveOptions& opts = {});
+
+}  // namespace wb

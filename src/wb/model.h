@@ -1,0 +1,75 @@
+// The four communication models of the paper (Table 1).
+//
+// Two orthogonal axes:
+//  - Simultaneity: in SIM* models every node becomes active in the first
+//    round ("all nodes active after the first round"); in free models a node
+//    may stay awake and decide later, based on the whiteboard, when to raise
+//    its hand.
+//  - Synchrony: in synchronous models an active node may recompute ("change
+//    its mind about") the message stored in its local memory every round; in
+//    asynchronous models the message is frozen at activation time and is
+//    eventually written unchanged, whatever has been written in between.
+#pragma once
+
+#include <string_view>
+
+namespace wb {
+
+enum class ModelClass {
+  kSimAsync,  // SIMASYNC[f(n)] — simultaneous, message frozen at activation
+  kSimSync,   // SIMSYNC[f(n)]  — simultaneous, message recomputed each round
+  kAsync,     // ASYNC[f(n)]    — free activation, message frozen
+  kSync,      // SYNC[f(n)]     — free activation, message recomputed
+};
+
+/// All nodes are forced active in round one?
+[[nodiscard]] constexpr bool is_simultaneous(ModelClass m) noexcept {
+  return m == ModelClass::kSimAsync || m == ModelClass::kSimSync;
+}
+
+/// Message frozen at activation (asynchronous axis)?
+[[nodiscard]] constexpr bool is_asynchronous(ModelClass m) noexcept {
+  return m == ModelClass::kSimAsync || m == ModelClass::kAsync;
+}
+
+[[nodiscard]] constexpr std::string_view model_name(ModelClass m) noexcept {
+  switch (m) {
+    case ModelClass::kSimAsync: return "SIMASYNC";
+    case ModelClass::kSimSync: return "SIMSYNC";
+    case ModelClass::kAsync: return "ASYNC";
+    case ModelClass::kSync: return "SYNC";
+  }
+  return "?";
+}
+
+/// The containment order of Lemma 4: SIMASYNC ⊆ SIMSYNC ⊆ ASYNC ⊆ SYNC
+/// (a protocol of a smaller class is executable under any larger class's
+/// engine semantics). Returns true when `inner` protocols run unchanged under
+/// `outer` semantics.
+[[nodiscard]] constexpr bool model_contained_in(ModelClass inner,
+                                                ModelClass outer) noexcept {
+  auto rank = [](ModelClass m) {
+    switch (m) {
+      case ModelClass::kSimAsync: return 0;
+      case ModelClass::kSimSync: return 1;
+      case ModelClass::kAsync: return 2;
+      case ModelClass::kSync: return 3;
+    }
+    return 3;
+  };
+  return rank(inner) <= rank(outer);
+}
+
+/// Node lifecycle (§2): awake → active → terminated.
+enum class NodeState { kAwake, kActive, kTerminated };
+
+[[nodiscard]] constexpr std::string_view state_name(NodeState s) noexcept {
+  switch (s) {
+    case NodeState::kAwake: return "awake";
+    case NodeState::kActive: return "active";
+    case NodeState::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+}  // namespace wb

@@ -1,0 +1,103 @@
+// Protocol interface (§2 of the paper).
+//
+// A protocol supplies the two per-node functions of the formal model,
+//  - act: should this awake node become active, given the whiteboard?
+//  - msg: the message an active node stores in its local memory,
+// plus the output function evaluated on the final whiteboard, its declared
+// model class, and its message-size bound f(n) (checked by the engine on
+// every write).
+//
+// The engine enforces the class semantics mechanically:
+//  - simultaneous classes: activate() must return true on the empty
+//    whiteboard for every node (the engine verifies);
+//  - asynchronous classes: compose() is called exactly once per node, at
+//    activation time, and the result is frozen;
+//  - synchronous classes: compose() is re-evaluated every round until the
+//    adversary writes the node's current memory.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/support/bitio.h"
+#include "src/wb/model.h"
+#include "src/wb/view.h"
+#include "src/wb/whiteboard.h"
+
+namespace wb {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// The model class this protocol is designed for.
+  [[nodiscard]] virtual ModelClass model_class() const = 0;
+
+  /// Maximum message size in bits for n-node inputs — the f(n) in
+  /// MODEL[f(n)]. The engine fails any run that writes a longer message.
+  [[nodiscard]] virtual std::size_t message_bit_limit(std::size_t n) const = 0;
+
+  /// act: decision of an awake node to become active. Must be a pure
+  /// function of (view, whiteboard).
+  [[nodiscard]] virtual bool activate(const LocalView& view,
+                                      const Whiteboard& board) const = 0;
+
+  /// msg: message an active node stores in local memory, as a pure function
+  /// of (view, whiteboard). See the class-semantics notes above for when the
+  /// engine calls this.
+  [[nodiscard]] virtual Bits compose(const LocalView& view,
+                                     const Whiteboard& board) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// A protocol together with its typed output function out(W).
+template <typename OutputT>
+class ProtocolWithOutput : public Protocol {
+ public:
+  using Output = OutputT;
+
+  /// Decode the final whiteboard into the problem's answer. Receives nothing
+  /// but the whiteboard and n — the type system enforces the paper's "the
+  /// output is computed from the final contents of the whiteboard".
+  [[nodiscard]] virtual OutputT output(const Whiteboard& board,
+                                       std::size_t n) const = 0;
+};
+
+/// Convenience base for SIMASYNC protocols: activation is unconditional and
+/// the single message may depend only on local knowledge (the whiteboard is
+/// still empty when every node composes).
+template <typename OutputT>
+class SimAsyncProtocol : public ProtocolWithOutput<OutputT> {
+ public:
+  [[nodiscard]] ModelClass model_class() const override {
+    return ModelClass::kSimAsync;
+  }
+  [[nodiscard]] bool activate(const LocalView&, const Whiteboard&) const final {
+    return true;
+  }
+  [[nodiscard]] Bits compose(const LocalView& view,
+                             const Whiteboard& board) const final {
+    WB_CHECK_MSG(board.empty(),
+                 "SIMASYNC compose must only ever see the empty whiteboard");
+    return compose_initial(view);
+  }
+
+  /// The one message of node `view.id()`, from local knowledge only.
+  [[nodiscard]] virtual Bits compose_initial(const LocalView& view) const = 0;
+};
+
+/// Convenience base for SIMSYNC protocols: activation unconditional, message
+/// recomputed from the evolving whiteboard.
+template <typename OutputT>
+class SimSyncProtocol : public ProtocolWithOutput<OutputT> {
+ public:
+  [[nodiscard]] ModelClass model_class() const override {
+    return ModelClass::kSimSync;
+  }
+  [[nodiscard]] bool activate(const LocalView&, const Whiteboard&) const final {
+    return true;
+  }
+};
+
+}  // namespace wb

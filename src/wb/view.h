@@ -1,0 +1,38 @@
+// A node's local knowledge (§2): its own ID, the IDs of its neighbors, and
+// the total number of nodes n. This is the *only* graph information a
+// protocol callback may consult; the engine never exposes the full graph.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "src/graph/graph.h"
+
+namespace wb {
+
+class LocalView {
+ public:
+  LocalView(NodeId id, std::span<const NodeId> neighbors, std::size_t n)
+      : id_(id), neighbors_(neighbors), n_(n) {}
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+
+  /// Sorted neighbor IDs.
+  [[nodiscard]] std::span<const NodeId> neighbors() const noexcept {
+    return neighbors_;
+  }
+  [[nodiscard]] std::size_t degree() const noexcept {
+    return neighbors_.size();
+  }
+  [[nodiscard]] bool has_neighbor(NodeId w) const {
+    return std::binary_search(neighbors_.begin(), neighbors_.end(), w);
+  }
+
+ private:
+  NodeId id_;
+  std::span<const NodeId> neighbors_;
+  std::size_t n_;
+};
+
+}  // namespace wb

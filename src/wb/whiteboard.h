@@ -1,0 +1,83 @@
+// The shared whiteboard: an append-only sequence of bit-string messages.
+//
+// Faithful to §2: nodes and the output function observe the *sequence of
+// messages in write order* and nothing else. In particular the whiteboard
+// does not reveal writer identities — every protocol in the paper embeds
+// ID(v) in its own message when it needs to be identified.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <typeindex>
+#include <vector>
+
+#include "src/support/bitio.h"
+
+namespace wb {
+
+class Whiteboard {
+ public:
+  Whiteboard() = default;
+
+  void append(Bits message) {
+    total_bits_ += message.size();
+    entries_.push_back(std::move(message));
+    cache_.reset();  // any append invalidates decoded views
+  }
+
+  [[nodiscard]] std::size_t message_count() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] const Bits& message(std::size_t i) const {
+    WB_CHECK(i < entries_.size());
+    return entries_[i];
+  }
+
+  [[nodiscard]] std::span<const Bits> messages() const noexcept {
+    return entries_;
+  }
+
+  /// Total bits currently on the whiteboard (the Lemma 3 budget).
+  [[nodiscard]] std::size_t total_bits() const noexcept { return total_bits_; }
+
+  /// Memoized decoded view of the board.
+  ///
+  /// Protocol callbacks are invoked O(n) times per round on the same
+  /// whiteboard; parsing the full board in each call makes a run O(n³).
+  /// Because the board is append-only and immutable between appends, a
+  /// decoded view keyed by (decoder type, message count) stays valid until
+  /// the next append — `append` drops it. Copying a Whiteboard shares the
+  /// cache (both copies hold the same prefix), which is exactly what the
+  /// exhaustive explorer's branching needs.
+  ///
+  /// The factory must be a pure function of the board contents (same
+  /// requirement §2 places on act/msg themselves).
+  template <typename T, typename Factory>
+  const T& cached_view(const Factory& factory) const {
+    if (cache_ == nullptr || cache_->type != std::type_index(typeid(T)) ||
+        cache_->count != entries_.size()) {
+      auto holder = std::make_shared<CacheHolder>();
+      holder->type = std::type_index(typeid(T));
+      holder->count = entries_.size();
+      holder->value = std::make_shared<T>(factory(*this));
+      cache_ = std::move(holder);
+    }
+    return *static_cast<const T*>(cache_->value.get());
+  }
+
+ private:
+  struct CacheHolder {
+    std::type_index type = std::type_index(typeid(void));
+    std::size_t count = 0;
+    std::shared_ptr<void> value;
+  };
+
+  std::vector<Bits> entries_;
+  std::size_t total_bits_ = 0;
+  mutable std::shared_ptr<CacheHolder> cache_;
+};
+
+}  // namespace wb

@@ -1,0 +1,85 @@
+#include "src/analysis/board_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/generators.h"
+#include "src/protocols/build_forest.h"
+#include "src/wb/engine.h"
+
+namespace wb {
+namespace {
+
+Bits bits_of(std::uint64_t value, int width) {
+  BitWriter w;
+  w.write_uint(value, width);
+  return w.take();
+}
+
+TEST(BoardStats, EmptyBoard) {
+  const Whiteboard board;
+  const BoardStats s = analyze_board(board);
+  EXPECT_EQ(s.messages, 0u);
+  EXPECT_EQ(s.total_bits, 0u);
+  EXPECT_EQ(s.distinct_messages, 0u);
+}
+
+TEST(BoardStats, IdenticalMessagesHaveZeroEntropy) {
+  Whiteboard board;
+  for (int i = 0; i < 8; ++i) board.append(bits_of(5, 4));
+  const BoardStats s = analyze_board(board);
+  EXPECT_EQ(s.messages, 8u);
+  EXPECT_EQ(s.distinct_messages, 1u);
+  EXPECT_DOUBLE_EQ(s.content_entropy_bits, 0.0);
+  EXPECT_EQ(s.min_message_bits, 4u);
+  EXPECT_EQ(s.max_message_bits, 4u);
+}
+
+TEST(BoardStats, AllDistinctMessagesHaveFullEntropy) {
+  Whiteboard board;
+  for (std::uint64_t i = 0; i < 16; ++i) board.append(bits_of(i, 4));
+  const BoardStats s = analyze_board(board);
+  EXPECT_EQ(s.distinct_messages, 16u);
+  EXPECT_NEAR(s.content_entropy_bits, 4.0, 1e-9);
+}
+
+TEST(BoardStats, LengthHistogramAndMean) {
+  Whiteboard board;
+  board.append(bits_of(1, 2));
+  board.append(bits_of(1, 2));
+  board.append(bits_of(1, 6));
+  const BoardStats s = analyze_board(board);
+  EXPECT_EQ(s.length_histogram.at(2), 2u);
+  EXPECT_EQ(s.length_histogram.at(6), 1u);
+  EXPECT_NEAR(s.mean_message_bits, 10.0 / 3.0, 1e-9);
+}
+
+TEST(BoardStats, ContentDistinguishesEqualLengths) {
+  Whiteboard board;
+  board.append(bits_of(0b1010, 4));
+  board.append(bits_of(0b0101, 4));
+  const BoardStats s = analyze_board(board);
+  EXPECT_EQ(s.distinct_messages, 2u);
+}
+
+TEST(BoardStats, UtilizationOfRealRun) {
+  const Graph g = random_tree(32, 7);
+  const BuildForestProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  ASSERT_TRUE(r.ok());
+  const BoardStats s = analyze_board(r.board);
+  const double u = budget_utilization(s, 32, p.message_bit_limit(32));
+  EXPECT_GT(u, 0.0);
+  EXPECT_LE(u, 1.0);
+  // Every message carries a distinct ID: all distinct.
+  EXPECT_EQ(s.distinct_messages, 32u);
+}
+
+TEST(BoardStats, ZeroBudgetGuard) {
+  const BoardStats empty;
+  EXPECT_DOUBLE_EQ(budget_utilization(empty, 0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,76 @@
+#include "src/analysis/schedule_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/protocols/build_forest.h"
+#include "src/protocols/eob_bfs.h"
+#include "src/protocols/mis.h"
+#include "src/wb/adapters.h"
+#include "src/wb/engine.h"
+
+namespace wb {
+namespace {
+
+TEST(ScheduleStats, SimultaneousProtocolIsOneWave) {
+  const Graph g = random_tree(20, 3);
+  const BuildForestProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  const ScheduleStats s = analyze_schedule(r);
+  EXPECT_EQ(s.activation_waves, 1u);
+  EXPECT_EQ(s.max_wave, 20u);
+  EXPECT_EQ(s.writes, 20u);
+  // First-fit adversary drains in ID order: latencies are 0..19.
+  EXPECT_EQ(s.max_latency, 19u);
+  EXPECT_DOUBLE_EQ(s.mean_latency, 9.5);
+}
+
+TEST(ScheduleStats, SequentialAdapterHasNWavesOfOne) {
+  const Graph g = connected_gnp(12, 1, 3, 5);
+  const RootedMisProtocol native(3);
+  const SimSyncInAsync<MisOutput> wrapped(native);
+  const ExecutionResult r = run_protocol(g, wrapped);
+  const ScheduleStats s = analyze_schedule(r);
+  EXPECT_EQ(s.activation_waves, 12u);
+  EXPECT_EQ(s.max_wave, 1u);
+  EXPECT_EQ(s.max_latency, 0u);  // each node writes the round it activates
+}
+
+TEST(ScheduleStats, LayeredProtocolWavesMatchBfsLayers) {
+  // A path graph in EOB-BFS: one activation wave per BFS layer.
+  const Graph g = path_graph(7);  // layers 0..6 from root 1
+  const EobBfsProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  ASSERT_TRUE(r.ok());
+  const ScheduleStats s = analyze_schedule(r);
+  EXPECT_EQ(s.activation_waves, 7u);
+  EXPECT_EQ(s.max_wave, 1u);
+}
+
+TEST(ScheduleStats, HistogramSumsToWrites) {
+  const Graph g = connected_gnp(30, 1, 4, 9);
+  const BuildForestProtocol p;
+  RandomAdversary adv(3);
+  const ExecutionResult r = run_protocol(g, p, adv);
+  const ScheduleStats s = analyze_schedule(r);
+  std::size_t total = 0;
+  for (const auto& [latency, count] : s.latency_histogram) total += count;
+  EXPECT_EQ(total, s.writes);
+}
+
+TEST(ScheduleStats, DeadlockedRunsAreAnalyzable) {
+  GraphBuilder b(4);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  const Graph g = b.build();  // triangle + isolated node 4
+  const EobBfsProtocol p(EobMode::kBipartiteNoCheck);
+  const ExecutionResult r = run_protocol(g, p);
+  ASSERT_EQ(r.status, RunStatus::kDeadlock);
+  const ScheduleStats s = analyze_schedule(r);
+  EXPECT_EQ(s.writes, 3u);  // node 4 never activates
+  EXPECT_LT(s.latency.size(), 4u);
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,96 @@
+#include "src/cli/runners.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cli/spec.h"
+#include "src/support/check.h"
+
+namespace wb::cli {
+namespace {
+
+RunReport run(const std::string& graph, const std::string& protocol,
+              const std::string& adversary = "first") {
+  const Graph g = graph_from_spec(graph);
+  auto adv = adversary_from_spec(adversary, g);
+  return run_protocol_spec(protocol, g, *adv);
+}
+
+TEST(Runners, EveryProtocolSpecSmokeTest) {
+  // (graph, protocol) pairs chosen so every runner validates successfully.
+  const std::pair<const char*, const char*> cases[] = {
+      {"forest:20:80:3", "build-forest"},
+      {"kdeg:20:2:20:3", "build-degenerate:2"},
+      {"gnp:12:1/3:5", "build-full"},
+      {"cgnp:12:1/3:5", "mis:4"},
+      {"twocliques:6", "two-cliques"},
+      {"switched:6", "two-cliques"},
+      {"twocliques:6", "rand-two-cliques:11"},
+      {"ceob:14:1/4:2", "eob-bfs"},
+      {"cycle:8", "bipartite-bfs"},
+      {"cgnp:15:1/4:9", "sync-bfs"},
+      {"gnp:14:1/2:1", "subgraph:5"},
+      {"gnp:10:1/2:2", "triangle-oracle"},
+      {"complete:5", "pair-chase"},
+      {"gnp:16:1/8:4", "spanning-forest"},
+      {"grid:3x3", "square-oracle"},
+      {"star:8", "diameter-oracle:2"},
+      {"cgnp:10:1/3:6", "connectivity-oracle"},
+      {"twocliques:5", "connectivity-oracle"},
+  };
+  for (const auto& [graph, protocol] : cases) {
+    const RunReport r = run(graph, protocol);
+    EXPECT_TRUE(r.executed) << graph << " " << protocol;
+    EXPECT_TRUE(r.correct) << graph << " " << protocol << "\n" << r.summary;
+    EXPECT_FALSE(r.summary.empty());
+  }
+}
+
+TEST(Runners, ReportsContainVitalSigns) {
+  const RunReport r = run("forest:10:80:1", "build-forest", "random:3");
+  EXPECT_NE(r.summary.find("protocol"), std::string::npos);
+  EXPECT_NE(r.summary.find("status     success"), std::string::npos);
+  EXPECT_NE(r.summary.find("board"), std::string::npos);
+  EXPECT_NE(r.summary.find("verdict"), std::string::npos);
+  EXPECT_EQ(r.status, "success");
+}
+
+TEST(Runners, RejectionIsACorrectAnswer) {
+  // A cycle is not a forest: the builder must reject, and the runner counts
+  // that as correct behaviour.
+  const RunReport r = run("cycle:7", "build-forest");
+  EXPECT_TRUE(r.correct);
+  EXPECT_NE(r.summary.find("rejected"), std::string::npos);
+}
+
+TEST(Runners, DeadlockIsReportedNotValidated) {
+  // triangle with tail deadlocks bipartite-bfs; correct=false, status tells.
+  const Graph g = graph_from_spec("complete:3");
+  GraphBuilder b(5);
+  for (const Edge& e : g.edges()) b.add_edge(e.u, e.v);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  auto adv = adversary_from_spec("first", g);
+  const Graph gg = b.build();
+  auto adv2 = adversary_from_spec("first", gg);
+  const RunReport r = run_protocol_spec("bipartite-bfs", gg, *adv2);
+  EXPECT_TRUE(r.executed);
+  EXPECT_FALSE(r.correct);
+  EXPECT_EQ(r.status, "deadlock");
+}
+
+TEST(Runners, UnknownProtocolThrows) {
+  const Graph g = graph_from_spec("path:4");
+  auto adv = adversary_from_spec("first", g);
+  EXPECT_THROW((void)run_protocol_spec("quantum-bfs", g, *adv), DataError);
+}
+
+TEST(Runners, BadArgumentsThrow) {
+  const Graph g = graph_from_spec("path:4");
+  auto adv = adversary_from_spec("first", g);
+  EXPECT_THROW((void)run_protocol_spec("mis:9", g, *adv), DataError);  // root>n
+  EXPECT_THROW((void)run_protocol_spec("build-degenerate", g, *adv),
+               DataError);
+}
+
+}  // namespace
+}  // namespace wb::cli

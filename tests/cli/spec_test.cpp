@@ -1,0 +1,77 @@
+#include "src/cli/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+
+namespace wb::cli {
+namespace {
+
+TEST(SplitSpec, Basics) {
+  EXPECT_EQ(split_spec("a:b:c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_spec("solo"), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(split_spec("x:"), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(ParseU64, AcceptsNumbersRejectsJunk) {
+  EXPECT_EQ(parse_u64("42", "n"), 42u);
+  EXPECT_EQ(parse_u64("0", "n"), 0u);
+  EXPECT_THROW((void)parse_u64("", "n"), DataError);
+  EXPECT_THROW((void)parse_u64("4x", "n"), DataError);
+  EXPECT_THROW((void)parse_u64("-3", "n"), DataError);
+}
+
+TEST(ParseProb, FractionsValidated) {
+  EXPECT_EQ(parse_prob("1/4"), (std::pair<std::uint64_t, std::uint64_t>{1, 4}));
+  EXPECT_THROW((void)parse_prob("5"), DataError);
+  EXPECT_THROW((void)parse_prob("3/2"), DataError);  // > 1
+  EXPECT_THROW((void)parse_prob("1/0"), DataError);
+}
+
+TEST(GraphSpec, StructuredFamilies) {
+  EXPECT_EQ(graph_from_spec("path:6"), path_graph(6));
+  EXPECT_EQ(graph_from_spec("cycle:5"), cycle_graph(5));
+  EXPECT_EQ(graph_from_spec("complete:4"), complete_graph(4));
+  EXPECT_EQ(graph_from_spec("star:7"), star_graph(7));
+  EXPECT_EQ(graph_from_spec("grid:3x4"), grid_graph(3, 4));
+  EXPECT_EQ(graph_from_spec("twocliques:5"), two_cliques(5));
+  EXPECT_EQ(graph_from_spec("switched:5"), two_cliques_switched(5));
+}
+
+TEST(GraphSpec, SeededFamiliesAreDeterministic) {
+  EXPECT_EQ(graph_from_spec("tree:30:7"), random_tree(30, 7));
+  EXPECT_EQ(graph_from_spec("forest:30:80:7"), random_forest(30, 80, 7));
+  EXPECT_EQ(graph_from_spec("kdeg:30:3:20:7"),
+            random_k_degenerate(30, 3, 20, 7));
+  EXPECT_EQ(graph_from_spec("gnp:20:1/4:9"), erdos_renyi(20, 1, 4, 9));
+  EXPECT_EQ(graph_from_spec("cgnp:20:1/4:9"), connected_gnp(20, 1, 4, 9));
+  EXPECT_EQ(graph_from_spec("eob:20:1/4:9"),
+            random_even_odd_bipartite(20, 1, 4, 9));
+  EXPECT_EQ(graph_from_spec("ceob:20:1/4:9"),
+            connected_even_odd_bipartite(20, 1, 4, 9));
+  EXPECT_EQ(graph_from_spec("bipartite:5:6:1/3:2"),
+            random_bipartite(5, 6, 1, 3, 2));
+}
+
+TEST(GraphSpec, Errors) {
+  EXPECT_THROW((void)graph_from_spec("nope:5"), DataError);
+  EXPECT_THROW((void)graph_from_spec("path"), DataError);
+  EXPECT_THROW((void)graph_from_spec("grid:3"), DataError);
+  EXPECT_THROW((void)graph_from_spec("gnp:10:0.5:1"), DataError);
+}
+
+TEST(AdversarySpec, AllKinds) {
+  const Graph g = star_graph(5);
+  EXPECT_EQ(adversary_from_spec("first", g)->name(), "first");
+  EXPECT_EQ(adversary_from_spec("last", g)->name(), "last");
+  EXPECT_EQ(adversary_from_spec("rotating", g)->name(), "rotating");
+  EXPECT_EQ(adversary_from_spec("maxdeg", g)->name(), "max-degree");
+  EXPECT_EQ(adversary_from_spec("mindeg", g)->name(), "min-degree");
+  EXPECT_EQ(adversary_from_spec("random:5", g)->name(), "random");
+  EXPECT_THROW((void)adversary_from_spec("evil", g), DataError);
+  EXPECT_THROW((void)adversary_from_spec("random", g), DataError);
+}
+
+}  // namespace
+}  // namespace wb::cli

@@ -1,0 +1,104 @@
+#include "src/graph/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/algorithms.h"
+
+namespace wb {
+namespace {
+
+TEST(Enumerate, AllLabeledGraphCounts) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u}) {
+    std::uint64_t count = 0;
+    for_each_labeled_graph(n, [&](const Graph& g) {
+      EXPECT_EQ(g.node_count(), n);
+      ++count;
+    });
+    EXPECT_EQ(count, std::uint64_t{1} << (n * (n - 1) / 2));
+  }
+}
+
+TEST(Enumerate, ConnectedCountsMatchOeisA001187) {
+  // 1, 1, 4, 38, 728 connected labeled graphs on 1..5 nodes.
+  const std::uint64_t expected[] = {1, 1, 4, 38, 728};
+  for (std::size_t n = 1; n <= 5; ++n) {
+    std::uint64_t count = 0;
+    for_each_connected_graph(n, [&](const Graph&) { ++count; });
+    EXPECT_EQ(count, expected[n - 1]) << "n=" << n;
+  }
+}
+
+TEST(Enumerate, ForestCountsMatchOeisA001858) {
+  // 1, 2, 7, 38, 291 labeled forests on 1..5 nodes.
+  const std::uint64_t expected[] = {1, 2, 7, 38, 291};
+  for (std::size_t n = 1; n <= 5; ++n) {
+    std::uint64_t count = 0;
+    for_each_labeled_forest(n, [&](const Graph& g) {
+      EXPECT_TRUE(is_k_degenerate(g, 1));
+      ++count;
+    });
+    EXPECT_EQ(count, expected[n - 1]) << "n=" << n;
+    EXPECT_EQ(count_labeled_forests_exact(n), expected[n - 1]) << "n=" << n;
+  }
+}
+
+TEST(Enumerate, ForestRecurrenceExtends) {
+  // OEIS A001858 continues 2932, 36961, 561948.
+  EXPECT_EQ(count_labeled_forests_exact(6), 2932u);
+  EXPECT_EQ(count_labeled_forests_exact(7), 36961u);
+  EXPECT_EQ(count_labeled_forests_exact(8), 561948u);
+}
+
+TEST(Enumerate, EvenOddBipartiteCounts) {
+  for (std::size_t n : {2u, 3u, 4u, 5u}) {
+    std::uint64_t count = 0;
+    for_each_even_odd_bipartite_graph(n, [&](const Graph& g) {
+      EXPECT_TRUE(is_even_odd_bipartite(g));
+      ++count;
+    });
+    const std::size_t pairs = ((n + 1) / 2) * (n / 2);
+    EXPECT_EQ(count, std::uint64_t{1} << pairs) << "n=" << n;
+  }
+}
+
+TEST(Counting, ClosedForms) {
+  EXPECT_DOUBLE_EQ(log2_count_all_graphs(10), 45.0);
+  EXPECT_DOUBLE_EQ(log2_count_bipartite_fixed_parts(10), 25.0);
+  EXPECT_DOUBLE_EQ(log2_count_even_odd_bipartite(10), 25.0);
+  EXPECT_DOUBLE_EQ(log2_count_even_odd_bipartite(9), 20.0);
+  EXPECT_DOUBLE_EQ(log2_count_subgraph_family(100, 10), 45.0);
+}
+
+TEST(Counting, ForestLogMatchesExactForSmallN) {
+  for (std::size_t n = 1; n <= 14; ++n) {
+    const double exact =
+        std::log2(static_cast<double>(count_labeled_forests_exact(n)));
+    EXPECT_NEAR(log2_count_labeled_forests(n), exact, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Counting, ForestLogDomainIsMonotoneAndNearNLogN) {
+  const double f100 = log2_count_labeled_forests(100);
+  const double f200 = log2_count_labeled_forests(200);
+  EXPECT_GT(f200, f100);
+  // F(n) ≥ n^{n-2} (trees alone): log2 F(100) ≥ 98·log2(100) ≈ 651.
+  EXPECT_GT(f100, 98 * std::log2(100.0) - 1);
+  // And F(n) ≤ number of 1-degenerate graphs ≤ (n+1)^n roughly.
+  EXPECT_LT(f100, 100 * std::log2(101.0) + 1);
+}
+
+TEST(Counting, KDegenerateLowerBoundGrowsWithK) {
+  const double k1 = log2_count_k_degenerate_lower(200, 1);
+  const double k3 = log2_count_k_degenerate_lower(200, 3);
+  EXPECT_GT(k3, k1);
+  EXPECT_GT(k1, 0.0);
+}
+
+TEST(Enumerate, GuardsAgainstBlowup) {
+  EXPECT_THROW(for_each_labeled_graph(9, [](const Graph&) {}), LogicError);
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,107 @@
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace wb {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  for (NodeId v = 1; v <= 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, FromEdgeList) {
+  const std::vector<Edge> edges = {{1, 2}, {2, 3}, {1, 3}};
+  const Graph g(4, edges);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(1, 4));
+  EXPECT_FALSE(g.has_edge(2, 2));
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const std::vector<Edge> edges = {{2, 5}, {1, 2}, {2, 3}, {2, 4}};
+  const Graph g(5, edges);
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_EQ(nb[0], 1u);
+  EXPECT_EQ(nb[1], 3u);
+  EXPECT_EQ(nb[2], 4u);
+  EXPECT_EQ(nb[3], 5u);
+}
+
+TEST(Graph, RejectsDuplicateEdges) {
+  const std::vector<Edge> edges = {{1, 2}, {1, 2}};
+  EXPECT_THROW(Graph(3, edges), LogicError);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  const std::vector<Edge> edges = {{1, 7}};
+  EXPECT_THROW(Graph(3, edges), LogicError);
+}
+
+TEST(Graph, IdRangeChecked) {
+  const Graph g(3);
+  EXPECT_THROW((void)g.degree(0), LogicError);
+  EXPECT_THROW((void)g.degree(4), LogicError);
+}
+
+TEST(MakeEdge, NormalizesOrder) {
+  const Edge e = make_edge(5, 2);
+  EXPECT_EQ(e.u, 2u);
+  EXPECT_EQ(e.v, 5u);
+  EXPECT_THROW((void)make_edge(3, 3), LogicError);
+}
+
+TEST(GraphBuilder, DeduplicatesAndBuilds) {
+  GraphBuilder b(4);
+  EXPECT_TRUE(b.add_edge(1, 2));
+  EXPECT_FALSE(b.add_edge(2, 1));  // same edge
+  EXPECT_TRUE(b.add_edge(3, 4));
+  EXPECT_TRUE(b.has_edge(4, 3));
+  EXPECT_FALSE(b.has_edge(1, 3));
+  const Graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(2, 2), LogicError);
+}
+
+TEST(Graph, EqualityIsStructural) {
+  const std::vector<Edge> e1 = {{1, 2}, {2, 3}};
+  const std::vector<Edge> e2 = {{2, 3}, {1, 2}};
+  EXPECT_EQ(Graph(3, e1), Graph(3, e2));
+  EXPECT_FALSE(Graph(3, e1) == Graph(4, e1));
+  const std::vector<Edge> e3 = {{1, 2}};
+  EXPECT_FALSE(Graph(3, e1) == Graph(3, e3));
+}
+
+TEST(Relabel, PermutesEdges) {
+  const std::vector<Edge> edges = {{1, 2}, {2, 3}};
+  const Graph g(3, edges);
+  const std::vector<NodeId> perm = {3, 1, 2};  // 1->3, 2->1, 3->2
+  const Graph h = relabel(g, perm);
+  EXPECT_TRUE(h.has_edge(3, 1));
+  EXPECT_TRUE(h.has_edge(1, 2));
+  EXPECT_FALSE(h.has_edge(2, 3));
+}
+
+TEST(Relabel, RejectsNonPermutations) {
+  const Graph g(3);
+  const std::vector<NodeId> bad = {1, 1, 2};
+  EXPECT_THROW((void)relabel(g, bad), LogicError);
+}
+
+}  // namespace
+}  // namespace wb

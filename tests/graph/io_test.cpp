@@ -1,0 +1,40 @@
+#include "src/graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/support/check.h"
+
+namespace wb {
+namespace {
+
+TEST(EdgeList, RoundTrip) {
+  const Graph g = erdos_renyi(12, 1, 3, 5);
+  const Graph h = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(g, h);
+}
+
+TEST(EdgeList, EmptyGraph) {
+  const Graph g(4);
+  EXPECT_EQ(to_edge_list(g), "4 0\n");
+  EXPECT_EQ(from_edge_list("4 0\n"), g);
+}
+
+TEST(EdgeList, MalformedInputs) {
+  EXPECT_THROW((void)from_edge_list(""), DataError);
+  EXPECT_THROW((void)from_edge_list("3 2\n1 2\n"), DataError);      // truncated
+  EXPECT_THROW((void)from_edge_list("3 1\n1 5\n"), DataError);      // range
+  EXPECT_THROW((void)from_edge_list("3 1\n2 2\n"), DataError);      // loop
+}
+
+TEST(Dot, ContainsEdgesAndHighlights) {
+  const std::vector<Edge> edges = {{1, 2}};
+  const Graph g(3, edges);
+  const std::string dot = to_dot(g, {2});
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+  EXPECT_NE(dot.find("2 [style=filled"), std::string::npos);
+  EXPECT_NE(dot.find("  3;"), std::string::npos);  // isolated node listed
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,189 @@
+// Deterministic corruption fuzzing of every decoder.
+//
+// The output function of §2 receives nothing but the whiteboard; a
+// production-quality decoder must therefore survive *any* board: for each
+// protocol we take valid boards and apply systematic mutations — bit flips
+// at every position, truncations, message drops, duplications, swaps — and
+// require that the decoder either (a) throws wb::DataError, (b) reports a
+// clean rejection (nullopt / invalid), or (c) returns a value. What it must
+// never do is crash, loop, or throw anything else.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/graph/generators.h"
+#include "src/protocols/bfs_sync.h"
+#include "src/protocols/build_degenerate.h"
+#include "src/protocols/build_forest.h"
+#include "src/protocols/build_full.h"
+#include "src/protocols/eob_bfs.h"
+#include "src/protocols/mis.h"
+#include "src/protocols/subgraph.h"
+#include "src/protocols/triangle.h"
+#include "src/protocols/two_cliques.h"
+#include "src/wb/engine.h"
+
+namespace wb {
+namespace {
+
+Bits flip_bit(const Bits& m, std::size_t pos) {
+  BitWriter w;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    w.write_bit(i == pos ? !m.bit(i) : m.bit(i));
+  }
+  return w.take();
+}
+
+Bits truncate(const Bits& m, std::size_t bits) {
+  BitWriter w;
+  for (std::size_t i = 0; i < bits && i < m.size(); ++i) w.write_bit(m.bit(i));
+  return w.take();
+}
+
+/// Apply `decode` to every mutation of `board`; returns the number of boards
+/// tried. EXPECTs that only DataError escapes.
+std::size_t fuzz_decoder(const Whiteboard& board,
+                         const std::function<void(const Whiteboard&)>& decode,
+                         const std::string& label) {
+  std::size_t tried = 0;
+  auto probe = [&](const Whiteboard& mutated) {
+    ++tried;
+    try {
+      decode(mutated);  // value or clean rejection: both fine
+    } catch (const DataError&) {
+      // loud, typed failure: fine
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << label << ": decoder leaked " << e.what();
+    }
+  };
+
+  // Bit flips: every position of every message.
+  for (std::size_t mi = 0; mi < board.message_count(); ++mi) {
+    for (std::size_t b = 0; b < board.message(mi).size(); ++b) {
+      Whiteboard mutated;
+      for (std::size_t j = 0; j < board.message_count(); ++j) {
+        mutated.append(j == mi ? flip_bit(board.message(j), b)
+                               : board.message(j));
+      }
+      probe(mutated);
+    }
+  }
+  // Truncations of one message.
+  for (std::size_t mi = 0; mi < board.message_count(); ++mi) {
+    for (std::size_t keep : {std::size_t{0}, board.message(mi).size() / 2}) {
+      Whiteboard mutated;
+      for (std::size_t j = 0; j < board.message_count(); ++j) {
+        mutated.append(j == mi ? truncate(board.message(j), keep)
+                               : board.message(j));
+      }
+      probe(mutated);
+    }
+  }
+  // Drop each message; duplicate each message; swap adjacent pairs.
+  for (std::size_t mi = 0; mi < board.message_count(); ++mi) {
+    Whiteboard dropped, duplicated;
+    for (std::size_t j = 0; j < board.message_count(); ++j) {
+      if (j != mi) dropped.append(board.message(j));
+      duplicated.append(board.message(j));
+      if (j == mi) duplicated.append(board.message(j));
+    }
+    probe(dropped);
+    probe(duplicated);
+  }
+  for (std::size_t mi = 0; mi + 1 < board.message_count(); ++mi) {
+    Whiteboard swapped;
+    for (std::size_t j = 0; j < board.message_count(); ++j) {
+      if (j == mi) {
+        swapped.append(board.message(j + 1));
+      } else if (j == mi + 1) {
+        swapped.append(board.message(j - 1));
+      } else {
+        swapped.append(board.message(j));
+      }
+    }
+    probe(swapped);
+  }
+  return tried;
+}
+
+template <typename P>
+Whiteboard valid_board(const Graph& g, const P& p) {
+  const ExecutionResult r = run_protocol(g, p);
+  EXPECT_TRUE(r.ok());
+  return r.board;
+}
+
+TEST(CorruptionFuzz, BuildForest) {
+  const BuildForestProtocol p;
+  const Graph g = random_tree(8, 3);
+  const Whiteboard board = valid_board(g, p);
+  const std::size_t tried = fuzz_decoder(
+      board, [&](const Whiteboard& b) { (void)p.output(b, 8); }, p.name());
+  EXPECT_GT(tried, 100u);
+}
+
+TEST(CorruptionFuzz, BuildDegenerate) {
+  const BuildDegenerateProtocol p(2);
+  const Graph g = random_k_degenerate(8, 2, 20, 5);
+  const Whiteboard board = valid_board(g, p);
+  (void)fuzz_decoder(
+      board, [&](const Whiteboard& b) { (void)p.output(b, 8); }, p.name());
+}
+
+TEST(CorruptionFuzz, BuildFull) {
+  const BuildFullProtocol p;
+  const Graph g = erdos_renyi(7, 1, 2, 9);
+  const Whiteboard board = valid_board(g, p);
+  (void)fuzz_decoder(
+      board, [&](const Whiteboard& b) { (void)p.output(b, 7); }, p.name());
+}
+
+TEST(CorruptionFuzz, Mis) {
+  const RootedMisProtocol p(2);
+  const Graph g = connected_gnp(8, 1, 3, 4);
+  const Whiteboard board = valid_board(g, p);
+  (void)fuzz_decoder(
+      board, [&](const Whiteboard& b) { (void)p.output(b, 8); }, p.name());
+}
+
+TEST(CorruptionFuzz, TwoCliques) {
+  const TwoCliquesProtocol p;
+  const Whiteboard board = valid_board(two_cliques(4), p);
+  (void)fuzz_decoder(
+      board, [&](const Whiteboard& b) { (void)p.output(b, 8); }, p.name());
+}
+
+TEST(CorruptionFuzz, EobBfs) {
+  const EobBfsProtocol p;
+  const Graph g = connected_even_odd_bipartite(8, 1, 3, 6);
+  const Whiteboard board = valid_board(g, p);
+  (void)fuzz_decoder(
+      board, [&](const Whiteboard& b) { (void)p.output(b, 8); }, p.name());
+}
+
+TEST(CorruptionFuzz, SyncBfs) {
+  const SyncBfsProtocol p;
+  const Graph g = connected_gnp(8, 1, 3, 7);
+  const Whiteboard board = valid_board(g, p);
+  (void)fuzz_decoder(
+      board, [&](const Whiteboard& b) { (void)p.output(b, 8); }, p.name());
+}
+
+TEST(CorruptionFuzz, Subgraph) {
+  const SubgraphProtocol p(4);
+  const Graph g = erdos_renyi(8, 1, 2, 8);
+  const Whiteboard board = valid_board(g, p);
+  (void)fuzz_decoder(
+      board, [&](const Whiteboard& b) { (void)p.output(b, 8); }, p.name());
+}
+
+TEST(CorruptionFuzz, PairChase) {
+  const TrianglePairChaseProtocol p(0);
+  const Graph g = complete_graph(6);
+  const Whiteboard board = valid_board(g, p);
+  (void)fuzz_decoder(
+      board, [&](const Whiteboard& b) { (void)p.output(b, 6); }, p.name());
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,128 @@
+// Cross-module failure injection: every decoder must fail loudly (DataError)
+// on corrupted whiteboards, the engine must flag protocol misbehavior, and
+// the documented deadlock cases must deadlock — never hang, never return
+// garbage silently.
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/protocols/bfs_sync.h"
+#include "src/protocols/build_degenerate.h"
+#include "src/protocols/build_forest.h"
+#include "src/protocols/eob_bfs.h"
+#include "src/protocols/mis.h"
+#include "src/protocols/two_cliques.h"
+#include "src/wb/engine.h"
+
+namespace wb {
+namespace {
+
+/// A whiteboard with one message whose bits are all ones (wrong everywhere).
+Whiteboard garbage_board(std::size_t messages, std::size_t bits) {
+  Whiteboard board;
+  for (std::size_t i = 0; i < messages; ++i) {
+    BitWriter w;
+    for (std::size_t b = 0; b < bits; ++b) w.write_bit(true);
+    board.append(w.take());
+  }
+  return board;
+}
+
+TEST(FailureInjection, DecodersRejectGarbageBoards) {
+  // Node-count mismatch: every decoder checks message multiplicity or IDs.
+  EXPECT_THROW((void)BuildForestProtocol().output(garbage_board(2, 12), 5),
+               DataError);
+  EXPECT_THROW(
+      (void)BuildDegenerateProtocol(2).output(garbage_board(3, 200), 5),
+      DataError);
+  EXPECT_THROW((void)SyncBfsProtocol().output(garbage_board(5, 3), 5),
+               DataError);
+  EXPECT_THROW((void)EobBfsProtocol().output(garbage_board(5, 2), 5),
+               DataError);
+}
+
+TEST(FailureInjection, DuplicateWritersDetectedEverywhere) {
+  const Graph g = path_graph(3);
+  const BuildForestProtocol forest;
+  const ExecutionResult r = run_protocol(g, forest);
+  ASSERT_TRUE(r.ok());
+  Whiteboard dup;
+  dup.append(r.board.message(0));
+  dup.append(r.board.message(0));
+  dup.append(r.board.message(1));
+  EXPECT_THROW((void)forest.output(dup, 3), DataError);
+}
+
+TEST(FailureInjection, MisParsesButValidatorCatchesSemantics) {
+  // The MIS decoder itself is permissive (it just collects IN ids); the
+  // validator must reject fabricated non-independent sets.
+  const Graph g = path_graph(3);
+  const RootedMisProtocol p(1);
+  Whiteboard forged;
+  for (NodeId v = 1; v <= 3; ++v) {
+    BitWriter w;
+    w.write_uint(v - 1, 2);
+    w.write_bit(true);  // everyone claims IN
+    forged.append(w.take());
+  }
+  const MisOutput out = p.output(forged, 3);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_FALSE(is_independent_set(g, out));
+}
+
+/// The canonical non-bipartite deadlock input for the ASYNC BFS protocol: a
+/// triangle with a length-2 tail (the tail's far node waits on a layer
+/// certificate that the intra-layer triangle edge keeps unbalanced forever).
+Graph triangle_with_tail() {
+  GraphBuilder b(5);
+  b.add_edge(1, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  return b.build();
+}
+
+TEST(FailureInjection, NonBipartiteDeadlocksBipartiteBfsButNotSyncBfs) {
+  const Graph g = triangle_with_tail();
+  const EobBfsProtocol bip(EobMode::kBipartiteNoCheck);
+  const ExecutionResult r1 = run_protocol(g, bip);
+  EXPECT_EQ(r1.status, RunStatus::kDeadlock);
+
+  const SyncBfsProtocol sync_bfs;
+  const ExecutionResult r2 = run_protocol(g, sync_bfs);
+  EXPECT_EQ(r2.status, RunStatus::kSuccess);
+}
+
+TEST(FailureInjection, DeadlockReportsProgressSoFar) {
+  const Graph g = triangle_with_tail();
+  const EobBfsProtocol bip(EobMode::kBipartiteNoCheck);
+  const ExecutionResult r = run_protocol(g, bip);
+  ASSERT_EQ(r.status, RunStatus::kDeadlock);
+  // The triangle and the first tail node write; node 5 never certifies.
+  EXPECT_GE(r.board.message_count(), 1u);
+  EXPECT_LT(r.board.message_count(), 5u);
+  EXPECT_NE(r.error.find("deadlock"), std::string::npos);
+}
+
+TEST(FailureInjection, WrongNArgumentIsCaught) {
+  const Graph g = path_graph(4);
+  const BuildForestProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_THROW((void)p.output(r.board, 5), DataError);   // expects 5 messages
+  EXPECT_THROW((void)p.output(r.board, 3), DataError);   // expects 3
+}
+
+TEST(FailureInjection, TwoCliquesRejectsBadCode) {
+  const TwoCliquesProtocol p;
+  BitWriter w;
+  w.write_uint(0, 1);  // id field for n=2 is 1 bit
+  w.write_uint(3, 2);  // code 3 is undefined
+  Whiteboard board;
+  board.append(w.take());
+  EXPECT_THROW((void)p.output(board, 2), DataError);
+}
+
+}  // namespace
+}  // namespace wb

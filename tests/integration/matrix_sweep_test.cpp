@@ -1,0 +1,145 @@
+// The protocol × workload-family × adversary sweep: every protocol on every
+// admissible family under every standard strategy, sizes parameterized.
+// This is the broad-coverage net under the targeted per-protocol suites.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/protocols/bfs_sync.h"
+#include "src/protocols/build_degenerate.h"
+#include "src/protocols/build_forest.h"
+#include "src/protocols/eob_bfs.h"
+#include "src/protocols/mis.h"
+#include "src/protocols/oracles.h"
+#include "src/protocols/randomized.h"
+#include "src/protocols/two_cliques.h"
+#include "src/wb/engine.h"
+
+namespace wb {
+namespace {
+
+class MatrixSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+ protected:
+  std::size_t n() const { return std::get<0>(GetParam()); }
+  std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(MatrixSweepTest, BuildForestOnForests) {
+  const Graph g = random_forest(n(), 75, seed());
+  const BuildForestProtocol p;
+  for (auto& adv : standard_adversaries(g, seed())) {
+    const ExecutionResult r = run_protocol(g, p, *adv);
+    ASSERT_TRUE(r.ok()) << adv->name();
+    EXPECT_EQ(*p.output(r.board, n()), g) << adv->name();
+  }
+}
+
+TEST_P(MatrixSweepTest, BuildDegenerateAcrossK) {
+  for (int k : {1, 2, 3}) {
+    const Graph g = random_k_degenerate(n(), k, 30, seed());
+    const BuildDegenerateProtocol p(k);
+    for (auto& adv : standard_adversaries(g, seed())) {
+      const ExecutionResult r = run_protocol(g, p, *adv);
+      ASSERT_TRUE(r.ok()) << adv->name() << " k=" << k;
+      EXPECT_EQ(*p.output(r.board, n()), g) << adv->name() << " k=" << k;
+    }
+  }
+}
+
+TEST_P(MatrixSweepTest, MisOnDenseAndSparse) {
+  for (auto [num, den] : {std::pair{1u, 2u}, std::pair{1u, 8u}}) {
+    const Graph g = erdos_renyi(n(), num, den, seed());
+    const NodeId root = static_cast<NodeId>(1 + seed() % n());
+    const RootedMisProtocol p(root);
+    for (auto& adv : standard_adversaries(g, seed())) {
+      const ExecutionResult r = run_protocol(g, p, *adv);
+      ASSERT_TRUE(r.ok()) << adv->name();
+      EXPECT_TRUE(is_rooted_mis(g, p.output(r.board, n()), root))
+          << adv->name();
+    }
+  }
+}
+
+TEST_P(MatrixSweepTest, EobBfsOnSparseAndDenseBipartite) {
+  for (auto [num, den] : {std::pair{1u, 2u}, std::pair{1u, 10u}}) {
+    const Graph g = random_even_odd_bipartite(n(), num, den, seed());
+    const EobBfsProtocol p;
+    const BfsForest ref = bfs_forest(g);
+    for (auto& adv : standard_adversaries(g, seed())) {
+      const ExecutionResult r = run_protocol(g, p, *adv);
+      ASSERT_TRUE(r.ok()) << adv->name();
+      const BfsProtocolOutput out = p.output(r.board, n());
+      EXPECT_TRUE(out.valid && out.layer == ref.layer) << adv->name();
+    }
+  }
+}
+
+TEST_P(MatrixSweepTest, SyncBfsOnEveryFamily) {
+  const Graph graphs[] = {
+      erdos_renyi(n(), 1, 3, seed()),
+      connected_gnp(n(), 1, 6, seed()),
+      random_tree(n(), seed()),
+      random_even_odd_bipartite(n(), 1, 4, seed()),
+  };
+  const SyncBfsProtocol p;
+  for (const Graph& g : graphs) {
+    const BfsForest ref = bfs_forest(g);
+    for (auto& adv : standard_adversaries(g, seed())) {
+      const ExecutionResult r = run_protocol(g, p, *adv);
+      ASSERT_TRUE(r.ok()) << adv->name();
+      const BfsProtocolOutput out = p.output(r.board, n());
+      EXPECT_TRUE(out.layer == ref.layer &&
+                  is_valid_bfs_forest(g, out.layer, out.parent))
+          << adv->name();
+    }
+  }
+}
+
+TEST_P(MatrixSweepTest, SpanningForestOnEveryFamily) {
+  const Graph graphs[] = {erdos_renyi(n(), 1, 5, seed()),
+                          random_forest(n(), 60, seed())};
+  const SpanningForestProtocol p;
+  for (const Graph& g : graphs) {
+    for (auto& adv : standard_adversaries(g, seed())) {
+      const ExecutionResult r = run_protocol(g, p, *adv);
+      ASSERT_TRUE(r.ok()) << adv->name();
+      EXPECT_TRUE(is_spanning_forest_of(g, p.output(r.board, n())))
+          << adv->name();
+    }
+  }
+}
+
+TEST_P(MatrixSweepTest, TwoCliquesBothProtocols) {
+  const std::size_t half = std::max<std::size_t>(2, n() / 2);
+  const Graph yes = two_cliques(half);
+  const Graph no = two_cliques_switched(half);
+  const TwoCliquesProtocol det;
+  const RandomizedTwoCliquesProtocol rnd(seed());
+  for (auto& adv : standard_adversaries(yes, seed())) {
+    ExecutionResult r = run_protocol(yes, det, *adv);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(det.output(r.board, 2 * half).yes) << adv->name();
+    r = run_protocol(yes, rnd, *adv);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(rnd.output(r.board, 2 * half).yes) << adv->name();
+  }
+  for (auto& adv : standard_adversaries(no, seed())) {
+    ExecutionResult r = run_protocol(no, det, *adv);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(det.output(r.board, 2 * half).yes) << adv->name();
+    r = run_protocol(no, rnd, *adv);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(rnd.output(r.board, 2 * half).yes) << adv->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesSeeds, MatrixSweepTest,
+    ::testing::Combine(::testing::Values(6, 13, 24, 50),
+                       ::testing::Values(11u, 12021u)));
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,111 @@
+#include "src/protocols/oracles.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/enumerate.h"
+#include "src/graph/generators.h"
+#include "src/wb/engine.h"
+
+namespace wb {
+namespace {
+
+TEST(PropertyOracles, SquareOracleExhaustiveN5) {
+  const PropertyOracleProtocol p = square_oracle();
+  FirstAdversary adv;
+  for_each_labeled_graph(5, [&](const Graph& g) {
+    const ExecutionResult r = run_protocol(g, p, adv);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(p.output(r.board, 5), has_square(g));
+  });
+}
+
+TEST(PropertyOracles, DiameterOracleMatchesReference) {
+  const PropertyOracleProtocol p = diameter_at_most_oracle(3);
+  FirstAdversary adv;
+  const Graph graphs[] = {path_graph(4),  // diameter 3 -> yes
+                          path_graph(5),  // diameter 4 -> no
+                          complete_graph(6),
+                          two_cliques(3),  // disconnected -> no
+                          star_graph(8)};
+  const bool expected[] = {true, false, true, false, true};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const ExecutionResult r = run_protocol(graphs[i], p, adv);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(p.output(r.board, graphs[i].node_count()), expected[i]) << i;
+  }
+}
+
+TEST(PropertyOracles, ConnectivityOracle) {
+  const PropertyOracleProtocol p = connectivity_oracle();
+  FirstAdversary adv;
+  for (std::uint64_t seed : {1u, 5u}) {
+    const Graph connected = connected_gnp(20, 1, 6, seed);
+    const Graph split = two_cliques(10);
+    const ExecutionResult rc = run_protocol(connected, p, adv);
+    const ExecutionResult rs = run_protocol(split, p, adv);
+    ASSERT_TRUE(rc.ok() && rs.ok());
+    EXPECT_TRUE(p.output(rc.board, 20));
+    EXPECT_FALSE(p.output(rs.board, 20));
+  }
+}
+
+TEST(PropertyOracles, MessageIsThetaN) {
+  EXPECT_GE(square_oracle().message_bit_limit(128), 128u);
+}
+
+TEST(SpanningForest, ValidOnRandomGraphsUnderBattery) {
+  const SpanningForestProtocol p;
+  for (std::uint64_t seed : {3u, 8u}) {
+    const Graph g = erdos_renyi(40, 1, 10, seed);  // usually disconnected
+    for (auto& adv : standard_adversaries(g, seed)) {
+      const ExecutionResult r = run_protocol(g, p, *adv);
+      ASSERT_TRUE(r.ok()) << adv->name();
+      const SpanningForestOutput out = p.output(r.board, 40);
+      EXPECT_TRUE(is_spanning_forest_of(g, out)) << adv->name();
+      EXPECT_EQ(out.edges.size(), 40 - out.components);
+    }
+  }
+}
+
+TEST(SpanningForest, ConnectivityAnswerMatchesReference) {
+  const SpanningForestProtocol p;
+  FirstAdversary adv;
+  const Graph graphs[] = {connected_gnp(25, 1, 5, 2), two_cliques(8),
+                          empty_graph(6), path_graph(9)};
+  for (const Graph& g : graphs) {
+    const ExecutionResult r = run_protocol(g, p, adv);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(p.output(r.board, g.node_count()).connected, is_connected(g));
+  }
+}
+
+TEST(SpanningForest, TreeInputsReturnAllEdges) {
+  const SpanningForestProtocol p;
+  FirstAdversary adv;
+  const Graph g = random_tree(30, 4);
+  const ExecutionResult r = run_protocol(g, p, adv);
+  ASSERT_TRUE(r.ok());
+  const SpanningForestOutput out = p.output(r.board, 30);
+  EXPECT_EQ(out.edges, g.edges());  // the only spanning tree of a tree
+  EXPECT_TRUE(out.connected);
+}
+
+TEST(SpanningForestValidator, RejectsBadCertificates) {
+  const Graph g = path_graph(4);
+  SpanningForestOutput fake;
+  fake.edges = {{1, 2}, {2, 3}, {3, 4}};
+  fake.components = 1;
+  fake.connected = true;
+  EXPECT_TRUE(is_spanning_forest_of(g, fake));
+  fake.edges = {{1, 2}, {2, 3}};  // not spanning
+  EXPECT_FALSE(is_spanning_forest_of(g, fake));
+  fake.edges = {{1, 2}, {2, 3}, {3, 4}, {1, 3}};  // 1-3 not a graph edge
+  EXPECT_FALSE(is_spanning_forest_of(g, fake));
+  fake.edges = {{1, 2}, {2, 3}, {3, 4}};
+  fake.connected = false;  // wrong flag
+  EXPECT_FALSE(is_spanning_forest_of(g, fake));
+}
+
+}  // namespace
+}  // namespace wb

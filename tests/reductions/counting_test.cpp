@@ -1,0 +1,69 @@
+#include "src/reductions/counting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wb {
+namespace {
+
+TEST(Lemma3Table, RowsCoverFamiliesPerN) {
+  const auto rows = lemma3_table({10, 20});
+  // 5 families at even n (bipartite included), so 10 rows.
+  EXPECT_EQ(rows.size(), 10u);
+  for (const auto& row : rows) {
+    EXPECT_GT(row.log2_family_size, 0.0) << row.family;
+    EXPECT_GT(row.budget_linear, row.budget_logn) << row.family;
+  }
+}
+
+TEST(Lemma3Table, ForestsAreLogNFeasibleDenseFamiliesAreNot) {
+  const auto rows = lemma3_table({64, 256, 1024});
+  for (const auto& row : rows) {
+    if (row.family.find("forests") != std::string::npos) {
+      // log2 F(n) ≈ n log n: within the n·O(log n) budget (Thm 2 exists!).
+      EXPECT_TRUE(row.feasible_logn()) << row.family << " n=" << row.n;
+    }
+    if (row.family.find("all graphs") != std::string::npos) {
+      // C(n,2) bits >> n log n: BUILD on all graphs is infeasible (Lemma 3).
+      EXPECT_FALSE(row.feasible_logn()) << row.n;
+      EXPECT_FALSE(row.feasible_sqrt()) << row.n;
+    }
+    if (row.family.find("Thm 3") != std::string::npos ||
+        row.family.find("Thm 8") != std::string::npos) {
+      // n²/4-ish: the families witnessing the MIS/EOB-BFS separations.
+      EXPECT_FALSE(row.feasible_logn()) << row.family << " n=" << row.n;
+    }
+  }
+}
+
+TEST(Lemma3Table, SmallNCanBeFeasibleEverywhere) {
+  // At tiny n even C(n,2) fits in n·log n — the bounds only bite
+  // asymptotically, which the table makes visible.
+  const auto rows = lemma3_table({4});
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.feasible_logn()) << row.family;
+  }
+}
+
+TEST(Theorem9Table, FeasibleAtFCountingForcesLinearMessages) {
+  // n = 256 is the borderline (C(64,2) = 2016 vs 256·8 = 2048); the gap is
+  // decisive from n = 512 on and widens linearly.
+  const auto rows = theorem9_table({512, 1024, 4096});
+  double prev_min_g = 0.0;
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.f, row.n / 4);
+    // Feasible at the protocol's own budget n·f.
+    EXPECT_LE(row.log2_family_size, row.budget_f) << row.n;
+    // Counting forces per-node messages of ≈ (f-1)/8 = Θ(n) bits: any
+    // g = o(n) — in particular log n — fails even in SYNC.
+    EXPECT_GT(row.min_g_bits, std::log2(static_cast<double>(row.n))) << row.n;
+    EXPECT_GT(row.log2_family_size, row.budget_logn) << row.n;
+    // Linear growth of the forced message size.
+    EXPECT_GT(row.min_g_bits, prev_min_g);
+    prev_min_g = row.min_g_bits;
+  }
+}
+
+}  // namespace
+}  // namespace wb

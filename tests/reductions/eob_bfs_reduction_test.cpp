@@ -1,0 +1,112 @@
+#include "src/reductions/eob_bfs_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/support/rng.h"
+
+namespace wb {
+namespace {
+
+/// Inputs for the Theorem 8 reduction: odd n, node 1 isolated, an
+/// even-odd-bipartite graph on {2..n}.
+Graph make_input(std::size_t n, std::uint64_t p_num, std::uint64_t p_den,
+                 std::uint64_t seed) {
+  GraphBuilder b(n);
+  Rng rng(seed);
+  for (NodeId u = 2; u <= n; ++u) {
+    for (NodeId v = u + 1; v <= n; ++v) {
+      if ((u % 2) == (v % 2)) continue;
+      if (rng.chance(p_num, p_den)) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+TEST(Fig2Gadget, PaperExampleN7I5) {
+  // Figure 2 verbatim: n = 7, i = 5 adds edges 1-10, 3-8, 5-10, 7-12,
+  // 2-9, 4-11, 6-13 on top of G.
+  GraphBuilder b(7);
+  b.add_edge(2, 5);
+  b.add_edge(4, 5);
+  b.add_edge(3, 6);
+  const Graph g = b.build();
+  const Graph gadget = fig2_gadget(g, 5);
+  EXPECT_EQ(gadget.node_count(), 13u);
+  EXPECT_TRUE(gadget.has_edge(1, 10));
+  EXPECT_TRUE(gadget.has_edge(3, 8));
+  EXPECT_TRUE(gadget.has_edge(5, 10));
+  EXPECT_TRUE(gadget.has_edge(7, 12));
+  EXPECT_TRUE(gadget.has_edge(2, 9));
+  EXPECT_TRUE(gadget.has_edge(4, 11));
+  EXPECT_TRUE(gadget.has_edge(6, 13));
+  EXPECT_TRUE(is_even_odd_bipartite(gadget));
+}
+
+TEST(Fig2Gadget, LayerThreeEqualsNeighborhoodOfVi) {
+  // The caption's claim, against reference BFS, over random instances and
+  // every odd i.
+  for (std::uint64_t seed : {1u, 5u, 31u}) {
+    for (std::size_t n : {5u, 7u, 9u, 11u}) {
+      const Graph g = make_input(n, 1, 2, seed);
+      for (NodeId i = 3; i <= n; i += 2) {
+        const Graph gadget = fig2_gadget(g, i);
+        const BfsResult bfs = bfs_from(gadget, 1);
+        for (NodeId j = 2; j <= n; ++j) {
+          if (j == i) continue;
+          EXPECT_EQ(bfs.dist[j - 1] == 3, g.has_edge(i, j))
+              << "n=" << n << " i=" << i << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(Fig2Gadget, ValidatesInputShape) {
+  EXPECT_THROW((void)fig2_gadget(path_graph(6), 3), LogicError);  // even n
+  GraphBuilder b(5);
+  b.add_edge(1, 2);  // node 1 not isolated
+  EXPECT_THROW((void)fig2_gadget(b.build(), 3), LogicError);
+  const Graph ok = make_input(5, 1, 2, 3);
+  EXPECT_THROW((void)fig2_gadget(ok, 4), LogicError);  // even i
+}
+
+TEST(Theorem8Reduction, ReconstructsViaTheAsyncProtocol) {
+  const EobBfsProtocol bfs;
+  const EobBfsToBuildReduction reduction(bfs);
+  for (std::uint64_t seed : {2u, 13u}) {
+    for (std::size_t n : {5u, 9u, 13u}) {
+      const Graph g = make_input(n, 1, 2, seed);
+      const auto result = reduction.run(g);
+      EXPECT_EQ(result.reconstructed, g) << "n=" << n << " seed=" << seed;
+      EXPECT_EQ(result.gadget_runs, (n - 1) / 2);
+      EXPECT_GT(result.total_whiteboard_bits, 0u);
+    }
+  }
+}
+
+TEST(Theorem8Reduction, EmptyAndDenseInputs) {
+  const EobBfsProtocol bfs;
+  const EobBfsToBuildReduction reduction(bfs);
+  const Graph empty = make_input(9, 0, 1, 1);
+  EXPECT_EQ(reduction.run(empty).reconstructed, empty);
+  const Graph dense = make_input(9, 1, 1, 1);
+  EXPECT_EQ(reduction.run(dense).reconstructed, dense);
+}
+
+TEST(ForestRootOf, WalksParents) {
+  BfsProtocolOutput out;
+  out.layer = {0, 1, 2, 0};
+  out.parent = {kNoNode, 1, 2, kNoNode};
+  EXPECT_EQ(forest_root_of(out, 3), 1u);
+  EXPECT_EQ(forest_root_of(out, 1), 1u);
+  EXPECT_EQ(forest_root_of(out, 4), 4u);
+  BfsProtocolOutput cyclic;
+  cyclic.layer = {0, 0};
+  cyclic.parent = {2, 1};
+  EXPECT_THROW((void)forest_root_of(cyclic, 1), DataError);
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,86 @@
+#include "src/reductions/mis_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/enumerate.h"
+#include "src/graph/generators.h"
+#include "src/protocols/mis.h"
+
+namespace wb {
+namespace {
+
+/// Brute force: all inclusion-maximal independent sets containing `root`.
+std::vector<std::vector<NodeId>> all_rooted_mis(const Graph& g, NodeId root) {
+  const std::size_t n = g.node_count();
+  std::vector<std::vector<NodeId>> result;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (!((mask >> (root - 1)) & 1u)) continue;
+    std::vector<NodeId> s;
+    for (NodeId v = 1; v <= n; ++v) {
+      if ((mask >> (v - 1)) & 1u) s.push_back(v);
+    }
+    if (is_maximal_independent_set(g, s)) result.push_back(s);
+  }
+  return result;
+}
+
+TEST(MisGadget, UniqueRootedMisIffNonEdge) {
+  // The key property behind Theorem 6, checked by brute force on all 5-node
+  // graphs and all pairs.
+  for_each_labeled_graph(5, [&](const Graph& g) {
+    for (NodeId i = 1; i <= 5; ++i) {
+      for (NodeId j = i + 1; j <= 5; ++j) {
+        const Graph gadget = mis_gadget(g, i, j);
+        const auto sets = all_rooted_mis(gadget, 6);
+        if (g.has_edge(i, j)) {
+          // Two rooted MIS: {x, v_i} and {x, v_j}.
+          EXPECT_EQ(sets.size(), 2u);
+        } else {
+          ASSERT_EQ(sets.size(), 1u);
+          EXPECT_EQ(sets[0], (std::vector<NodeId>{i, j, 6}));
+        }
+      }
+    }
+  });
+}
+
+TEST(MisGadget, ApexDegree) {
+  const Graph g = path_graph(6);
+  const Graph gadget = mis_gadget(g, 2, 5);
+  EXPECT_EQ(gadget.node_count(), 7u);
+  EXPECT_EQ(gadget.degree(7), 4u);
+  EXPECT_FALSE(gadget.has_edge(7, 2));
+  EXPECT_FALSE(gadget.has_edge(7, 5));
+}
+
+TEST(Theorem6Reduction, ReconstructsArbitraryGraphsViaOracle) {
+  for (std::uint64_t seed : {4u, 11u, 99u}) {
+    const Graph g = erdos_renyi(9, 1, 2, seed);
+    const MisOracleProtocol oracle(static_cast<NodeId>(10));  // apex root
+    const MisToBuildReduction reduction(oracle);
+    const auto result = reduction.run(g);
+    EXPECT_EQ(result.reconstructed, g);
+    EXPECT_EQ(result.pairs_tested, 36u);
+  }
+}
+
+TEST(Theorem6Reduction, ExhaustiveSmallGraphs) {
+  const MisOracleProtocol oracle(static_cast<NodeId>(5));
+  const MisToBuildReduction reduction(oracle);
+  for_each_labeled_graph(4, [&](const Graph& g) {
+    EXPECT_EQ(reduction.run(g).reconstructed, g);
+  });
+}
+
+TEST(Theorem6Reduction, DenseAndSparseExtremes) {
+  const MisOracleProtocol oracle(static_cast<NodeId>(8));
+  const MisToBuildReduction reduction(oracle);
+  EXPECT_EQ(reduction.run(complete_graph(7)).reconstructed, complete_graph(7));
+  EXPECT_EQ(reduction.run(empty_graph(7)).reconstructed, empty_graph(7));
+}
+
+}  // namespace
+}  // namespace wb

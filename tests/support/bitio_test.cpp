@@ -1,0 +1,178 @@
+#include "src/support/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/support/bits.h"
+#include "src/support/check.h"
+#include "src/support/rng.h"
+
+namespace wb {
+namespace {
+
+TEST(BitsHelpers, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(BitsHelpers, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2((std::uint64_t{1} << 63)), 63);
+}
+
+TEST(BitsHelpers, BitsForRange) {
+  EXPECT_EQ(bits_for_range(0), 1);
+  EXPECT_EQ(bits_for_range(1), 1);
+  EXPECT_EQ(bits_for_range(2), 2);
+  EXPECT_EQ(bits_for_range(255), 8);
+  EXPECT_EQ(bits_for_range(256), 9);
+}
+
+TEST(BitsHelpers, BitsForId) {
+  EXPECT_EQ(bits_for_id(1), 1);   // id 1 encoded as 0
+  EXPECT_EQ(bits_for_id(2), 1);
+  EXPECT_EQ(bits_for_id(3), 2);
+  EXPECT_EQ(bits_for_id(1024), 10);
+}
+
+TEST(BitWriter, EmptyMessage) {
+  BitWriter w;
+  const Bits b = w.take();
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BitWriter, SingleBits) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  const Bits b = w.take();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.bit(0));
+  EXPECT_FALSE(b.bit(1));
+  EXPECT_TRUE(b.bit(2));
+}
+
+TEST(BitWriter, RejectsOverWideValue) {
+  BitWriter w;
+  EXPECT_THROW(w.write_uint(4, 2), LogicError);
+}
+
+TEST(BitWriter, ZeroWidthOnlyForZero) {
+  BitWriter w;
+  w.write_uint(0, 0);  // fine, writes nothing
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_THROW(w.write_uint(1, 0), LogicError);
+}
+
+TEST(BitRoundTrip, FixedWidthAcrossWordBoundaries) {
+  // Fields of many widths packed back to back must cross 64-bit word
+  // boundaries transparently.
+  std::vector<std::pair<std::uint64_t, int>> fields;
+  Rng rng(7);
+  for (int width = 1; width <= 64; ++width) {
+    const std::uint64_t mask =
+        width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    fields.emplace_back(rng.next() & mask, width);
+  }
+  BitWriter w;
+  for (const auto& [value, width] : fields) w.write_uint(value, width);
+  const Bits b = w.take();
+  BitReader r(b);
+  for (const auto& [value, width] : fields) {
+    EXPECT_EQ(r.read_uint(width), value) << "width " << width;
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitRoundTrip, GammaCodes) {
+  BitWriter w;
+  std::vector<std::uint64_t> values = {1, 2, 3, 4, 5, 63, 64, 65, 12345,
+                                       (std::uint64_t{1} << 40) + 17};
+  for (auto v : values) w.write_gamma(v);
+  const Bits b = w.take();
+  BitReader r(b);
+  for (auto v : values) EXPECT_EQ(r.read_gamma(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitRoundTrip, GammaZeroVariant) {
+  BitWriter w;
+  for (std::uint64_t v = 0; v < 70; ++v) w.write_gamma0(v);
+  const Bits b = w.take();
+  BitReader r(b);
+  for (std::uint64_t v = 0; v < 70; ++v) EXPECT_EQ(r.read_gamma0(), v);
+}
+
+TEST(BitRoundTrip, GammaLengthIsTwoFloorLogPlusOne) {
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 7ull, 8ull, 1000ull}) {
+    BitWriter w;
+    w.write_gamma(v);
+    EXPECT_EQ(w.bit_count(), 2 * static_cast<std::size_t>(floor_log2(v)) + 1)
+        << "v=" << v;
+  }
+}
+
+TEST(BitReader, OverrunThrowsDataError) {
+  BitWriter w;
+  w.write_uint(5, 3);
+  const Bits b = w.take();
+  BitReader r(b);
+  EXPECT_THROW((void)r.read_uint(4), DataError);
+}
+
+TEST(BitReader, MalformedGammaThrows) {
+  BitWriter w;
+  w.write_uint(0, 10);  // ten zeros, no stop bit
+  const Bits b = w.take();
+  BitReader r(b);
+  EXPECT_THROW((void)r.read_gamma(), DataError);
+}
+
+TEST(BitsEquality, ComparesContentAndLength) {
+  BitWriter w1, w2, w3;
+  w1.write_uint(0b1011, 4);
+  w2.write_uint(0b1011, 4);
+  w3.write_uint(0b1011, 5);
+  const Bits a = w1.take(), b = w2.take(), c = w3.take();
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+class BitFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitFuzzTest, RandomFieldSequencesRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::uint64_t, int>> fields;
+  BitWriter w;
+  const int count = 200;
+  for (int i = 0; i < count; ++i) {
+    const int width = static_cast<int>(rng.range(1, 64));
+    const std::uint64_t mask =
+        width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    const std::uint64_t value = rng.next() & mask;
+    fields.emplace_back(value, width);
+    w.write_uint(value, width);
+  }
+  const Bits b = w.take();
+  BitReader r(b);
+  for (const auto& [value, width] : fields) EXPECT_EQ(r.read_uint(width), value);
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,36 @@
+#include "src/support/table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/check.h"
+
+namespace wb {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"model", "result"});
+  t.add_row({"SIMASYNC", "yes"});
+  t.add_row({"SYNC", "no"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| model    | result |"), std::string::npos);
+  EXPECT_NE(out.find("| SIMASYNC | yes    |"), std::string::npos);
+  EXPECT_NE(out.find("| SYNC     | no     |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), LogicError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), LogicError);
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace wb

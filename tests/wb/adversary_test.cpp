@@ -1,0 +1,102 @@
+#include "src/wb/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/generators.h"
+#include "src/wb/engine.h"
+#include "tests/wb/test_protocols.h"
+
+namespace wb {
+namespace {
+
+std::vector<NodeId> ids(std::initializer_list<NodeId> v) { return v; }
+
+TEST(Adversaries, FirstAndLastPickExtremes) {
+  FirstAdversary first;
+  LastAdversary last;
+  const auto cands = ids({2, 5, 9});
+  const Whiteboard board;
+  EXPECT_EQ(first.choose(cands, board, 1), 0u);
+  EXPECT_EQ(last.choose(cands, board, 1), 2u);
+}
+
+TEST(Adversaries, RandomIsDeterministicPerSeedAndResets) {
+  RandomAdversary a(5), b(5);
+  const auto cands = ids({1, 2, 3, 4, 5, 6, 7});
+  const Whiteboard board;
+  std::vector<std::size_t> seq_a, seq_b;
+  for (std::size_t r = 0; r < 20; ++r) {
+    seq_a.push_back(a.choose(cands, board, r));
+    seq_b.push_back(b.choose(cands, board, r));
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  a.reset();
+  std::vector<std::size_t> seq_c;
+  for (std::size_t r = 0; r < 20; ++r) seq_c.push_back(a.choose(cands, board, r));
+  EXPECT_EQ(seq_a, seq_c);
+}
+
+TEST(Adversaries, RotatingCoversInterior) {
+  RotatingAdversary rot;
+  const auto cands = ids({1, 2, 3, 4, 5});
+  const Whiteboard board;
+  std::set<std::size_t> picks;
+  for (std::size_t r = 0; r < 10; ++r) picks.insert(rot.choose(cands, board, r));
+  EXPECT_GT(picks.size(), 1u);
+}
+
+TEST(Adversaries, DegreeBasedPickByDegree) {
+  const Graph g = star_graph(5);  // node 1 has degree 4, leaves degree 1
+  MaxDegreeAdversary maxd(g);
+  MinDegreeAdversary mind(g);
+  const auto cands = ids({1, 2, 3});
+  const Whiteboard board;
+  EXPECT_EQ(cands[maxd.choose(cands, board, 1)], 1u);
+  EXPECT_NE(cands[mind.choose(cands, board, 1)], 1u);
+}
+
+TEST(Adversaries, ScriptedFollowsAndValidates) {
+  ScriptedAdversary adv({3, 1, 2});
+  const Whiteboard board;
+  EXPECT_EQ(adv.choose(ids({1, 2, 3}), board, 1), 2u);  // 3
+  EXPECT_EQ(adv.choose(ids({1, 2}), board, 2), 0u);     // 1
+  EXPECT_THROW((void)adv.choose(ids({4}), board, 3), LogicError);  // wants 2
+}
+
+TEST(Adversaries, ScriptedExhaustionThrows) {
+  ScriptedAdversary adv({1});
+  const Whiteboard board;
+  (void)adv.choose(ids({1}), board, 1);
+  EXPECT_THROW((void)adv.choose(ids({2}), board, 2), LogicError);
+}
+
+TEST(Adversaries, PreferenceSkipsMissingEntries) {
+  PreferenceAdversary adv({9, 4, 2});
+  const Whiteboard board;
+  EXPECT_EQ(adv.choose(ids({2, 4}), board, 1), 1u);   // 9 absent → 4
+  EXPECT_EQ(adv.choose(ids({2, 7}), board, 2), 0u);   // 9,4 absent → 2
+  EXPECT_EQ(adv.choose(ids({5, 7}), board, 3), 0u);   // script exhausted → first
+}
+
+TEST(Adversaries, ScriptedDrivesEngineInExactOrder) {
+  const Graph g = complete_graph(4);
+  const testing::EchoIdProtocol p;
+  ScriptedAdversary adv({4, 2, 1, 3});
+  const ExecutionResult r = run_protocol(g, p, adv);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.write_order, (std::vector<NodeId>{4, 2, 1, 3}));
+}
+
+TEST(Adversaries, StandardBatteryIsDiverse) {
+  const Graph g = path_graph(5);
+  auto battery = standard_adversaries(g, 7);
+  EXPECT_GE(battery.size(), 6u);
+  std::set<std::string> names;
+  for (auto& adv : battery) names.insert(adv->name());
+  EXPECT_GE(names.size(), 6u);
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,150 @@
+#include "src/wb/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/graph/generators.h"
+#include "src/protocols/build_forest.h"
+#include "tests/wb/test_protocols.h"
+
+namespace wb {
+namespace {
+
+TEST(Engine, SuccessfulRunWritesEveryNodeOnce) {
+  const Graph g = path_graph(6);
+  const testing::EchoIdProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  ASSERT_EQ(r.status, RunStatus::kSuccess);
+  EXPECT_EQ(r.board.message_count(), 6u);
+  EXPECT_EQ(r.stats.writes, 6u);
+  std::set<NodeId> writers(r.write_order.begin(), r.write_order.end());
+  EXPECT_EQ(writers.size(), 6u);
+  EXPECT_EQ(p.output(r.board, 6), 6u);
+}
+
+TEST(Engine, SingleNodeGraph) {
+  const Graph g(1);
+  const testing::EchoIdProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  EXPECT_EQ(r.status, RunStatus::kSuccess);
+  EXPECT_EQ(r.board.message_count(), 1u);
+}
+
+TEST(Engine, StatsTrackBitsAndRounds) {
+  const Graph g = star_graph(9);
+  const BuildForestProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.stats.max_message_bits, p.message_bit_limit(9));
+  EXPECT_EQ(r.stats.total_bits, r.board.total_bits());
+  EXPECT_GE(r.stats.rounds, r.stats.writes);
+  // All nodes activated in round 1 (simultaneous class).
+  for (std::size_t ar : r.stats.activation_round) EXPECT_EQ(ar, 1u);
+  // Write rounds are strictly increasing per write order.
+  for (NodeId v = 1; v <= 9; ++v) EXPECT_GE(r.stats.write_round[v - 1], 1u);
+}
+
+TEST(Engine, SimultaneousClassViolationIsProtocolError) {
+  const Graph g = path_graph(3);
+  const testing::LazySimSyncProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  EXPECT_EQ(r.status, RunStatus::kProtocolError);
+  EXPECT_NE(r.error.find("did not activate"), std::string::npos);
+}
+
+TEST(Engine, MessageOverflowIsReported) {
+  const Graph g = path_graph(3);
+  const testing::OversizeProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  EXPECT_EQ(r.status, RunStatus::kMessageOverflow);
+  EXPECT_NE(r.error.find("exceeding"), std::string::npos);
+}
+
+TEST(Engine, DeadlockDetected) {
+  const Graph g = path_graph(4);
+  const testing::OnlyFirstNodeProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  EXPECT_EQ(r.status, RunStatus::kDeadlock);
+  EXPECT_EQ(r.board.message_count(), 1u);  // only node 1 wrote
+}
+
+TEST(Engine, SynchronousRecompositionSeesCurrentBoard) {
+  // Every written message must carry the pre-write board size: proves the
+  // engine recomposes synchronous memories each round.
+  const Graph g = complete_graph(5);
+  const testing::BoardSizeProtocol p;
+  for (auto& adv : standard_adversaries(g, 99)) {
+    const ExecutionResult r = run_protocol(g, p, *adv);
+    ASSERT_TRUE(r.ok()) << adv->name();
+    EXPECT_EQ(p.output(r.board, 5), 1) << adv->name();
+  }
+}
+
+TEST(Engine, AsynchronousMessagesAreFrozenAtActivation) {
+  // All nodes activate on the empty board; everyone must write "0" no matter
+  // how late the adversary schedules them.
+  const Graph g = complete_graph(5);
+  const testing::FrozenBoardSizeProtocol p;
+  for (auto& adv : standard_adversaries(g, 99)) {
+    const ExecutionResult r = run_protocol(g, p, *adv);
+    ASSERT_TRUE(r.ok()) << adv->name();
+    EXPECT_EQ(p.output(r.board, 5), 5) << adv->name();
+  }
+}
+
+TEST(Engine, TraceRecordsLifecycle) {
+  const Graph g = path_graph(3);
+  const testing::EchoIdProtocol p;
+  EngineOptions opts;
+  opts.record_trace = true;
+  const ExecutionResult r = run_protocol(g, p, opts);
+  ASSERT_TRUE(r.ok());
+  std::size_t activations = 0, writes = 0, terminations = 0;
+  for (const TraceEvent& e : r.trace) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kActivate: ++activations; break;
+      case TraceEvent::Kind::kWrite: ++writes; break;
+      case TraceEvent::Kind::kTerminate: ++terminations; break;
+    }
+  }
+  EXPECT_EQ(activations, 3u);
+  EXPECT_EQ(writes, 3u);
+  EXPECT_GE(terminations, 2u);  // the last writer may terminate off-trace
+}
+
+TEST(Engine, RoundLimitGuard) {
+  const Graph g = path_graph(3);
+  const testing::EchoIdProtocol p;
+  EngineOptions opts;
+  opts.max_rounds = 1;  // not enough to finish 3 writes
+  const ExecutionResult r = run_protocol(g, p, opts);
+  EXPECT_EQ(r.status, RunStatus::kProtocolError);
+}
+
+TEST(EngineState, StepwiseApiMatchesRunner) {
+  const Graph g = path_graph(4);
+  const testing::EchoIdProtocol p;
+  EngineState s(g, p);
+  std::size_t writes = 0;
+  while (true) {
+    s.begin_round();
+    if (s.terminal()) break;
+    ASSERT_FALSE(s.candidates().empty());
+    s.write(0);
+    ++writes;
+  }
+  EXPECT_EQ(writes, 4u);
+  EXPECT_EQ(s.finish().status, RunStatus::kSuccess);
+}
+
+TEST(EngineState, FinishBeforeTerminalThrows) {
+  const Graph g = path_graph(2);
+  const testing::EchoIdProtocol p;
+  EngineState s(g, p);
+  EXPECT_THROW((void)s.finish(), LogicError);
+}
+
+}  // namespace
+}  // namespace wb

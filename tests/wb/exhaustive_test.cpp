@@ -1,0 +1,84 @@
+#include "src/wb/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/generators.h"
+#include "tests/wb/test_protocols.h"
+
+namespace wb {
+namespace {
+
+TEST(Exhaustive, SimultaneousProtocolExploresAllPermutations) {
+  // In a simultaneous class every unwritten node is always a candidate, so
+  // the schedules are exactly the n! write orders.
+  const Graph g = path_graph(4);
+  const testing::EchoIdProtocol p;
+  std::set<std::vector<NodeId>> orders;
+  const std::uint64_t visited = for_each_execution(
+      g, p,
+      [&](const ExecutionResult& r) {
+        EXPECT_TRUE(r.ok());
+        orders.insert(r.write_order);
+        return true;
+      });
+  EXPECT_EQ(visited, 24u);
+  EXPECT_EQ(orders.size(), 24u);
+}
+
+TEST(Exhaustive, SequentialProtocolHasSingleExecution) {
+  const Graph g = path_graph(5);
+  const testing::OnlyFirstNodeProtocol p;  // deadlocks after one write
+  std::uint64_t visited = for_each_execution(g, p, [&](const ExecutionResult& r) {
+    EXPECT_EQ(r.status, RunStatus::kDeadlock);
+    return true;
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+TEST(Exhaustive, EarlyStopOnVisitorFalse) {
+  const Graph g = path_graph(4);
+  const testing::EchoIdProtocol p;
+  std::uint64_t seen = 0;
+  const std::uint64_t visited = for_each_execution(g, p, [&](const ExecutionResult&) {
+    ++seen;
+    return seen < 5;
+  });
+  EXPECT_EQ(visited, 5u);
+}
+
+TEST(Exhaustive, BudgetGuardThrows) {
+  const Graph g = path_graph(5);
+  const testing::EchoIdProtocol p;
+  ExhaustiveOptions opts;
+  opts.max_executions = 10;  // 5! = 120 > 10
+  EXPECT_THROW(
+      for_each_execution(g, p, [](const ExecutionResult&) { return true; },
+                         opts),
+      LogicError);
+}
+
+TEST(Exhaustive, AllExecutionsOkAggregates) {
+  const Graph g = path_graph(4);
+  const testing::EchoIdProtocol echo;
+  EXPECT_TRUE(all_executions_ok(
+      g, echo, [](const ExecutionResult& r) { return r.ok(); }));
+  const testing::OnlyFirstNodeProtocol deadlocker;
+  EXPECT_FALSE(all_executions_ok(
+      g, deadlocker, [](const ExecutionResult&) { return true; }));
+}
+
+TEST(Exhaustive, DistinctBoardsCountsOrderSensitivity) {
+  // EchoId messages differ per node, so each of the 3! orders yields a
+  // distinct board.
+  const Graph g = path_graph(3);
+  const testing::EchoIdProtocol p;
+  EXPECT_EQ(count_distinct_final_boards(g, p), 6u);
+  // FrozenBoardSize writes six identical "0" messages: one distinct board.
+  const testing::FrozenBoardSizeProtocol frozen;
+  EXPECT_EQ(count_distinct_final_boards(g, frozen), 1u);
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,0 +1,109 @@
+#include "src/wb/whiteboard.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/protocols/bfs_sync.h"
+#include "src/wb/engine.h"
+#include "src/wb/exhaustive.h"
+
+namespace wb {
+namespace {
+
+Bits bits_of(std::uint64_t value, int width) {
+  BitWriter w;
+  w.write_uint(value, width);
+  return w.take();
+}
+
+TEST(Whiteboard, AppendAndAccess) {
+  Whiteboard board;
+  EXPECT_TRUE(board.empty());
+  board.append(bits_of(3, 4));
+  board.append(bits_of(9, 8));
+  EXPECT_EQ(board.message_count(), 2u);
+  EXPECT_EQ(board.total_bits(), 12u);
+  EXPECT_TRUE(board.message(0) == bits_of(3, 4));
+  EXPECT_THROW((void)board.message(2), LogicError);
+}
+
+struct CountView {
+  std::size_t messages = 0;
+};
+struct SumView {
+  std::size_t bits = 0;
+};
+
+TEST(WhiteboardCache, BuildsOncePerBoardState) {
+  Whiteboard board;
+  board.append(bits_of(1, 2));
+  int builds = 0;
+  auto factory = [&builds](const Whiteboard& b) {
+    ++builds;
+    return CountView{b.message_count()};
+  };
+  EXPECT_EQ(board.cached_view<CountView>(factory).messages, 1u);
+  EXPECT_EQ(board.cached_view<CountView>(factory).messages, 1u);
+  EXPECT_EQ(builds, 1);
+}
+
+TEST(WhiteboardCache, AppendInvalidates) {
+  Whiteboard board;
+  int builds = 0;
+  auto factory = [&builds](const Whiteboard& b) {
+    ++builds;
+    return CountView{b.message_count()};
+  };
+  (void)board.cached_view<CountView>(factory);
+  board.append(bits_of(1, 2));
+  EXPECT_EQ(board.cached_view<CountView>(factory).messages, 1u);
+  EXPECT_EQ(builds, 2);
+}
+
+TEST(WhiteboardCache, DistinctViewTypesDoNotMix) {
+  Whiteboard board;
+  board.append(bits_of(7, 8));
+  auto count_factory = [](const Whiteboard& b) {
+    return CountView{b.message_count()};
+  };
+  auto sum_factory = [](const Whiteboard& b) {
+    return SumView{b.total_bits()};
+  };
+  EXPECT_EQ(board.cached_view<CountView>(count_factory).messages, 1u);
+  EXPECT_EQ(board.cached_view<SumView>(sum_factory).bits, 8u);
+  EXPECT_EQ(board.cached_view<CountView>(count_factory).messages, 1u);
+}
+
+TEST(WhiteboardCache, CopiesShareThePrefixSafely) {
+  // The exhaustive explorer copies boards at branch points; a copy's append
+  // must not disturb the original's cached view.
+  Whiteboard original;
+  original.append(bits_of(1, 4));
+  int builds = 0;
+  auto factory = [&builds](const Whiteboard& b) {
+    ++builds;
+    return CountView{b.message_count()};
+  };
+  (void)original.cached_view<CountView>(factory);
+
+  Whiteboard copy = original;
+  copy.append(bits_of(2, 4));
+  EXPECT_EQ(copy.cached_view<CountView>(factory).messages, 2u);
+  EXPECT_EQ(original.cached_view<CountView>(factory).messages, 1u);
+  EXPECT_EQ(builds, 2);  // original's view survived the copy's append
+}
+
+TEST(WhiteboardCache, ExhaustiveExplorationStaysCorrectWithCaching) {
+  // End-to-end guard: the cached parses inside SyncBfs must not leak across
+  // explorer branches (every schedule still yields the reference layers).
+  const Graph g = complete_bipartite(2, 3);
+  const SyncBfsProtocol p;
+  const BfsForest ref = bfs_forest(g);
+  EXPECT_TRUE(all_executions_ok(g, p, [&](const ExecutionResult& r) {
+    return p.output(r.board, 5).layer == ref.layer;
+  }));
+}
+
+}  // namespace
+}  // namespace wb
