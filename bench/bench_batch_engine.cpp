@@ -1,0 +1,121 @@
+// Batch-engine scaling on the matrix-sweep workload: the same trial matrix
+// the integration suite runs (protocol × graph family × adversary battery),
+// executed through wb::run_batch at increasing thread counts. Prints
+// wall-clock, speedup over the single-threaded run, and verifies that every
+// thread count reproduces the single-threaded results bit for bit.
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/graph/generators.h"
+#include "src/protocols/bfs_sync.h"
+#include "src/protocols/build_degenerate.h"
+#include "src/protocols/build_forest.h"
+#include "src/protocols/eob_bfs.h"
+#include "src/protocols/mis.h"
+#include "src/support/table.h"
+#include "src/wb/batch.h"
+
+namespace wb {
+namespace {
+
+struct Workload {
+  // deque: trials hold pointers into this while it grows.
+  std::deque<Graph> graphs;
+  std::vector<std::unique_ptr<Protocol>> protocols;
+  std::vector<Trial> trials;
+};
+
+/// The matrix-sweep shape at bench size: every protocol on its admissible
+/// family, across sizes and seeds, under the full adversary battery.
+Workload build_workload() {
+  Workload w;
+  auto add = [&w](Graph g, std::unique_ptr<Protocol> p, std::uint64_t seed) {
+    w.graphs.push_back(std::move(g));
+    w.protocols.push_back(std::move(p));
+    const Graph& graph = w.graphs.back();
+    const Protocol& protocol = *w.protocols.back();
+    for (std::size_t i = 0; i < standard_adversary_count(); ++i) {
+      Trial t;
+      t.graph = &graph;
+      t.protocol = &protocol;
+      t.make_adversary = [&graph, seed, i](std::uint64_t) {
+        return standard_adversary(graph, seed, i);
+      };
+      w.trials.push_back(std::move(t));
+    }
+  };
+
+  for (const std::size_t n : {60u, 120u, 200u}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      add(random_forest(n, 75, seed), std::make_unique<BuildForestProtocol>(),
+          seed);
+      add(random_k_degenerate(n, 2, 30, seed),
+          std::make_unique<BuildDegenerateProtocol>(2), seed);
+      add(erdos_renyi(n, 1, 4, seed),
+          std::make_unique<RootedMisProtocol>(
+              static_cast<NodeId>(1 + seed % n)),
+          seed);
+      add(connected_gnp(n, 1, 6, seed), std::make_unique<SyncBfsProtocol>(),
+          seed);
+      add(random_even_odd_bipartite(n, 1, 6, seed),
+          std::make_unique<EobBfsProtocol>(), seed);
+    }
+  }
+  return w;
+}
+
+bool identical(const std::vector<ExecutionResult>& a,
+               const std::vector<ExecutionResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].status != b[i].status || a[i].write_order != b[i].write_order ||
+        a[i].board.message_count() != b[i].board.message_count()) {
+      return false;
+    }
+    for (std::size_t m = 0; m < a[i].board.message_count(); ++m) {
+      if (!(a[i].board.message(m) == b[i].board.message(m))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace wb
+
+int main() {
+  using namespace wb;
+  bench::section("batch engine — matrix-sweep workload scaling");
+  const Workload w = build_workload();
+  std::printf("trials: %zu (protocol x family x size x seed x adversary)\n",
+              w.trials.size());
+
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> counts = {1, 2, 4, 8};
+  if (hw > 8) counts.push_back(hw);
+
+  std::vector<ExecutionResult> reference;
+  double base_ms = 0;
+  TextTable t({"threads", "ms", "speedup", "identical"});
+  for (const std::size_t threads : counts) {
+    bench::WallTimer timer;
+    std::vector<ExecutionResult> results =
+        run_batch(w.trials, BatchOptions{.threads = threads, .seed = 7});
+    const double ms = timer.ms();
+    if (threads == 1) {
+      base_ms = ms;
+      reference = std::move(results);
+      t.add_row({"1", fmt_double(ms, 1), "1.00", "baseline"});
+      continue;
+    }
+    t.add_row({std::to_string(threads), fmt_double(ms, 1),
+               fmt_double(base_ms / ms, 2),
+               identical(reference, results) ? "yes" : "NO"});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -30,6 +30,7 @@
 #include "src/reductions/triangle_reduction.h"
 #include "src/support/table.h"
 #include "src/wb/adapters.h"
+#include "src/wb/batch.h"
 #include "src/wb/engine.h"
 #include "src/wb/exhaustive.h"
 
@@ -85,10 +86,9 @@ void build_row() {
         static_cast<const ProtocolWithOutput<BuildOutput>*>(&async_),
         static_cast<const ProtocolWithOutput<BuildOutput>*>(&sync_)}) {
     std::size_t ok = 0, total = 0;
-    for (auto& adv : standard_adversaries(g, 3)) {
-      const ExecutionResult r = run_protocol(g, *p, *adv);
+    for (const BatteryRun& run : run_standard_battery(g, *p, 3)) {
       ++total;
-      if (r.ok() && accept(g, p->output(r.board, 200))) ++ok;
+      if (run.result.ok() && accept(g, p->output(run.result.board, 200))) ++ok;
     }
     std::printf("%-28s battery n=200: %zu/%zu adversaries ok\n",
                 p->name().c_str(), ok, total);
@@ -135,10 +135,11 @@ void mis_row() {
        {static_cast<const ProtocolWithOutput<MisOutput>*>(&async_),
         static_cast<const ProtocolWithOutput<MisOutput>*>(&sync_)}) {
     std::size_t ok = 0, total = 0;
-    for (auto& adv : standard_adversaries(g, 4)) {
-      const ExecutionResult r = run_protocol(g, *p, *adv);
+    for (const BatteryRun& run : run_standard_battery(g, *p, 4)) {
       ++total;
-      if (r.ok() && is_rooted_mis(g, p->output(r.board, 150), 5)) ++ok;
+      if (run.result.ok() && is_rooted_mis(g, p->output(run.result.board, 150), 5)) {
+        ++ok;
+      }
     }
     std::printf("%-28s battery n=150: %zu/%zu adversaries ok\n",
                 p->name().c_str(), ok, total);
@@ -259,10 +260,9 @@ void eob_row() {
   const AsyncInSync<BfsProtocolOutput> sync_(bfs);
   const Graph g = connected_even_odd_bipartite(120, 1, 8, 5);
   std::size_t ok = 0, total = 0;
-  for (auto& adv : standard_adversaries(g, 6)) {
-    const ExecutionResult r = run_protocol(g, sync_, *adv);
+  for (const BatteryRun& run : run_standard_battery(g, sync_, 6)) {
     ++total;
-    if (r.ok() && accept(g, sync_.output(r.board, 120))) ++ok;
+    if (run.result.ok() && accept(g, sync_.output(run.result.board, 120))) ++ok;
   }
   std::printf("SYNC (adapter) battery n=120: %zu/%zu adversaries ok\n", ok,
               total);
@@ -284,10 +284,9 @@ void bfs_row() {
               exhaust(gen, p, accept).summary().c_str());
   const Graph g = connected_gnp(150, 1, 8, 21);
   std::size_t ok = 0, total = 0;
-  for (auto& adv : standard_adversaries(g, 8)) {
-    const ExecutionResult r = run_protocol(g, p, *adv);
+  for (const BatteryRun& run : run_standard_battery(g, p, 8)) {
     ++total;
-    if (r.ok() && accept(g, p.output(r.board, 150))) ++ok;
+    if (run.result.ok() && accept(g, p.output(run.result.board, 150))) ++ok;
   }
   std::printf("SYNC battery n=150: %zu/%zu adversaries ok\n", ok, total);
 }

@@ -7,6 +7,8 @@
 //    tiny (one bit of answer), so Lemma 3 gives no obstruction — consistent
 //    with the problem's SIMASYNC status being open.
 #include <cstdio>
+#include <deque>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/graph/algorithms.h"
@@ -15,6 +17,7 @@
 #include "src/protocols/two_cliques.h"
 #include "src/support/bits.h"
 #include "src/support/table.h"
+#include "src/wb/batch.h"
 #include "src/wb/engine.h"
 #include "src/wb/exhaustive.h"
 
@@ -65,20 +68,41 @@ void exhaustive_summary() {
 void random_regular_no_instances() {
   bench::subsection("random (n-1)-regular NO instances (pairing + switches)");
   const TwoCliquesProtocol p;
-  std::size_t correct = 0, total = 0;
+  // The whole instance × adversary sweep is one batch: trials fan out across
+  // cores, results come back in deterministic trial order.
+  std::deque<Graph> graphs;  // trials hold pointers into this while it grows
+  std::vector<bool> truths;
+  std::vector<std::size_t> trial_graph;
+  std::vector<Trial> trials;
   for (std::size_t n : {4u, 6u, 8u, 12u}) {
     for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-      const Graph g = random_regular(2 * n, n - 1, seed * 13 + n);
-      const bool truth = is_two_cliques(g);
-      for (auto& adv : standard_adversaries(g, seed)) {
-        const ExecutionResult r = run_protocol(g, p, *adv);
-        ++total;
-        if (r.ok() && p.output(r.board, 2 * n).yes == truth) ++correct;
+      graphs.push_back(random_regular(2 * n, n - 1, seed * 13 + n));
+      const Graph& g = graphs.back();
+      truths.push_back(is_two_cliques(g));
+      for (std::size_t i = 0; i < standard_adversary_count(); ++i) {
+        Trial t;
+        t.graph = &g;
+        t.protocol = &p;
+        t.make_adversary = [&g, seed, i](std::uint64_t) {
+          return standard_adversary(g, seed, i);
+        };
+        trial_graph.push_back(graphs.size() - 1);
+        trials.push_back(std::move(t));
       }
     }
   }
+  const std::vector<ExecutionResult> results = run_batch(trials);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Graph& g = graphs[trial_graph[i]];
+    if (results[i].ok() &&
+        p.output(results[i].board, g.node_count()).yes ==
+            truths[trial_graph[i]]) {
+      ++correct;
+    }
+  }
   std::printf("random regular instances across the battery: %zu/%zu correct\n",
-              correct, total);
+              correct, results.size());
 }
 
 void battery_scaling() {
@@ -91,11 +115,13 @@ void battery_scaling() {
       std::size_t ok = 0, total = 0;
       std::size_t bits = 0;
       bench::WallTimer timer;
-      for (auto& adv : standard_adversaries(g, n)) {
-        const ExecutionResult r = run_protocol(g, p, *adv);
+      for (const BatteryRun& run : run_standard_battery(g, p, n)) {
         ++total;
-        bits = std::max(bits, r.stats.max_message_bits);
-        if (r.ok() && p.output(r.board, 2 * n).yes == yes_instance) ++ok;
+        bits = std::max(bits, run.result.stats.max_message_bits);
+        if (run.result.ok() &&
+            p.output(run.result.board, 2 * n).yes == yes_instance) {
+          ++ok;
+        }
       }
       t.add_row({yes_instance ? "two cliques" : "switched",
                  std::to_string(2 * n),

@@ -1,6 +1,7 @@
 #include "src/cli/runners.h"
 
 #include <sstream>
+#include <utility>
 
 #include "src/analysis/board_stats.h"
 #include "src/analysis/schedule_stats.h"
@@ -17,17 +18,27 @@
 #include "src/protocols/subgraph.h"
 #include "src/protocols/triangle.h"
 #include "src/protocols/two_cliques.h"
+#include "src/wb/batch.h"
 #include "src/wb/engine.h"
 
 namespace wb::cli {
 
 namespace {
 
+/// How a spec dispatch schedules its runs: one borrowed adversary, or the
+/// seeded standard battery fanned out through the batch engine.
+struct RunPlan {
+  Adversary* single = nullptr;  // set: exactly this strategy
+  std::uint64_t seed = 0;       // else: standard_adversaries(g, seed)
+  BatchOptions batch;
+};
+
 void describe_run(std::ostringstream& os, const Graph& g, const Protocol& p,
-                  const ExecutionResult& r) {
+                  const std::string& adversary, const ExecutionResult& r) {
   os << "protocol   " << p.name() << " (" << model_name(p.model_class())
      << "[" << p.message_bit_limit(g.node_count()) << " bits])\n";
   os << "graph      n=" << g.node_count() << " m=" << g.edge_count() << "\n";
+  os << "adversary  " << adversary << "\n";
   os << "status     " << status_name(r.status);
   if (!r.error.empty()) os << " — " << r.error;
   os << "\n";
@@ -44,29 +55,50 @@ void describe_run(std::ostringstream& os, const Graph& g, const Protocol& p,
      << "\n";
 }
 
-/// Run a typed protocol and validate with `check(output)`.
+/// Run a typed protocol under every strategy of `plan` (all execution goes
+/// through the batch engine) and validate each run with `check(output)`.
 template <typename P, typename Check>
-RunReport run_typed(const P& protocol, const Graph& g, Adversary& adversary,
-                    const Check& check) {
-  RunReport report;
-  const ExecutionResult r = run_protocol(g, protocol, adversary);
-  std::ostringstream os;
-  describe_run(os, g, protocol, r);
-  report.executed = true;
-  report.status = std::string(status_name(r.status));
-  if (r.ok()) {
-    const auto out = protocol.output(r.board, g.node_count());
-    report.correct = check(out, os);
+std::vector<RunReport> run_typed(const P& protocol, const Graph& g,
+                                 const RunPlan& plan, const Check& check) {
+  std::vector<BatteryRun> runs;
+  if (plan.single != nullptr) {
+    Trial t;
+    t.graph = &g;
+    t.protocol = &protocol;
+    t.adversary = plan.single;
+    runs.push_back(BatteryRun{
+        plan.single->name(),
+        std::move(run_batch(std::span<const Trial>(&t, 1), plan.batch)
+                      .front())});
   } else {
-    os << "verdict    (no output: run not successful)\n";
+    runs = run_standard_battery(g, protocol, plan.seed, plan.batch);
   }
-  report.summary = os.str();
-  return report;
+
+  std::vector<RunReport> reports;
+  reports.reserve(runs.size());
+  for (const BatteryRun& run : runs) {
+    const ExecutionResult& r = run.result;
+    RunReport report;
+    report.adversary = run.adversary;
+    std::ostringstream os;
+    describe_run(os, g, protocol, run.adversary, r);
+    report.executed = true;
+    report.status = std::string(status_name(r.status));
+    if (r.ok()) {
+      const auto out = protocol.output(r.board, g.node_count());
+      report.correct = check(out, os);
+    } else {
+      os << "verdict    (no output: run not successful)\n";
+    }
+    report.summary = os.str();
+    reports.push_back(std::move(report));
+  }
+  return reports;
 }
 
-RunReport run_build(const Graph& g, Adversary& adv,
-                    const ProtocolWithOutput<BuildOutput>& p) {
-  return run_typed(p, g, adv, [&](const BuildOutput& out, std::ostringstream& os) {
+std::vector<RunReport> run_build(const Graph& g, const RunPlan& plan,
+                                 const ProtocolWithOutput<BuildOutput>& p) {
+  return run_typed(p, g, plan, [&](const BuildOutput& out, std::ostringstream& os) {
     if (!out.has_value()) {
       os << "verdict    rejected (input outside promised class)\n";
       // Rejection is the *correct* answer when the input is truly outside.
@@ -79,9 +111,9 @@ RunReport run_build(const Graph& g, Adversary& adv,
   });
 }
 
-RunReport run_bfs(const Graph& g, Adversary& adv,
-                  const ProtocolWithOutput<BfsProtocolOutput>& p) {
-  return run_typed(p, g, adv,
+std::vector<RunReport> run_bfs(const Graph& g, const RunPlan& plan,
+                               const ProtocolWithOutput<BfsProtocolOutput>& p) {
+  return run_typed(p, g, plan,
                    [&](const BfsProtocolOutput& out, std::ostringstream& os) {
                      if (!out.valid) {
                        os << "verdict    input reported invalid\n";
@@ -97,25 +129,23 @@ RunReport run_bfs(const Graph& g, Adversary& adv,
                    });
 }
 
-}  // namespace
-
-RunReport run_protocol_spec(const std::string& spec, const Graph& g,
-                            Adversary& adversary) {
+std::vector<RunReport> dispatch_spec(const std::string& spec, const Graph& g,
+                                     const RunPlan& plan) {
   const auto parts = split_spec(spec);
   const std::string& kind = parts[0];
   const std::size_t n = g.node_count();
 
   if (kind == "build-forest") {
-    return run_build(g, adversary, BuildForestProtocol{});
+    return run_build(g, plan, BuildForestProtocol{});
   }
   if (kind == "build-degenerate") {
     WB_REQUIRE_MSG(parts.size() == 2, "expected build-degenerate:K");
     const int k = static_cast<int>(parse_u64(parts[1], "K"));
-    return run_build(g, adversary, BuildDegenerateProtocol{k});
+    return run_build(g, plan, BuildDegenerateProtocol{k});
   }
   if (kind == "build-full") {
     const BuildFullProtocol p;
-    return run_typed(p, g, adversary,
+    return run_typed(p, g, plan,
                      [&](const Graph& out, std::ostringstream& os) {
                        const bool exact = out == g;
                        os << "verdict    reconstructed " << out.edge_count()
@@ -128,7 +158,7 @@ RunReport run_protocol_spec(const std::string& spec, const Graph& g,
     const NodeId root = static_cast<NodeId>(parse_u64(parts[1], "root"));
     WB_REQUIRE_MSG(root >= 1 && root <= n, "root out of range");
     const RootedMisProtocol p(root);
-    return run_typed(p, g, adversary,
+    return run_typed(p, g, plan,
                      [&](const MisOutput& out, std::ostringstream& os) {
                        const bool ok = is_rooted_mis(g, out, root);
                        os << "verdict    |MIS| = " << out.size() << " — "
@@ -144,27 +174,27 @@ RunReport run_protocol_spec(const std::string& spec, const Graph& g,
       return out.yes == truth;
     };
     if (kind == "two-cliques") {
-      return run_typed(TwoCliquesProtocol{}, g, adversary, check);
+      return run_typed(TwoCliquesProtocol{}, g, plan, check);
     }
     WB_REQUIRE_MSG(parts.size() == 2, "expected rand-two-cliques:SEED");
     return run_typed(
-        RandomizedTwoCliquesProtocol{parse_u64(parts[1], "seed")}, g,
-        adversary, check);
+        RandomizedTwoCliquesProtocol{parse_u64(parts[1], "seed")}, g, plan,
+        check);
   }
   if (kind == "eob-bfs") {
-    return run_bfs(g, adversary, EobBfsProtocol{});
+    return run_bfs(g, plan, EobBfsProtocol{});
   }
   if (kind == "bipartite-bfs") {
-    return run_bfs(g, adversary, EobBfsProtocol{EobMode::kBipartiteNoCheck});
+    return run_bfs(g, plan, EobBfsProtocol{EobMode::kBipartiteNoCheck});
   }
   if (kind == "sync-bfs") {
-    return run_bfs(g, adversary, SyncBfsProtocol{});
+    return run_bfs(g, plan, SyncBfsProtocol{});
   }
   if (kind == "subgraph") {
     WB_REQUIRE_MSG(parts.size() == 2, "expected subgraph:F");
     const std::size_t f = parse_u64(parts[1], "F");
     const SubgraphProtocol p(f);
-    return run_typed(p, g, adversary,
+    return run_typed(p, g, plan,
                      [&](const Graph& out, std::ostringstream& os) {
                        GraphBuilder expect(n);
                        for (const Edge& e : g.edges()) {
@@ -181,7 +211,7 @@ RunReport run_protocol_spec(const std::string& spec, const Graph& g,
     const bool truth = has_triangle(g);
     if (kind == "triangle-oracle") {
       const TriangleOracleProtocol p;
-      return run_typed(p, g, adversary,
+      return run_typed(p, g, plan,
                        [&](bool out, std::ostringstream& os) {
                          os << "verdict    " << (out ? "TRIANGLE" : "none")
                             << " (truth: " << (truth ? "TRIANGLE" : "none")
@@ -190,7 +220,7 @@ RunReport run_protocol_spec(const std::string& spec, const Graph& g,
                        });
     }
     const TrianglePairChaseProtocol p(0);
-    return run_typed(p, g, adversary,
+    return run_typed(p, g, plan,
                      [&](TriangleVerdict v, std::ostringstream& os) {
                        const char* verdict =
                            v == TriangleVerdict::kYes
@@ -205,7 +235,7 @@ RunReport run_protocol_spec(const std::string& spec, const Graph& g,
   }
   if (kind == "spanning-forest") {
     const SpanningForestProtocol p;
-    return run_typed(p, g, adversary,
+    return run_typed(p, g, plan,
                      [&](const SpanningForestOutput& out,
                          std::ostringstream& os) {
                        const bool ok = is_spanning_forest_of(g, out);
@@ -234,7 +264,7 @@ RunReport run_protocol_spec(const std::string& spec, const Graph& g,
                       diameter(g) <= static_cast<int>(parse_u64(
                                          parts.size() == 2 ? parts[1] : "3",
                                          "D"))));
-    return run_typed(p, g, adversary, [&](bool out, std::ostringstream& os) {
+    return run_typed(p, g, plan, [&](bool out, std::ostringstream& os) {
       os << "verdict    " << (out ? "YES" : "NO") << " (truth: "
          << (truth ? "YES" : "NO") << ")\n";
       return out == truth;
@@ -243,6 +273,25 @@ RunReport run_protocol_spec(const std::string& spec, const Graph& g,
   WB_REQUIRE_MSG(false,
                  "unknown protocol '" << kind << "'\n" << protocol_spec_help());
   return {};  // unreachable
+}
+
+}  // namespace
+
+RunReport run_protocol_spec(const std::string& spec, const Graph& g,
+                            Adversary& adversary) {
+  RunPlan plan;
+  plan.single = &adversary;
+  return std::move(dispatch_spec(spec, g, plan).front());
+}
+
+std::vector<RunReport> run_protocol_spec_battery(const std::string& spec,
+                                                 const Graph& g,
+                                                 std::uint64_t seed,
+                                                 const BatchOptions& opts) {
+  RunPlan plan;
+  plan.seed = seed;
+  plan.batch = opts;
+  return dispatch_spec(spec, g, plan);
 }
 
 std::string protocol_spec_help() {

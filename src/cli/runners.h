@@ -1,26 +1,42 @@
 // Protocol runner registry for wbsim: constructs a protocol from its spec,
-// runs it on a graph under an adversary, validates the output against the
-// centralized reference algorithms, and renders a one-screen report.
+// runs it on a graph under an adversary (or the whole standard battery, in
+// parallel), validates the output against the centralized reference
+// algorithms, and renders a one-screen report.
+//
+// All execution — single runs included — goes through the batch engine
+// (src/wb/batch.h), so the CLI exercises the same code path the parallel
+// sweeps use.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/graph/graph.h"
 #include "src/wb/adversary.h"
+#include "src/wb/batch.h"
 
 namespace wb::cli {
 
 struct RunReport {
-  bool executed = false;  // run reached a terminal engine state
-  bool correct = false;   // output validated against the reference
-  std::string status;     // engine status string
-  std::string summary;    // multi-line human-readable report
+  bool executed = false;   // run reached a terminal engine state
+  bool correct = false;    // output validated against the reference
+  std::string adversary;   // strategy the run was scheduled by
+  std::string status;      // engine status string
+  std::string summary;     // multi-line human-readable report
 };
 
 /// Run `protocol_spec` on `g` under `adversary`. Throws wb::DataError for
 /// unknown protocol specs.
 [[nodiscard]] RunReport run_protocol_spec(const std::string& protocol_spec,
                                           const Graph& g, Adversary& adversary);
+
+/// Run `protocol_spec` on `g` under every strategy of the standard adversary
+/// battery (seeded with `seed`), fanned out across the batch engine's thread
+/// pool. Reports are in battery order and deterministic for any thread count.
+[[nodiscard]] std::vector<RunReport> run_protocol_spec_battery(
+    const std::string& protocol_spec, const Graph& g, std::uint64_t seed,
+    const BatchOptions& opts = {});
 
 /// List of known protocol specs for --help.
 [[nodiscard]] std::string protocol_spec_help();

@@ -29,14 +29,30 @@ std::size_t PreferenceAdversary::choose(std::span<const NodeId> candidates,
 std::vector<std::unique_ptr<Adversary>> standard_adversaries(
     const Graph& g, std::uint64_t seed) {
   std::vector<std::unique_ptr<Adversary>> out;
-  out.push_back(std::make_unique<FirstAdversary>());
-  out.push_back(std::make_unique<LastAdversary>());
-  out.push_back(std::make_unique<RandomAdversary>(seed));
-  out.push_back(std::make_unique<RandomAdversary>(seed ^ 0x5bd1e995u));
-  out.push_back(std::make_unique<RotatingAdversary>());
-  out.push_back(std::make_unique<MaxDegreeAdversary>(g));
-  out.push_back(std::make_unique<MinDegreeAdversary>(g));
+  out.reserve(standard_adversary_count());
+  for (std::size_t i = 0; i < standard_adversary_count(); ++i) {
+    out.push_back(standard_adversary(g, seed, i));
+  }
   return out;
+}
+
+std::size_t standard_adversary_count() noexcept { return 7; }
+
+std::unique_ptr<Adversary> standard_adversary(const Graph& g,
+                                              std::uint64_t seed,
+                                              std::size_t index) {
+  switch (index) {
+    case 0: return std::make_unique<FirstAdversary>();
+    case 1: return std::make_unique<LastAdversary>();
+    case 2: return std::make_unique<RandomAdversary>(seed);
+    case 3: return std::make_unique<RandomAdversary>(seed ^ 0x5bd1e995u);
+    case 4: return std::make_unique<RotatingAdversary>();
+    case 5: return std::make_unique<MaxDegreeAdversary>(g);
+    case 6: return std::make_unique<MinDegreeAdversary>(g);
+    default: break;
+  }
+  WB_CHECK_MSG(false, "battery index " << index << " out of range");
+  return nullptr;  // unreachable
 }
 
 }  // namespace wb

@@ -157,4 +157,14 @@ class PreferenceAdversary final : public Adversary {
 [[nodiscard]] std::vector<std::unique_ptr<Adversary>> standard_adversaries(
     const Graph& g, std::uint64_t seed);
 
+/// Number of strategies in the standard battery.
+[[nodiscard]] std::size_t standard_adversary_count() noexcept;
+
+/// Construct battery entry `index` alone (for per-trial factories that need
+/// one strategy without building the whole battery). Same ordering as
+/// standard_adversaries; index must be < standard_adversary_count().
+[[nodiscard]] std::unique_ptr<Adversary> standard_adversary(const Graph& g,
+                                                            std::uint64_t seed,
+                                                            std::size_t index);
+
 }  // namespace wb

@@ -1,0 +1,125 @@
+#include "src/wb/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace wb {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+ExecutionResult run_one(const Trial& t, std::uint64_t seed) {
+  WB_CHECK_MSG(t.graph != nullptr && t.protocol != nullptr,
+               "batch trial missing graph or protocol");
+  if (t.make_adversary) {
+    const std::unique_ptr<Adversary> adv = t.make_adversary(seed);
+    WB_CHECK_MSG(adv != nullptr, "adversary factory returned null");
+    return run_protocol(*t.graph, *t.protocol, *adv, t.engine);
+  }
+  if (t.adversary != nullptr) {
+    return run_protocol(*t.graph, *t.protocol, *t.adversary, t.engine);
+  }
+  FirstAdversary adv;
+  return run_protocol(*t.graph, *t.protocol, adv, t.engine);
+}
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t base, std::size_t index) noexcept {
+  // Two mixing rounds so consecutive indices land in unrelated streams.
+  return splitmix64(splitmix64(base) ^
+                    splitmix64(0x5851f42d4c957f2dULL * (index + 1)));
+}
+
+std::vector<ExecutionResult> run_batch(std::span<const Trial> trials,
+                                       const BatchOptions& opts) {
+  std::vector<ExecutionResult> results(trials.size());
+  if (trials.empty()) return results;
+
+  std::size_t threads =
+      opts.threads != 0
+          ? opts.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, trials.size());
+
+  // The first exception by *trial index* wins, so failure reporting is as
+  // deterministic as the results themselves.
+  std::mutex error_mutex;
+  std::size_t error_index = trials.size();
+  std::exception_ptr error;
+  auto record_error = [&](std::size_t index) {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    if (index < error_index) {
+      error_index = index;
+      error = std::current_exception();
+    }
+  };
+
+  auto run_index = [&](std::size_t i) {
+    try {
+      results[i] = run_one(trials[i], trial_seed(opts.seed, i));
+    } catch (...) {
+      record_error(i);
+    }
+  };
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < trials.size(); ++i) run_index(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= trials.size()) return;
+          run_index(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+std::vector<BatteryRun> run_standard_battery(const Graph& g, const Protocol& p,
+                                             std::uint64_t seed,
+                                             const BatchOptions& opts) {
+  // Each worker materializes its own copy of strategy i (the strategies are
+  // stateful), indexed identically to this naming pass.
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < standard_adversary_count(); ++i) {
+    names.push_back(standard_adversary(g, seed, i)->name());
+  }
+
+  std::vector<Trial> trials(names.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    trials[i].graph = &g;
+    trials[i].protocol = &p;
+    trials[i].make_adversary = [&g, seed, i](std::uint64_t) {
+      return standard_adversary(g, seed, i);
+    };
+  }
+
+  std::vector<ExecutionResult> results = run_batch(trials, opts);
+  std::vector<BatteryRun> runs(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    runs[i].adversary = std::move(names[i]);
+    runs[i].result = std::move(results[i]);
+  }
+  return runs;
+}
+
+}  // namespace wb

@@ -1,0 +1,78 @@
+// Parallel batch execution of (graph, protocol, adversary) trials.
+//
+// Correctness in the whiteboard model means surviving *every* adversary
+// schedule, so the simulator's dominant workload is embarrassingly parallel:
+// many independent runs of the engine over a trial matrix. run_batch fans the
+// trials out across a thread pool while keeping the results deterministic:
+//
+//  - every trial gets its own seed, derived from (base seed, trial index)
+//    only — never from thread identity or scheduling order;
+//  - stateful adversaries are constructed per trial (via the factory) on the
+//    worker that executes it, so no mutable state is shared across trials;
+//  - results land in a pre-sized vector slot keyed by trial index.
+//
+// Consequently results[i] is bit-identical for any thread count, which the
+// determinism suite in tests/wb/batch_test.cpp pins down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/wb/engine.h"
+
+namespace wb {
+
+/// Invoked once per trial, on the worker thread that runs it, with the
+/// trial's deterministic seed. Must not touch state shared with other trials.
+using AdversaryFactory =
+    std::function<std::unique_ptr<Adversary>(std::uint64_t trial_seed)>;
+
+/// One unit of batch work. `graph` and `protocol` are borrowed and must
+/// outlive the run_batch call; both may be shared across trials (protocol
+/// callbacks are const and re-entrant). Exactly one adversary source is used:
+/// `make_adversary` when set, else the borrowed `adversary` (which must not
+/// be shared with any other trial in the same batch), else FirstAdversary.
+struct Trial {
+  const Graph* graph = nullptr;
+  const Protocol* protocol = nullptr;
+  AdversaryFactory make_adversary;
+  Adversary* adversary = nullptr;
+  EngineOptions engine;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  /// Base seed mixed into every per-trial seed.
+  std::uint64_t seed = 0;
+};
+
+/// The seed handed to trial `index`: a splitmix64 mix of (base, index), so it
+/// is independent of thread count and of every other trial.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base,
+                                       std::size_t index) noexcept;
+
+/// Run every trial to completion; results[i] belongs to trials[i]. If any
+/// trial throws, the exception of the smallest-index failing trial is
+/// rethrown after all workers drain (again independent of thread count).
+[[nodiscard]] std::vector<ExecutionResult> run_batch(
+    std::span<const Trial> trials, const BatchOptions& opts = {});
+
+/// One adversary battery entry of run_standard_battery.
+struct BatteryRun {
+  std::string adversary;
+  ExecutionResult result;
+};
+
+/// Run `p` on `g` under the standard adversary battery
+/// (standard_adversaries(g, seed)), one trial per strategy, in parallel.
+/// Results are in battery order and bit-identical to the serial loop.
+[[nodiscard]] std::vector<BatteryRun> run_standard_battery(
+    const Graph& g, const Protocol& p, std::uint64_t seed,
+    const BatchOptions& opts = {});
+
+}  // namespace wb

@@ -1,6 +1,9 @@
 // The protocol × workload-family × adversary sweep: every protocol on every
 // admissible family under every standard strategy, sizes parameterized.
 // This is the broad-coverage net under the targeted per-protocol suites.
+//
+// Every adversary battery is fanned out across cores through the batch
+// engine (src/wb/batch.h); results are deterministic at any thread count.
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -15,6 +18,7 @@
 #include "src/protocols/oracles.h"
 #include "src/protocols/randomized.h"
 #include "src/protocols/two_cliques.h"
+#include "src/wb/batch.h"
 #include "src/wb/engine.h"
 
 namespace wb {
@@ -30,10 +34,9 @@ class MatrixSweepTest
 TEST_P(MatrixSweepTest, BuildForestOnForests) {
   const Graph g = random_forest(n(), 75, seed());
   const BuildForestProtocol p;
-  for (auto& adv : standard_adversaries(g, seed())) {
-    const ExecutionResult r = run_protocol(g, p, *adv);
-    ASSERT_TRUE(r.ok()) << adv->name();
-    EXPECT_EQ(*p.output(r.board, n()), g) << adv->name();
+  for (const BatteryRun& run : run_standard_battery(g, p, seed())) {
+    ASSERT_TRUE(run.result.ok()) << run.adversary;
+    EXPECT_EQ(*p.output(run.result.board, n()), g) << run.adversary;
   }
 }
 
@@ -41,10 +44,10 @@ TEST_P(MatrixSweepTest, BuildDegenerateAcrossK) {
   for (int k : {1, 2, 3}) {
     const Graph g = random_k_degenerate(n(), k, 30, seed());
     const BuildDegenerateProtocol p(k);
-    for (auto& adv : standard_adversaries(g, seed())) {
-      const ExecutionResult r = run_protocol(g, p, *adv);
-      ASSERT_TRUE(r.ok()) << adv->name() << " k=" << k;
-      EXPECT_EQ(*p.output(r.board, n()), g) << adv->name() << " k=" << k;
+    for (const BatteryRun& run : run_standard_battery(g, p, seed())) {
+      ASSERT_TRUE(run.result.ok()) << run.adversary << " k=" << k;
+      EXPECT_EQ(*p.output(run.result.board, n()), g)
+          << run.adversary << " k=" << k;
     }
   }
 }
@@ -54,11 +57,10 @@ TEST_P(MatrixSweepTest, MisOnDenseAndSparse) {
     const Graph g = erdos_renyi(n(), num, den, seed());
     const NodeId root = static_cast<NodeId>(1 + seed() % n());
     const RootedMisProtocol p(root);
-    for (auto& adv : standard_adversaries(g, seed())) {
-      const ExecutionResult r = run_protocol(g, p, *adv);
-      ASSERT_TRUE(r.ok()) << adv->name();
-      EXPECT_TRUE(is_rooted_mis(g, p.output(r.board, n()), root))
-          << adv->name();
+    for (const BatteryRun& run : run_standard_battery(g, p, seed())) {
+      ASSERT_TRUE(run.result.ok()) << run.adversary;
+      EXPECT_TRUE(is_rooted_mis(g, p.output(run.result.board, n()), root))
+          << run.adversary;
     }
   }
 }
@@ -68,11 +70,10 @@ TEST_P(MatrixSweepTest, EobBfsOnSparseAndDenseBipartite) {
     const Graph g = random_even_odd_bipartite(n(), num, den, seed());
     const EobBfsProtocol p;
     const BfsForest ref = bfs_forest(g);
-    for (auto& adv : standard_adversaries(g, seed())) {
-      const ExecutionResult r = run_protocol(g, p, *adv);
-      ASSERT_TRUE(r.ok()) << adv->name();
-      const BfsProtocolOutput out = p.output(r.board, n());
-      EXPECT_TRUE(out.valid && out.layer == ref.layer) << adv->name();
+    for (const BatteryRun& run : run_standard_battery(g, p, seed())) {
+      ASSERT_TRUE(run.result.ok()) << run.adversary;
+      const BfsProtocolOutput out = p.output(run.result.board, n());
+      EXPECT_TRUE(out.valid && out.layer == ref.layer) << run.adversary;
     }
   }
 }
@@ -87,13 +88,12 @@ TEST_P(MatrixSweepTest, SyncBfsOnEveryFamily) {
   const SyncBfsProtocol p;
   for (const Graph& g : graphs) {
     const BfsForest ref = bfs_forest(g);
-    for (auto& adv : standard_adversaries(g, seed())) {
-      const ExecutionResult r = run_protocol(g, p, *adv);
-      ASSERT_TRUE(r.ok()) << adv->name();
-      const BfsProtocolOutput out = p.output(r.board, n());
+    for (const BatteryRun& run : run_standard_battery(g, p, seed())) {
+      ASSERT_TRUE(run.result.ok()) << run.adversary;
+      const BfsProtocolOutput out = p.output(run.result.board, n());
       EXPECT_TRUE(out.layer == ref.layer &&
                   is_valid_bfs_forest(g, out.layer, out.parent))
-          << adv->name();
+          << run.adversary;
     }
   }
 }
@@ -103,11 +103,10 @@ TEST_P(MatrixSweepTest, SpanningForestOnEveryFamily) {
                           random_forest(n(), 60, seed())};
   const SpanningForestProtocol p;
   for (const Graph& g : graphs) {
-    for (auto& adv : standard_adversaries(g, seed())) {
-      const ExecutionResult r = run_protocol(g, p, *adv);
-      ASSERT_TRUE(r.ok()) << adv->name();
-      EXPECT_TRUE(is_spanning_forest_of(g, p.output(r.board, n())))
-          << adv->name();
+    for (const BatteryRun& run : run_standard_battery(g, p, seed())) {
+      ASSERT_TRUE(run.result.ok()) << run.adversary;
+      EXPECT_TRUE(is_spanning_forest_of(g, p.output(run.result.board, n())))
+          << run.adversary;
     }
   }
 }
@@ -118,21 +117,17 @@ TEST_P(MatrixSweepTest, TwoCliquesBothProtocols) {
   const Graph no = two_cliques_switched(half);
   const TwoCliquesProtocol det;
   const RandomizedTwoCliquesProtocol rnd(seed());
-  for (auto& adv : standard_adversaries(yes, seed())) {
-    ExecutionResult r = run_protocol(yes, det, *adv);
-    ASSERT_TRUE(r.ok());
-    EXPECT_TRUE(det.output(r.board, 2 * half).yes) << adv->name();
-    r = run_protocol(yes, rnd, *adv);
-    ASSERT_TRUE(r.ok());
-    EXPECT_TRUE(rnd.output(r.board, 2 * half).yes) << adv->name();
-  }
-  for (auto& adv : standard_adversaries(no, seed())) {
-    ExecutionResult r = run_protocol(no, det, *adv);
-    ASSERT_TRUE(r.ok());
-    EXPECT_FALSE(det.output(r.board, 2 * half).yes) << adv->name();
-    r = run_protocol(no, rnd, *adv);
-    ASSERT_TRUE(r.ok());
-    EXPECT_FALSE(rnd.output(r.board, 2 * half).yes) << adv->name();
+  for (const ProtocolWithOutput<TwoCliquesOutput>* p :
+       {static_cast<const ProtocolWithOutput<TwoCliquesOutput>*>(&det),
+        static_cast<const ProtocolWithOutput<TwoCliquesOutput>*>(&rnd)}) {
+    for (const BatteryRun& run : run_standard_battery(yes, *p, seed())) {
+      ASSERT_TRUE(run.result.ok());
+      EXPECT_TRUE(p->output(run.result.board, 2 * half).yes) << run.adversary;
+    }
+    for (const BatteryRun& run : run_standard_battery(no, *p, seed())) {
+      ASSERT_TRUE(run.result.ok());
+      EXPECT_FALSE(p->output(run.result.board, 2 * half).yes) << run.adversary;
+    }
   }
 }
 

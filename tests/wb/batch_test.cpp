@@ -1,0 +1,159 @@
+#include "src/wb/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/protocols/build_forest.h"
+#include "src/protocols/mis.h"
+#include "tests/wb/test_protocols.h"
+
+namespace wb {
+namespace {
+
+void expect_identical(const ExecutionResult& a, const ExecutionResult& b,
+                      std::size_t trial) {
+  EXPECT_EQ(a.status, b.status) << "trial " << trial;
+  EXPECT_EQ(a.error, b.error) << "trial " << trial;
+  EXPECT_EQ(a.write_order, b.write_order) << "trial " << trial;
+  ASSERT_EQ(a.board.message_count(), b.board.message_count())
+      << "trial " << trial;
+  for (std::size_t i = 0; i < a.board.message_count(); ++i) {
+    EXPECT_TRUE(a.board.message(i) == b.board.message(i))
+        << "trial " << trial << " message " << i;
+  }
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds) << "trial " << trial;
+  EXPECT_EQ(a.stats.writes, b.stats.writes) << "trial " << trial;
+  EXPECT_EQ(a.stats.max_message_bits, b.stats.max_message_bits)
+      << "trial " << trial;
+  EXPECT_EQ(a.stats.total_bits, b.stats.total_bits) << "trial " << trial;
+  EXPECT_EQ(a.stats.activation_round, b.stats.activation_round)
+      << "trial " << trial;
+  EXPECT_EQ(a.stats.write_round, b.stats.write_round) << "trial " << trial;
+}
+
+/// A mixed trial matrix: several graph families × protocols × seeded random
+/// adversaries, enough work that scheduling differences would surface.
+struct Matrix {
+  std::vector<Graph> graphs;
+  std::vector<std::unique_ptr<Protocol>> protocols;  // parallel to graphs
+  std::vector<Trial> trials;
+
+  Matrix() {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      graphs.push_back(random_forest(30, 75, seed));
+      protocols.push_back(std::make_unique<BuildForestProtocol>());
+      graphs.push_back(connected_gnp(24, 1, 4, seed));
+      protocols.push_back(std::make_unique<RootedMisProtocol>(
+          static_cast<NodeId>(1 + seed % 24)));
+      graphs.push_back(erdos_renyi(20, 1, 3, seed));
+      protocols.push_back(std::make_unique<testing::BoardSizeProtocol>());
+    }
+    trials.resize(graphs.size());
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      trials[i].graph = &graphs[i];
+      trials[i].protocol = protocols[i].get();
+      trials[i].make_adversary = [](std::uint64_t trial_seed) {
+        return std::make_unique<RandomAdversary>(trial_seed);
+      };
+    }
+  }
+};
+
+TEST(Batch, SameSeedIdenticalResultsAtAnyThreadCount) {
+  const Matrix m;
+  const BatchOptions base{.threads = 1, .seed = 42};
+  const std::vector<ExecutionResult> reference = run_batch(m.trials, base);
+  ASSERT_EQ(reference.size(), m.trials.size());
+
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (const std::size_t threads : {std::size_t{4}, hw}) {
+    const std::vector<ExecutionResult> parallel =
+        run_batch(m.trials, BatchOptions{.threads = threads, .seed = 42});
+    ASSERT_EQ(parallel.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      expect_identical(reference[i], parallel[i], i);
+    }
+  }
+}
+
+TEST(Batch, DifferentSeedsDifferentSchedules) {
+  const Matrix m;
+  const auto a = run_batch(m.trials, BatchOptions{.threads = 4, .seed = 1});
+  const auto b = run_batch(m.trials, BatchOptions{.threads = 4, .seed = 2});
+  // The random adversaries are seeded per trial, so at least one of the
+  // write orders must differ between base seeds.
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].write_order != b[i].write_order) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Batch, TrialSeedIsPureInBaseAndIndex) {
+  EXPECT_EQ(trial_seed(7, 0), trial_seed(7, 0));
+  EXPECT_NE(trial_seed(7, 0), trial_seed(7, 1));
+  EXPECT_NE(trial_seed(7, 0), trial_seed(8, 0));
+  // Consecutive indices must not collide over a realistic batch size.
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 4096; ++i) seeds.push_back(trial_seed(3, i));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(Batch, StandardBatteryMatchesSerialLoop) {
+  const Graph g = random_forest(40, 70, 9);
+  const BuildForestProtocol p;
+  const std::vector<BatteryRun> batch = run_standard_battery(g, p, 9);
+
+  auto battery = standard_adversaries(g, 9);
+  ASSERT_EQ(batch.size(), battery.size());
+  for (std::size_t i = 0; i < battery.size(); ++i) {
+    EXPECT_EQ(batch[i].adversary, battery[i]->name());
+    const ExecutionResult serial = run_protocol(g, p, *battery[i]);
+    expect_identical(serial, batch[i].result, i);
+  }
+}
+
+TEST(Batch, BorrowedAdversaryIsResetAndUsed) {
+  const Graph g = path_graph(12);
+  const testing::EchoIdProtocol p;
+  LastAdversary adv;
+  Trial t;
+  t.graph = &g;
+  t.protocol = &p;
+  t.adversary = &adv;
+  const auto results = run_batch(std::span<const Trial>(&t, 1));
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok());
+  // LastAdversary writes in descending candidate order.
+  EXPECT_EQ(results[0].write_order.front(), NodeId{12});
+}
+
+TEST(Batch, SmallestIndexExceptionWinsDeterministically) {
+  const Graph g = path_graph(6);
+  const testing::EchoIdProtocol p;
+  std::vector<Trial> trials(6);
+  for (auto& t : trials) {
+    t.graph = &g;
+    t.protocol = &p;
+  }
+  trials[1].make_adversary = [](std::uint64_t) -> std::unique_ptr<Adversary> {
+    throw DataError("boom at index 1");
+  };
+  trials[4].make_adversary = [](std::uint64_t) -> std::unique_ptr<Adversary> {
+    throw LogicError("boom at index 4");
+  };
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_THROW((void)run_batch(trials, BatchOptions{.threads = threads}),
+                 DataError)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace wb

@@ -8,9 +8,16 @@
 //   wbsim twocliques:16   rand-two-cliques:99
 //   wbsim ceob:80:1/6:2   eob-bfs           last
 //
-// Exit code 0 iff the run executed and the output validated against the
+// The special adversary-spec `battery[:SEED]` runs the protocol under the
+// whole standard adversary battery, fanned out across all cores through the
+// batch engine:
+//
+//   wbsim cgnp:400:1/8:3  sync-bfs          battery:7
+//
+// Exit code 0 iff every run executed and the output validated against the
 // centralized reference algorithms.
 #include <cstdio>
+#include <string>
 
 #include "src/cli/runners.h"
 #include "src/cli/spec.h"
@@ -21,10 +28,27 @@ namespace {
 void usage() {
   std::printf(
       "usage: wbsim <graph-spec> <protocol-spec> [adversary-spec]\n\n%s\n\n"
-      "%s\n\n%s\n",
+      "%s\n\n%s\n           battery[:SEED] (full battery, parallel)\n",
       wb::cli::graph_spec_help().c_str(),
       wb::cli::protocol_spec_help().c_str(),
       wb::cli::adversary_spec_help().c_str());
+}
+
+int run_battery(const wb::Graph& g, const std::string& protocol,
+                const std::string& spec) {
+  const auto parts = wb::cli::split_spec(spec);
+  WB_REQUIRE_MSG(parts.size() <= 2, "expected battery[:SEED]");
+  const std::uint64_t seed =
+      parts.size() == 2 ? wb::cli::parse_u64(parts[1], "seed") : 1;
+  const auto reports = wb::cli::run_protocol_spec_battery(protocol, g, seed);
+  std::size_t correct = 0;
+  for (const auto& report : reports) {
+    std::printf("%s", report.summary.c_str());
+    std::printf("result     %s\n\n", report.correct ? "PASS" : "FAIL");
+    if (report.correct) ++correct;
+  }
+  std::printf("battery    %zu/%zu adversaries ok\n", correct, reports.size());
+  return correct == reports.size() ? 0 : 1;
 }
 
 }  // namespace
@@ -36,8 +60,11 @@ int main(int argc, char** argv) {
   }
   try {
     const wb::Graph g = wb::cli::graph_from_spec(argv[1]);
-    auto adversary =
-        wb::cli::adversary_from_spec(argc == 4 ? argv[3] : "first", g);
+    const std::string adversary_spec = argc == 4 ? argv[3] : "first";
+    if (wb::cli::split_spec(adversary_spec)[0] == "battery") {
+      return run_battery(g, argv[2], adversary_spec);
+    }
+    auto adversary = wb::cli::adversary_from_spec(adversary_spec, g);
     const wb::cli::RunReport report =
         wb::cli::run_protocol_spec(argv[2], g, *adversary);
     std::printf("%s", report.summary.c_str());
