@@ -1,0 +1,170 @@
+// Simulation-core microbenchmarks: the allocation discipline of the hot path.
+//
+// Every exhaustive sweep, batch run, and reduction bottoms out in the same
+// inner loop — compose, append, branch, rewind — so this harness pins its
+// cost in both time and heap allocations. The binary interposes operator
+// new/delete with a counter and reports allocations as benchmark counters:
+//
+//  - BM_RunProtocol            — one full engine run (two_cliques, SIMSYNC);
+//  - BM_BoardBranchCopy        — snapshotting a final board (copy-on-write,
+//                                O(1) regardless of message count);
+//  - BM_EngineStateBranchCopy  — copying a mid-run EngineState (what the
+//                                pre-backtracking explorer paid per branch);
+//  - BM_ExhaustiveTwoCliques   — the full two_cliques(4) schedule sweep
+//                                (8 nodes, 8! = 40320 executions);
+//                                `allocs_per_exec` is the headline number:
+//                                ~58 before the allocation-free core, ~2.7
+//                                after (the residue is protocol-side
+//                                BitWriter scratch, not engine state);
+//  - BM_DistinctBoards         — hash-keyed distinct-final-board counting.
+//
+// CI runs this binary as the Release bench-smoke job and uploads the JSON
+// as BENCH_pr2.json; the committed BENCH_pr2.json at the repo root is the
+// first recorded baseline of that trajectory.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "src/graph/generators.h"
+#include "src/protocols/mis.h"
+#include "src/protocols/two_cliques.h"
+#include "src/wb/engine.h"
+#include "src/wb/exhaustive.h"
+
+namespace {
+
+std::atomic<unsigned long long> g_allocs{0};
+
+unsigned long long alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// The whole binary allocates through these interposers; GCC cannot see that
+// and warns that std::free releases operator-new memory.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace wb {
+namespace {
+
+void BM_RunProtocol(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = two_cliques(n);  // 2n nodes
+  const TwoCliquesProtocol p;
+  unsigned long long runs = 0;
+  const unsigned long long before = alloc_count();
+  for (auto _ : state) {
+    ExecutionResult r = run_protocol(g, p);
+    benchmark::DoNotOptimize(r);
+    ++runs;
+  }
+  state.counters["allocs_per_run"] = benchmark::Counter(
+      static_cast<double>(alloc_count() - before) / static_cast<double>(runs));
+  state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_RunProtocol)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BoardBranchCopy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = two_cliques(n);
+  const TwoCliquesProtocol p;
+  const ExecutionResult r = run_protocol(g, p);
+  unsigned long long copies = 0;
+  const unsigned long long before = alloc_count();
+  for (auto _ : state) {
+    Whiteboard snapshot = r.board;  // O(1): shares the immutable prefix
+    benchmark::DoNotOptimize(snapshot);
+    ++copies;
+  }
+  state.counters["messages"] =
+      benchmark::Counter(static_cast<double>(r.board.message_count()));
+  state.counters["allocs_per_copy"] = benchmark::Counter(
+      static_cast<double>(alloc_count() - before) / static_cast<double>(copies));
+  state.SetItemsProcessed(static_cast<std::int64_t>(copies));
+}
+BENCHMARK(BM_BoardBranchCopy)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_EngineStateBranchCopy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = two_cliques(n);
+  const TwoCliquesProtocol p;
+  // Advance to the middle of a run, where the pre-backtracking explorer
+  // branched: half the messages written, every memory composed.
+  EngineState mid(g, p);
+  for (std::size_t w = 0; w < n; ++w) {
+    mid.begin_round();
+    WB_CHECK(!mid.terminal());
+    mid.write(0);
+  }
+  for (auto _ : state) {
+    EngineState branch = mid;
+    benchmark::DoNotOptimize(branch);
+  }
+}
+BENCHMARK(BM_EngineStateBranchCopy)->Arg(4)->Arg(64);
+
+void BM_ExhaustiveTwoCliques(benchmark::State& state) {
+  const Graph g = two_cliques(4);  // 8 nodes: 8! = 40320 executions
+  const TwoCliquesProtocol p;
+  std::uint64_t execs = 0;
+  const unsigned long long before = alloc_count();
+  for (auto _ : state) {
+    execs += for_each_execution(
+        g, p, [](const ExecutionResult&) { return true; });
+  }
+  state.counters["executions"] =
+      benchmark::Counter(static_cast<double>(execs));
+  state.counters["allocs_per_exec"] = benchmark::Counter(
+      static_cast<double>(alloc_count() - before) / static_cast<double>(execs));
+  state.SetItemsProcessed(static_cast<std::int64_t>(execs));
+}
+BENCHMARK(BM_ExhaustiveTwoCliques)->Unit(benchmark::kMillisecond);
+
+void BM_DistinctBoardsTwoCliques(benchmark::State& state) {
+  const Graph g = two_cliques(4);
+  const TwoCliquesProtocol p;
+  std::uint64_t distinct = 0;
+  for (auto _ : state) {
+    distinct = count_distinct_final_boards(g, p);
+    benchmark::DoNotOptimize(distinct);
+  }
+  state.counters["distinct"] = benchmark::Counter(static_cast<double>(distinct));
+}
+BENCHMARK(BM_DistinctBoardsTwoCliques)->Unit(benchmark::kMillisecond);
+
+void BM_DistinctBoardsMis(benchmark::State& state) {
+  const Graph g = two_cliques(3);  // 6 nodes
+  const RootedMisProtocol p(1);
+  std::uint64_t distinct = 0;
+  for (auto _ : state) {
+    distinct = count_distinct_final_boards(g, p);
+    benchmark::DoNotOptimize(distinct);
+  }
+  state.counters["distinct"] = benchmark::Counter(static_cast<double>(distinct));
+}
+BENCHMARK(BM_DistinctBoardsMis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wb
+
+BENCHMARK_MAIN();

@@ -56,13 +56,19 @@ MisToBuildReduction::Result MisToBuildReduction::run(const Graph& g) const {
 
   // Apex view in every gadget G^(x)_{i,j}: adjacent to all but v_i, v_j.
   GraphBuilder builder(n);
+  // One board serves all O(n²) gadget runs: truncate rewinds it to empty
+  // while the reserved message storage is reused across pairs.
+  Whiteboard board;
+  board.reserve(big);
+  std::vector<NodeId> apex_nb;
+  apex_nb.reserve(n);
   for (NodeId i = 1; i <= n; ++i) {
     for (NodeId j = i + 1; j <= n; ++j) {
-      Whiteboard board;
+      board.truncate(0);
       for (NodeId k = 1; k <= n; ++k) {
         board.append((k == i || k == j) ? m_without[k - 1] : m_with[k - 1]);
       }
-      std::vector<NodeId> apex_nb;
+      apex_nb.clear();
       for (NodeId v = 1; v <= n; ++v) {
         if (v != i && v != j) apex_nb.push_back(v);
       }

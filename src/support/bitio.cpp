@@ -37,11 +37,17 @@ void BitWriter::write_gamma(std::uint64_t v) {
 }
 
 Bits BitWriter::take() {
-  words_.resize((n_bits_ + 63) / 64, 0);
-  Bits out(std::move(words_), n_bits_);
-  words_.clear();
-  n_bits_ = 0;
+  Bits out(words_.data(), n_bits_);
+  reset();
   return out;
+}
+
+void BitWriter::reset() noexcept {
+  // write_uint only ORs into words covered by n_bits_, so zeroing that prefix
+  // restores the all-zero invariant the OR-accumulation relies on.
+  std::fill_n(words_.begin(),
+              std::min(words_.size(), (n_bits_ + 63) / 64), std::uint64_t{0});
+  n_bits_ = 0;
 }
 
 std::uint64_t BitReader::read_uint(int width) {
@@ -51,7 +57,7 @@ std::uint64_t BitReader::read_uint(int width) {
                  "bit stream overrun: need " << width << " bits at position "
                                              << pos_ << " of "
                                              << bits_->size());
-  const auto& words = bits_->words();
+  const std::uint64_t* words = bits_->word_data();
   const std::size_t word = pos_ / 64;
   const int offset = static_cast<int>(pos_ % 64);
   std::uint64_t value = words[word] >> offset;

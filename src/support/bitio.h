@@ -8,8 +8,15 @@
 //  - fixed-width unsigned fields (width known to both sides),
 //  - Elias gamma codes for positive integers of unknown magnitude,
 //  - raw bit runs (adjacency rows for SUBGRAPH_f / BuildFull).
+//
+// Memory model: Bits stores messages of up to kInlineBits bits (two 64-bit
+// words — every O(log n) message at any realistic n) inline, with no heap
+// allocation; longer messages own a heap word array. Unused bits of the last
+// word are always zero ("masked tail"), so equality and hashing are word-wise
+// regardless of how the bit string was produced.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -20,10 +27,46 @@ namespace wb {
 /// An immutable bit string with an exact length in bits.
 class Bits {
  public:
-  Bits() = default;
-  Bits(std::vector<std::uint64_t> words, std::size_t n_bits)
-      : words_(std::move(words)), n_bits_(n_bits) {
-    WB_CHECK(words_.size() * 64 >= n_bits_);
+  /// Messages of at most kInlineBits bits live inside the object.
+  static constexpr std::size_t kInlineWords = 2;
+  static constexpr std::size_t kInlineBits = kInlineWords * 64;
+
+  Bits() noexcept = default;
+
+  /// From raw LSB-first packed words: copies word_count() words and masks the
+  /// tail, so two bit-equal strings compare equal even if the source buffers
+  /// carried garbage beyond bit n_bits.
+  Bits(const std::uint64_t* words, std::size_t n_bits) : n_bits_(n_bits) {
+    std::uint64_t* dst = init_storage();
+    std::copy_n(words, word_count(), dst);
+    mask_tail(dst);
+  }
+
+  Bits(const std::vector<std::uint64_t>& words, std::size_t n_bits)
+      : n_bits_(n_bits) {
+    WB_CHECK(words.size() * 64 >= n_bits);
+    std::uint64_t* dst = init_storage();
+    std::copy_n(words.data(), word_count(), dst);
+    mask_tail(dst);
+  }
+
+  Bits(const Bits& other) : n_bits_(other.n_bits_) {
+    std::copy_n(other.word_data(), word_count(), init_storage());
+  }
+  Bits(Bits&& other) noexcept : n_bits_(other.n_bits_), rep_(other.rep_) {
+    other.n_bits_ = 0;  // heap ownership (if any) moved here
+  }
+  Bits& operator=(Bits other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~Bits() {
+    if (!is_inline()) delete[] rep_.heap;
+  }
+
+  void swap(Bits& other) noexcept {
+    std::swap(n_bits_, other.n_bits_);
+    std::swap(rep_, other.rep_);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return n_bits_; }
@@ -31,27 +74,66 @@ class Bits {
 
   [[nodiscard]] bool bit(std::size_t i) const {
     WB_CHECK(i < n_bits_);
-    return (words_[i / 64] >> (i % 64)) & 1u;
+    return (word_data()[i / 64] >> (i % 64)) & 1u;
   }
 
-  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
-    return words_;
+  /// Number of 64-bit words backing this string: ceil(size / 64).
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return (n_bits_ + 63) / 64;
   }
 
-  friend bool operator==(const Bits& a, const Bits& b) {
-    if (a.n_bits_ != b.n_bits_) return false;
-    for (std::size_t i = 0; i < a.n_bits_; i += 64) {
-      if (a.words_[i / 64] != b.words_[i / 64]) return false;
-    }
-    return true;
+  /// LSB-first packed words; bits past size() in the last word are zero.
+  [[nodiscard]] const std::uint64_t* word_data() const noexcept {
+    return is_inline() ? rep_.inline_words : rep_.heap;
+  }
+
+  [[nodiscard]] std::uint64_t word(std::size_t i) const {
+    WB_CHECK(i < word_count());
+    return word_data()[i];
+  }
+
+  /// Word-wise comparison — valid because tail words are masked on
+  /// construction.
+  friend bool operator==(const Bits& a, const Bits& b) noexcept {
+    return a.n_bits_ == b.n_bits_ &&
+           std::equal(a.word_data(), a.word_data() + a.word_count(),
+                      b.word_data());
   }
 
  private:
-  std::vector<std::uint64_t> words_;
+  [[nodiscard]] bool is_inline() const noexcept {
+    return n_bits_ <= kInlineBits;
+  }
+
+  /// Prepare storage for word_count() words (n_bits_ already set) and return
+  /// the writable word array.
+  std::uint64_t* init_storage() {
+    if (is_inline()) {
+      rep_.inline_words[0] = 0;
+      rep_.inline_words[1] = 0;
+      return rep_.inline_words;
+    }
+    rep_.heap = new std::uint64_t[word_count()];
+    return rep_.heap;
+  }
+
+  void mask_tail(std::uint64_t* words) const noexcept {
+    const std::size_t rem = n_bits_ % 64;
+    if (n_bits_ != 0 && rem != 0) {
+      words[word_count() - 1] &= ~std::uint64_t{0} >> (64 - rem);
+    }
+  }
+
   std::size_t n_bits_ = 0;
+  union Rep {
+    std::uint64_t inline_words[kInlineWords];
+    std::uint64_t* heap;
+  } rep_{};
 };
 
-/// Append-only bit sink.
+/// Append-only bit sink. take() hands out the accumulated string and leaves
+/// the writer empty but with its buffer capacity retained, so one writer can
+/// serve a whole run's worth of messages without reallocating.
 class BitWriter {
  public:
   /// Append the low `width` bits of `value` (LSB first). width in [0, 64];
@@ -72,8 +154,12 @@ class BitWriter {
   /// Number of bits written so far.
   [[nodiscard]] std::size_t bit_count() const noexcept { return n_bits_; }
 
-  /// Finish and return the accumulated bit string.
+  /// Finish and return the accumulated bit string. The writer is reset and
+  /// may be reused; its internal buffer keeps its capacity.
   [[nodiscard]] Bits take();
+
+  /// Discard any pending bits (capacity retained).
+  void reset() noexcept;
 
  private:
   std::vector<std::uint64_t> words_;

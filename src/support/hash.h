@@ -1,0 +1,57 @@
+// Word-wise 128-bit content hashing.
+//
+// The exhaustive explorer keys final whiteboards by this hash instead of a
+// byte-per-bit string: hashing consumes the board word-by-word (valid because
+// Bits masks its tail words) and the key is 16 bytes regardless of board
+// size. The construction runs two independently keyed lanes of the splitmix64
+// finalizer — statistically strong for distinctness counting, not
+// cryptographic. tests/wb/exhaustive_test.cpp pins the counts against a
+// byte-per-bit string-key reference.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace wb {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) noexcept = default;
+  friend auto operator<=>(const Hash128&, const Hash128&) noexcept = default;
+};
+
+/// splitmix64 finalizer: a fast 64-bit permutation with full avalanche.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Streaming hasher over a sequence of 64-bit words. Order-sensitive; callers
+/// hashing variable-length pieces must feed the lengths too (the whiteboard
+/// hash feeds each message's bit length before its words).
+class Hasher128 {
+ public:
+  constexpr void update(std::uint64_t w) noexcept {
+    a_ = mix64(a_ ^ w);
+    b_ = mix64(b_ + w + 0x9e3779b97f4a7c15ULL);
+  }
+
+  [[nodiscard]] constexpr Hash128 digest() const noexcept {
+    const std::uint64_t lo = mix64(a_ ^ 0xff51afd7ed558ccdULL);
+    const std::uint64_t hi = mix64(b_ + lo + 0xc4ceb9fe1a85ec53ULL);
+    return Hash128{lo, hi};
+  }
+
+ private:
+  // Arbitrary distinct non-zero keys (first digits of pi).
+  std::uint64_t a_ = 0x243f6a8885a308d3ULL;
+  std::uint64_t b_ = 0x13198a2e03707344ULL;
+};
+
+}  // namespace wb

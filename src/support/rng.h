@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/support/check.h"
+#include "src/support/hash.h"
 
 namespace wb {
 
@@ -19,12 +20,9 @@ class Rng {
   explicit Rng(std::uint64_t seed) noexcept {
     std::uint64_t x = seed;
     for (auto& s : s_) {
-      // splitmix64 step
+      // splitmix64 step (increment, then the shared finalizer)
       x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      s = z ^ (z >> 31);
+      s = mix64(x);
     }
   }
 

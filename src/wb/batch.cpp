@@ -6,15 +6,14 @@
 #include <mutex>
 #include <thread>
 
+#include "src/support/hash.h"
+
 namespace wb {
 
 namespace {
 
 std::uint64_t splitmix64(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+  return mix64(x + 0x9e3779b97f4a7c15ULL);
 }
 
 ExecutionResult run_one(const Trial& t, std::uint64_t seed) {

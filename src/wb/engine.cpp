@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace wb {
 
@@ -14,10 +15,107 @@ EngineState::EngineState(const Graph& g, const Protocol& p, EngineOptions opts)
   written_.assign(n_, false);
   stats_.activation_round.assign(n_, 0);
   stats_.write_round.assign(n_, 0);
+  // Exactly n messages can ever be written; reserving up front makes a whole
+  // run (and every backtracked re-write) allocation-free on the board.
+  board_.reserve(n_);
+  write_order_.reserve(n_);
+  candidates_.reserve(n_);
 }
 
 void EngineState::trace(TraceEvent::Kind kind, NodeId v) {
   if (opts_.record_trace) trace_.push_back(TraceEvent{round_, kind, v});
+}
+
+void EngineState::journal_state(NodeId v, NodeState old_state) {
+  if (!journaling_) return;
+  UndoRecord u;
+  u.kind = UndoRecord::Kind::kStateChange;
+  u.old_state = old_state;
+  u.node = v;
+  journal_.push_back(std::move(u));
+}
+
+void EngineState::journal_activation(NodeId v) {
+  if (!journaling_) return;
+  UndoRecord u;
+  u.kind = UndoRecord::Kind::kActivation;
+  u.node = v;
+  journal_.push_back(std::move(u));
+}
+
+void EngineState::journal_memory(NodeId v) {
+  if (!journaling_) return;
+  UndoRecord u;
+  u.kind = UndoRecord::Kind::kMemory;
+  u.node = v;
+  u.old_memory = std::move(memory_[v - 1]);
+  journal_.push_back(std::move(u));
+}
+
+void EngineState::set_journaling(bool on) {
+  // Only a virgin state may start journaling: checkpoints reach exactly as
+  // far back as the journal, so enabling after any round would let rewind()
+  // silently cross into unrecorded history.
+  WB_CHECK_MSG(!on || (journal_.empty() && round_ == 0),
+               "enable journaling before the first begin_round()");
+  journaling_ = on;
+  if (!on) journal_.clear();
+}
+
+EngineState::Checkpoint EngineState::checkpoint() const {
+  WB_CHECK_MSG(journaling_, "checkpoint() requires journaling");
+  WB_CHECK_MSG(!terminal(), "checkpoint() of a terminal state");
+  Checkpoint cp;
+  cp.round = round_;
+  cp.journal_size = journal_.size();
+  cp.writes = stats_.writes;
+  cp.board_count = board_.message_count();
+  cp.max_message_bits = stats_.max_message_bits;
+  cp.total_bits = stats_.total_bits;
+  cp.trace_size = trace_.size();
+  cp.wrote_this_round = wrote_this_round_;
+  return cp;
+}
+
+void EngineState::rewind(const Checkpoint& cp) {
+  WB_CHECK_MSG(journaling_, "rewind() requires journaling");
+  WB_CHECK_MSG(cp.journal_size <= journal_.size(),
+               "rewind() past an already-rewound checkpoint");
+  // Undo journaled mutations newest-first, so a node recomposed several
+  // times ends at its memory from checkpoint time.
+  while (journal_.size() > cp.journal_size) {
+    UndoRecord& u = journal_.back();
+    switch (u.kind) {
+      case UndoRecord::Kind::kStateChange:
+        state_[u.node - 1] = u.old_state;
+        break;
+      case UndoRecord::Kind::kActivation:
+        stats_.activation_round[u.node - 1] = 0;
+        break;
+      case UndoRecord::Kind::kMemory:
+        memory_[u.node - 1] = std::move(u.old_memory);
+        break;
+    }
+    journal_.pop_back();
+  }
+  // The write log names exactly the nodes written since the checkpoint.
+  while (write_order_.size() > cp.writes) {
+    const NodeId v = write_order_.back();
+    written_[v - 1] = false;
+    stats_.write_round[v - 1] = 0;
+    write_order_.pop_back();
+  }
+  board_.truncate(cp.board_count);
+  round_ = cp.round;
+  stats_.rounds = cp.round;
+  stats_.writes = cp.writes;
+  stats_.max_message_bits = cp.max_message_bits;
+  stats_.total_bits = cp.total_bits;
+  trace_.resize(cp.trace_size);
+  wrote_this_round_ = cp.wrote_this_round;
+  status_.reset();
+  error_.clear();
+  candidates_.clear();
 }
 
 void EngineState::compose_into(NodeId v) {
@@ -30,12 +128,14 @@ void EngineState::compose_into(NodeId v) {
     fail(RunStatus::kMessageOverflow, os.str());
     return;
   }
+  journal_memory(v);
   memory_[v - 1] = std::move(message);
 }
 
 void EngineState::begin_round() {
   if (terminal()) return;
   ++round_;
+  wrote_this_round_ = false;
   stats_.rounds = round_;
   if (round_ > opts_.max_rounds) {
     fail(RunStatus::kProtocolError, "round limit exceeded without progress");
@@ -48,6 +148,7 @@ void EngineState::begin_round() {
   // Phase 1: termination updates.
   for (NodeId v = 1; v <= n_; ++v) {
     if (state_[v - 1] == NodeState::kActive && written_[v - 1]) {
+      journal_state(v, NodeState::kActive);
       state_[v - 1] = NodeState::kTerminated;
       trace(TraceEvent::Kind::kTerminate, v);
     }
@@ -66,7 +167,9 @@ void EngineState::begin_round() {
       return;
     }
     if (!wants) continue;
+    journal_state(v, NodeState::kAwake);
     state_[v - 1] = NodeState::kActive;
+    journal_activation(v);
     stats_.activation_round[v - 1] = round_;
     newly_active = true;
     trace(TraceEvent::Kind::kActivate, v);
@@ -112,7 +215,18 @@ void EngineState::begin_round() {
 void EngineState::write(std::size_t index) {
   WB_CHECK(!terminal());
   WB_CHECK_MSG(index < candidates_.size(), "adversary chose a non-candidate");
-  const NodeId v = candidates_[index];
+  write_node(candidates_[index]);
+  candidates_.clear();
+}
+
+void EngineState::write_node(NodeId v) {
+  WB_CHECK(!terminal());
+  WB_CHECK_MSG(v >= 1 && v <= n_ && state_[v - 1] == NodeState::kActive &&
+                   !written_[v - 1],
+               "write_node(" << v << "): not an active unwritten node");
+  WB_CHECK_MSG(!wrote_this_round_,
+               "one adversarial write per round: begin_round() first");
+  wrote_this_round_ = true;
   const Bits& message = memory_[v - 1];
   stats_.max_message_bits = std::max(stats_.max_message_bits, message.size());
   board_.append(message);
@@ -122,7 +236,6 @@ void EngineState::write(std::size_t index) {
   ++stats_.writes;
   write_order_.push_back(v);
   trace(TraceEvent::Kind::kWrite, v);
-  candidates_.clear();
 }
 
 void EngineState::fail(RunStatus status, std::string error) {
@@ -130,15 +243,31 @@ void EngineState::fail(RunStatus status, std::string error) {
   error_ = std::move(error);
 }
 
-ExecutionResult EngineState::finish() const {
+void EngineState::finish_into(ExecutionResult& out) const {
+  WB_CHECK_MSG(terminal(), "finish() before the run reached a terminal state");
+  out.status = *status_;
+  out.board = board_;  // O(1): shares the immutable message prefix
+  out.stats = stats_;
+  out.write_order = write_order_;
+  out.error = error_;
+  out.trace = trace_;
+}
+
+ExecutionResult EngineState::finish() const& {
+  ExecutionResult r;
+  finish_into(r);
+  return r;
+}
+
+ExecutionResult EngineState::finish() && {
   WB_CHECK_MSG(terminal(), "finish() before the run reached a terminal state");
   ExecutionResult r;
   r.status = *status_;
-  r.board = board_;
-  r.stats = stats_;
-  r.write_order = write_order_;
-  r.error = error_;
-  r.trace = trace_;
+  r.board = std::move(board_);
+  r.stats = std::move(stats_);
+  r.write_order = std::move(write_order_);
+  r.error = std::move(error_);
+  r.trace = std::move(trace_);
   return r;
 }
 
@@ -148,7 +277,7 @@ ExecutionResult run_protocol(const Graph& g, const Protocol& p, Adversary& adv,
   EngineState s(g, p, opts);
   while (true) {
     s.begin_round();
-    if (s.terminal()) return s.finish();
+    if (s.terminal()) return std::move(s).finish();
     const std::size_t pick =
         adv.choose(s.candidates(), s.board(), s.round());
     s.write(pick);

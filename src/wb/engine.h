@@ -89,8 +89,11 @@ struct EngineOptions {
   bool record_trace = false;
 };
 
-/// Stepwise engine state, copyable so the exhaustive explorer can branch on
-/// adversary decisions. Typical use is through run_protocol below.
+/// Stepwise engine state. Copyable (copies are O(n) — the board is shared
+/// copy-on-write), and optionally *journaling*: with journaling enabled the
+/// engine records an undo entry for every mutation, so the exhaustive
+/// explorer can branch by checkpoint()/rewind() on one state instead of
+/// copying it per branch. Typical use is through run_protocol below.
 class EngineState {
  public:
   EngineState(const Graph& g, const Protocol& p, EngineOptions opts = {});
@@ -107,13 +110,53 @@ class EngineState {
   /// Phase 3: write candidate `index`'s memory and finish the round.
   void write(std::size_t index);
 
+  /// Phase 3, addressed by node ID: `v` must be active with an unwritten
+  /// message. Unlike write(), leaves the candidate buffer untouched, so a
+  /// backtracking caller can iterate its own copy of the candidates across
+  /// rewinds.
+  void write_node(NodeId v);
+
   /// Terminal when a status is decided (success/deadlock/overflow/error).
   [[nodiscard]] bool terminal() const noexcept { return status_.has_value(); }
 
-  [[nodiscard]] ExecutionResult finish() const;
+  /// Snapshot the terminal state into an ExecutionResult. The rvalue
+  /// overload moves the board/stats/trace out (use via std::move(s).finish()
+  /// when the state is done); finish_into re-fills a caller-owned result,
+  /// reusing its buffers — the explorer's per-execution path.
+  [[nodiscard]] ExecutionResult finish() const&;
+  [[nodiscard]] ExecutionResult finish() &&;
+  void finish_into(ExecutionResult& out) const;
 
   [[nodiscard]] const Whiteboard& board() const noexcept { return board_; }
   [[nodiscard]] std::size_t round() const noexcept { return round_; }
+
+  // --- Backtracking API (the exhaustive explorer) ---
+
+  /// A point in the execution to rewind to. Cheap value: scalar cursors into
+  /// the undo journal, write log, and trace.
+  struct Checkpoint {
+    std::size_t round = 0;
+    std::size_t journal_size = 0;
+    std::size_t writes = 0;
+    std::size_t board_count = 0;
+    std::size_t max_message_bits = 0;
+    std::size_t total_bits = 0;
+    std::size_t trace_size = 0;
+    bool wrote_this_round = false;
+  };
+
+  /// Start recording undo entries. Enable once, before the first
+  /// begin_round(); checkpoints only reach back to mutations made while
+  /// journaling was on.
+  void set_journaling(bool on);
+
+  [[nodiscard]] Checkpoint checkpoint() const;
+
+  /// Restore the exact engine state at `cp` (requires journaling; `cp` must
+  /// be from this state and not rewound past already). Clears any terminal
+  /// status reached since. The candidate buffer is left empty — callers
+  /// branching over candidates keep their own copy.
+  void rewind(const Checkpoint& cp);
 
  private:
   void fail(RunStatus status, std::string error);
@@ -124,11 +167,29 @@ class EngineState {
   void compose_into(NodeId v);
   void trace(TraceEvent::Kind kind, NodeId v);
 
+  /// One reversible mutation. kStateChange restores a node's lifecycle
+  /// state, kActivation clears its activation round (set exactly once, from
+  /// 0), kMemory restores its previous local memory.
+  struct UndoRecord {
+    enum class Kind : std::uint8_t { kStateChange, kActivation, kMemory };
+    Kind kind = Kind::kStateChange;
+    NodeState old_state = NodeState::kAwake;
+    NodeId node = kNoNode;
+    Bits old_memory;
+  };
+  void journal_state(NodeId v, NodeState old_state);
+  void journal_activation(NodeId v);
+  void journal_memory(NodeId v);
+
   const Graph* graph_;
   const Protocol* protocol_;
   EngineOptions opts_;
   std::size_t n_;
   std::size_t round_ = 0;
+  /// The paper's model admits one adversarial write per round; write_node
+  /// enforces it (write() inherited the guarantee from the candidate-buffer
+  /// clear, write_node has no buffer to clear).
+  bool wrote_this_round_ = false;
 
   std::vector<NodeState> state_;
   std::vector<Bits> memory_;
@@ -141,6 +202,9 @@ class EngineState {
   RunStats stats_;
   std::vector<NodeId> write_order_;
   std::vector<TraceEvent> trace_;
+
+  bool journaling_ = false;
+  std::vector<UndoRecord> journal_;
 };
 
 /// Run `p` on `g` to completion under `adv`.

@@ -1,41 +1,75 @@
 #include "src/wb/exhaustive.h"
 
-#include <set>
-#include <string>
+#include <algorithm>
 #include <vector>
+
+#include "src/support/hash.h"
 
 namespace wb {
 
 namespace {
 
-struct Explorer {
-  const std::function<bool(const ExecutionResult&)>* visit;
-  std::uint64_t budget;
-  std::uint64_t visited = 0;
-  bool stopped = false;
-
-  // Depth-first over adversary choices. `s` is consumed (copied at branches).
-  void explore(EngineState s) {
-    if (stopped) return;
-    s.begin_round();
-    if (s.terminal()) {
-      WB_CHECK_MSG(visited < budget, "exhaustive exploration budget exceeded");
-      ++visited;
-      if (!(*visit)(s.finish())) stopped = true;
-      return;
-    }
-    const auto cands = s.candidates();
-    if (cands.size() == 1) {
-      s.write(0);  // no branching: reuse the state
-      explore(std::move(s));
-      return;
-    }
-    for (std::size_t i = 0; i < cands.size() && !stopped; ++i) {
-      EngineState branch = s;
-      branch.write(i);
-      explore(std::move(branch));
-    }
+// Depth-first over adversary choices on ONE journaling EngineState: branches
+// are taken by write_node() and undone by rewind(), never by copying the
+// state. Per-frame candidate buffers and the scratch ExecutionResult are
+// pooled, so a steady-state visit allocates nothing.
+class Backtracker {
+ public:
+  Backtracker(const Graph& g, const Protocol& p,
+              const std::function<bool(const ExecutionResult&)>& visit,
+              const ExhaustiveOptions& opts)
+      : state_(g, p, opts.engine), visit_(&visit),
+        budget_(opts.max_executions) {
+    state_.set_journaling(true);
   }
+
+  std::uint64_t run() {
+    explore(0);
+    return visited_;
+  }
+
+ private:
+  // Invariant: explore() returns with the state rewound to how it found it.
+  void explore(std::size_t depth) {
+    const EngineState::Checkpoint pre_round = state_.checkpoint();
+    state_.begin_round();
+    if (state_.terminal()) {
+      WB_CHECK_MSG(visited_ < budget_, "exhaustive exploration budget exceeded");
+      ++visited_;
+      state_.finish_into(scratch_);
+      if (!(*visit_)(scratch_)) stopped_ = true;
+      // Release our share of the board storage so the engine is again its
+      // sole owner and rewinds in place. (A visitor that kept a copy of the
+      // result still owns a consistent snapshot — copy-on-write.)
+      scratch_.board = Whiteboard();
+      state_.rewind(pre_round);
+      return;
+    }
+    // The round's candidates, copied into this depth's pooled buffer:
+    // write_node() does not consume the candidate list, and rewinds restore
+    // the state the copies were taken from. Accessed by index and re-fetched
+    // each iteration — deeper explore() calls can grow frames_ and move the
+    // pooled vectors, so no reference across the recursion stays valid.
+    if (frames_.size() <= depth) frames_.emplace_back();
+    frames_[depth].assign(state_.candidates().begin(),
+                          state_.candidates().end());
+    const EngineState::Checkpoint pre_write = state_.checkpoint();
+    for (std::size_t i = 0; i < frames_[depth].size(); ++i) {
+      if (stopped_) break;
+      state_.write_node(frames_[depth][i]);
+      explore(depth + 1);
+      state_.rewind(pre_write);
+    }
+    state_.rewind(pre_round);
+  }
+
+  EngineState state_;
+  const std::function<bool(const ExecutionResult&)>* visit_;
+  std::uint64_t budget_;
+  std::uint64_t visited_ = 0;
+  bool stopped_ = false;
+  ExecutionResult scratch_;
+  std::vector<std::vector<NodeId>> frames_;
 };
 
 }  // namespace
@@ -44,9 +78,7 @@ std::uint64_t for_each_execution(
     const Graph& g, const Protocol& p,
     const std::function<bool(const ExecutionResult&)>& visit,
     const ExhaustiveOptions& opts) {
-  Explorer e{&visit, opts.max_executions, 0, false};
-  e.explore(EngineState(g, p, opts.engine));
-  return e.visited;
+  return Backtracker(g, p, visit, opts).run();
 }
 
 bool all_executions_ok(
@@ -69,22 +101,19 @@ bool all_executions_ok(
 
 std::uint64_t count_distinct_final_boards(const Graph& g, const Protocol& p,
                                           const ExhaustiveOptions& opts) {
-  std::set<std::string> boards;
+  // Word-wise 128-bit keys instead of byte-per-bit strings: 16 bytes per
+  // execution in one flat buffer, deduplicated with a single sort.
+  std::vector<Hash128> keys;
   for_each_execution(
       g, p,
       [&](const ExecutionResult& r) {
-        std::string key;
-        for (const Bits& b : r.board.messages()) {
-          key.push_back('|');
-          for (std::size_t i = 0; i < b.size(); ++i) {
-            key.push_back(b.bit(i) ? '1' : '0');
-          }
-        }
-        boards.insert(std::move(key));
+        keys.push_back(r.board.content_hash());
         return true;
       },
       opts);
-  return static_cast<std::uint64_t>(boards.size());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return static_cast<std::uint64_t>(keys.size());
 }
 
 }  // namespace wb

@@ -3,7 +3,11 @@
 // A protocol solves a problem only if every execution (every sequence of
 // adversarial writer choices) is successful and yields a correct output
 // (§2). For small n this is checkable by brute force: the explorer branches
-// on each adversary decision and visits every maximal execution.
+// on each adversary decision and visits every maximal execution. It
+// backtracks one journaling EngineState (checkpoint/rewind) instead of
+// copying the state at every branch, so a steady-state visit performs no
+// heap allocation; tests/wb/exhaustive_test.cpp pins its visit sequence
+// against a reference copy-per-branch DFS.
 //
 // This is the strongest evidence our simulator can produce for the "yes"
 // cells of Table 2, and the machinery behind the minimax searches in the
@@ -40,7 +44,8 @@ std::uint64_t for_each_execution(
     const std::function<bool(const ExecutionResult&)>& accept,
     const ExhaustiveOptions& opts = {});
 
-/// Count distinct final whiteboards over all executions (by content).
+/// Count distinct final whiteboards over all executions (by content, keyed
+/// by a word-wise 128-bit hash — see src/support/hash.h).
 /// Diagnostic for order-oblivious protocols: a SIMASYNC whiteboard is a
 /// permutation of one fixed message multiset, so decoders must not depend on
 /// order; this reports how much the adversary can vary the board.

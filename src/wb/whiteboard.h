@@ -4,80 +4,184 @@
 // messages in write order* and nothing else. In particular the whiteboard
 // does not reveal writer identities — every protocol in the paper embeds
 // ID(v) in its own message when it needs to be identified.
+//
+// Memory model: the message storage is a shared, logically immutable prefix.
+// A Whiteboard is a (storage, count) pair — copying one is O(1) (it shares
+// the storage and remembers how much of it is "its" board), which is what
+// snapshotting a board into an ExecutionResult costs. Appends extend the
+// shared storage in place when that is safe (the new slot is past every
+// sharer's count) and clone the live prefix only when a stale-prefix holder
+// diverges. truncate() lets the engine's backtracking explorer unwind writes;
+// it pops storage physically only when this board is the sole owner.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <span>
-#include <typeindex>
+#include <utility>
 #include <vector>
 
 #include "src/support/bitio.h"
+#include "src/support/hash.h"
 
 namespace wb {
 
 class Whiteboard {
  public:
   Whiteboard() = default;
+  Whiteboard(const Whiteboard&) = default;
+  Whiteboard& operator=(const Whiteboard&) = default;
+  // User-defined moves: the logical size lives outside the shared storage
+  // pointer, so a moved-from board must drop its count with the storage or
+  // its accessors would index through null.
+  Whiteboard(Whiteboard&& other) noexcept
+      : entries_(std::move(other.entries_)),
+        count_(std::exchange(other.count_, 0)),
+        total_bits_(std::exchange(other.total_bits_, 0)),
+        cache_(std::move(other.cache_)) {}
+  Whiteboard& operator=(Whiteboard&& other) noexcept {
+    if (this != &other) {
+      entries_ = std::move(other.entries_);
+      count_ = std::exchange(other.count_, 0);
+      total_bits_ = std::exchange(other.total_bits_, 0);
+      cache_ = std::move(other.cache_);
+    }
+    return *this;
+  }
+
+  /// Pre-size the storage. The engine reserves n slots up front so a whole
+  /// run appends without a single reallocation (and without invalidating
+  /// spans handed out by messages()).
+  void reserve(std::size_t message_capacity) {
+    own_tail();
+    entries_->reserve(message_capacity);
+  }
 
   void append(Bits message) {
     total_bits_ += message.size();
-    entries_.push_back(std::move(message));
+    own_tail();
+    entries_->push_back(std::move(message));
+    ++count_;
     cache_.reset();  // any append invalidates decoded views
   }
 
-  [[nodiscard]] std::size_t message_count() const noexcept {
-    return entries_.size();
+  /// Drop every message past the first `new_count`. O(messages dropped).
+  /// Cached views of prefixes that survive stay valid (they are keyed by
+  /// message count and the prefix is immutable).
+  void truncate(std::size_t new_count) {
+    WB_CHECK(new_count <= count_);
+    for (std::size_t i = new_count; i < count_; ++i) {
+      total_bits_ -= (*entries_)[i].size();
+    }
+    count_ = new_count;
+    if (entries_ != nullptr && entries_.use_count() == 1) {
+      entries_->resize(count_);  // sole owner: free the dead tail now
+    }
   }
-  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] std::size_t message_count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
   [[nodiscard]] const Bits& message(std::size_t i) const {
-    WB_CHECK(i < entries_.size());
-    return entries_[i];
+    WB_CHECK(i < count_);
+    return (*entries_)[i];
   }
 
   [[nodiscard]] std::span<const Bits> messages() const noexcept {
-    return entries_;
+    return entries_ == nullptr
+               ? std::span<const Bits>()
+               : std::span<const Bits>(entries_->data(), count_);
   }
 
   /// Total bits currently on the whiteboard (the Lemma 3 budget).
   [[nodiscard]] std::size_t total_bits() const noexcept { return total_bits_; }
+
+  /// Word-wise 128-bit hash of the board contents (message lengths and
+  /// words, in write order). Two boards with equal contents hash equally;
+  /// distinct boards collide with probability ~2^-128.
+  [[nodiscard]] Hash128 content_hash() const noexcept {
+    Hasher128 h;
+    for (const Bits& m : messages()) {
+      h.update(m.size());
+      const std::uint64_t* words = m.word_data();
+      for (std::size_t w = 0, e = m.word_count(); w < e; ++w) {
+        h.update(words[w]);
+      }
+    }
+    return h.digest();
+  }
 
   /// Memoized decoded view of the board.
   ///
   /// Protocol callbacks are invoked O(n) times per round on the same
   /// whiteboard; parsing the full board in each call makes a run O(n³).
   /// Because the board is append-only and immutable between appends, a
-  /// decoded view keyed by (decoder type, message count) stays valid until
-  /// the next append — `append` drops it. Copying a Whiteboard shares the
-  /// cache (both copies hold the same prefix), which is exactly what the
-  /// exhaustive explorer's branching needs.
+  /// decoded view keyed by (view type, message count) stays valid until the
+  /// next append — `append` drops it. Copying a Whiteboard shares the cache
+  /// (both copies hold the same prefix), which is exactly what snapshotting
+  /// a board mid-exploration needs. The slot is a single allocation; the
+  /// view type is identified by a tagged static, not typeid.
   ///
   /// The factory must be a pure function of the board contents (same
   /// requirement §2 places on act/msg themselves).
   template <typename T, typename Factory>
   const T& cached_view(const Factory& factory) const {
-    if (cache_ == nullptr || cache_->type != std::type_index(typeid(T)) ||
-        cache_->count != entries_.size()) {
-      auto holder = std::make_shared<CacheHolder>();
-      holder->type = std::type_index(typeid(T));
-      holder->count = entries_.size();
-      holder->value = std::make_shared<T>(factory(*this));
-      cache_ = std::move(holder);
+    if (cache_ == nullptr || cache_->tag != type_tag<T>() ||
+        cache_->count != count_) {
+      auto slot = std::make_shared<CacheSlot<T>>();
+      slot->tag = type_tag<T>();
+      slot->count = count_;
+      slot->value = factory(*this);
+      const T& ref = slot->value;
+      cache_ = std::move(slot);
+      return ref;
     }
-    return *static_cast<const T*>(cache_->value.get());
+    return static_cast<const CacheSlot<T>*>(cache_.get())->value;
   }
 
  private:
-  struct CacheHolder {
-    std::type_index type = std::type_index(typeid(void));
+  struct CacheBase {
+    const void* tag = nullptr;
     std::size_t count = 0;
-    std::shared_ptr<void> value;
+  };
+  template <typename T>
+  struct CacheSlot final : CacheBase {
+    T value{};
   };
 
-  std::vector<Bits> entries_;
+  /// Address-unique tag per view type (replaces typeid/type_index).
+  /// Deliberately non-const: identical-COMDAT folding (e.g. MSVC /OPT:ICF)
+  /// may merge read-only instantiations across T, mutable data never folds.
+  template <typename T>
+  static const void* type_tag() noexcept {
+    static char tag = 0;
+    return &tag;
+  }
+
+  /// Make entries_ safe to push_back into: allocate on first use, and clone
+  /// the live prefix when this board is a stale-prefix holder of shared
+  /// storage (appending in place would clobber an entry another holder can
+  /// still read).
+  void own_tail() {
+    if (entries_ == nullptr) {
+      entries_ = std::make_shared<std::vector<Bits>>();
+    } else if (count_ < entries_->size()) {
+      if (entries_.use_count() == 1) {
+        entries_->resize(count_);
+      } else {
+        auto fresh = std::make_shared<std::vector<Bits>>();
+        fresh->reserve(entries_->capacity());
+        fresh->assign(entries_->begin(),
+                      entries_->begin() + static_cast<std::ptrdiff_t>(count_));
+        entries_ = std::move(fresh);
+      }
+    }
+  }
+
+  std::shared_ptr<std::vector<Bits>> entries_;
+  std::size_t count_ = 0;
   std::size_t total_bits_ = 0;
-  mutable std::shared_ptr<CacheHolder> cache_;
+  mutable std::shared_ptr<const CacheBase> cache_;
 };
 
 }  // namespace wb

@@ -140,6 +140,109 @@ TEST(BitReader, MalformedGammaThrows) {
   EXPECT_THROW((void)r.read_gamma(), DataError);
 }
 
+TEST(BitsEquality, DirtyTailWordsCompareEqual) {
+  // Regression: two bit-equal strings built from words with different garbage
+  // past the last bit must compare equal — the constructor masks the tail so
+  // equality and hashing stay word-wise.
+  const Bits clean(std::vector<std::uint64_t>{0b1011}, 4);
+  const Bits dirty(std::vector<std::uint64_t>{0xffffffffffffff0bULL}, 4);
+  EXPECT_TRUE(clean == dirty);
+  ASSERT_EQ(dirty.size(), 4u);
+  EXPECT_TRUE(dirty.bit(0));
+  EXPECT_TRUE(dirty.bit(1));
+  EXPECT_FALSE(dirty.bit(2));
+  EXPECT_TRUE(dirty.bit(3));
+  EXPECT_EQ(dirty.word(0), 0b1011u);
+
+  // Multi-word: garbage in the tail of the second word, none in the first.
+  const Bits clean2(std::vector<std::uint64_t>{~std::uint64_t{0}, 0x1}, 65);
+  const Bits dirty2(
+      std::vector<std::uint64_t>{~std::uint64_t{0}, 0xdeadbeef00000001ULL}, 65);
+  EXPECT_TRUE(clean2 == dirty2);
+  EXPECT_EQ(dirty2.word(1), 0x1u);
+
+  // Exact multiple of 64 bits: no tail to mask, words taken verbatim.
+  const Bits full(std::vector<std::uint64_t>{0xabcdef0123456789ULL}, 64);
+  EXPECT_EQ(full.word(0), 0xabcdef0123456789ULL);
+}
+
+TEST(BitsSmallBuffer, InlineAndHeapRepresentationsRoundTrip) {
+  // kInlineBits is the SSO boundary; strings on both sides must copy, move,
+  // and compare identically.
+  for (const std::size_t n_bits :
+       {std::size_t{1}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+        Bits::kInlineBits - 1, Bits::kInlineBits, Bits::kInlineBits + 1,
+        std::size_t{333}}) {
+    BitWriter w;
+    for (std::size_t i = 0; i < n_bits; ++i) w.write_bit(i % 3 == 0);
+    const Bits b = w.take();
+    ASSERT_EQ(b.size(), n_bits);
+    for (std::size_t i = 0; i < n_bits; ++i) {
+      ASSERT_EQ(b.bit(i), i % 3 == 0) << "n_bits=" << n_bits << " i=" << i;
+    }
+    Bits copy = b;  // deep copy
+    EXPECT_TRUE(copy == b);
+    Bits moved = std::move(copy);
+    EXPECT_TRUE(moved == b);
+    Bits assigned;
+    assigned = moved;
+    EXPECT_TRUE(assigned == b);
+    moved = Bits{};
+    EXPECT_TRUE(moved.empty());
+  }
+}
+
+TEST(BitWriter, TakeResetsForReuse) {
+  BitWriter w;
+  w.write_uint(0b101, 3);
+  const Bits first = w.take();
+  EXPECT_EQ(w.bit_count(), 0u);
+  // The second message must not see residue of the first (the writer relies
+  // on all-zero words for OR-accumulation).
+  w.write_uint(0b010, 3);
+  const Bits second = w.take();
+  EXPECT_EQ(first.size(), 3u);
+  EXPECT_EQ(second.size(), 3u);
+  EXPECT_TRUE(first.bit(0));
+  EXPECT_FALSE(second.bit(0));
+  EXPECT_TRUE(second.bit(1));
+  EXPECT_FALSE(first == second);
+}
+
+TEST(BitWriter, ResetDiscardsPendingBits) {
+  BitWriter w;
+  for (int i = 0; i < 100; ++i) w.write_uint(~std::uint64_t{0}, 64);
+  w.reset();
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write_uint(0, 64);
+  const Bits b = w.take();
+  ASSERT_EQ(b.size(), 64u);
+  EXPECT_EQ(b.word(0), 0u);
+}
+
+TEST(BitWriter, ReusedWriterFuzzRoundTrip) {
+  Rng rng(1234);
+  BitWriter w;  // one writer across all messages, as the protocols use it
+  for (int msg = 0; msg < 50; ++msg) {
+    std::vector<std::pair<std::uint64_t, int>> fields;
+    const int count = static_cast<int>(rng.range(1, 30));
+    for (int i = 0; i < count; ++i) {
+      const int width = static_cast<int>(rng.range(1, 64));
+      const std::uint64_t mask =
+          width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+      const std::uint64_t value = rng.next() & mask;
+      fields.emplace_back(value, width);
+      w.write_uint(value, width);
+    }
+    const Bits b = w.take();
+    BitReader r(b);
+    for (const auto& [value, width] : fields) {
+      ASSERT_EQ(r.read_uint(width), value) << "msg " << msg;
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
 TEST(BitsEquality, ComparesContentAndLength) {
   BitWriter w1, w2, w3;
   w1.write_uint(0b1011, 4);

@@ -146,5 +146,137 @@ TEST(EngineState, FinishBeforeTerminalThrows) {
   EXPECT_THROW((void)s.finish(), LogicError);
 }
 
+TEST(EngineState, MoveFinishMatchesCopyFinish) {
+  const Graph g = complete_graph(4);
+  const testing::BoardSizeProtocol p;
+  EngineOptions opts;
+  opts.record_trace = true;
+  EngineState s(g, p, opts);
+  while (true) {
+    s.begin_round();
+    if (s.terminal()) break;
+    s.write(s.candidates().size() - 1);  // last candidate, for variety
+  }
+  const ExecutionResult copied = s.finish();
+  const ExecutionResult moved = std::move(s).finish();
+  EXPECT_EQ(moved.status, copied.status);
+  EXPECT_EQ(moved.write_order, copied.write_order);
+  EXPECT_EQ(moved.error, copied.error);
+  EXPECT_EQ(moved.stats.writes, copied.stats.writes);
+  EXPECT_EQ(moved.stats.rounds, copied.stats.rounds);
+  EXPECT_EQ(moved.stats.activation_round, copied.stats.activation_round);
+  EXPECT_EQ(moved.stats.write_round, copied.stats.write_round);
+  EXPECT_EQ(moved.trace.size(), copied.trace.size());
+  ASSERT_EQ(moved.board.message_count(), copied.board.message_count());
+  for (std::size_t i = 0; i < moved.board.message_count(); ++i) {
+    EXPECT_TRUE(moved.board.message(i) == copied.board.message(i));
+  }
+}
+
+TEST(EngineState, WriteNodeRejectsNonCandidates) {
+  const Graph g = path_graph(3);
+  const testing::OnlyFirstNodeProtocol p;  // only node 1 ever activates
+  EngineState s(g, p);
+  s.begin_round();
+  ASSERT_FALSE(s.terminal());
+  EXPECT_THROW(s.write_node(2), LogicError);   // awake, not active
+  EXPECT_THROW(s.write_node(99), LogicError);  // not a node
+  s.write_node(1);
+  s.begin_round();  // node 1 terminates; run deadlocks
+  EXPECT_TRUE(s.terminal());
+}
+
+TEST(EngineState, WriteNodeEnforcesOneWritePerRound) {
+  const Graph g = complete_graph(3);
+  const testing::EchoIdProtocol p;
+  EngineState s(g, p);
+  s.begin_round();
+  ASSERT_FALSE(s.terminal());
+  s.write_node(1);
+  EXPECT_THROW(s.write_node(2), LogicError);  // no begin_round() in between
+  s.begin_round();
+  s.write_node(2);  // fine after the next round starts
+}
+
+TEST(EngineState, CheckpointRequiresJournaling) {
+  const Graph g = path_graph(2);
+  const testing::EchoIdProtocol p;
+  EngineState s(g, p);
+  EXPECT_THROW((void)s.checkpoint(), LogicError);
+}
+
+// Branch once by checkpoint/rewind and once on a fresh engine: every
+// observable of the two executions must agree. Exercises undo of writes,
+// activations, terminations, and (for the sync protocol) recompositions.
+class EngineRewindTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EngineRewindTest, RewindReplaysExactly) {
+  const bool sync = GetParam();
+  const Graph g = complete_graph(4);
+  const testing::BoardSizeProtocol sync_p;
+  const testing::FrozenBoardSizeProtocol async_p;
+  const Protocol& p =
+      sync ? static_cast<const Protocol&>(sync_p) : async_p;
+  EngineOptions opts;
+  opts.record_trace = true;
+
+  // Reference: a fresh engine that always writes the *last* candidate.
+  auto reference = [&] {
+    EngineState s(g, p, opts);
+    while (true) {
+      s.begin_round();
+      if (s.terminal()) return std::move(s).finish();
+      s.write(s.candidates().size() - 1);
+    }
+  }();
+
+  // Journaling engine: first exhaust the first-candidate branch to terminal,
+  // then rewind to the very start and replay the last-candidate branch.
+  EngineState s(g, p, opts);
+  s.set_journaling(true);
+  const EngineState::Checkpoint start = s.checkpoint();
+  while (true) {
+    s.begin_round();
+    if (s.terminal()) break;
+    s.write(0);
+  }
+  const ExecutionResult first_branch = s.finish();
+  EXPECT_TRUE(first_branch.ok());
+  s.rewind(start);
+
+  while (true) {
+    s.begin_round();
+    if (s.terminal()) break;
+    s.write(s.candidates().size() - 1);
+  }
+  const ExecutionResult replay = s.finish();
+
+  EXPECT_EQ(replay.status, reference.status);
+  EXPECT_EQ(replay.write_order, reference.write_order);
+  EXPECT_EQ(replay.stats.rounds, reference.stats.rounds);
+  EXPECT_EQ(replay.stats.writes, reference.stats.writes);
+  EXPECT_EQ(replay.stats.max_message_bits, reference.stats.max_message_bits);
+  EXPECT_EQ(replay.stats.total_bits, reference.stats.total_bits);
+  EXPECT_EQ(replay.stats.activation_round, reference.stats.activation_round);
+  EXPECT_EQ(replay.stats.write_round, reference.stats.write_round);
+  ASSERT_EQ(replay.board.message_count(), reference.board.message_count());
+  for (std::size_t i = 0; i < replay.board.message_count(); ++i) {
+    EXPECT_TRUE(replay.board.message(i) == reference.board.message(i));
+  }
+  EXPECT_EQ(replay.board.content_hash(), reference.board.content_hash());
+  ASSERT_EQ(replay.trace.size(), reference.trace.size());
+  for (std::size_t i = 0; i < replay.trace.size(); ++i) {
+    EXPECT_EQ(replay.trace[i].round, reference.trace[i].round);
+    EXPECT_EQ(replay.trace[i].kind, reference.trace[i].kind);
+    EXPECT_EQ(replay.trace[i].node, reference.trace[i].node);
+  }
+  // The first branch's snapshot is unaffected by the rewind + replay.
+  EXPECT_EQ(first_branch.board.message_count(), 4u);
+  EXPECT_NE(first_branch.write_order, replay.write_order);
+}
+
+INSTANTIATE_TEST_SUITE_P(SyncAndAsync, EngineRewindTest,
+                         ::testing::Values(true, false));
+
 }  // namespace
 }  // namespace wb

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/graph/generators.h"
+#include "src/protocols/bfs_sync.h"
 #include "tests/wb/test_protocols.h"
 
 namespace wb {
@@ -67,6 +71,161 @@ TEST(Exhaustive, AllExecutionsOkAggregates) {
   const testing::OnlyFirstNodeProtocol deadlocker;
   EXPECT_FALSE(all_executions_ok(
       g, deadlocker, [](const ExecutionResult&) { return true; }));
+}
+
+// Everything observable about one execution, for equivalence checking.
+struct Signature {
+  RunStatus status = RunStatus::kProtocolError;
+  std::vector<NodeId> write_order;
+  std::vector<std::string> board;  // byte-per-bit message strings
+  std::vector<std::size_t> activation_round;
+  std::vector<std::size_t> write_round;
+  std::size_t rounds = 0;
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+Signature signature_of(const ExecutionResult& r) {
+  Signature s;
+  s.status = r.status;
+  s.write_order = r.write_order;
+  for (const Bits& m : r.board.messages()) {
+    std::string bits;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      bits.push_back(m.bit(i) ? '1' : '0');
+    }
+    s.board.push_back(std::move(bits));
+  }
+  s.activation_round = r.stats.activation_round;
+  s.write_round = r.stats.write_round;
+  s.rounds = r.stats.rounds;
+  return s;
+}
+
+// The pre-backtracking explorer: depth-first with a full EngineState copy at
+// every branch. Kept here as the reference semantics the production explorer
+// must reproduce execution-for-execution, in order.
+void reference_explore(EngineState s, std::vector<Signature>& out) {
+  s.begin_round();
+  if (s.terminal()) {
+    out.push_back(signature_of(s.finish()));
+    return;
+  }
+  const std::size_t n_cands = s.candidates().size();
+  if (n_cands == 1) {
+    s.write(0);
+    reference_explore(std::move(s), out);
+    return;
+  }
+  for (std::size_t i = 0; i < n_cands; ++i) {
+    EngineState branch = s;
+    branch.write(i);
+    reference_explore(std::move(branch), out);
+  }
+}
+
+void expect_same_execution_sequence(const Graph& g, const Protocol& p) {
+  std::vector<Signature> reference;
+  reference_explore(EngineState(g, p), reference);
+
+  std::vector<Signature> actual;
+  const std::uint64_t visited =
+      for_each_execution(g, p, [&](const ExecutionResult& r) {
+        actual.push_back(signature_of(r));
+        return true;
+      });
+
+  ASSERT_EQ(visited, reference.size()) << p.name();
+  ASSERT_EQ(actual.size(), reference.size()) << p.name();
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(actual[i], reference[i]) << p.name() << " execution " << i;
+  }
+}
+
+TEST(ExhaustiveEquivalence, BacktrackerMatchesCopyBasedDfs) {
+  const Graph path4 = path_graph(4);
+  const Graph star4 = star_graph(4);
+  const Graph kb22 = complete_bipartite(2, 2);
+
+  // Asynchronous classes (messages frozen at activation).
+  const testing::EchoIdProtocol echo;           // SIMASYNC
+  const testing::FrozenBoardSizeProtocol frozen;  // SIMASYNC, equal messages
+  const testing::OnlyFirstNodeProtocol deadlocker;  // ASYNC, deadlocks
+  for (const Graph* g : {&path4, &star4, &kb22}) {
+    expect_same_execution_sequence(*g, echo);
+    expect_same_execution_sequence(*g, frozen);
+    expect_same_execution_sequence(*g, deadlocker);
+  }
+
+  // Synchronous classes (memories recomposed every round — stresses the
+  // rewind of per-round recompositions).
+  const testing::BoardSizeProtocol board_size;  // SIMSYNC
+  const SyncBfsProtocol bfs;                    // SYNC, gated activations
+  for (const Graph* g : {&path4, &star4, &kb22}) {
+    expect_same_execution_sequence(*g, board_size);
+    expect_same_execution_sequence(*g, bfs);
+  }
+}
+
+// Reference implementation of distinct-final-board counting with
+// byte-per-bit string keys (the pre-hash data structure).
+std::uint64_t count_distinct_boards_by_string(const Graph& g,
+                                              const Protocol& p) {
+  std::set<std::string> boards;
+  for_each_execution(g, p, [&](const ExecutionResult& r) {
+    std::string key;
+    for (const Bits& b : r.board.messages()) {
+      key.push_back('|');
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        key.push_back(b.bit(i) ? '1' : '0');
+      }
+    }
+    boards.insert(std::move(key));
+    return true;
+  });
+  return static_cast<std::uint64_t>(boards.size());
+}
+
+TEST(Exhaustive, HashKeyedDistinctBoardsMatchesStringKeys) {
+  const testing::EchoIdProtocol echo;
+  const testing::FrozenBoardSizeProtocol frozen;
+  const testing::BoardSizeProtocol board_size;
+  const SyncBfsProtocol bfs;
+  const std::vector<const Protocol*> protocols = {&echo, &frozen, &board_size,
+                                                  &bfs};
+  const std::vector<Graph> graphs = {path_graph(4), star_graph(4),
+                                     complete_bipartite(2, 2), cycle_graph(4)};
+  for (const Protocol* p : protocols) {
+    for (const Graph& g : graphs) {
+      EXPECT_EQ(count_distinct_final_boards(g, *p),
+                count_distinct_boards_by_string(g, *p))
+          << p->name() << " on n=" << g.node_count();
+    }
+  }
+}
+
+TEST(Exhaustive, RetainedBoardSnapshotsSurviveBacktracking) {
+  // A visitor may keep the O(1) board snapshot beyond the visit; the
+  // explorer then backtracks the shared storage underneath it. Copy-on-write
+  // must keep every retained snapshot bit-exact.
+  const Graph g = path_graph(4);
+  const testing::EchoIdProtocol p;
+  std::vector<Whiteboard> boards;
+  std::vector<std::vector<NodeId>> orders;
+  for_each_execution(g, p, [&](const ExecutionResult& r) {
+    boards.push_back(r.board);
+    orders.push_back(r.write_order);
+    return true;
+  });
+  ASSERT_EQ(boards.size(), 24u);
+  for (std::size_t e = 0; e < boards.size(); ++e) {
+    ASSERT_EQ(boards[e].message_count(), 4u) << "execution " << e;
+    for (std::size_t i = 0; i < 4; ++i) {
+      BitReader r(boards[e].message(i));
+      EXPECT_EQ(codec::read_id(r, 4), orders[e][i])
+          << "execution " << e << " message " << i;
+    }
+  }
 }
 
 TEST(Exhaustive, DistinctBoardsCountsOrderSensitivity) {
