@@ -14,13 +14,25 @@
 //                                (8 nodes, 8! = 40320 executions);
 //                                `allocs_per_exec` is the headline number:
 //                                ~58 before the allocation-free core, ~2.7
-//                                after (the residue is protocol-side
-//                                BitWriter scratch, not engine state);
-//  - BM_DistinctBoards         — hash-keyed distinct-final-board counting.
+//                                with the PR 2 core, ~0.01 now that a
+//                                per-engine scratch BitWriter is threaded
+//                                through Protocol::compose — the benchmark
+//                                *fails* (SkipWithError) if the steady
+//                                state exceeds 0.5 allocs/execution;
+//  - BM_ExhaustiveTwoCliquesThreads — the same sweep partitioned across the
+//                                shared worker pool at 1/2/4/8 threads;
+//                                verifies the bit-identical 40320 count at
+//                                every thread count and reports the
+//                                execution rate (speedup needs multi-core
+//                                hardware — CI — not this 1-core container);
+//  - BM_DistinctBoards         — hash-keyed distinct-final-board counting,
+//                                streamed through sorted-run union (serial
+//                                and parallel).
 //
 // CI runs this binary as the Release bench-smoke job and uploads the JSON
-// as BENCH_pr2.json; the committed BENCH_pr2.json at the repo root is the
-// first recorded baseline of that trajectory.
+// as BENCH_pr3.json; the committed BENCH_pr2.json / BENCH_pr3.json at the
+// repo root are the recorded baselines of that trajectory (compare with
+// tools/bench_diff.py).
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -132,25 +144,66 @@ void BM_ExhaustiveTwoCliques(benchmark::State& state) {
     execs += for_each_execution(
         g, p, [](const ExecutionResult&) { return true; });
   }
+  const double allocs_per_exec =
+      static_cast<double>(alloc_count() - before) / static_cast<double>(execs);
   state.counters["executions"] =
       benchmark::Counter(static_cast<double>(execs));
-  state.counters["allocs_per_exec"] = benchmark::Counter(
-      static_cast<double>(alloc_count() - before) / static_cast<double>(execs));
+  state.counters["allocs_per_exec"] = benchmark::Counter(allocs_per_exec);
   state.SetItemsProcessed(static_cast<std::int64_t>(execs));
+  // The allocation story is DONE: engine journaling (PR 2) plus the scratch
+  // BitWriter through compose (PR 3) leave only per-sweep setup, amortized
+  // over 40320 executions. Regressing past 0.5 allocs/execution means a
+  // hot-path allocation crept back in — fail the bench, not just drift.
+  if (allocs_per_exec > 0.5) {
+    state.SkipWithError("steady-state allocation regression: > 0.5 allocs/exec");
+  }
 }
 BENCHMARK(BM_ExhaustiveTwoCliques)->Unit(benchmark::kMillisecond);
+
+void BM_ExhaustiveTwoCliquesThreads(benchmark::State& state) {
+  const Graph g = two_cliques(4);  // 8 nodes: 8! = 40320 executions
+  const TwoCliquesProtocol p;
+  ExhaustiveOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t execs = 0;
+  for (auto _ : state) {
+    const std::uint64_t visited = for_each_execution(
+        g, p, [](const ExecutionResult&) { return true; }, opts);
+    if (visited != 40320) {
+      state.SkipWithError("parallel sweep lost executions");
+      return;
+    }
+    execs += visited;
+  }
+  state.counters["executions_per_s"] = benchmark::Counter(
+      static_cast<double>(execs), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(execs));
+}
+BENCHMARK(BM_ExhaustiveTwoCliquesThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_DistinctBoardsTwoCliques(benchmark::State& state) {
   const Graph g = two_cliques(4);
   const TwoCliquesProtocol p;
+  ExhaustiveOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
   std::uint64_t distinct = 0;
   for (auto _ : state) {
-    distinct = count_distinct_final_boards(g, p);
+    distinct = count_distinct_final_boards(g, p, opts);
     benchmark::DoNotOptimize(distinct);
   }
   state.counters["distinct"] = benchmark::Counter(static_cast<double>(distinct));
 }
-BENCHMARK(BM_DistinctBoardsTwoCliques)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistinctBoardsTwoCliques)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_DistinctBoardsMis(benchmark::State& state) {
   const Graph g = two_cliques(3);  // 6 nodes

@@ -12,6 +12,7 @@
 // is regenerated through the paper's own machinery: the executable reduction
 // (run with an unbounded-message oracle) plus the Lemma 3 counting gap that
 // the reduction's target family forces.
+#include <atomic>
 #include <cstdio>
 #include <string>
 
@@ -47,19 +48,28 @@ struct Tally {
   }
 };
 
-/// Exhaustively validate `p` over every graph produced by `gen`.
+/// Exhaustively validate `p` over every graph produced by `gen`. Each
+/// graph's schedule tree is partitioned across the shared worker pool
+/// (ExhaustiveOptions::threads = 0), so the visitor tallies atomically; the
+/// totals are bit-identical to a serial sweep.
 template <typename P, typename Gen, typename Accept>
 Tally exhaust(const Gen& gen, const P& p, const Accept& accept) {
+  ExhaustiveOptions opts;
+  opts.threads = 0;
   Tally t;
   gen([&](const Graph& g) {
     ++t.graphs;
-    for_each_execution(g, p, [&](const ExecutionResult& r) {
-      ++t.executions;
-      if (!r.ok() || !accept(g, p.output(r.board, g.node_count()))) {
-        ++t.failures;
-      }
-      return true;
-    });
+    std::atomic<std::uint64_t> failures{0};
+    t.executions += for_each_execution(
+        g, p,
+        [&](const ExecutionResult& r) {
+          if (!r.ok() || !accept(g, p.output(r.board, g.node_count()))) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          return true;
+        },
+        opts);
+    t.failures += failures.load();
   });
   return t;
 }
@@ -165,50 +175,59 @@ void triangle_row() {
   // measure the pair-chase candidate (DESIGN.md §3): soundness plus
   // verdict quality under exhaustive schedules.
   const TrianglePairChaseProtocol chase(0);
-  std::uint64_t runs = 0, correct = 0, missed = 0, unsound = 0;
+  ExhaustiveOptions par;
+  par.threads = 0;
+  std::uint64_t runs = 0;
+  std::atomic<std::uint64_t> correct{0}, missed{0}, unsound{0};
   for_each_labeled_graph(5, [&](const Graph& g) {
     const bool truth = has_triangle(g);
-    for_each_execution(g, chase, [&](const ExecutionResult& r) {
-      ++runs;
-      const TriangleVerdict v = chase.output(r.board, 5);
-      if ((v == TriangleVerdict::kYes) == truth) {
-        ++correct;
-      } else if (truth) {
-        ++missed;
-      } else {
-        ++unsound;
-      }
-      return true;
-    });
+    runs += for_each_execution(
+        g, chase,
+        [&](const ExecutionResult& r) {
+          const TriangleVerdict v = chase.output(r.board, 5);
+          if ((v == TriangleVerdict::kYes) == truth) {
+            correct.fetch_add(1, std::memory_order_relaxed);
+          } else if (truth) {
+            missed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            unsound.fetch_add(1, std::memory_order_relaxed);
+          }
+          return true;
+        },
+        par);
   });
   std::printf(
       "SIMSYNC (paper: yes; candidate pair-chase measured): %llu runs, "
       "%.2f%% correct, %llu misses, %llu unsound\n",
-      static_cast<unsigned long long>(runs), 100.0 * correct / runs,
-      static_cast<unsigned long long>(missed),
-      static_cast<unsigned long long>(unsound));
+      static_cast<unsigned long long>(runs),
+      100.0 * static_cast<double>(correct.load()) / static_cast<double>(runs),
+      static_cast<unsigned long long>(missed.load()),
+      static_cast<unsigned long long>(unsound.load()));
 
   const TrianglePairChaseProtocol csp(4);
-  std::uint64_t cruns = 0, cunknown = 0, cwrong = 0;
+  std::uint64_t cruns = 0;
+  std::atomic<std::uint64_t> cunknown{0}, cwrong{0};
   for_each_labeled_graph(4, [&](const Graph& g) {
     const bool truth = has_triangle(g);
-    for_each_execution(g, csp, [&](const ExecutionResult& r) {
-      ++cruns;
-      const TriangleVerdict v = csp.output(r.board, 4);
-      if (v == TriangleVerdict::kUnknown) {
-        ++cunknown;
-      } else if ((v == TriangleVerdict::kYes) != truth) {
-        ++cwrong;
-      }
-      return true;
-    });
+    cruns += for_each_execution(
+        g, csp,
+        [&](const ExecutionResult& r) {
+          const TriangleVerdict v = csp.output(r.board, 4);
+          if (v == TriangleVerdict::kUnknown) {
+            cunknown.fetch_add(1, std::memory_order_relaxed);
+          } else if ((v == TriangleVerdict::kYes) != truth) {
+            cwrong.fetch_add(1, std::memory_order_relaxed);
+          }
+          return true;
+        },
+        par);
   });
   std::printf(
       "SIMSYNC pair-chase + consistent-graph output (n=4, exhaustive): %llu "
       "runs, %llu wrong, %llu abstain\n",
       static_cast<unsigned long long>(cruns),
-      static_cast<unsigned long long>(cwrong),
-      static_cast<unsigned long long>(cunknown));
+      static_cast<unsigned long long>(cwrong.load()),
+      static_cast<unsigned long long>(cunknown.load()));
 
   // Larger n: random graphs × random schedules (exhaustion is out of reach).
   std::uint64_t sruns = 0, scorrect = 0;

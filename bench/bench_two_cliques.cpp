@@ -6,6 +6,7 @@
 //  - Open Problem 1 data: the counting ledger for the 2-CLIQUES family is
 //    tiny (one bit of answer), so Lemma 3 gives no obstruction — consistent
 //    with the problem's SIMASYNC status being open.
+#include <atomic>
 #include <cstdio>
 #include <deque>
 #include <vector>
@@ -25,34 +26,41 @@ namespace wb {
 namespace {
 
 void exhaustive_summary() {
-  bench::subsection("exhaustive validation");
+  bench::subsection("exhaustive validation (parallel subtree sweep)");
   const TwoCliquesProtocol p;
+  // threads=0: partition each schedule tree across every core. The visitor
+  // runs concurrently, so the tallies are atomics; totals are bit-identical
+  // to the serial sweep at any thread count.
+  ExhaustiveOptions opts;
+  opts.threads = 0;
   TextTable t({"instance", "2n", "executions", "wrong verdicts",
                "no-conflict executions"});
   auto probe = [&](const std::string& name, const Graph& g, bool truth) {
-    std::uint64_t execs = 0, wrong = 0, floods = 0;
-    for_each_execution(g, p, [&](const ExecutionResult& r) {
-      ++execs;
-      if (!r.ok()) {
-        ++wrong;
-        return true;
-      }
-      const TwoCliquesOutput out = p.output(r.board, g.node_count());
-      if (out.yes != truth) ++wrong;
-      // Count executions whose rejection came from side counts only.
-      if (!out.yes) {
-        bool conflict = false;
-        for (const Bits& m : r.board.messages()) {
-          BitReader reader(m);
-          (void)reader.read_uint(bits_for_id(g.node_count()));
-          if (reader.read_uint(2) == 2) conflict = true;
-        }
-        if (!conflict) ++floods;
-      }
-      return true;
-    });
+    std::atomic<std::uint64_t> wrong{0}, floods{0};
+    const std::uint64_t execs = for_each_execution(
+        g, p,
+        [&](const ExecutionResult& r) {
+          if (!r.ok()) {
+            wrong.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          }
+          const TwoCliquesOutput out = p.output(r.board, g.node_count());
+          if (out.yes != truth) wrong.fetch_add(1, std::memory_order_relaxed);
+          // Count executions whose rejection came from side counts only.
+          if (!out.yes) {
+            bool conflict = false;
+            for (const Bits& m : r.board.messages()) {
+              BitReader reader(m);
+              (void)reader.read_uint(bits_for_id(g.node_count()));
+              if (reader.read_uint(2) == 2) conflict = true;
+            }
+            if (!conflict) floods.fetch_add(1, std::memory_order_relaxed);
+          }
+          return true;
+        },
+        opts);
     t.add_row({name, std::to_string(g.node_count()), std::to_string(execs),
-               std::to_string(wrong), std::to_string(floods)});
+               std::to_string(wrong.load()), std::to_string(floods.load())});
   };
   probe("K3+K3 (yes)", two_cliques(3), true);
   probe("C6 (no)", cycle_graph(6), false);

@@ -1,7 +1,11 @@
 #include "src/cli/runners.h"
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "src/analysis/board_stats.h"
 #include "src/analysis/schedule_stats.h"
@@ -18,19 +22,23 @@
 #include "src/protocols/subgraph.h"
 #include "src/protocols/triangle.h"
 #include "src/protocols/two_cliques.h"
+#include "src/support/hash.h"
 #include "src/wb/batch.h"
 #include "src/wb/engine.h"
+#include "src/wb/exhaustive.h"
 
 namespace wb::cli {
 
 namespace {
 
-/// How a spec dispatch schedules its runs: one borrowed adversary, or the
-/// seeded standard battery fanned out through the batch engine.
+/// How a spec dispatch schedules its runs: one borrowed adversary, the
+/// seeded standard battery fanned out through the batch engine, or the
+/// exhaustive sweep over every schedule (parallel subtree partition).
 struct RunPlan {
   Adversary* single = nullptr;  // set: exactly this strategy
   std::uint64_t seed = 0;       // else: standard_adversaries(g, seed)
   BatchOptions batch;
+  const ExhaustiveOptions* exhaustive = nullptr;  // set: sweep every schedule
 };
 
 void describe_run(std::ostringstream& os, const Graph& g, const Protocol& p,
@@ -55,11 +63,76 @@ void describe_run(std::ostringstream& os, const Graph& g, const Protocol& p,
      << "\n";
 }
 
+/// Exhaustive plan: one report aggregating every adversary schedule, from a
+/// SINGLE sweep — output validation and the distinct-board tally share one
+/// visitor instead of exploring the n! tree twice. The check callback is
+/// invoked concurrently from pool workers — it only reads the (const)
+/// graph/protocol and writes to a per-worker sink, so the shared state is
+/// the atomic tallies and the mutexed hash buffer (bounded by
+/// opts.max_executions, 16 bytes each).
+template <typename P, typename Check>
+std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
+                                      const ExhaustiveOptions& opts,
+                                      const Check& check) {
+  std::atomic<std::uint64_t> engine_failures{0};
+  std::atomic<std::uint64_t> wrong_outputs{0};
+  std::mutex hashes_mutex;
+  std::vector<Hash128> board_hashes;
+  const std::uint64_t executions = for_each_execution(
+      g, protocol,
+      [&](const ExecutionResult& r) {
+        {
+          const std::lock_guard<std::mutex> lock(hashes_mutex);
+          board_hashes.push_back(r.board.content_hash());
+        }
+        if (!r.ok()) {
+          engine_failures.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        // The verdict text is discarded; seekp(0) reuses the worker's buffer
+        // so the hot loop stays allocation-free after warmup.
+        thread_local std::ostringstream sink;
+        sink.seekp(0);
+        if (!check(protocol.output(r.board, g.node_count()), sink)) {
+          wrong_outputs.fetch_add(1, std::memory_order_relaxed);
+        }
+        return true;
+      },
+      opts);
+  std::sort(board_hashes.begin(), board_hashes.end());
+  board_hashes.erase(std::unique(board_hashes.begin(), board_hashes.end()),
+                     board_hashes.end());
+  const std::uint64_t distinct = board_hashes.size();
+
+  RunReport report;
+  report.executed = true;
+  report.adversary =
+      "exhaustive(threads=" + std::to_string(opts.threads) + ")";
+  const std::uint64_t failures = engine_failures.load() + wrong_outputs.load();
+  report.correct = failures == 0;
+  report.status = engine_failures.load() == 0 ? "success" : "mixed";
+  std::ostringstream os;
+  os << "protocol   " << protocol.name() << " ("
+     << model_name(protocol.model_class()) << "["
+     << protocol.message_bit_limit(g.node_count()) << " bits])\n";
+  os << "graph      n=" << g.node_count() << " m=" << g.edge_count() << "\n";
+  os << "adversary  " << report.adversary << "\n";
+  os << "schedules  " << executions << " executions, " << distinct
+     << " distinct final boards\n";
+  os << "verdict    " << (executions - failures) << "/" << executions
+     << " executions successful and correct\n";
+  report.summary = os.str();
+  return {std::move(report)};
+}
+
 /// Run a typed protocol under every strategy of `plan` (all execution goes
 /// through the batch engine) and validate each run with `check(output)`.
 template <typename P, typename Check>
 std::vector<RunReport> run_typed(const P& protocol, const Graph& g,
                                  const RunPlan& plan, const Check& check) {
+  if (plan.exhaustive != nullptr) {
+    return run_exhaustive(protocol, g, *plan.exhaustive, check);
+  }
   std::vector<BatteryRun> runs;
   if (plan.single != nullptr) {
     Trial t;
@@ -113,13 +186,17 @@ std::vector<RunReport> run_build(const Graph& g, const RunPlan& plan,
 
 std::vector<RunReport> run_bfs(const Graph& g, const RunPlan& plan,
                                const ProtocolWithOutput<BfsProtocolOutput>& p) {
+  // Computed once, not per run: the exhaustive plan invokes the check for
+  // every schedule, and the reference forest only depends on g.
+  const BfsForest ref = bfs_forest(g);
+  const bool eob = is_even_odd_bipartite(g);
   return run_typed(p, g, plan,
-                   [&](const BfsProtocolOutput& out, std::ostringstream& os) {
+                   [&g, ref, eob](const BfsProtocolOutput& out,
+                                  std::ostringstream& os) {
                      if (!out.valid) {
                        os << "verdict    input reported invalid\n";
-                       return !is_even_odd_bipartite(g);
+                       return !eob;
                      }
-                     const BfsForest ref = bfs_forest(g);
                      const bool ok = out.layer == ref.layer &&
                                      is_valid_bfs_forest(g, out.layer,
                                                          out.parent);
@@ -167,8 +244,8 @@ std::vector<RunReport> dispatch_spec(const std::string& spec, const Graph& g,
                      });
   }
   if (kind == "two-cliques" || kind == "rand-two-cliques") {
-    auto check = [&](const TwoCliquesOutput& out, std::ostringstream& os) {
-      const bool truth = is_two_cliques(g);
+    const bool truth = is_two_cliques(g);  // once, not per schedule
+    auto check = [truth](const TwoCliquesOutput& out, std::ostringstream& os) {
       os << "verdict    " << (out.yes ? "YES" : "NO") << " (truth: "
          << (truth ? "YES" : "NO") << ")\n";
       return out.yes == truth;
@@ -194,13 +271,14 @@ std::vector<RunReport> dispatch_spec(const std::string& spec, const Graph& g,
     WB_REQUIRE_MSG(parts.size() == 2, "expected subgraph:F");
     const std::size_t f = parse_u64(parts[1], "F");
     const SubgraphProtocol p(f);
+    GraphBuilder expect_builder(n);  // reference subgraph: once, not per run
+    for (const Edge& e : g.edges()) {
+      if (e.u <= f && e.v <= f) expect_builder.add_edge(e.u, e.v);
+    }
+    const Graph expect = expect_builder.build();
     return run_typed(p, g, plan,
-                     [&](const Graph& out, std::ostringstream& os) {
-                       GraphBuilder expect(n);
-                       for (const Edge& e : g.edges()) {
-                         if (e.u <= f && e.v <= f) expect.add_edge(e.u, e.v);
-                       }
-                       const bool ok = out == expect.build();
+                     [&expect](const Graph& out, std::ostringstream& os) {
+                       const bool ok = out == expect;
                        os << "verdict    prefix subgraph with "
                           << out.edge_count() << " edges — "
                           << (ok ? "exact" : "WRONG") << "\n";
@@ -292,6 +370,17 @@ std::vector<RunReport> run_protocol_spec_battery(const std::string& spec,
   plan.seed = seed;
   plan.batch = opts;
   return dispatch_spec(spec, g, plan);
+}
+
+RunReport run_protocol_spec_exhaustive(const std::string& spec, const Graph& g,
+                                       std::size_t threads,
+                                       std::uint64_t max_executions) {
+  ExhaustiveOptions opts;
+  opts.threads = threads;
+  opts.max_executions = max_executions;
+  RunPlan plan;
+  plan.exhaustive = &opts;
+  return std::move(dispatch_spec(spec, g, plan).front());
 }
 
 std::string protocol_spec_help() {

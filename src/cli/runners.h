@@ -38,6 +38,16 @@ struct RunReport {
     const std::string& protocol_spec, const Graph& g, std::uint64_t seed,
     const BatchOptions& opts = {});
 
+/// Exhaustively validate `protocol_spec` on `g`: visit *every* adversary
+/// schedule (the paper's correctness quantifier), fanned out across the
+/// shared worker pool (`threads`: 0 = one worker per hardware thread, 1 =
+/// serial), and validate each execution's output against the reference
+/// algorithms. The report is deterministic at any thread count. Throws
+/// wb::LogicError when the schedule space exceeds `max_executions`.
+[[nodiscard]] RunReport run_protocol_spec_exhaustive(
+    const std::string& protocol_spec, const Graph& g, std::size_t threads = 0,
+    std::uint64_t max_executions = 2'000'000);
+
 /// List of known protocol specs for --help.
 [[nodiscard]] std::string protocol_spec_help();
 

@@ -127,6 +127,12 @@ bool SyncBfsProtocol::activate(const LocalView& view,
 
 Bits SyncBfsProtocol::compose(const LocalView& view,
                               const Whiteboard& board) const {
+  BitWriter w;
+  return compose(view, board, w);
+}
+
+Bits SyncBfsProtocol::compose(const LocalView& view, const Whiteboard& board,
+                              BitWriter& scratch) const {
   const std::size_t n = view.n();
   const ParsedBoard& p = board.cached_view<ParsedBoard>(
       [n](const Whiteboard& b) { return parse_board(b, n); });
@@ -152,14 +158,13 @@ Bits SyncBfsProtocol::compose(const LocalView& view,
   }
   const std::size_t dplus = view.degree() - dminus;
 
-  BitWriter w;
-  codec::write_id(w, view.id(), n);
-  codec::write_count(w, static_cast<std::size_t>(layer), n);
-  codec::write_parent(w, parent, n);
-  codec::write_count(w, dminus, n);
-  codec::write_count(w, d0, n);
-  codec::write_count(w, dplus, n);
-  return w.take();
+  codec::write_id(scratch, view.id(), n);
+  codec::write_count(scratch, static_cast<std::size_t>(layer), n);
+  codec::write_parent(scratch, parent, n);
+  codec::write_count(scratch, dminus, n);
+  codec::write_count(scratch, d0, n);
+  codec::write_count(scratch, dplus, n);
+  return scratch.take();
 }
 
 BfsProtocolOutput SyncBfsProtocol::output(const Whiteboard& board,

@@ -42,6 +42,8 @@ class SyncBfsProtocol final : public ProtocolWithOutput<BfsProtocolOutput> {
                               const Whiteboard& board) const override;
   [[nodiscard]] Bits compose(const LocalView& view,
                              const Whiteboard& board) const override;
+  [[nodiscard]] Bits compose(const LocalView& view, const Whiteboard& board,
+                             BitWriter& scratch) const override;
   [[nodiscard]] BfsProtocolOutput output(const Whiteboard& board,
                                          std::size_t n) const override;
   [[nodiscard]] std::string name() const override { return "sync-bfs"; }

@@ -144,8 +144,13 @@ bool EobBfsProtocol::activate(const LocalView& view,
 
 Bits EobBfsProtocol::compose(const LocalView& view,
                              const Whiteboard& board) const {
+  BitWriter scratch;
+  return compose(view, board, scratch);
+}
+
+Bits EobBfsProtocol::compose(const LocalView& view, const Whiteboard& board,
+                             BitWriter& w) const {
   const std::size_t n = view.n();
-  BitWriter w;
   if (mode_ == EobMode::kEvenOdd && has_same_parity_neighbor(view)) {
     w.write_uint(kKindInvalid, 1);
     codec::write_id(w, view.id(), n);

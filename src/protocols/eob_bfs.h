@@ -47,6 +47,8 @@ class EobBfsProtocol final : public ProtocolWithOutput<BfsProtocolOutput> {
                               const Whiteboard& board) const override;
   [[nodiscard]] Bits compose(const LocalView& view,
                              const Whiteboard& board) const override;
+  [[nodiscard]] Bits compose(const LocalView& view, const Whiteboard& board,
+                             BitWriter& scratch) const override;
   [[nodiscard]] BfsProtocolOutput output(const Whiteboard& board,
                                          std::size_t n) const override;
   [[nodiscard]] std::string name() const override {

@@ -29,6 +29,12 @@ std::size_t RootedMisProtocol::message_bit_limit(std::size_t n) const {
 
 Bits RootedMisProtocol::compose(const LocalView& view,
                                 const Whiteboard& board) const {
+  BitWriter w;
+  return compose(view, board, w);
+}
+
+Bits RootedMisProtocol::compose(const LocalView& view, const Whiteboard& board,
+                                BitWriter& scratch) const {
   const std::size_t n = view.n();
   bool in;
   if (view.id() == root_) {
@@ -46,10 +52,9 @@ Bits RootedMisProtocol::compose(const LocalView& view,
       }
     }
   }
-  BitWriter w;
-  codec::write_id(w, view.id(), n);
-  w.write_bit(in);
-  return w.take();
+  codec::write_id(scratch, view.id(), n);
+  scratch.write_bit(in);
+  return scratch.take();
 }
 
 MisOutput RootedMisProtocol::output(const Whiteboard& board,

@@ -27,6 +27,8 @@ class RootedMisProtocol final : public SimSyncProtocol<MisOutput> {
   [[nodiscard]] std::size_t message_bit_limit(std::size_t n) const override;
   [[nodiscard]] Bits compose(const LocalView& view,
                              const Whiteboard& board) const override;
+  [[nodiscard]] Bits compose(const LocalView& view, const Whiteboard& board,
+                             BitWriter& scratch) const override;
   [[nodiscard]] MisOutput output(const Whiteboard& board,
                                  std::size_t n) const override;
   [[nodiscard]] std::string name() const override { return "rooted-mis"; }

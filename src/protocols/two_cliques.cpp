@@ -35,6 +35,13 @@ std::size_t TwoCliquesProtocol::message_bit_limit(std::size_t n) const {
 
 Bits TwoCliquesProtocol::compose(const LocalView& view,
                                  const Whiteboard& board) const {
+  BitWriter w;
+  return compose(view, board, w);
+}
+
+Bits TwoCliquesProtocol::compose(const LocalView& view,
+                                 const Whiteboard& board,
+                                 BitWriter& scratch) const {
   const std::size_t n = view.n();
   std::uint64_t code;
   if (board.empty()) {
@@ -58,10 +65,9 @@ Bits TwoCliquesProtocol::compose(const LocalView& view,
       code = kSide0;
     }
   }
-  BitWriter w;
-  codec::write_id(w, view.id(), n);
-  w.write_uint(code, 2);
-  return w.take();
+  codec::write_id(scratch, view.id(), n);
+  scratch.write_uint(code, 2);
+  return scratch.take();
 }
 
 TwoCliquesOutput TwoCliquesProtocol::output(const Whiteboard& board,

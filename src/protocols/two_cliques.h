@@ -23,6 +23,8 @@ class TwoCliquesProtocol final : public SimSyncProtocol<TwoCliquesOutput> {
   [[nodiscard]] std::size_t message_bit_limit(std::size_t n) const override;
   [[nodiscard]] Bits compose(const LocalView& view,
                              const Whiteboard& board) const override;
+  [[nodiscard]] Bits compose(const LocalView& view, const Whiteboard& board,
+                             BitWriter& scratch) const override;
   [[nodiscard]] TwoCliquesOutput output(const Whiteboard& board,
                                         std::size_t n) const override;
   [[nodiscard]] std::string name() const override { return "two-cliques"; }

@@ -1,0 +1,147 @@
+#include "src/support/thread_pool.h"
+
+#include <algorithm>
+
+namespace wb {
+
+namespace {
+
+/// Set while a thread is executing tasks for a pool, so a nested
+/// parallel_for on the same pool runs inline instead of waiting on workers
+/// that cannot make progress until the outer job (this thread) finishes.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+/// The inline path: same exception policy as the pooled path — run every
+/// task, rethrow the smallest failing index.
+void run_serial(std::size_t count, const ThreadPool::IndexFn& fn) {
+  std::size_t error_index = count;
+  std::exception_ptr error;
+  for (std::size_t i = 0; i < count; ++i) {
+    try {
+      fn(i);
+    } catch (...) {
+      if (i < error_index) {
+        error_index = i;
+        error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::record_error(Job& job, std::size_t index) {
+  const std::lock_guard<std::mutex> lock(job.error_mutex);
+  if (job.error == nullptr || index < job.error_index) {
+    job.error_index = index;
+    job.error = std::current_exception();
+  }
+}
+
+void ThreadPool::run_tasks(Job& job) {
+  if (job.tickets.fetch_add(1, std::memory_order_relaxed) >= job.max_workers) {
+    return;  // concurrency cap reached; leave the job to the ticket holders
+  }
+  while (true) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      record_error(job, i);
+    }
+    if (job.finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.count) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_current_pool = this;
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;  // may be null: the job drained before this worker woke
+      if (job != nullptr) ++job->refs;
+    }
+    if (job == nullptr) continue;
+    run_tasks(*job);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --job->refs;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const IndexFn& fn,
+                              std::size_t max_workers) {
+  if (count == 0) return;
+  std::size_t effective = max_workers == 0 ? workers_.size() : max_workers;
+  effective = std::min({effective, workers_.size(), count});
+  if (effective <= 1 || t_current_pool == this) {
+    run_serial(count, fn);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> submit(submit_mutex_);
+  Job job;
+  job.count = count;
+  job.max_workers = effective;
+  job.fn = &fn;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // The job is off the stack only when every task completed AND every
+    // adopter dropped its reference — a worker may still hold a Job* after
+    // the last task finishes.
+    done_cv_.wait(lock, [&] {
+      return job.finished.load(std::memory_order_acquire) == count &&
+             job.refs == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(
+      std::max<std::size_t>(8, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace wb

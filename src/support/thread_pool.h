@@ -1,0 +1,95 @@
+// Reusable worker pool behind every parallel sweep in the library.
+//
+// Both parallel workloads — the batch engine's trial matrix (src/wb/batch.h)
+// and the exhaustive explorer's subtree sweep (src/wb/exhaustive.h) — have
+// the same shape: N independent index-addressed tasks, claimed dynamically,
+// joined before the call returns. ThreadPool::parallel_for is that shape,
+// factored out so the two engines share one set of long-lived workers
+// instead of spawning threads per call.
+//
+// Guarantees:
+//  - tasks are identified by index only; nothing about the result may depend
+//    on which worker ran a task or in what order tasks were claimed — this
+//    is what lets run_batch promise bit-identical results at any thread
+//    count;
+//  - every task runs exactly once, even when another task throws: the pool
+//    drains the whole index range and then rethrows the exception of the
+//    *smallest-index* failing task, so failure reporting is as deterministic
+//    as the results;
+//  - a parallel_for issued from inside a pool worker runs inline (serially)
+//    on that worker instead of deadlocking on the pool's own capacity.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wb {
+
+class ThreadPool {
+ public:
+  /// Invoked once per task index, possibly concurrently with other indices.
+  using IndexFn = std::function<void(std::size_t)>;
+
+  /// Spawn `threads` workers (0 = one per hardware thread). Workers sleep on
+  /// a condition variable between jobs.
+  explicit ThreadPool(std::size_t threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Run fn(0) .. fn(count-1) to completion and return. At most
+  /// `max_workers` workers participate (0 = every pool worker); with an
+  /// effective concurrency of 1 — or when called from inside a pool worker —
+  /// the tasks run inline on the calling thread, in index order.
+  /// Exception policy: every task still runs; afterwards the exception of
+  /// the smallest failing index is rethrown (identical in the inline and
+  /// pooled paths).
+  void parallel_for(std::size_t count, const IndexFn& fn,
+                    std::size_t max_workers = 0);
+
+  /// The process-wide default pool. Sized at max(hardware threads, 8) so
+  /// that explicitly requested thread counts up to 8 — the determinism
+  /// suites run {1,2,4,8} — are genuinely concurrent even on small hosts;
+  /// the surplus workers cost only a sleeping thread each.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  struct Job {
+    std::size_t count = 0;
+    std::size_t max_workers = 0;
+    const IndexFn* fn = nullptr;
+    std::atomic<std::size_t> next{0};      // task claim cursor
+    std::atomic<std::size_t> finished{0};  // completed tasks
+    std::atomic<std::size_t> tickets{0};   // participation cap
+    std::size_t refs = 0;                  // adopters still touching the job
+    std::mutex error_mutex;
+    std::size_t error_index = 0;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  void run_tasks(Job& job);
+  static void record_error(Job& job, std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;  // workers: a new job was posted
+  std::condition_variable done_cv_;  // submitter: the job drained
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  /// One job at a time; concurrent submitters queue here.
+  std::mutex submit_mutex_;
+};
+
+}  // namespace wb

@@ -63,6 +63,11 @@ class SimAsyncInSimSync final : public ProtocolWithOutput<OutputT> {
     const Whiteboard empty;
     return inner_->compose(view, empty);  // ignore everything written so far
   }
+  Bits compose(const LocalView& view, const Whiteboard&,
+               BitWriter& scratch) const override {
+    const Whiteboard empty;
+    return inner_->compose(view, empty, scratch);
+  }
   OutputT output(const Whiteboard& board, std::size_t n) const override {
     return inner_->output(board, n);
   }
@@ -95,6 +100,10 @@ class SimSyncInAsync final : public ProtocolWithOutput<OutputT> {
   Bits compose(const LocalView& view, const Whiteboard& board) const override {
     return inner_->compose(view, board);
   }
+  Bits compose(const LocalView& view, const Whiteboard& board,
+               BitWriter& scratch) const override {
+    return inner_->compose(view, board, scratch);
+  }
   OutputT output(const Whiteboard& board, std::size_t n) const override {
     return inner_->output(board, n);
   }
@@ -126,6 +135,11 @@ class AsyncInSync final : public ProtocolWithOutput<OutputT> {
     // the ASYNC run would have frozen.
     const Whiteboard prefix = detail::activation_prefix(*inner_, view, board);
     return inner_->compose(view, prefix);
+  }
+  Bits compose(const LocalView& view, const Whiteboard& board,
+               BitWriter& scratch) const override {
+    const Whiteboard prefix = detail::activation_prefix(*inner_, view, board);
+    return inner_->compose(view, prefix, scratch);
   }
   OutputT output(const Whiteboard& board, std::size_t n) const override {
     return inner_->output(board, n);
@@ -167,6 +181,14 @@ class Rebadge final : public ProtocolWithOutput<OutputT> {
       return inner_->compose(view, empty);
     }
     return inner_->compose(view, board);
+  }
+  Bits compose(const LocalView& view, const Whiteboard& board,
+               BitWriter& scratch) const override {
+    if (inner_->model_class() == ModelClass::kSimAsync) {
+      const Whiteboard empty;
+      return inner_->compose(view, empty, scratch);
+    }
+    return inner_->compose(view, board, scratch);
   }
   OutputT output(const Whiteboard& board, std::size_t n) const override {
     return inner_->output(board, n);

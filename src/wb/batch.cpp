@@ -1,12 +1,10 @@
 #include "src/wb/batch.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
 
 #include "src/support/hash.h"
+#include "src/support/thread_pool.h"
 
 namespace wb {
 
@@ -50,46 +48,16 @@ std::vector<ExecutionResult> run_batch(std::span<const Trial> trials,
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   threads = std::min(threads, trials.size());
 
-  // The first exception by *trial index* wins, so failure reporting is as
-  // deterministic as the results themselves.
-  std::mutex error_mutex;
-  std::size_t error_index = trials.size();
-  std::exception_ptr error;
-  auto record_error = [&](std::size_t index) {
-    const std::lock_guard<std::mutex> lock(error_mutex);
-    if (index < error_index) {
-      error_index = index;
-      error = std::current_exception();
-    }
-  };
-
-  auto run_index = [&](std::size_t i) {
-    try {
-      results[i] = run_one(trials[i], trial_seed(opts.seed, i));
-    } catch (...) {
-      record_error(i);
-    }
-  };
-
-  if (threads == 1) {
-    for (std::size_t i = 0; i < trials.size(); ++i) run_index(i);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        while (true) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= trials.size()) return;
-          run_index(i);
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-  }
-
-  if (error) std::rethrow_exception(error);
+  // The shared pool keeps the two batch guarantees: every trial runs even if
+  // another throws, and the exception of the smallest *trial index* is the
+  // one rethrown after the drain — failure reporting is as deterministic as
+  // the results themselves.
+  ThreadPool::shared().parallel_for(
+      trials.size(),
+      [&](std::size_t i) {
+        results[i] = run_one(trials[i], trial_seed(opts.seed, i));
+      },
+      threads);
   return results;
 }
 

@@ -3,7 +3,9 @@
 // Correctness in the whiteboard model means surviving *every* adversary
 // schedule, so the simulator's dominant workload is embarrassingly parallel:
 // many independent runs of the engine over a trial matrix. run_batch fans the
-// trials out across a thread pool while keeping the results deterministic:
+// trials out across the shared worker pool (src/support/thread_pool.h, also
+// used by the parallel exhaustive explorer) while keeping the results
+// deterministic:
 //
 //  - every trial gets its own seed, derived from (base seed, trial index)
 //    only — never from thread identity or scheduling order;

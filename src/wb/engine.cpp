@@ -119,7 +119,10 @@ void EngineState::rewind(const Checkpoint& cp) {
 }
 
 void EngineState::compose_into(NodeId v) {
-  Bits message = protocol_->compose(view_of(v), board_);
+  // Defensive reset (a no-op after a well-behaved take()): the compose
+  // contract hands the protocol an *empty* writer.
+  compose_scratch_.reset();
+  Bits message = protocol_->compose(view_of(v), board_, compose_scratch_);
   const std::size_t limit = protocol_->message_bit_limit(n_);
   if (message.size() > limit) {
     std::ostringstream os;

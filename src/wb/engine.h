@@ -191,6 +191,11 @@ class EngineState {
   /// clear, write_node has no buffer to clear).
   bool wrote_this_round_ = false;
 
+  /// Per-engine compose scratch, handed to Protocol::compose so steady-state
+  /// composition performs no heap allocation (the writer keeps its buffer
+  /// across take()s; inline-sized messages never touch the heap).
+  BitWriter compose_scratch_;
+
   std::vector<NodeState> state_;
   std::vector<Bits> memory_;
   std::vector<bool> written_;

@@ -1,47 +1,66 @@
 #include "src/wb/exhaustive.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <iterator>
+#include <span>
+#include <thread>
 #include <vector>
 
 #include "src/support/hash.h"
+#include "src/support/thread_pool.h"
 
 namespace wb {
 
 namespace {
 
+/// State shared by every subtree task of one sweep. The counter is the
+/// single source of truth for both the returned total and the budget guard,
+/// so each is thread-count independent; the stop flag is how an early exit,
+/// a budget overrun, or a throwing visitor cancels sibling subtrees.
+struct ExploreControl {
+  std::uint64_t budget = 0;
+  std::atomic<std::uint64_t> visited{0};
+  std::atomic<bool> stop{false};
+};
+
 // Depth-first over adversary choices on ONE journaling EngineState: branches
 // are taken by write_node() and undone by rewind(), never by copying the
 // state. Per-frame candidate buffers and the scratch ExecutionResult are
-// pooled, so a steady-state visit allocates nothing.
+// pooled, so a steady-state visit allocates nothing. In a parallel sweep
+// each subtree task owns one Backtracker seeded by replaying the task's
+// decision prefix.
+template <typename Visitor>
 class Backtracker {
  public:
-  Backtracker(const Graph& g, const Protocol& p,
-              const std::function<bool(const ExecutionResult&)>& visit,
-              const ExhaustiveOptions& opts)
-      : state_(g, p, opts.engine), visit_(&visit),
-        budget_(opts.max_executions) {
+  Backtracker(const Graph& g, const Protocol& p, const EngineOptions& eopts,
+              ExploreControl& ctl, Visitor& visit)
+      : state_(g, p, eopts), ctl_(&ctl), visit_(&visit) {
     state_.set_journaling(true);
   }
 
-  std::uint64_t run() {
+  /// Replay `prefix` (one adversary decision per round) and exhaust the
+  /// subtree below it. The prefix must consist of decisions recorded from
+  /// non-terminal rounds of this same (graph, protocol).
+  void run(std::span<const NodeId> prefix) {
+    for (const NodeId v : prefix) {
+      state_.begin_round();
+      WB_CHECK_MSG(!state_.terminal(),
+                   "subtree prefix reached a terminal state");
+      state_.write_node(v);
+    }
     explore(0);
-    return visited_;
   }
 
  private:
   // Invariant: explore() returns with the state rewound to how it found it.
   void explore(std::size_t depth) {
+    if (ctl_->stop.load(std::memory_order_relaxed)) return;
     const EngineState::Checkpoint pre_round = state_.checkpoint();
     state_.begin_round();
     if (state_.terminal()) {
-      WB_CHECK_MSG(visited_ < budget_, "exhaustive exploration budget exceeded");
-      ++visited_;
-      state_.finish_into(scratch_);
-      if (!(*visit_)(scratch_)) stopped_ = true;
-      // Release our share of the board storage so the engine is again its
-      // sole owner and rewinds in place. (A visitor that kept a copy of the
-      // result still owns a consistent snapshot — copy-on-write.)
-      scratch_.board = Whiteboard();
+      visit_terminal();
       state_.rewind(pre_round);
       return;
     }
@@ -55,7 +74,7 @@ class Backtracker {
                           state_.candidates().end());
     const EngineState::Checkpoint pre_write = state_.checkpoint();
     for (std::size_t i = 0; i < frames_[depth].size(); ++i) {
-      if (stopped_) break;
+      if (ctl_->stop.load(std::memory_order_relaxed)) break;
       state_.write_node(frames_[depth][i]);
       explore(depth + 1);
       state_.rewind(pre_write);
@@ -63,13 +82,169 @@ class Backtracker {
     state_.rewind(pre_round);
   }
 
+  void visit_terminal() {
+    // Reserve this execution's slot in the shared count BEFORE visiting: the
+    // sweep's return value is then exactly the number of visitor
+    // invocations (no execution is counted without being visited, none is
+    // visited without being counted), and whether the budget guard fires
+    // depends only on the total, never on the thread count.
+    const std::uint64_t slot =
+        ctl_->visited.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= ctl_->budget) {
+      ctl_->visited.fetch_sub(1, std::memory_order_relaxed);
+      ctl_->stop.store(true, std::memory_order_relaxed);
+      WB_CHECK_MSG(false, "exhaustive exploration budget exceeded");
+    }
+    state_.finish_into(scratch_);
+    bool keep_going = false;
+    try {
+      keep_going = (*visit_)(scratch_);
+    } catch (...) {
+      ctl_->stop.store(true, std::memory_order_relaxed);
+      scratch_.board = Whiteboard();
+      throw;
+    }
+    if (!keep_going) ctl_->stop.store(true, std::memory_order_release);
+    // Release our share of the board storage so the engine is again its
+    // sole owner and rewinds in place. (A visitor that kept a copy of the
+    // result still owns a consistent snapshot — copy-on-write.)
+    scratch_.board = Whiteboard();
+  }
+
   EngineState state_;
-  const std::function<bool(const ExecutionResult&)>* visit_;
-  std::uint64_t budget_;
-  std::uint64_t visited_ = 0;
-  bool stopped_ = false;
+  ExploreControl* ctl_;
+  Visitor* visit_;
   ExecutionResult scratch_;
   std::vector<std::vector<NodeId>> frames_;
+};
+
+/// One independent subtree of the schedule tree, identified by the adversary
+/// decisions leading to it (at most the top two levels).
+struct PrefixTask {
+  std::array<NodeId, 2> decision{kNoNode, kNoNode};
+  std::size_t depth = 0;
+  [[nodiscard]] std::span<const NodeId> prefix() const {
+    return {decision.data(), depth};
+  }
+};
+
+/// Split the top of the schedule tree into independent subtree tasks: one
+/// per level-1 branch when the root fan-out already feeds `target_tasks`
+/// workers, else one per (level-1, level-2) decision pair. The partition
+/// depends only on (graph, protocol, target) — never on scheduling — and
+/// its subtrees' leaves tile the full execution set exactly once.
+/// Empty result: the root round is already terminal (a single execution).
+std::vector<PrefixTask> partition_tasks(const Graph& g, const Protocol& p,
+                                        const EngineOptions& eopts,
+                                        std::size_t target_tasks) {
+  std::vector<PrefixTask> tasks;
+  EngineState s(g, p, eopts);
+  s.set_journaling(true);
+  s.begin_round();
+  if (s.terminal()) return tasks;
+  const std::vector<NodeId> level1(s.candidates().begin(),
+                                   s.candidates().end());
+  if (level1.size() >= target_tasks) {
+    for (const NodeId v : level1) {
+      tasks.push_back(PrefixTask{{v, kNoNode}, 1});
+    }
+    return tasks;
+  }
+  const EngineState::Checkpoint root = s.checkpoint();
+  for (const NodeId v : level1) {
+    s.write_node(v);
+    s.begin_round();
+    if (s.terminal()) {
+      tasks.push_back(PrefixTask{{v, kNoNode}, 1});
+    } else {
+      for (const NodeId u : s.candidates()) {
+        tasks.push_back(PrefixTask{{v, u}, 2});
+      }
+    }
+    s.rewind(root);
+  }
+  return tasks;
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+/// The sweep driver behind every public entry point.
+/// prepare(task_count) runs before any visit; visit(result, task) must be
+/// safe to call concurrently for *different* task indices (a single task is
+/// always processed by one worker).
+template <typename Prepare, typename Visit>
+std::uint64_t explore_all(const Graph& g, const Protocol& p,
+                          const ExhaustiveOptions& opts,
+                          const Prepare& prepare, const Visit& visit) {
+  ExploreControl ctl;
+  ctl.budget = opts.max_executions;
+  const std::size_t threads = resolve_threads(opts.threads);
+  if (threads > 1) {
+    // Several tasks per worker, so dynamic claiming load-balances subtrees
+    // of uneven size.
+    const std::vector<PrefixTask> tasks =
+        partition_tasks(g, p, opts.engine, threads * 4);
+    if (tasks.size() > 1) {
+      prepare(tasks.size());
+      ThreadPool::shared().parallel_for(
+          tasks.size(),
+          [&](std::size_t t) {
+            if (ctl.stop.load(std::memory_order_relaxed)) return;
+            auto task_visit = [&visit, t](const ExecutionResult& r) {
+              return visit(r, t);
+            };
+            Backtracker<decltype(task_visit)> bt(g, p, opts.engine, ctl,
+                                                 task_visit);
+            bt.run(tasks[t].prefix());
+          },
+          threads);
+      return ctl.visited.load(std::memory_order_relaxed);
+    }
+  }
+  prepare(1);
+  auto task_visit = [&visit](const ExecutionResult& r) { return visit(r, 0); };
+  Backtracker<decltype(task_visit)> bt(g, p, opts.engine, ctl, task_visit);
+  bt.run({});
+  return ctl.visited.load(std::memory_order_relaxed);
+}
+
+/// Streaming distinct-key accumulator: appends are buffered, and every
+/// kFlushLimit keys the buffer is folded into a sorted unique run via
+/// set-union. Peak memory is O(distinct + kFlushLimit) instead of the
+/// O(executions) a collect-then-sort pays.
+class StreamingDistinct {
+ public:
+  void add(const Hash128& key) {
+    buffer_.push_back(key);
+    if (buffer_.size() >= kFlushLimit) flush();
+  }
+
+  /// Sorted unique keys seen so far; the accumulator is left empty.
+  [[nodiscard]] std::vector<Hash128> take_sorted() {
+    flush();
+    return std::move(run_);
+  }
+
+ private:
+  static constexpr std::size_t kFlushLimit = std::size_t{1} << 16;  // 1 MiB
+
+  void flush() {
+    if (buffer_.empty()) return;
+    std::sort(buffer_.begin(), buffer_.end());
+    buffer_.erase(std::unique(buffer_.begin(), buffer_.end()), buffer_.end());
+    std::vector<Hash128> merged;
+    merged.reserve(run_.size() + buffer_.size());
+    std::set_union(run_.begin(), run_.end(), buffer_.begin(), buffer_.end(),
+                   std::back_inserter(merged));
+    run_ = std::move(merged);
+    buffer_.clear();
+  }
+
+  std::vector<Hash128> buffer_;
+  std::vector<Hash128> run_;  // sorted, unique
 };
 
 }  // namespace
@@ -78,42 +253,59 @@ std::uint64_t for_each_execution(
     const Graph& g, const Protocol& p,
     const std::function<bool(const ExecutionResult&)>& visit,
     const ExhaustiveOptions& opts) {
-  return Backtracker(g, p, visit, opts).run();
+  return explore_all(
+      g, p, opts, [](std::size_t) {},
+      [&visit](const ExecutionResult& r, std::size_t) { return visit(r); });
 }
 
 bool all_executions_ok(
     const Graph& g, const Protocol& p,
     const std::function<bool(const ExecutionResult&)>& accept,
     const ExhaustiveOptions& opts) {
-  bool ok = true;
-  for_each_execution(
-      g, p,
-      [&](const ExecutionResult& r) {
+  std::atomic<bool> ok{true};
+  explore_all(
+      g, p, opts, [](std::size_t) {},
+      [&](const ExecutionResult& r, std::size_t) {
         if (!r.ok() || !accept(r)) {
-          ok = false;
+          // Returning false sets the shared stop flag, so sibling subtrees
+          // cancel at their next poll; the verdict itself cannot flip back.
+          ok.store(false, std::memory_order_relaxed);
           return false;
         }
         return true;
-      },
-      opts);
-  return ok;
+      });
+  return ok.load(std::memory_order_relaxed);
 }
 
 std::uint64_t count_distinct_final_boards(const Graph& g, const Protocol& p,
                                           const ExhaustiveOptions& opts) {
-  // Word-wise 128-bit keys instead of byte-per-bit strings: 16 bytes per
-  // execution in one flat buffer, deduplicated with a single sort.
-  std::vector<Hash128> keys;
-  for_each_execution(
-      g, p,
-      [&](const ExecutionResult& r) {
-        keys.push_back(r.board.content_hash());
+  // Word-wise 128-bit keys, deduplicated as the sweep streams: one
+  // accumulator per subtree task (exclusive to its worker, so no locking),
+  // merged afterwards by sorted-run union — identical counts at any thread
+  // count because set union is order-oblivious.
+  std::vector<StreamingDistinct> accumulators;
+  explore_all(
+      g, p, opts,
+      [&](std::size_t task_count) { accumulators.resize(task_count); },
+      [&](const ExecutionResult& r, std::size_t task) {
+        accumulators[task].add(r.board.content_hash());
         return true;
-      },
-      opts);
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return static_cast<std::uint64_t>(keys.size());
+      });
+  std::vector<Hash128> merged;
+  for (StreamingDistinct& acc : accumulators) {
+    std::vector<Hash128> run = acc.take_sorted();
+    if (merged.empty()) {
+      merged = std::move(run);
+      continue;
+    }
+    if (run.empty()) continue;
+    std::vector<Hash128> next;
+    next.reserve(merged.size() + run.size());
+    std::set_union(merged.begin(), merged.end(), run.begin(), run.end(),
+                   std::back_inserter(next));
+    merged = std::move(next);
+  }
+  return static_cast<std::uint64_t>(merged.size());
 }
 
 }  // namespace wb

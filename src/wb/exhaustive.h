@@ -9,6 +9,17 @@
 // heap allocation; tests/wb/exhaustive_test.cpp pins its visit sequence
 // against a reference copy-per-branch DFS.
 //
+// Parallel exploration (ExhaustiveOptions::threads != 1): the schedule tree
+// is partitioned at its top one or two decision levels into independent
+// subtree tasks — each task is a decision prefix; a worker replays the
+// prefix on its own journaling EngineState and exhausts the subtree below —
+// and the tasks fan out over the shared worker pool
+// (src/support/thread_pool.h). The partition depends only on (graph,
+// protocol), never on the thread count, so the set of executions visited and
+// the returned total are bit-identical at any thread count; only the
+// inter-task visit order varies. threads == 1 is the serial reference path
+// the tests oracle against.
+//
 // This is the strongest evidence our simulator can produce for the "yes"
 // cells of Table 2, and the machinery behind the minimax searches in the
 // benches.
@@ -24,21 +35,35 @@ namespace wb {
 struct ExhaustiveOptions {
   /// Upper bound on executions to visit (the explorer throws LogicError when
   /// the bound would be exceeded — a guard against accidental n! blowups).
+  /// Enforced by a shared counter in parallel runs, so whether a sweep
+  /// throws is thread-count independent.
   std::uint64_t max_executions = 2'000'000;
+  /// Subtree-sweep workers: 1 (default) = the serial reference path; 0 = one
+  /// worker per hardware thread; k = at most k workers. With any value other
+  /// than 1 the visitor may be invoked concurrently from pool workers and
+  /// must be thread-safe (the library's own aggregators below already are).
+  std::size_t threads = 1;
   EngineOptions engine;
 };
 
 /// Visit every maximal execution of `p` on `g`. The visitor may return false
-/// to stop early (e.g. after the first counterexample); for_each_execution
-/// then returns immediately.
-/// Returns the number of executions visited.
+/// to stop early (e.g. after the first counterexample); the current subtree
+/// unwinds and — in parallel runs — sibling subtree tasks are cancelled at
+/// their next poll.
+/// Returns the number of executions visited, which is exactly the number of
+/// visitor invocations: bit-identical at every thread count for a full
+/// sweep; under an early stop it is exact but (with threads != 1)
+/// scheduling-dependent, since concurrent workers may complete visits
+/// already in flight.
 std::uint64_t for_each_execution(
     const Graph& g, const Protocol& p,
     const std::function<bool(const ExecutionResult&)>& visit,
     const ExhaustiveOptions& opts = {});
 
 /// True iff every execution is successful and `accept(result)` holds for all
-/// of them. Stops at the first violation.
+/// of them. Stops at the first violation and cancels sibling subtrees; the
+/// verdict is deterministic at any thread count. `accept` must be
+/// thread-safe when opts.threads != 1.
 [[nodiscard]] bool all_executions_ok(
     const Graph& g, const Protocol& p,
     const std::function<bool(const ExecutionResult&)>& accept,
@@ -46,6 +71,11 @@ std::uint64_t for_each_execution(
 
 /// Count distinct final whiteboards over all executions (by content, keyed
 /// by a word-wise 128-bit hash — see src/support/hash.h).
+/// Streaming: keys are deduplicated into sorted runs as the sweep proceeds
+/// (per worker in parallel runs, merged by sorted-run union), so peak memory
+/// is O(distinct boards), not O(executions) — the count no longer buffers
+/// one 16-byte key per execution, which matters for sweeps past ~10^8
+/// executions. The result is bit-identical at any thread count.
 /// Diagnostic for order-oblivious protocols: a SIMASYNC whiteboard is a
 /// permutation of one fixed message multiset, so decoders must not depend on
 /// order; this reports how much the adversary can vary the board.

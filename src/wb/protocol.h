@@ -48,6 +48,19 @@ class Protocol {
   [[nodiscard]] virtual Bits compose(const LocalView& view,
                                      const Whiteboard& board) const = 0;
 
+  /// Scratch-writer overload — the one the engine actually calls. `scratch`
+  /// arrives empty; implementations append their bits and `return
+  /// scratch.take()`, so a message that fits Bits' inline buffer costs no
+  /// heap allocation (the writer's capacity persists across the whole run).
+  /// The default forwards to the allocating overload above, letting protocol
+  /// subclasses migrate incrementally; semantics must be identical.
+  [[nodiscard]] virtual Bits compose(const LocalView& view,
+                                     const Whiteboard& board,
+                                     BitWriter& scratch) const {
+    (void)scratch;
+    return compose(view, board);
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -82,9 +95,23 @@ class SimAsyncProtocol : public ProtocolWithOutput<OutputT> {
                  "SIMASYNC compose must only ever see the empty whiteboard");
     return compose_initial(view);
   }
+  [[nodiscard]] Bits compose(const LocalView& view, const Whiteboard& board,
+                             BitWriter& scratch) const final {
+    WB_CHECK_MSG(board.empty(),
+                 "SIMASYNC compose must only ever see the empty whiteboard");
+    return compose_initial(view, scratch);
+  }
 
   /// The one message of node `view.id()`, from local knowledge only.
   [[nodiscard]] virtual Bits compose_initial(const LocalView& view) const = 0;
+
+  /// Scratch-writer variant; default forwards to the allocating one so
+  /// subclasses migrate incrementally (mirrors Protocol::compose).
+  [[nodiscard]] virtual Bits compose_initial(const LocalView& view,
+                                             BitWriter& scratch) const {
+    (void)scratch;
+    return compose_initial(view);
+  }
 };
 
 /// Convenience base for SIMSYNC protocols: activation unconditional, message

@@ -1,0 +1,114 @@
+#include "src/support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace wb {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 4950u) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, MaxWorkersCapsObservedConcurrency) {
+  ThreadPool pool(8);
+  std::atomic<int> current{0};
+  std::atomic<int> peak{0};
+  pool.parallel_for(
+      200,
+      [&](std::size_t) {
+        const int now = current.fetch_add(1, std::memory_order_relaxed) + 1;
+        int seen = peak.load(std::memory_order_relaxed);
+        while (now > seen &&
+               !peak.compare_exchange_weak(seen, now,
+                                           std::memory_order_relaxed)) {
+        }
+        current.fetch_sub(1, std::memory_order_relaxed);
+      },
+      2);
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInlineInIndexOrder) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> order;  // unsynchronized: inline path is serial
+  pool.parallel_for(
+      50, [&](std::size_t i) { order.push_back(i); }, 1);
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ThreadPool, SmallestIndexExceptionWinsAndEveryTaskStillRuns) {
+  for (const std::size_t max_workers : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    try {
+      pool.parallel_for(
+          64,
+          [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+            if (i == 41) throw std::runtime_error("late failure");
+            if (i == 7) throw std::runtime_error("early failure");
+          },
+          max_workers);
+      FAIL() << "expected an exception (max_workers=" << max_workers << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "early failure");
+    }
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    // Same pool from inside a worker: must run inline, not wait on workers
+    // that cannot be freed until this task returns.
+    pool.parallel_for(10, [&](std::size_t j) {
+      inner_total.fetch_add(j + 1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8u * 55u);
+}
+
+TEST(ThreadPool, SharedPoolSupportsTheDeterminismSuitesThreadCounts) {
+  // The {1,2,4,8}-thread determinism suites need real concurrency even on
+  // small hosts; shared() guarantees at least 8 workers.
+  EXPECT_GE(ThreadPool::shared().thread_count(), 8u);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+}  // namespace
+}  // namespace wb

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -50,6 +54,24 @@ TEST(Exhaustive, EarlyStopOnVisitorFalse) {
     return seen < 5;
   });
   EXPECT_EQ(visited, 5u);
+}
+
+TEST(Exhaustive, EarlyStopMidSubtreeCountsExactlyTheVisitedExecutions) {
+  // Serial contract: stopping after the k-th visit returns exactly k, for
+  // every stopping point — including mid-subtree, where pruned siblings must
+  // not be counted.
+  const Graph g = path_graph(4);  // 24 executions total
+  const testing::EchoIdProtocol p;
+  for (std::uint64_t k = 1; k <= 24; ++k) {
+    std::uint64_t seen = 0;
+    const std::uint64_t visited =
+        for_each_execution(g, p, [&](const ExecutionResult&) {
+          ++seen;
+          return seen < k;
+        });
+    EXPECT_EQ(visited, k) << "stop after visit " << k;
+    EXPECT_EQ(seen, k);
+  }
 }
 
 TEST(Exhaustive, BudgetGuardThrows) {
@@ -237,6 +259,205 @@ TEST(Exhaustive, DistinctBoardsCountsOrderSensitivity) {
   // FrozenBoardSize writes six identical "0" messages: one distinct board.
   const testing::FrozenBoardSizeProtocol frozen;
   EXPECT_EQ(count_distinct_final_boards(g, frozen), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel exploration: the threads=1 run above is the reference oracle;
+// every other thread count must visit the same execution *set* with a
+// bit-identical total, agree on every aggregate, and propagate early exits
+// and exceptions.
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+ExhaustiveOptions with_threads(std::size_t threads) {
+  ExhaustiveOptions opts;
+  opts.threads = threads;
+  return opts;
+}
+
+// Canonical (sorted) multiset of execution signatures.
+std::vector<std::string> sorted_signature_keys(const Graph& g,
+                                               const Protocol& p,
+                                               const ExhaustiveOptions& opts) {
+  std::mutex mu;
+  std::vector<std::string> keys;
+  for_each_execution(
+      g, p,
+      [&](const ExecutionResult& r) {
+        const Signature s = signature_of(r);
+        std::string key;
+        key += std::to_string(static_cast<int>(s.status));
+        for (const NodeId v : s.write_order) key += "," + std::to_string(v);
+        key += "|";
+        for (const std::string& m : s.board) key += m + "/";
+        key += "|" + std::to_string(s.rounds);
+        for (const std::size_t a : s.activation_round) {
+          key += ";" + std::to_string(a);
+        }
+        const std::lock_guard<std::mutex> lock(mu);
+        keys.push_back(std::move(key));
+        return true;
+      },
+      opts);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(ExhaustiveParallel, VisitSetAndCountMatchSerialOracleAtEveryThreadCount) {
+  const Graph path4 = path_graph(4);
+  const Graph star4 = star_graph(4);
+  const Graph kb22 = complete_bipartite(2, 2);
+
+  const testing::EchoIdProtocol echo;              // SIMASYNC
+  const testing::FrozenBoardSizeProtocol frozen;   // SIMASYNC, equal messages
+  const testing::OnlyFirstNodeProtocol deadlocker; // ASYNC, deadlocks
+  const testing::BoardSizeProtocol board_size;     // SIMSYNC
+  const SyncBfsProtocol bfs;                       // SYNC, gated activations
+  const std::vector<const Protocol*> protocols = {&echo, &frozen, &deadlocker,
+                                                  &board_size, &bfs};
+  for (const Graph* g : {&path4, &star4, &kb22}) {
+    for (const Protocol* p : protocols) {
+      const std::vector<std::string> reference =
+          sorted_signature_keys(*g, *p, with_threads(1));
+      for (const std::size_t threads : kThreadCounts) {
+        const std::vector<std::string> actual =
+            sorted_signature_keys(*g, *p, with_threads(threads));
+        EXPECT_EQ(actual, reference)
+            << p->name() << " on n=" << g->node_count() << " threads="
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveParallel, DistinctBoardCountsBitIdenticalAtEveryThreadCount) {
+  const testing::EchoIdProtocol echo;
+  const testing::BoardSizeProtocol board_size;
+  const SyncBfsProtocol bfs;
+  const std::vector<const Protocol*> protocols = {&echo, &board_size, &bfs};
+  const std::vector<Graph> graphs = {path_graph(5), star_graph(4),
+                                     complete_bipartite(2, 2), cycle_graph(4)};
+  for (const Protocol* p : protocols) {
+    for (const Graph& g : graphs) {
+      const std::uint64_t reference =
+          count_distinct_final_boards(g, *p, with_threads(1));
+      for (const std::size_t threads : kThreadCounts) {
+        EXPECT_EQ(count_distinct_final_boards(g, *p, with_threads(threads)),
+                  reference)
+            << p->name() << " on n=" << g.node_count() << " threads="
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveParallel, AllExecutionsOkVerdictDeterministic) {
+  const Graph g = path_graph(5);
+  const testing::EchoIdProtocol echo;
+  const testing::OnlyFirstNodeProtocol deadlocker;
+  for (const std::size_t threads : kThreadCounts) {
+    EXPECT_TRUE(all_executions_ok(
+        g, echo, [](const ExecutionResult& r) { return r.ok(); },
+        with_threads(threads)))
+        << "threads=" << threads;
+    EXPECT_FALSE(all_executions_ok(
+        g, deadlocker, [](const ExecutionResult&) { return true; },
+        with_threads(threads)))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ExhaustiveParallel, EarlyStopCountEqualsVisitorInvocationsExactly) {
+  // Parallel early-stop contract: the return value is *exactly* the number
+  // of visitor invocations (workers already mid-visit finish and are
+  // counted), and the stop flag prunes the remainder of the sweep.
+  const Graph g = path_graph(5);  // 120 executions
+  const testing::EchoIdProtocol p;
+  for (const std::size_t threads : kThreadCounts) {
+    std::atomic<std::uint64_t> invocations{0};
+    const std::uint64_t visited = for_each_execution(
+        g, p,
+        [&](const ExecutionResult&) {
+          return invocations.fetch_add(1, std::memory_order_relaxed) + 1 < 5;
+        },
+        with_threads(threads));
+    EXPECT_EQ(visited, invocations.load()) << "threads=" << threads;
+    EXPECT_GE(visited, 5u) << "threads=" << threads;
+    EXPECT_LT(visited, 120u) << "early stop did not prune, threads="
+                             << threads;
+  }
+}
+
+TEST(ExhaustiveParallel, BudgetGuardThrowsAtEveryThreadCount) {
+  const Graph g = path_graph(5);  // 120 > 10
+  const testing::EchoIdProtocol p;
+  for (const std::size_t threads : kThreadCounts) {
+    ExhaustiveOptions opts = with_threads(threads);
+    opts.max_executions = 10;
+    EXPECT_THROW(
+        for_each_execution(g, p, [](const ExecutionResult&) { return true; },
+                           opts),
+        LogicError)
+        << "threads=" << threads;
+    // And a budget that exactly fits must never throw.
+    opts.max_executions = 120;
+    EXPECT_EQ(for_each_execution(
+                  g, p, [](const ExecutionResult&) { return true; }, opts),
+              120u)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ExhaustiveParallel, VisitorExceptionPropagatesAndCancelsSiblings) {
+  const Graph g = path_graph(5);
+  const testing::EchoIdProtocol p;
+  for (const std::size_t threads : kThreadCounts) {
+    std::atomic<std::uint64_t> invocations{0};
+    EXPECT_THROW(
+        for_each_execution(
+            g, p,
+            [&](const ExecutionResult&) -> bool {
+              const std::uint64_t n =
+                  invocations.fetch_add(1, std::memory_order_relaxed) + 1;
+              if (n == 3) throw std::runtime_error("visitor bailed");
+              return n < 3;  // racing visits also halt their own subtree
+            },
+            with_threads(threads)),
+        std::runtime_error)
+        << "threads=" << threads;
+    EXPECT_LT(invocations.load(), 120u)
+        << "exception did not cancel siblings, threads=" << threads;
+  }
+}
+
+TEST(ExhaustiveParallel, RetainedBoardSnapshotsSurviveParallelBacktracking) {
+  // The copy-on-write guarantee of the serial explorer must survive the
+  // parallel one: snapshots retained by a (thread-safe) visitor stay
+  // bit-exact while per-worker engines backtrack underneath them.
+  const Graph g = path_graph(4);
+  const testing::EchoIdProtocol p;
+  std::mutex mu;
+  std::vector<Whiteboard> boards;
+  std::vector<std::vector<NodeId>> orders;
+  const std::uint64_t visited = for_each_execution(
+      g, p,
+      [&](const ExecutionResult& r) {
+        const std::lock_guard<std::mutex> lock(mu);
+        boards.push_back(r.board);
+        orders.push_back(r.write_order);
+        return true;
+      },
+      with_threads(4));
+  ASSERT_EQ(visited, 24u);
+  ASSERT_EQ(boards.size(), 24u);
+  for (std::size_t e = 0; e < boards.size(); ++e) {
+    ASSERT_EQ(boards[e].message_count(), 4u) << "execution " << e;
+    for (std::size_t i = 0; i < 4; ++i) {
+      BitReader r(boards[e].message(i));
+      EXPECT_EQ(codec::read_id(r, 4), orders[e][i])
+          << "execution " << e << " message " << i;
+    }
+  }
 }
 
 }  // namespace

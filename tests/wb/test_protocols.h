@@ -15,6 +15,9 @@ class EchoIdProtocol final : public SimAsyncProtocol<std::size_t> {
   }
   Bits compose_initial(const LocalView& view) const override {
     BitWriter w;
+    return compose_initial(view, w);
+  }
+  Bits compose_initial(const LocalView& view, BitWriter& w) const override {
     codec::write_id(w, view.id(), view.n());
     return w.take();
   }
@@ -88,6 +91,10 @@ class BoardSizeProtocol final : public ProtocolWithOutput<int> {
   }
   Bits compose(const LocalView& view, const Whiteboard& board) const override {
     BitWriter w;
+    return compose(view, board, w);
+  }
+  Bits compose(const LocalView& view, const Whiteboard& board,
+               BitWriter& w) const override {
     codec::write_count(w, board.message_count(), view.n());
     return w.take();
   }

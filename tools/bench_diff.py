@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two Google-Benchmark JSON files and print a regression table.
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--threshold PCT]
+
+Matches benchmarks by name, reports wall time old -> new with the ratio, and
+carries user counters that exist on both sides (allocs_per_exec,
+executions_per_s, ...). Rows whose time grew by more than --threshold percent
+are flagged REGRESSED and make the exit status non-zero, so the script can
+gate CI once baselines come from comparable hardware; across machines treat
+the table as informational.
+
+This is the seed of the ROADMAP's trajectory dashboard: one BENCH_prN.json
+is committed per PR (BENCH_pr2.json, BENCH_pr3.json, ...), and this diff
+renders any two of them.
+
+Only the Python 3 standard library is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    """name -> benchmark record, skipping aggregate rows (mean/median/...)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    out: dict[str, dict] = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def fmt_time(value_ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if value_ns >= scale:
+            return f"{value_ns / scale:.2f}{unit}"
+    return f"{value_ns:.0f}ns"
+
+
+def to_ns(bench: dict) -> float:
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[
+        bench.get("time_unit", "ns")
+    ]
+    return float(bench["real_time"]) * scale
+
+
+def shared_counters(old: dict, new: dict) -> list[str]:
+    skip = {
+        "name", "run_name", "run_type", "repetitions", "repetition_index",
+        "threads", "iterations", "real_time", "cpu_time", "time_unit",
+        "family_index", "per_family_instance_index", "items_per_second",
+        "aggregate_name", "error_occurred", "error_message",
+    }
+    keys = [
+        k for k, v in old.items()
+        if k not in skip and isinstance(v, (int, float)) and k in new
+    ]
+    return sorted(keys)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="flag rows whose time grew more than PCT percent (default 10)")
+    args = parser.parse_args()
+
+    old = load_benchmarks(args.old)
+    new = load_benchmarks(args.new)
+    common = [name for name in old if name in new]
+    if not common:
+        print("no common benchmarks between the two files", file=sys.stderr)
+        return 2
+
+    rows = []
+    regressed = 0
+    for name in common:
+        t_old, t_new = to_ns(old[name]), to_ns(new[name])
+        ratio = t_new / t_old if t_old > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold / 100.0:
+            flag = "REGRESSED"
+            regressed += 1
+        elif ratio < 1.0 - args.threshold / 100.0:
+            flag = "improved"
+        extras = "  ".join(
+            f"{key}: {old[name][key]:.4g} -> {new[name][key]:.4g}"
+            for key in shared_counters(old[name], new[name]))
+        rows.append((name, fmt_time(t_old), fmt_time(t_new),
+                     f"{ratio:.2f}x", flag, extras))
+
+    widths = [max(len(r[i]) for r in rows + [
+        ("benchmark", "old", "new", "ratio", "", "")]) for i in range(5)]
+    header = ("benchmark", "old", "new", "ratio", "")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    for row in rows:
+        line = "  ".join(c.ljust(w) for c, w in zip(row[:5], widths)).rstrip()
+        print(line)
+        if row[5]:
+            print(" " * 4 + row[5])
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"\nonly in {args.old}: " + ", ".join(only_old))
+    if only_new:
+        print(f"only in {args.new}: " + ", ".join(only_new))
+    print(f"\n{len(common)} compared, {regressed} regressed "
+          f"(threshold {args.threshold:.0f}%)")
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

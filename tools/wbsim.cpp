@@ -14,6 +14,13 @@
 //
 //   wbsim cgnp:400:1/8:3  sync-bfs          battery:7
 //
+// The special adversary-spec `exhaustive[:THREADS]` visits *every* adversary
+// schedule (the paper's correctness quantifier — small n only), partitioned
+// across the shared worker pool (THREADS omitted or 0 = all cores, 1 =
+// serial):
+//
+//   wbsim twocliques:4    two-cliques       exhaustive
+//
 // Exit code 0 iff every run executed and the output validated against the
 // centralized reference algorithms.
 #include <cstdio>
@@ -28,7 +35,8 @@ namespace {
 void usage() {
   std::printf(
       "usage: wbsim <graph-spec> <protocol-spec> [adversary-spec]\n\n%s\n\n"
-      "%s\n\n%s\n           battery[:SEED] (full battery, parallel)\n",
+      "%s\n\n%s\n           battery[:SEED] (full battery, parallel)\n"
+      "           exhaustive[:THREADS] (every schedule, parallel; small n)\n",
       wb::cli::graph_spec_help().c_str(),
       wb::cli::protocol_spec_help().c_str(),
       wb::cli::adversary_spec_help().c_str());
@@ -51,6 +59,21 @@ int run_battery(const wb::Graph& g, const std::string& protocol,
   return correct == reports.size() ? 0 : 1;
 }
 
+int run_exhaustive(const wb::Graph& g, const std::string& protocol,
+                   const std::string& spec) {
+  const auto parts = wb::cli::split_spec(spec);
+  WB_REQUIRE_MSG(parts.size() <= 2, "expected exhaustive[:THREADS]");
+  const std::size_t threads = parts.size() == 2
+                                  ? static_cast<std::size_t>(wb::cli::parse_u64(
+                                        parts[1], "threads"))
+                                  : 0;
+  const wb::cli::RunReport report =
+      wb::cli::run_protocol_spec_exhaustive(protocol, g, threads);
+  std::printf("%s", report.summary.c_str());
+  std::printf("result     %s\n", report.correct ? "PASS" : "FAIL");
+  return report.correct ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,6 +86,9 @@ int main(int argc, char** argv) {
     const std::string adversary_spec = argc == 4 ? argv[3] : "first";
     if (wb::cli::split_spec(adversary_spec)[0] == "battery") {
       return run_battery(g, argv[2], adversary_spec);
+    }
+    if (wb::cli::split_spec(adversary_spec)[0] == "exhaustive") {
+      return run_exhaustive(g, argv[2], adversary_spec);
     }
     auto adversary = wb::cli::adversary_from_spec(adversary_spec, g);
     const wb::cli::RunReport report =
