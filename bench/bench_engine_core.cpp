@@ -19,6 +19,10 @@
 //                                through Protocol::compose — the benchmark
 //                                *fails* (SkipWithError) if the steady
 //                                state exceeds 0.5 allocs/execution;
+//  - BM_ExhaustiveBuildFull    — the same sweep with an allocating-subclass
+//                                migrant (BuildFull), gating the scratch-
+//                                BitWriter migration of the protocol layer
+//                                at the same ≤0.5 allocs/execution bar;
 //  - BM_ExhaustiveTwoCliquesThreads — the same sweep partitioned across the
 //                                shared worker pool at 1/2/4/8 threads;
 //                                verifies the bit-identical 40320 count at
@@ -30,9 +34,9 @@
 //                                and parallel).
 //
 // CI runs this binary as the Release bench-smoke job and uploads the JSON
-// as BENCH_pr3.json; the committed BENCH_pr2.json / BENCH_pr3.json at the
-// repo root are the recorded baselines of that trajectory (compare with
-// tools/bench_diff.py).
+// as BENCH_pr4.json; the committed BENCH_pr{2,3,4}.json at the repo root are
+// the recorded baselines of that trajectory (tools/bench_diff.py renders a
+// pairwise diff for two files, the full trajectory table for three or more).
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -40,6 +44,7 @@
 #include <new>
 
 #include "src/graph/generators.h"
+#include "src/protocols/build_full.h"
 #include "src/protocols/mis.h"
 #include "src/protocols/two_cliques.h"
 #include "src/wb/engine.h"
@@ -159,6 +164,32 @@ void BM_ExhaustiveTwoCliques(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExhaustiveTwoCliques)->Unit(benchmark::kMillisecond);
+
+void BM_ExhaustiveBuildFull(benchmark::State& state) {
+  // Same sweep, SIMASYNC protocol: BuildFull freezes (ID, adjacency row)
+  // messages at activation. Guards the scratch-BitWriter migration of the
+  // *allocating protocol subclasses* — before it, every compose heap-
+  // allocated its writer buffer; with the migration the steady state is
+  // allocation-free like the two-cliques sweep above.
+  const Graph g = two_cliques(4);  // 8 nodes: 8! = 40320 executions
+  const BuildFullProtocol p;
+  std::uint64_t execs = 0;
+  const unsigned long long before = alloc_count();
+  for (auto _ : state) {
+    execs += for_each_execution(
+        g, p, [](const ExecutionResult&) { return true; });
+  }
+  const double allocs_per_exec =
+      static_cast<double>(alloc_count() - before) / static_cast<double>(execs);
+  state.counters["executions"] =
+      benchmark::Counter(static_cast<double>(execs));
+  state.counters["allocs_per_exec"] = benchmark::Counter(allocs_per_exec);
+  state.SetItemsProcessed(static_cast<std::int64_t>(execs));
+  if (allocs_per_exec > 0.5) {
+    state.SkipWithError("steady-state allocation regression: > 0.5 allocs/exec");
+  }
+}
+BENCHMARK(BM_ExhaustiveBuildFull)->Unit(benchmark::kMillisecond);
 
 void BM_ExhaustiveTwoCliquesThreads(benchmark::State& state) {
   const Graph g = two_cliques(4);  // 8 nodes: 8! = 40320 executions

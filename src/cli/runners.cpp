@@ -12,6 +12,7 @@
 #include "src/cli/spec.h"
 #include "src/graph/algorithms.h"
 #include "src/protocols/bfs_sync.h"
+#include "src/protocols/codec.h"
 #include "src/protocols/build_degenerate.h"
 #include "src/protocols/build_forest.h"
 #include "src/protocols/build_full.h"
@@ -31,14 +32,35 @@ namespace wb::cli {
 
 namespace {
 
+/// One shard of a planned sweep to execute (see src/wb/shard.h): the parsed
+/// spec, the worker thread count, and where to deposit the result — the
+/// dispatch machinery returns RunReports, so the ShardResult travels by
+/// out-pointer.
+struct ShardRunRequest {
+  const shard::ShardSpec* spec = nullptr;
+  std::size_t threads = 0;
+  shard::ShardResult* out = nullptr;
+};
+
+/// A sharding plan to produce instead of running anything.
+struct ShardPlanRequest {
+  std::size_t shard_count = 1;
+  shard::PlanOptions options;
+  std::string protocol_spec;  // recorded verbatim in every spec
+  std::vector<shard::ShardSpec>* out = nullptr;
+};
+
 /// How a spec dispatch schedules its runs: one borrowed adversary, the
-/// seeded standard battery fanned out through the batch engine, or the
-/// exhaustive sweep over every schedule (parallel subtree partition).
+/// seeded standard battery fanned out through the batch engine, the
+/// exhaustive sweep over every schedule (parallel subtree partition), one
+/// shard of such a sweep, or just the sharding plan.
 struct RunPlan {
   Adversary* single = nullptr;  // set: exactly this strategy
   std::uint64_t seed = 0;       // else: standard_adversaries(g, seed)
   BatchOptions batch;
-  const ExhaustiveOptions* exhaustive = nullptr;  // set: sweep every schedule
+  const ExhaustiveRunOptions* exhaustive = nullptr;  // set: sweep every schedule
+  const ShardRunRequest* shard_run = nullptr;    // set: run one shard
+  const ShardPlanRequest* shard_plan = nullptr;  // set: emit the plan only
 };
 
 void describe_run(std::ostringstream& os, const Graph& g, const Protocol& p,
@@ -63,30 +85,75 @@ void describe_run(std::ostringstream& os, const Graph& g, const Protocol& p,
      << "\n";
 }
 
+/// Running minimum over failing schedules: the counterexample a
+/// `--counterexample` sweep reports. Lexicographic order on the write order
+/// — exactly the serial DFS visit order, so the minimum is the
+/// "smallest-prefix" failing schedule and is thread-count independent.
+struct CounterexampleTracker {
+  std::mutex mu;
+  bool found = false;
+  std::vector<NodeId> write_order;
+  std::string status;
+
+  /// Returns true the first time a failure is recorded.
+  bool record(const ExecutionResult& r, const char* why) {
+    const std::lock_guard<std::mutex> lock(mu);
+    const bool first = !found;
+    if (!found || r.write_order < write_order) {
+      found = true;
+      write_order = r.write_order;
+      status = why;
+    }
+    return first;
+  }
+
+  [[nodiscard]] std::string order_text() const {
+    std::string text;
+    for (const NodeId v : write_order) {
+      if (!text.empty()) text += " ";
+      text += std::to_string(v);
+    }
+    return text;
+  }
+};
+
 /// Exhaustive plan: one report aggregating every adversary schedule, from a
 /// SINGLE sweep — output validation and the distinct-board tally share one
 /// visitor instead of exploring the n! tree twice. The check callback is
 /// invoked concurrently from pool workers — it only reads the (const)
-/// graph/protocol and writes to a per-worker sink, so the shared state is
-/// the atomic tallies and the mutexed hash buffer (bounded by
-/// opts.max_executions, 16 bytes each).
+/// graph/protocol and writes to per-worker sinks and per-task accumulators,
+/// so the shared state is the atomic tallies (and the counterexample
+/// tracker's mutex, touched only on failures). Distinct boards stream
+/// through one StreamingDistinct per subtree task merged by sorted-run
+/// union, so peak memory is O(distinct), not O(executions) — the same
+/// aggregation shape shard::run_shard uses.
 template <typename P, typename Check>
 std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
-                                      const ExhaustiveOptions& opts,
+                                      const ExhaustiveRunOptions& ropts,
                                       const Check& check) {
+  ExhaustiveOptions opts;
+  opts.threads = ropts.threads;
+  opts.max_executions = ropts.max_executions;
+  const std::vector<PrefixTask> tasks =
+      partition_for_threads(g, protocol, opts.engine, opts.threads);
   std::atomic<std::uint64_t> engine_failures{0};
   std::atomic<std::uint64_t> wrong_outputs{0};
-  std::mutex hashes_mutex;
-  std::vector<Hash128> board_hashes;
-  const std::uint64_t executions = for_each_execution(
-      g, protocol,
-      [&](const ExecutionResult& r) {
-        {
-          const std::lock_guard<std::mutex> lock(hashes_mutex);
-          board_hashes.push_back(r.board.content_hash());
-        }
+  std::vector<StreamingDistinct> accumulators(tasks.size());
+  CounterexampleTracker cx;
+  // The serial DFS visits schedules in lexicographic write-order, so its
+  // first failure IS the minimum and the sweep may stop there; parallel
+  // sweeps must keep going and take the minimum over every failure.
+  const bool stop_at_first_failure = ropts.counterexample && opts.threads == 1;
+  const std::uint64_t executions = for_each_execution_under(
+      g, protocol, tasks,
+      [&](const ExecutionResult& r, std::size_t task) {
+        accumulators[task].add(r.board.content_hash());
         if (!r.ok()) {
           engine_failures.fetch_add(1, std::memory_order_relaxed);
+          if (ropts.counterexample) {
+            cx.record(r, status_name(r.status).data());
+            return !stop_at_first_failure;
+          }
           return true;
         }
         // The verdict text is discarded; seekp(0) reuses the worker's buffer
@@ -95,14 +162,18 @@ std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
         sink.seekp(0);
         if (!check(protocol.output(r.board, g.node_count()), sink)) {
           wrong_outputs.fetch_add(1, std::memory_order_relaxed);
+          if (ropts.counterexample) {
+            cx.record(r, "wrong-output");
+            return !stop_at_first_failure;
+          }
         }
         return true;
       },
       opts);
-  std::sort(board_hashes.begin(), board_hashes.end());
-  board_hashes.erase(std::unique(board_hashes.begin(), board_hashes.end()),
-                     board_hashes.end());
-  const std::uint64_t distinct = board_hashes.size();
+  std::vector<std::vector<Hash128>> runs;
+  runs.reserve(accumulators.size());
+  for (StreamingDistinct& acc : accumulators) runs.push_back(acc.take_sorted());
+  const std::uint64_t distinct = union_sorted_runs(std::move(runs)).size();
 
   RunReport report;
   report.executed = true;
@@ -117,10 +188,65 @@ std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
      << protocol.message_bit_limit(g.node_count()) << " bits])\n";
   os << "graph      n=" << g.node_count() << " m=" << g.edge_count() << "\n";
   os << "adversary  " << report.adversary << "\n";
-  os << "schedules  " << executions << " executions, " << distinct
-     << " distinct final boards\n";
-  os << "verdict    " << (executions - failures) << "/" << executions
-     << " executions successful and correct\n";
+  os << exhaustive_summary_lines(executions, engine_failures.load(),
+                                 wrong_outputs.load(), distinct);
+  if (ropts.counterexample) {
+    if (cx.found) {
+      report.counterexample = cx.order_text();
+      os << "counterexample " << report.counterexample << " (" << cx.status
+         << ")\n";
+      if (stop_at_first_failure) {
+        os << "counterexample sweep stopped at the first (smallest-prefix) "
+              "failing schedule\n";
+      }
+    } else {
+      os << "counterexample none\n";
+    }
+  }
+  report.summary = os.str();
+  return {std::move(report)};
+}
+
+/// Sharded plan, run phase: sweep exactly the spec's subtree prefixes with
+/// the same validation callback the exhaustive runner uses, depositing the
+/// ShardResult through the request's out-pointer.
+template <typename P, typename Check>
+std::vector<RunReport> run_shard_typed(const P& protocol, const Graph& g,
+                                       const ShardRunRequest& req,
+                                       const Check& check) {
+  const std::size_t n = g.node_count();
+  *req.out = shard::run_shard(
+      *req.spec, protocol,
+      [&](const ExecutionResult& r) {
+        thread_local std::ostringstream sink;
+        sink.seekp(0);
+        return check(protocol.output(r.board, n), sink);
+      },
+      req.threads);
+  const shard::ShardResult& result = *req.out;
+
+  RunReport report;
+  report.executed = true;
+  report.adversary = "shard(" + std::to_string(result.shard_index) + "/" +
+                     std::to_string(result.shard_count) + ")";
+  report.correct = !result.budget_exceeded && result.engine_failures == 0 &&
+                   result.wrong_outputs == 0;
+  report.status = result.budget_exceeded ? "budget-exceeded" : "success";
+  std::ostringstream os;
+  os << "protocol   " << protocol.name() << " ("
+     << model_name(protocol.model_class()) << "["
+     << protocol.message_bit_limit(n) << " bits])\n";
+  os << "graph      n=" << n << " m=" << g.edge_count() << "\n";
+  os << "adversary  " << report.adversary << " — " << req.spec->prefixes.size()
+     << " subtree prefixes\n";
+  if (result.budget_exceeded) {
+    os << "schedules  budget of " << result.max_executions
+       << " executions exceeded by this shard alone\n";
+  } else {
+    os << exhaustive_summary_lines(result.executions, result.engine_failures,
+                                   result.wrong_outputs,
+                                   result.board_hashes.size());
+  }
   report.summary = os.str();
   return {std::move(report)};
 }
@@ -130,6 +256,16 @@ std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
 template <typename P, typename Check>
 std::vector<RunReport> run_typed(const P& protocol, const Graph& g,
                                  const RunPlan& plan, const Check& check) {
+  if (plan.shard_plan != nullptr) {
+    *plan.shard_plan->out =
+        shard::plan_shards(g, protocol, plan.shard_plan->protocol_spec,
+                           plan.shard_plan->shard_count,
+                           plan.shard_plan->options);
+    return {};
+  }
+  if (plan.shard_run != nullptr) {
+    return run_shard_typed(protocol, g, *plan.shard_run, check);
+  }
   if (plan.exhaustive != nullptr) {
     return run_exhaustive(protocol, g, *plan.exhaustive, check);
   }
@@ -205,6 +341,34 @@ std::vector<RunReport> run_bfs(const Graph& g, const RunPlan& plan,
                      return ok;
                    });
 }
+
+/// Deliberately-broken negative-testing fixture (spec `broken-first:V`):
+/// every node writes its ID, the output is the *first* writer's ID, and
+/// validation expects node V — wrong on exactly the schedules where some
+/// other node writes first. The lexicographically-smallest failing schedule
+/// is known in closed form, which is what pins `--counterexample`.
+class FirstWriterProtocol final : public SimAsyncProtocol<NodeId> {
+ public:
+  [[nodiscard]] std::size_t message_bit_limit(std::size_t n) const override {
+    return static_cast<std::size_t>(codec::id_bits(n));
+  }
+  [[nodiscard]] Bits compose_initial(const LocalView& view) const override {
+    BitWriter w;
+    return compose_initial(view, w);
+  }
+  [[nodiscard]] Bits compose_initial(const LocalView& view,
+                                     BitWriter& w) const override {
+    codec::write_id(w, view.id(), view.n());
+    return w.take();
+  }
+  [[nodiscard]] NodeId output(const Whiteboard& board,
+                              std::size_t n) const override {
+    WB_REQUIRE_MSG(board.message_count() >= 1, "empty whiteboard");
+    BitReader r(board.message(0));
+    return codec::read_id(r, n);
+  }
+  [[nodiscard]] std::string name() const override { return "broken-first"; }
+};
 
 std::vector<RunReport> dispatch_spec(const std::string& spec, const Graph& g,
                                      const RunPlan& plan) {
@@ -311,6 +475,20 @@ std::vector<RunReport> dispatch_spec(const std::string& spec, const Graph& g,
                        return v != TriangleVerdict::kYes || truth;
                      });
   }
+  if (kind == "broken-first") {
+    WB_REQUIRE_MSG(parts.size() == 2, "expected broken-first:V");
+    const NodeId want = static_cast<NodeId>(parse_u64(parts[1], "V"));
+    WB_REQUIRE_MSG(want >= 1 && want <= n, "V out of range");
+    const FirstWriterProtocol p;
+    return run_typed(p, g, plan,
+                     [want](NodeId out, std::ostringstream& os) {
+                       const bool ok = out == want;
+                       os << "verdict    first writer " << out << " (want "
+                          << want << ") — " << (ok ? "as planted" : "WRONG")
+                          << "\n";
+                       return ok;
+                     });
+  }
   if (kind == "spanning-forest") {
     const SpanningForestProtocol p;
     return run_typed(p, g, plan,
@@ -373,14 +551,60 @@ std::vector<RunReport> run_protocol_spec_battery(const std::string& spec,
 }
 
 RunReport run_protocol_spec_exhaustive(const std::string& spec, const Graph& g,
-                                       std::size_t threads,
-                                       std::uint64_t max_executions) {
-  ExhaustiveOptions opts;
-  opts.threads = threads;
-  opts.max_executions = max_executions;
+                                       const ExhaustiveRunOptions& opts) {
   RunPlan plan;
   plan.exhaustive = &opts;
   return std::move(dispatch_spec(spec, g, plan).front());
+}
+
+RunReport run_protocol_spec_exhaustive(const std::string& spec, const Graph& g,
+                                       std::size_t threads,
+                                       std::uint64_t max_executions) {
+  ExhaustiveRunOptions opts;
+  opts.threads = threads;
+  opts.max_executions = max_executions;
+  return run_protocol_spec_exhaustive(spec, g, opts);
+}
+
+std::vector<shard::ShardSpec> plan_protocol_spec_shards(
+    const std::string& protocol_spec, const Graph& g, std::size_t shard_count,
+    const shard::PlanOptions& opts) {
+  std::vector<shard::ShardSpec> specs;
+  ShardPlanRequest request;
+  request.shard_count = shard_count;
+  request.options = opts;
+  request.protocol_spec = protocol_spec;
+  request.out = &specs;
+  RunPlan plan;
+  plan.shard_plan = &request;
+  (void)dispatch_spec(protocol_spec, g, plan);
+  return specs;
+}
+
+shard::ShardResult run_protocol_spec_shard(const shard::ShardSpec& spec,
+                                           std::size_t threads) {
+  shard::ShardResult result;
+  ShardRunRequest request;
+  request.spec = &spec;
+  request.threads = threads;
+  request.out = &result;
+  RunPlan plan;
+  plan.shard_run = &request;
+  (void)dispatch_spec(spec.protocol_spec, spec.graph, plan);
+  return result;
+}
+
+std::string exhaustive_summary_lines(std::uint64_t executions,
+                                     std::uint64_t engine_failures,
+                                     std::uint64_t wrong_outputs,
+                                     std::uint64_t distinct_boards) {
+  const std::uint64_t failures = engine_failures + wrong_outputs;
+  std::ostringstream os;
+  os << "schedules  " << executions << " executions, " << distinct_boards
+     << " distinct final boards\n";
+  os << "verdict    " << (executions - failures) << "/" << executions
+     << " executions successful and correct\n";
+  return os.str();
 }
 
 std::string protocol_spec_help() {
@@ -388,7 +612,9 @@ std::string protocol_spec_help() {
          "           two-cliques rand-two-cliques:SEED eob-bfs bipartite-bfs\n"
          "           sync-bfs subgraph:F triangle-oracle pair-chase\n"
          "           spanning-forest square-oracle diameter-oracle:D\n"
-         "           connectivity-oracle";
+         "           connectivity-oracle\n"
+         "           broken-first:V (negative-testing fixture: correct iff\n"
+         "           node V writes first — for --counterexample)";
 }
 
 }  // namespace wb::cli

@@ -5,7 +5,9 @@
 //
 // All execution — single runs included — goes through the batch engine
 // (src/wb/batch.h), so the CLI exercises the same code path the parallel
-// sweeps use.
+// sweeps use. The exhaustive and sharded entry points below drive the
+// explorer (src/wb/exhaustive.h) and its distributed layer (src/wb/shard.h)
+// with the same per-protocol validation callbacks.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +17,7 @@
 #include "src/graph/graph.h"
 #include "src/wb/adversary.h"
 #include "src/wb/batch.h"
+#include "src/wb/shard.h"
 
 namespace wb::cli {
 
@@ -24,6 +27,10 @@ struct RunReport {
   std::string adversary;   // strategy the run was scheduled by
   std::string status;      // engine status string
   std::string summary;     // multi-line human-readable report
+  /// Exhaustive runs with counterexample tracking: the smallest-prefix
+  /// failing schedule as a space-separated write order ("" = none found or
+  /// not requested).
+  std::string counterexample;
 };
 
 /// Run `protocol_spec` on `g` under `adversary`. Throws wb::DataError for
@@ -38,15 +45,55 @@ struct RunReport {
     const std::string& protocol_spec, const Graph& g, std::uint64_t seed,
     const BatchOptions& opts = {});
 
+struct ExhaustiveRunOptions {
+  /// Sweep workers: 0 = one per hardware thread, 1 = the serial oracle.
+  std::size_t threads = 0;
+  std::uint64_t max_executions = 2'000'000;
+  /// Track the smallest-prefix failing schedule (lexicographically smallest
+  /// failing write order) and report it. Deterministic at any thread count:
+  /// the serial sweep stops at its first failure — which DFS order makes the
+  /// minimum — while parallel sweeps keep the running minimum over every
+  /// failure they visit.
+  bool counterexample = false;
+};
+
 /// Exhaustively validate `protocol_spec` on `g`: visit *every* adversary
 /// schedule (the paper's correctness quantifier), fanned out across the
-/// shared worker pool (`threads`: 0 = one worker per hardware thread, 1 =
-/// serial), and validate each execution's output against the reference
-/// algorithms. The report is deterministic at any thread count. Throws
-/// wb::LogicError when the schedule space exceeds `max_executions`.
+/// shared worker pool, and validate each execution's output against the
+/// reference algorithms. The report is deterministic at any thread count.
+/// Throws wb::BudgetExceededError when the schedule space exceeds
+/// opts.max_executions.
+[[nodiscard]] RunReport run_protocol_spec_exhaustive(
+    const std::string& protocol_spec, const Graph& g,
+    const ExhaustiveRunOptions& opts);
+
+/// Convenience overload matching the historical signature.
 [[nodiscard]] RunReport run_protocol_spec_exhaustive(
     const std::string& protocol_spec, const Graph& g, std::size_t threads = 0,
     std::uint64_t max_executions = 2'000'000);
+
+/// Plan a sharded exhaustive sweep: construct the protocol named by
+/// `protocol_spec`, partition its schedule tree on `g`, and distribute the
+/// subtree prefixes round-robin over `shard_count` self-describing specs
+/// (serialize with wb::shard::serialize, run anywhere, merge with
+/// merge_shard_results).
+[[nodiscard]] std::vector<shard::ShardSpec> plan_protocol_spec_shards(
+    const std::string& protocol_spec, const Graph& g, std::size_t shard_count,
+    const shard::PlanOptions& opts = {});
+
+/// Run one shard of a planned sweep: constructs the protocol from the spec
+/// embedded in `spec` and validates every successful execution's output
+/// against the reference algorithms (exactly the checks the exhaustive
+/// runner applies, so merged tallies are bit-identical to its report).
+[[nodiscard]] shard::ShardResult run_protocol_spec_shard(
+    const shard::ShardSpec& spec, std::size_t threads = 0);
+
+/// The "schedules ... / verdict ..." report lines shared by the exhaustive
+/// runner and the shard-merge CLI — byte-identical formatting is what lets
+/// CI diff a merged sharded sweep against the `exhaustive:1` oracle.
+[[nodiscard]] std::string exhaustive_summary_lines(
+    std::uint64_t executions, std::uint64_t engine_failures,
+    std::uint64_t wrong_outputs, std::uint64_t distinct_boards);
 
 /// List of known protocol specs for --help.
 [[nodiscard]] std::string protocol_spec_help();

@@ -1,6 +1,7 @@
 #include "src/cli/spec.h"
 
 #include <charconv>
+#include <string_view>
 
 #include "src/graph/generators.h"
 #include "src/support/check.h"
@@ -138,6 +139,38 @@ std::unique_ptr<Adversary> adversary_from_spec(const std::string& spec,
   WB_REQUIRE_MSG(false, "unknown adversary '" << kind << "'\n"
                                               << adversary_spec_help());
   return nullptr;  // unreachable
+}
+
+bool is_exhaustive_spec(const std::string& spec) {
+  return split_spec(spec)[0] == "exhaustive";
+}
+
+ExhaustiveSpec exhaustive_from_spec(const std::string& spec) {
+  const auto parts = split_spec(spec);
+  WB_REQUIRE_MSG(parts[0] == "exhaustive",
+                 "not an exhaustive spec: '" << spec << "'");
+  ExhaustiveSpec out;
+  if (parts.size() == 1) return out;
+  constexpr std::string_view kShardsKey = "shards=";
+  if (parts[1].starts_with(kShardsKey)) {
+    WB_REQUIRE_MSG(parts.size() <= 3,
+                   "expected exhaustive:shards=K[:THREADS], got '" << spec
+                                                                   << "'");
+    out.shards = static_cast<std::size_t>(
+        parse_u64(parts[1].substr(kShardsKey.size()), "shard count"));
+    WB_REQUIRE_MSG(out.shards >= 1, "shard count must be at least 1");
+    if (parts.size() == 3) {
+      out.threads =
+          static_cast<std::size_t>(parse_u64(parts[2], "threads"));
+    }
+    return out;
+  }
+  WB_REQUIRE_MSG(parts.size() == 2,
+                 "expected exhaustive[:THREADS] or exhaustive:shards=K"
+                 "[:THREADS], got '"
+                     << spec << "'");
+  out.threads = static_cast<std::size_t>(parse_u64(parts[1], "threads"));
+  return out;
 }
 
 std::string graph_spec_help() {

@@ -48,6 +48,27 @@ namespace wb::cli {
 [[nodiscard]] std::unique_ptr<Adversary> adversary_from_spec(
     const std::string& spec, const Graph& g);
 
+/// The wbsim pseudo-adversary `exhaustive`, parsed:
+///
+///   exhaustive                 every schedule, all cores, in-process
+///   exhaustive:T               T worker threads (1 = the serial oracle)
+///   exhaustive:shards=K        K local worker *processes*, merged
+///   exhaustive:shards=K:T      K worker processes with T threads each
+struct ExhaustiveSpec {
+  /// Worker threads. In-process mode: 0 = one per hardware thread, 1 =
+  /// serial. In shard mode this is each worker process's thread count, and
+  /// 0 (or omitting it) splits the machine between the workers
+  /// (hardware threads / K, at least 1).
+  std::size_t threads = 0;
+  /// Worker processes: 0 = in-process sweep, K >= 1 = plan/run/merge K
+  /// local shard-runner processes.
+  std::size_t shards = 0;
+};
+
+[[nodiscard]] bool is_exhaustive_spec(const std::string& spec);
+/// Parse an `exhaustive...` spec. Throws wb::DataError on malformed input.
+[[nodiscard]] ExhaustiveSpec exhaustive_from_spec(const std::string& spec);
+
 /// Human-readable lists for --help.
 [[nodiscard]] std::string graph_spec_help();
 [[nodiscard]] std::string adversary_spec_help();

@@ -29,8 +29,13 @@ std::size_t BuildDegenerateProtocol::message_bit_limit(std::size_t n) const {
 }
 
 Bits BuildDegenerateProtocol::compose_initial(const LocalView& view) const {
-  const std::size_t n = view.n();
   BitWriter w;
+  return compose_initial(view, w);
+}
+
+Bits BuildDegenerateProtocol::compose_initial(const LocalView& view,
+                                              BitWriter& w) const {
+  const std::size_t n = view.n();
   codec::write_id(w, view.id(), n);
   codec::write_count(w, view.degree(), n);
   std::vector<std::uint32_t> ids(view.neighbors().begin(),

@@ -32,6 +32,8 @@ class BuildDegenerateProtocol final : public SimAsyncProtocol<BuildOutput> {
 
   [[nodiscard]] std::size_t message_bit_limit(std::size_t n) const override;
   [[nodiscard]] Bits compose_initial(const LocalView& view) const override;
+  [[nodiscard]] Bits compose_initial(const LocalView& view,
+                                     BitWriter& scratch) const override;
   [[nodiscard]] BuildOutput output(const Whiteboard& board,
                                    std::size_t n) const override;
   [[nodiscard]] std::string name() const override;

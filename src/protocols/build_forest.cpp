@@ -23,8 +23,13 @@ std::size_t BuildForestProtocol::message_bit_limit(std::size_t n) const {
 }
 
 Bits BuildForestProtocol::compose_initial(const LocalView& view) const {
-  const std::size_t n = view.n();
   BitWriter w;
+  return compose_initial(view, w);
+}
+
+Bits BuildForestProtocol::compose_initial(const LocalView& view,
+                                          BitWriter& w) const {
+  const std::size_t n = view.n();
   codec::write_id(w, view.id(), n);
   codec::write_count(w, view.degree(), n);
   std::uint64_t sum = 0;

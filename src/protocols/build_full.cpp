@@ -11,8 +11,13 @@ std::size_t BuildFullProtocol::message_bit_limit(std::size_t n) const {
 }
 
 Bits BuildFullProtocol::compose_initial(const LocalView& view) const {
-  const std::size_t n = view.n();
   BitWriter w;
+  return compose_initial(view, w);
+}
+
+Bits BuildFullProtocol::compose_initial(const LocalView& view,
+                                        BitWriter& w) const {
+  const std::size_t n = view.n();
   codec::write_id(w, view.id(), n);
   for (NodeId u = 1; u <= n; ++u) w.write_bit(view.has_neighbor(u));
   return w.take();

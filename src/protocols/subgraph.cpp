@@ -12,9 +12,14 @@ std::size_t SubgraphProtocol::message_bit_limit(std::size_t n) const {
 }
 
 Bits SubgraphProtocol::compose_initial(const LocalView& view) const {
+  BitWriter w;
+  return compose_initial(view, w);
+}
+
+Bits SubgraphProtocol::compose_initial(const LocalView& view,
+                                       BitWriter& w) const {
   const std::size_t n = view.n();
   const std::size_t f = std::min(f_, n);
-  BitWriter w;
   codec::write_id(w, view.id(), n);
   if (view.id() <= f) {
     for (NodeId u = 1; u <= f; ++u) w.write_bit(view.has_neighbor(u));

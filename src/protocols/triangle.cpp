@@ -17,8 +17,13 @@ std::size_t TriangleOracleProtocol::message_bit_limit(std::size_t n) const {
 }
 
 Bits TriangleOracleProtocol::compose_initial(const LocalView& view) const {
-  const std::size_t n = view.n();
   BitWriter w;
+  return compose_initial(view, w);
+}
+
+Bits TriangleOracleProtocol::compose_initial(const LocalView& view,
+                                             BitWriter& w) const {
+  const std::size_t n = view.n();
   codec::write_id(w, view.id(), n);
   for (NodeId u = 1; u <= n; ++u) w.write_bit(view.has_neighbor(u));
   return w.take();
@@ -131,8 +136,14 @@ std::size_t TrianglePairChaseProtocol::message_bit_limit(std::size_t n) const {
 
 Bits TrianglePairChaseProtocol::compose(const LocalView& view,
                                         const Whiteboard& board) const {
-  const std::size_t n = view.n();
   BitWriter w;
+  return compose(view, board, w);
+}
+
+Bits TrianglePairChaseProtocol::compose(const LocalView& view,
+                                        const Whiteboard& board,
+                                        BitWriter& w) const {
+  const std::size_t n = view.n();
 
   // Does some revealed edge close a triangle through us?
   for (const Edge& e : revealed_edges(board, n)) {

@@ -35,6 +35,8 @@ class TriangleOracleProtocol final : public SimAsyncProtocol<bool> {
  public:
   [[nodiscard]] std::size_t message_bit_limit(std::size_t n) const override;
   [[nodiscard]] Bits compose_initial(const LocalView& view) const override;
+  [[nodiscard]] Bits compose_initial(const LocalView& view,
+                                     BitWriter& scratch) const override;
   [[nodiscard]] bool output(const Whiteboard& board,
                             std::size_t n) const override;
   [[nodiscard]] std::string name() const override { return "triangle-oracle"; }
@@ -53,6 +55,8 @@ class TrianglePairChaseProtocol final
   [[nodiscard]] std::size_t message_bit_limit(std::size_t n) const override;
   [[nodiscard]] Bits compose(const LocalView& view,
                              const Whiteboard& board) const override;
+  [[nodiscard]] Bits compose(const LocalView& view, const Whiteboard& board,
+                             BitWriter& scratch) const override;
   [[nodiscard]] TriangleVerdict output(const Whiteboard& board,
                                        std::size_t n) const override;
   [[nodiscard]] std::string name() const override {

@@ -1,14 +1,11 @@
 #include "src/wb/exhaustive.h"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <iterator>
-#include <span>
 #include <thread>
 #include <vector>
 
-#include "src/support/hash.h"
 #include "src/support/thread_pool.h"
 
 namespace wb {
@@ -93,7 +90,7 @@ class Backtracker {
     if (slot >= ctl_->budget) {
       ctl_->visited.fetch_sub(1, std::memory_order_relaxed);
       ctl_->stop.store(true, std::memory_order_relaxed);
-      WB_CHECK_MSG(false, "exhaustive exploration budget exceeded");
+      throw BudgetExceededError(ctl_->budget);
     }
     state_.finish_into(scratch_);
     bool keep_going = false;
@@ -118,30 +115,91 @@ class Backtracker {
   std::vector<std::vector<NodeId>> frames_;
 };
 
-/// One independent subtree of the schedule tree, identified by the adversary
-/// decisions leading to it (at most the top two levels).
-struct PrefixTask {
-  std::array<NodeId, 2> decision{kNoNode, kNoNode};
-  std::size_t depth = 0;
-  [[nodiscard]] std::span<const NodeId> prefix() const {
-    return {decision.data(), depth};
-  }
-};
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
 
-/// Split the top of the schedule tree into independent subtree tasks: one
-/// per level-1 branch when the root fan-out already feeds `target_tasks`
-/// workers, else one per (level-1, level-2) decision pair. The partition
-/// depends only on (graph, protocol, target) — never on scheduling — and
-/// its subtrees' leaves tile the full execution set exactly once.
-/// Empty result: the root round is already terminal (a single execution).
-std::vector<PrefixTask> partition_tasks(const Graph& g, const Protocol& p,
-                                        const EngineOptions& eopts,
-                                        std::size_t target_tasks) {
+/// Sweep exactly the subtrees of `tasks`, serially or over the shared pool.
+/// visit(result, task_index) must be safe to call concurrently for
+/// *different* task indices (a single task is always processed by one
+/// worker). The visited set, the shared count, and whether the budget guard
+/// fires are identical for any thread count; only the inter-task visit
+/// order varies.
+template <typename Visit>
+void sweep_tasks(const Graph& g, const Protocol& p,
+                 const ExhaustiveOptions& opts,
+                 std::span<const PrefixTask> tasks, ExploreControl& ctl,
+                 const Visit& visit) {
+  const std::size_t threads = resolve_threads(opts.threads);
+  if (threads > 1 && tasks.size() > 1) {
+    ThreadPool::shared().parallel_for(
+        tasks.size(),
+        [&](std::size_t t) {
+          if (ctl.stop.load(std::memory_order_relaxed)) return;
+          auto task_visit = [&visit, t](const ExecutionResult& r) {
+            return visit(r, t);
+          };
+          Backtracker<decltype(task_visit)> bt(g, p, opts.engine, ctl,
+                                               task_visit);
+          bt.run(tasks[t].prefix());
+        },
+        threads);
+    return;
+  }
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (ctl.stop.load(std::memory_order_relaxed)) break;
+    auto task_visit = [&visit, t](const ExecutionResult& r) {
+      return visit(r, t);
+    };
+    Backtracker<decltype(task_visit)> bt(g, p, opts.engine, ctl, task_visit);
+    bt.run(tasks[t].prefix());
+  }
+}
+
+/// The full-sweep driver behind the classic entry points.
+/// prepare(task_count) runs before any visit; visit(result, task) as in
+/// sweep_tasks.
+template <typename Prepare, typename Visit>
+std::uint64_t explore_all(const Graph& g, const Protocol& p,
+                          const ExhaustiveOptions& opts,
+                          const Prepare& prepare, const Visit& visit) {
+  ExploreControl ctl;
+  ctl.budget = opts.max_executions;
+  const std::vector<PrefixTask> tasks =
+      partition_for_threads(g, p, opts.engine, opts.threads);
+  prepare(tasks.size());
+  sweep_tasks(g, p, opts, tasks, ctl, visit);
+  return ctl.visited.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::vector<PrefixTask> partition_for_threads(const Graph& g,
+                                              const Protocol& p,
+                                              const EngineOptions& eopts,
+                                              std::size_t threads) {
+  const std::size_t workers = resolve_threads(threads);
+  if (workers <= 1) {
+    return {PrefixTask{}};  // depth 0: the entire schedule tree, serially
+  }
+  // Several tasks per worker, so dynamic claiming load-balances subtrees of
+  // uneven size.
+  return partition_executions(g, p, eopts, workers * 4);
+}
+
+std::vector<PrefixTask> partition_executions(const Graph& g, const Protocol& p,
+                                             const EngineOptions& eopts,
+                                             std::size_t target_tasks) {
   std::vector<PrefixTask> tasks;
   EngineState s(g, p, eopts);
   s.set_journaling(true);
   s.begin_round();
-  if (s.terminal()) return tasks;
+  if (s.terminal()) {
+    // A single execution; the depth-0 task keeps the tiling invariant.
+    tasks.push_back(PrefixTask{});
+    return tasks;
+  }
   const std::vector<NodeId> level1(s.candidates().begin(),
                                    s.candidates().end());
   if (level1.size() >= target_tasks) {
@@ -166,89 +224,6 @@ std::vector<PrefixTask> partition_tasks(const Graph& g, const Protocol& p,
   return tasks;
 }
 
-std::size_t resolve_threads(std::size_t requested) {
-  if (requested != 0) return requested;
-  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
-}
-
-/// The sweep driver behind every public entry point.
-/// prepare(task_count) runs before any visit; visit(result, task) must be
-/// safe to call concurrently for *different* task indices (a single task is
-/// always processed by one worker).
-template <typename Prepare, typename Visit>
-std::uint64_t explore_all(const Graph& g, const Protocol& p,
-                          const ExhaustiveOptions& opts,
-                          const Prepare& prepare, const Visit& visit) {
-  ExploreControl ctl;
-  ctl.budget = opts.max_executions;
-  const std::size_t threads = resolve_threads(opts.threads);
-  if (threads > 1) {
-    // Several tasks per worker, so dynamic claiming load-balances subtrees
-    // of uneven size.
-    const std::vector<PrefixTask> tasks =
-        partition_tasks(g, p, opts.engine, threads * 4);
-    if (tasks.size() > 1) {
-      prepare(tasks.size());
-      ThreadPool::shared().parallel_for(
-          tasks.size(),
-          [&](std::size_t t) {
-            if (ctl.stop.load(std::memory_order_relaxed)) return;
-            auto task_visit = [&visit, t](const ExecutionResult& r) {
-              return visit(r, t);
-            };
-            Backtracker<decltype(task_visit)> bt(g, p, opts.engine, ctl,
-                                                 task_visit);
-            bt.run(tasks[t].prefix());
-          },
-          threads);
-      return ctl.visited.load(std::memory_order_relaxed);
-    }
-  }
-  prepare(1);
-  auto task_visit = [&visit](const ExecutionResult& r) { return visit(r, 0); };
-  Backtracker<decltype(task_visit)> bt(g, p, opts.engine, ctl, task_visit);
-  bt.run({});
-  return ctl.visited.load(std::memory_order_relaxed);
-}
-
-/// Streaming distinct-key accumulator: appends are buffered, and every
-/// kFlushLimit keys the buffer is folded into a sorted unique run via
-/// set-union. Peak memory is O(distinct + kFlushLimit) instead of the
-/// O(executions) a collect-then-sort pays.
-class StreamingDistinct {
- public:
-  void add(const Hash128& key) {
-    buffer_.push_back(key);
-    if (buffer_.size() >= kFlushLimit) flush();
-  }
-
-  /// Sorted unique keys seen so far; the accumulator is left empty.
-  [[nodiscard]] std::vector<Hash128> take_sorted() {
-    flush();
-    return std::move(run_);
-  }
-
- private:
-  static constexpr std::size_t kFlushLimit = std::size_t{1} << 16;  // 1 MiB
-
-  void flush() {
-    if (buffer_.empty()) return;
-    std::sort(buffer_.begin(), buffer_.end());
-    buffer_.erase(std::unique(buffer_.begin(), buffer_.end()), buffer_.end());
-    std::vector<Hash128> merged;
-    merged.reserve(run_.size() + buffer_.size());
-    std::set_union(run_.begin(), run_.end(), buffer_.begin(), buffer_.end(),
-                   std::back_inserter(merged));
-    run_ = std::move(merged);
-    buffer_.clear();
-  }
-
-  std::vector<Hash128> buffer_;
-  std::vector<Hash128> run_;  // sorted, unique
-};
-
-}  // namespace
-
 std::uint64_t for_each_execution(
     const Graph& g, const Protocol& p,
     const std::function<bool(const ExecutionResult&)>& visit,
@@ -256,6 +231,19 @@ std::uint64_t for_each_execution(
   return explore_all(
       g, p, opts, [](std::size_t) {},
       [&visit](const ExecutionResult& r, std::size_t) { return visit(r); });
+}
+
+std::uint64_t for_each_execution_under(
+    const Graph& g, const Protocol& p, std::span<const PrefixTask> tasks,
+    const std::function<bool(const ExecutionResult&, std::size_t)>& visit,
+    const ExhaustiveOptions& opts) {
+  ExploreControl ctl;
+  ctl.budget = opts.max_executions;
+  sweep_tasks(g, p, opts, tasks, ctl,
+              [&visit](const ExecutionResult& r, std::size_t t) {
+                return visit(r, t);
+              });
+  return ctl.visited.load(std::memory_order_relaxed);
 }
 
 bool all_executions_ok(
@@ -291,9 +279,17 @@ std::uint64_t count_distinct_final_boards(const Graph& g, const Protocol& p,
         accumulators[task].add(r.board.content_hash());
         return true;
       });
-  std::vector<Hash128> merged;
+  std::vector<std::vector<Hash128>> runs;
+  runs.reserve(accumulators.size());
   for (StreamingDistinct& acc : accumulators) {
-    std::vector<Hash128> run = acc.take_sorted();
+    runs.push_back(acc.take_sorted());
+  }
+  return static_cast<std::uint64_t>(union_sorted_runs(std::move(runs)).size());
+}
+
+std::vector<Hash128> union_sorted_runs(std::vector<std::vector<Hash128>> runs) {
+  std::vector<Hash128> merged;
+  for (std::vector<Hash128>& run : runs) {
     if (merged.empty()) {
       merged = std::move(run);
       continue;
@@ -305,7 +301,7 @@ std::uint64_t count_distinct_final_boards(const Graph& g, const Protocol& p,
                    std::back_inserter(next));
     merged = std::move(next);
   }
-  return static_cast<std::uint64_t>(merged.size());
+  return merged;
 }
 
 }  // namespace wb

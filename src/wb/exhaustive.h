@@ -20,23 +20,35 @@
 // inter-task visit order varies. threads == 1 is the serial reference path
 // the tests oracle against.
 //
+// Distributed exploration (src/wb/shard.h) builds on the same partition: the
+// PrefixTask list is public, and for_each_execution_under sweeps an
+// arbitrary subset of subtree tasks, so shards of one sweep can run in
+// different processes (or on different hosts) and be merged afterwards.
+//
 // This is the strongest evidence our simulator can produce for the "yes"
 // cells of Table 2, and the machinery behind the minimax searches in the
 // benches.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <iterator>
+#include <span>
+#include <string>
+#include <vector>
 
+#include "src/support/hash.h"
 #include "src/wb/engine.h"
 
 namespace wb {
 
 struct ExhaustiveOptions {
-  /// Upper bound on executions to visit (the explorer throws LogicError when
-  /// the bound would be exceeded — a guard against accidental n! blowups).
-  /// Enforced by a shared counter in parallel runs, so whether a sweep
-  /// throws is thread-count independent.
+  /// Upper bound on executions to visit (the explorer throws
+  /// BudgetExceededError when the bound would be exceeded — a guard against
+  /// accidental n! blowups). Enforced by a shared counter in parallel runs,
+  /// so whether a sweep throws is thread-count independent.
   std::uint64_t max_executions = 2'000'000;
   /// Subtree-sweep workers: 1 (default) = the serial reference path; 0 = one
   /// worker per hardware thread; k = at most k workers. With any value other
@@ -45,6 +57,60 @@ struct ExhaustiveOptions {
   std::size_t threads = 1;
   EngineOptions engine;
 };
+
+/// Thrown when a sweep would visit more than max_executions executions.
+/// A LogicError subclass so existing "guard against blowups" handling keeps
+/// working; the distributed sharding layer catches the precise type to turn
+/// a worker-local overrun into a deterministic ShardResult flag.
+class BudgetExceededError : public LogicError {
+ public:
+  explicit BudgetExceededError(std::uint64_t max_executions)
+      : LogicError("exhaustive exploration budget exceeded (max_executions = " +
+                   std::to_string(max_executions) + ")"),
+        max_executions_(max_executions) {}
+  [[nodiscard]] std::uint64_t max_executions() const noexcept {
+    return max_executions_;
+  }
+
+ private:
+  std::uint64_t max_executions_;
+};
+
+/// One independent subtree of the schedule tree, identified by the adversary
+/// decisions leading to it (at most the top two levels). depth == 0 is the
+/// whole tree.
+struct PrefixTask {
+  std::array<NodeId, 2> decision{kNoNode, kNoNode};
+  std::size_t depth = 0;
+  [[nodiscard]] std::span<const NodeId> prefix() const {
+    return {decision.data(), depth};
+  }
+  friend bool operator==(const PrefixTask&, const PrefixTask&) = default;
+};
+
+/// Split the top of the schedule tree into independent subtree tasks: one
+/// per level-1 branch when the root fan-out already feeds `target_tasks`
+/// workers, else one per (level-1, level-2) decision pair. The partition
+/// depends only on (graph, protocol, target_tasks) — never on scheduling —
+/// and its subtrees' leaves tile the full execution set exactly once; this
+/// is what makes both thread- and process-level fan-out mergeable back into
+/// bit-identical totals. A root round that is already terminal (a single
+/// execution) yields one depth-0 task, so the tiling property holds
+/// unconditionally.
+[[nodiscard]] std::vector<PrefixTask> partition_executions(
+    const Graph& g, const Protocol& p, const EngineOptions& eopts,
+    std::size_t target_tasks);
+
+/// The partition a `threads`-worker sweep uses (0 = one worker per hardware
+/// thread, 1 = the single whole-tree task of the serial path; otherwise
+/// several tasks per worker so dynamic claiming load-balances subtrees of
+/// uneven size). This is the one place the load-balancing policy lives —
+/// for_each_execution and the CLI exhaustive runner both partition through
+/// it, so a caller pairing for_each_execution_under with per-task
+/// aggregation sweeps exactly the library's own task shape.
+[[nodiscard]] std::vector<PrefixTask> partition_for_threads(
+    const Graph& g, const Protocol& p, const EngineOptions& eopts,
+    std::size_t threads);
 
 /// Visit every maximal execution of `p` on `g`. The visitor may return false
 /// to stop early (e.g. after the first counterexample); the current subtree
@@ -58,6 +124,18 @@ struct ExhaustiveOptions {
 std::uint64_t for_each_execution(
     const Graph& g, const Protocol& p,
     const std::function<bool(const ExecutionResult&)>& visit,
+    const ExhaustiveOptions& opts = {});
+
+/// Visit every maximal execution inside the subtrees named by `tasks` (one
+/// shard of a sweep whose full task list came from partition_executions).
+/// The visitor receives the index of the task the execution belongs to, so
+/// per-task aggregation needs no locking (a single task is always processed
+/// by one worker). Budget, early stop, and the returned count behave exactly
+/// as in for_each_execution; with tasks covering the whole tree the visited
+/// set and total are bit-identical to it at any thread count.
+std::uint64_t for_each_execution_under(
+    const Graph& g, const Protocol& p, std::span<const PrefixTask> tasks,
+    const std::function<bool(const ExecutionResult&, std::size_t)>& visit,
     const ExhaustiveOptions& opts = {});
 
 /// True iff every execution is successful and `accept(result)` holds for all
@@ -81,5 +159,50 @@ std::uint64_t for_each_execution(
 /// order; this reports how much the adversary can vary the board.
 [[nodiscard]] std::uint64_t count_distinct_final_boards(
     const Graph& g, const Protocol& p, const ExhaustiveOptions& opts = {});
+
+/// Streaming distinct-key accumulator: appends are buffered, and every
+/// kFlushLimit keys the buffer is folded into a sorted unique run via
+/// set-union. Peak memory is O(distinct + kFlushLimit) instead of the
+/// O(executions) a collect-then-sort pays. One accumulator per subtree task
+/// (exclusive to its worker, so no locking) is the idiom; the per-task runs
+/// merge order-obliviously with union_sorted_runs below.
+class StreamingDistinct {
+ public:
+  void add(const Hash128& key) {
+    buffer_.push_back(key);
+    if (buffer_.size() >= kFlushLimit) flush();
+  }
+
+  /// Sorted unique keys seen so far; the accumulator is left empty.
+  [[nodiscard]] std::vector<Hash128> take_sorted() {
+    flush();
+    return std::move(run_);
+  }
+
+ private:
+  static constexpr std::size_t kFlushLimit = std::size_t{1} << 16;  // 1 MiB
+
+  void flush() {
+    if (buffer_.empty()) return;
+    std::sort(buffer_.begin(), buffer_.end());
+    buffer_.erase(std::unique(buffer_.begin(), buffer_.end()), buffer_.end());
+    std::vector<Hash128> merged;
+    merged.reserve(run_.size() + buffer_.size());
+    std::set_union(run_.begin(), run_.end(), buffer_.begin(), buffer_.end(),
+                   std::back_inserter(merged));
+    run_ = std::move(merged);
+    buffer_.clear();
+  }
+
+  std::vector<Hash128> buffer_;
+  std::vector<Hash128> run_;  // sorted, unique
+};
+
+/// Union of sorted unique runs into one sorted unique run. Set union is
+/// order-oblivious, so the result — and every count derived from it — is
+/// identical for any ordering or grouping of the inputs; this is the merge
+/// step shared by the parallel distinct-board count and the shard layer.
+[[nodiscard]] std::vector<Hash128> union_sorted_runs(
+    std::vector<std::vector<Hash128>> runs);
 
 }  // namespace wb

@@ -1,0 +1,518 @@
+#include "src/wb/shard.h"
+
+#include <atomic>
+#include <charconv>
+#include <sstream>
+#include <utility>
+
+#include "src/support/check.h"
+
+namespace wb::shard {
+
+namespace {
+
+// --- Text-format helpers -----------------------------------------------------
+
+void append_hex16(std::string& out, std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kDigits[(v >> shift) & 0xF]);
+  }
+}
+
+/// Strict line cursor over one serialized document. Every field accessor
+/// names the keyword it expects, so diagnostics read like
+/// "shard spec line 7: expected 'prefix ...', got 'prefxi 1 3'".
+class LineParser {
+ public:
+  LineParser(const std::string& text, const char* what)
+      : text_(&text), what_(what) {}
+
+  /// Next line, which must start with `keyword` followed by a space or be
+  /// exactly `keyword`; returns the remainder after the space ("" if none).
+  std::string expect(const std::string& keyword) {
+    const std::string line = next_line(keyword);
+    if (line == keyword) return "";
+    WB_REQUIRE_MSG(line.size() > keyword.size() &&
+                       line.compare(0, keyword.size(), keyword) == 0 &&
+                       line[keyword.size()] == ' ',
+                   what_ << " line " << line_no_ << ": expected '" << keyword
+                         << " ...', got '" << line << "'");
+    return line.substr(keyword.size() + 1);
+  }
+
+  void expect_end() {
+    const std::string line = next_line("end");
+    WB_REQUIRE_MSG(line == "end", what_ << " line " << line_no_
+                                        << ": expected 'end', got '" << line
+                                        << "'");
+    WB_REQUIRE_MSG(pos_ >= text_->size(),
+                   what_ << " line " << line_no_ + 1
+                         << ": trailing content after 'end'");
+  }
+
+  [[nodiscard]] std::size_t line_no() const noexcept { return line_no_; }
+  [[nodiscard]] const char* what() const noexcept { return what_; }
+
+ private:
+  std::string next_line(const std::string& expected) {
+    WB_REQUIRE_MSG(pos_ < text_->size(),
+                   what_ << ": truncated — expected '" << expected
+                         << "' but the input ended at line " << line_no_);
+    const std::size_t nl = text_->find('\n', pos_);
+    WB_REQUIRE_MSG(nl != std::string::npos,
+                   what_ << " line " << line_no_ + 1
+                         << ": missing final newline");
+    std::string line = text_->substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    ++line_no_;
+    return line;
+  }
+
+  const std::string* text_;
+  const char* what_;
+  std::size_t pos_ = 0;
+  std::size_t line_no_ = 0;
+};
+
+/// Split a field payload on single spaces (no empties).
+std::vector<std::string> split_fields(const std::string& payload) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= payload.size()) {
+    const std::size_t sp = payload.find(' ', start);
+    if (sp == std::string::npos) {
+      out.push_back(payload.substr(start));
+      break;
+    }
+    out.push_back(payload.substr(start, sp - start));
+    start = sp + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64_field(const LineParser& lp, const std::string& field,
+                             const char* name) {
+  std::uint64_t value = 0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  WB_REQUIRE_MSG(ec == std::errc{} && ptr == end && !field.empty(),
+                 lp.what() << " line " << lp.line_no() << ": bad " << name
+                           << " '" << field << "'");
+  return value;
+}
+
+std::uint64_t parse_hex16_field(const LineParser& lp, const std::string& field,
+                               const char* name) {
+  std::uint64_t value = 0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 16);
+  WB_REQUIRE_MSG(field.size() == 16 && ec == std::errc{} && ptr == end,
+                 lp.what() << " line " << lp.line_no() << ": bad " << name
+                           << " '" << field << "' (want 16 hex digits)");
+  return value;
+}
+
+void require_version_line(LineParser& lp, const std::string& magic) {
+  const std::string version = lp.expect(magic);
+  std::string expected = "v";
+  expected += std::to_string(kFormatVersion);
+  WB_REQUIRE_MSG(version == expected,
+                 lp.what() << ": unsupported format version '" << version
+                           << "' (this build reads " << expected << ")");
+}
+
+/// Pack a byte string into the word-wise hasher (length-prefixed so
+/// concatenations can't collide trivially).
+void hash_bytes(Hasher128& h, const std::string& bytes) {
+  h.update(bytes.size());
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (const unsigned char c : bytes) {
+    word |= static_cast<std::uint64_t>(c) << (8 * filled);
+    if (++filled == 8) {
+      h.update(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) h.update(word);
+}
+
+/// Fingerprint of everything shards of one plan agree on — the instance,
+/// budget, engine options, shard count, and the *complete* partition. Two
+/// partitions of the same instance (e.g. different tasks_per_shard) hash
+/// differently, so their shards can never be merged into wrong totals.
+Hash128 fingerprint_plan(const std::string& protocol_spec, const Graph& g,
+                         const PlanOptions& opts, std::size_t shard_count,
+                         std::span<const PrefixTask> all_tasks) {
+  Hasher128 h;
+  hash_bytes(h, protocol_spec);
+  h.update(g.node_count());
+  h.update(g.edge_count());
+  for (const Edge& e : g.edges()) {
+    h.update((static_cast<std::uint64_t>(e.u) << 32) | e.v);
+  }
+  h.update(opts.max_executions);
+  h.update(opts.engine.max_rounds);
+  h.update(opts.engine.record_trace ? 1 : 0);
+  h.update(shard_count);
+  h.update(all_tasks.size());
+  for (const PrefixTask& t : all_tasks) {
+    h.update(t.depth);
+    for (const NodeId v : t.prefix()) h.update(v);
+  }
+  return h.digest();
+}
+
+/// Cap an untrusted entry count before vector::reserve: every serialized
+/// entry occupies at least one byte of the document, so a count past the
+/// input length is certainly lying and would otherwise turn a corrupted
+/// file into a giant allocation (std::bad_alloc) instead of the parse error
+/// the per-line reader reports.
+std::size_t clamped_reserve(std::uint64_t declared, const std::string& text) {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(declared, text.size()));
+}
+
+}  // namespace
+
+std::vector<ShardSpec> plan_shards(const Graph& g, const Protocol& p,
+                                   const std::string& protocol_spec,
+                                   std::size_t shard_count,
+                                   const PlanOptions& opts) {
+  WB_REQUIRE_MSG(shard_count >= 1, "shard count must be at least 1");
+  WB_REQUIRE_MSG(shard_count <= 1u << 20,
+                 "shard count " << shard_count << " is not a serious plan");
+  const std::vector<PrefixTask> tasks = partition_executions(
+      g, p, opts.engine, shard_count * std::max<std::size_t>(1, opts.tasks_per_shard));
+  const Hash128 plan =
+      fingerprint_plan(protocol_spec, g, opts, shard_count, tasks);
+  std::vector<ShardSpec> specs(shard_count);
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    specs[k].protocol_spec = protocol_spec;
+    specs[k].graph = g;
+    specs[k].max_executions = opts.max_executions;
+    specs[k].engine = opts.engine;
+    specs[k].plan = plan;
+    specs[k].shard_index = static_cast<std::uint32_t>(k);
+    specs[k].shard_count = static_cast<std::uint32_t>(shard_count);
+  }
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    specs[t % shard_count].prefixes.push_back(tasks[t]);
+  }
+  return specs;
+}
+
+std::string serialize(const ShardSpec& spec) {
+  std::ostringstream os;
+  os << "wbshard-spec v" << kFormatVersion << "\n";
+  os << "protocol " << spec.protocol_spec << "\n";
+  os << "graph " << spec.graph.node_count() << " " << spec.graph.edge_count()
+     << "\n";
+  for (const Edge& e : spec.graph.edges()) {
+    os << "edge " << e.u << " " << e.v << "\n";
+  }
+  os << "max-executions " << spec.max_executions << "\n";
+  os << "engine " << spec.engine.max_rounds << " "
+     << (spec.engine.record_trace ? 1 : 0) << "\n";
+  std::string plan_line = "plan ";
+  append_hex16(plan_line, spec.plan.lo);
+  plan_line.push_back(' ');
+  append_hex16(plan_line, spec.plan.hi);
+  os << plan_line << "\n";
+  os << "shard " << spec.shard_index << " " << spec.shard_count << "\n";
+  os << "prefixes " << spec.prefixes.size() << "\n";
+  for (const PrefixTask& t : spec.prefixes) {
+    os << "prefix " << t.depth;
+    for (const NodeId v : t.prefix()) os << " " << v;
+    os << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+ShardSpec parse_shard_spec(const std::string& text) {
+  LineParser lp(text, "shard spec");
+  require_version_line(lp, "wbshard-spec");
+  ShardSpec spec;
+
+  spec.protocol_spec = lp.expect("protocol");
+  WB_REQUIRE_MSG(!spec.protocol_spec.empty(),
+                 "shard spec line " << lp.line_no() << ": empty protocol spec");
+
+  const auto graph_fields = split_fields(lp.expect("graph"));
+  WB_REQUIRE_MSG(graph_fields.size() == 2,
+                 "shard spec line " << lp.line_no()
+                                    << ": expected 'graph <n> <m>'");
+  const std::uint64_t n = parse_u64_field(lp, graph_fields[0], "node count");
+  const std::uint64_t m = parse_u64_field(lp, graph_fields[1], "edge count");
+  std::vector<Edge> edges;
+  edges.reserve(clamped_reserve(m, text));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto ef = split_fields(lp.expect("edge"));
+    WB_REQUIRE_MSG(ef.size() == 2, "shard spec line "
+                                       << lp.line_no()
+                                       << ": expected 'edge <u> <v>'");
+    const std::uint64_t u = parse_u64_field(lp, ef[0], "edge endpoint");
+    const std::uint64_t v = parse_u64_field(lp, ef[1], "edge endpoint");
+    WB_REQUIRE_MSG(u >= 1 && v >= 1 && u <= n && v <= n && u != v,
+                   "shard spec line " << lp.line_no() << ": bad edge {" << u
+                                      << "," << v << "} on " << n << " nodes");
+    edges.push_back(make_edge(static_cast<NodeId>(u), static_cast<NodeId>(v)));
+  }
+  spec.graph = Graph(static_cast<std::size_t>(n), edges);
+
+  spec.max_executions =
+      parse_u64_field(lp, lp.expect("max-executions"), "max-executions");
+
+  const auto engine_fields = split_fields(lp.expect("engine"));
+  WB_REQUIRE_MSG(engine_fields.size() == 2,
+                 "shard spec line "
+                     << lp.line_no()
+                     << ": expected 'engine <max-rounds> <record-trace>'");
+  spec.engine.max_rounds = static_cast<std::size_t>(
+      parse_u64_field(lp, engine_fields[0], "engine max-rounds"));
+  const std::uint64_t trace =
+      parse_u64_field(lp, engine_fields[1], "engine record-trace");
+  WB_REQUIRE_MSG(trace <= 1, "shard spec line "
+                                 << lp.line_no()
+                                 << ": record-trace must be 0 or 1");
+  spec.engine.record_trace = trace == 1;
+
+  const auto plan_fields = split_fields(lp.expect("plan"));
+  WB_REQUIRE_MSG(plan_fields.size() == 2,
+                 "shard spec line " << lp.line_no()
+                                    << ": expected 'plan <lo> <hi>'");
+  spec.plan.lo = parse_hex16_field(lp, plan_fields[0], "plan hash");
+  spec.plan.hi = parse_hex16_field(lp, plan_fields[1], "plan hash");
+
+  const auto shard_fields = split_fields(lp.expect("shard"));
+  WB_REQUIRE_MSG(shard_fields.size() == 2,
+                 "shard spec line " << lp.line_no()
+                                    << ": expected 'shard <index> <count>'");
+  spec.shard_index = static_cast<std::uint32_t>(
+      parse_u64_field(lp, shard_fields[0], "shard index"));
+  spec.shard_count = static_cast<std::uint32_t>(
+      parse_u64_field(lp, shard_fields[1], "shard count"));
+  WB_REQUIRE_MSG(spec.shard_count >= 1 && spec.shard_index < spec.shard_count,
+                 "shard spec line " << lp.line_no() << ": shard "
+                                    << spec.shard_index << " of "
+                                    << spec.shard_count << " is out of range");
+
+  const std::uint64_t prefix_count =
+      parse_u64_field(lp, lp.expect("prefixes"), "prefix count");
+  spec.prefixes.reserve(clamped_reserve(prefix_count, text));
+  for (std::uint64_t i = 0; i < prefix_count; ++i) {
+    const auto pf = split_fields(lp.expect("prefix"));
+    WB_REQUIRE_MSG(!pf.empty(),
+                   "shard spec line " << lp.line_no()
+                                      << ": expected 'prefix <depth> ...'");
+    PrefixTask task;
+    task.depth = static_cast<std::size_t>(
+        parse_u64_field(lp, pf[0], "prefix depth"));
+    WB_REQUIRE_MSG(task.depth <= task.decision.size(),
+                   "shard spec line " << lp.line_no() << ": prefix depth "
+                                      << task.depth << " exceeds the maximum "
+                                      << task.decision.size());
+    WB_REQUIRE_MSG(pf.size() == 1 + task.depth,
+                   "shard spec line "
+                       << lp.line_no() << ": prefix of depth " << task.depth
+                       << " must carry exactly " << task.depth << " node ids");
+    for (std::size_t d = 0; d < task.depth; ++d) {
+      const std::uint64_t v = parse_u64_field(lp, pf[1 + d], "prefix node");
+      WB_REQUIRE_MSG(v >= 1 && v <= n, "shard spec line "
+                                           << lp.line_no() << ": prefix node "
+                                           << v << " out of range 1.." << n);
+      task.decision[d] = static_cast<NodeId>(v);
+    }
+    spec.prefixes.push_back(task);
+  }
+  lp.expect_end();
+  return spec;
+}
+
+std::string serialize(const ShardResult& result) {
+  std::string out = "wbshard-result v" + std::to_string(kFormatVersion) + "\n";
+  out += "plan ";
+  append_hex16(out, result.plan.lo);
+  out.push_back(' ');
+  append_hex16(out, result.plan.hi);
+  out.push_back('\n');
+  out += "shard " + std::to_string(result.shard_index) + " " +
+         std::to_string(result.shard_count) + "\n";
+  out += "max-executions " + std::to_string(result.max_executions) + "\n";
+  out += "executions " + std::to_string(result.executions) + "\n";
+  out += "engine-failures " + std::to_string(result.engine_failures) + "\n";
+  out += "wrong-outputs " + std::to_string(result.wrong_outputs) + "\n";
+  out += std::string("budget-exceeded ") +
+         (result.budget_exceeded ? "1" : "0") + "\n";
+  out += "distinct " + std::to_string(result.board_hashes.size()) + "\n";
+  for (const Hash128& h : result.board_hashes) {
+    out += "hash ";
+    append_hex16(out, h.lo);
+    out.push_back(' ');
+    append_hex16(out, h.hi);
+    out.push_back('\n');
+  }
+  out += "end\n";
+  return out;
+}
+
+ShardResult parse_shard_result(const std::string& text) {
+  LineParser lp(text, "shard result");
+  require_version_line(lp, "wbshard-result");
+  ShardResult result;
+
+  const auto plan_fields = split_fields(lp.expect("plan"));
+  WB_REQUIRE_MSG(plan_fields.size() == 2,
+                 "shard result line " << lp.line_no()
+                                      << ": expected 'plan <lo> <hi>'");
+  result.plan.lo = parse_hex16_field(lp, plan_fields[0], "plan hash");
+  result.plan.hi = parse_hex16_field(lp, plan_fields[1], "plan hash");
+
+  const auto shard_fields = split_fields(lp.expect("shard"));
+  WB_REQUIRE_MSG(shard_fields.size() == 2,
+                 "shard result line " << lp.line_no()
+                                      << ": expected 'shard <index> <count>'");
+  result.shard_index = static_cast<std::uint32_t>(
+      parse_u64_field(lp, shard_fields[0], "shard index"));
+  result.shard_count = static_cast<std::uint32_t>(
+      parse_u64_field(lp, shard_fields[1], "shard count"));
+  WB_REQUIRE_MSG(
+      result.shard_count >= 1 && result.shard_index < result.shard_count,
+      "shard result line " << lp.line_no() << ": shard " << result.shard_index
+                           << " of " << result.shard_count
+                           << " is out of range");
+
+  result.max_executions =
+      parse_u64_field(lp, lp.expect("max-executions"), "max-executions");
+  result.executions =
+      parse_u64_field(lp, lp.expect("executions"), "executions");
+  result.engine_failures =
+      parse_u64_field(lp, lp.expect("engine-failures"), "engine-failures");
+  result.wrong_outputs =
+      parse_u64_field(lp, lp.expect("wrong-outputs"), "wrong-outputs");
+  const std::uint64_t exceeded =
+      parse_u64_field(lp, lp.expect("budget-exceeded"), "budget-exceeded");
+  WB_REQUIRE_MSG(exceeded <= 1, "shard result line "
+                                    << lp.line_no()
+                                    << ": budget-exceeded must be 0 or 1");
+  result.budget_exceeded = exceeded == 1;
+
+  const std::uint64_t distinct =
+      parse_u64_field(lp, lp.expect("distinct"), "distinct count");
+  result.board_hashes.reserve(clamped_reserve(distinct, text));
+  for (std::uint64_t i = 0; i < distinct; ++i) {
+    const auto hf = split_fields(lp.expect("hash"));
+    WB_REQUIRE_MSG(hf.size() == 2, "shard result line "
+                                       << lp.line_no()
+                                       << ": expected 'hash <lo> <hi>'");
+    Hash128 h;
+    h.lo = parse_hex16_field(lp, hf[0], "board hash");
+    h.hi = parse_hex16_field(lp, hf[1], "board hash");
+    WB_REQUIRE_MSG(result.board_hashes.empty() || result.board_hashes.back() < h,
+                   "shard result line "
+                       << lp.line_no()
+                       << ": board hashes must be strictly increasing");
+    result.board_hashes.push_back(h);
+  }
+  lp.expect_end();
+  return result;
+}
+
+ShardResult run_shard(const ShardSpec& spec, const Protocol& p,
+                      const std::function<bool(const ExecutionResult&)>& accept,
+                      std::size_t threads) {
+  ShardResult out;
+  out.plan = spec.plan;
+  out.shard_index = spec.shard_index;
+  out.shard_count = spec.shard_count;
+  out.max_executions = spec.max_executions;
+
+  ExhaustiveOptions opts;
+  opts.max_executions = spec.max_executions;
+  opts.threads = threads;
+  opts.engine = spec.engine;
+
+  std::atomic<std::uint64_t> engine_failures{0};
+  std::atomic<std::uint64_t> wrong_outputs{0};
+  std::vector<StreamingDistinct> accumulators(spec.prefixes.size());
+  try {
+    out.executions = for_each_execution_under(
+        spec.graph, p, spec.prefixes,
+        [&](const ExecutionResult& r, std::size_t task) {
+          accumulators[task].add(r.board.content_hash());
+          if (!r.ok()) {
+            engine_failures.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          }
+          if (accept != nullptr && !accept(r)) {
+            wrong_outputs.fetch_add(1, std::memory_order_relaxed);
+          }
+          return true;
+        },
+        opts);
+  } catch (const BudgetExceededError&) {
+    // Exactly max_executions visits completed before the guard fired; which
+    // ones is scheduling-dependent, so every schedule-dependent field is
+    // cleared — the result file is deterministic, and the merge turns the
+    // flag back into the oracle's BudgetExceededError.
+    out.budget_exceeded = true;
+    out.executions = spec.max_executions;
+    return out;
+  }
+  out.engine_failures = engine_failures.load(std::memory_order_relaxed);
+  out.wrong_outputs = wrong_outputs.load(std::memory_order_relaxed);
+  std::vector<std::vector<Hash128>> runs;
+  runs.reserve(accumulators.size());
+  for (StreamingDistinct& acc : accumulators) {
+    runs.push_back(acc.take_sorted());
+  }
+  out.board_hashes = union_sorted_runs(std::move(runs));
+  return out;
+}
+
+MergedResult merge_shard_results(std::span<const ShardResult> results) {
+  WB_REQUIRE_MSG(!results.empty(), "no shard results to merge");
+  const ShardResult& first = results.front();
+  MergedResult merged;
+  merged.shard_count = first.shard_count;
+  std::vector<bool> seen(first.shard_count, false);
+  std::vector<std::vector<Hash128>> runs;
+  runs.reserve(results.size());
+  bool exceeded = false;
+  for (const ShardResult& r : results) {
+    WB_REQUIRE_MSG(r.plan == first.plan,
+                   "shard " << r.shard_index
+                            << " belongs to a different plan (fingerprint "
+                               "mismatch) — refusing to merge");
+    WB_REQUIRE_MSG(r.shard_count == first.shard_count,
+                   "shard " << r.shard_index << " claims " << r.shard_count
+                            << " shards, expected " << first.shard_count);
+    WB_REQUIRE_MSG(r.shard_index < first.shard_count,
+                   "shard index " << r.shard_index << " out of range");
+    WB_REQUIRE_MSG(!seen[r.shard_index],
+                   "duplicate result for shard " << r.shard_index);
+    seen[r.shard_index] = true;
+    merged.executions += r.executions;
+    merged.engine_failures += r.engine_failures;
+    merged.wrong_outputs += r.wrong_outputs;
+    exceeded = exceeded || r.budget_exceeded;
+    runs.push_back(r.board_hashes);
+  }
+  for (std::uint32_t k = 0; k < first.shard_count; ++k) {
+    WB_REQUIRE_MSG(seen[k], "missing result for shard " << k << " of "
+                                                        << first.shard_count);
+  }
+  if (exceeded || merged.executions > first.max_executions) {
+    throw BudgetExceededError(first.max_executions);
+  }
+  merged.distinct_boards =
+      static_cast<std::uint64_t>(union_sorted_runs(std::move(runs)).size());
+  return merged;
+}
+
+}  // namespace wb::shard

@@ -1,0 +1,163 @@
+// Distributed sharding for the exhaustive explorer.
+//
+// The PR 3 subtree-prefix partition (src/wb/exhaustive.h) is shard-friendly:
+// the top of the schedule tree is split into PrefixTask subtrees whose
+// leaves tile the full execution set exactly once, and every aggregate the
+// sweep produces (visit count, failure tallies, distinct-board hash runs)
+// merges order-obliviously. This layer serializes that partition so the
+// subtrees can be swept by different *processes* — on one machine or a
+// fleet — and merged back into totals bit-identical to the single-process
+// `threads=1` oracle:
+//
+//   plan:  partition_executions → K ShardSpec files (round-robin tasks)
+//   run:   one ShardSpec → a ShardResult file (per-process, ThreadPool
+//          parallel inside)
+//   merge: K ShardResult files → MergedResult == the serial sweep's totals
+//
+// File formats are versioned, self-describing text ("wbshard-spec v1" /
+// "wbshard-result v1"); parsers reject malformed, truncated, or
+// version-skewed input with a wb::DataError diagnostic, never undefined
+// behavior, and serialize→parse→serialize is byte-identical
+// (tests/wb/shard_test.cpp pins golden files under tests/wb/data/).
+//
+// Determinism contract (the reason merge order and shard→host assignment
+// never matter):
+//  - the prefix list is recorded in the specs, so equivalence never depends
+//    on re-running the partition;
+//  - counts are sums over disjoint subtree sets; distinct boards are a set
+//    union of sorted runs — both order-oblivious;
+//  - the execution budget is global: a shard whose own sweep exceeds
+//    max_executions records `budget_exceeded` (deterministically — its
+//    tallies are cleared), and the merge throws BudgetExceededError exactly
+//    when the combined count exceeds the budget, i.e. exactly when the
+//    serial oracle would have thrown;
+//  - results carry a fingerprint of (protocol, graph, budget, engine
+//    options, shard count, full partition), so merging results from
+//    different plans — including two different partitions of the same
+//    instance — is rejected loudly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/support/hash.h"
+#include "src/wb/exhaustive.h"
+
+namespace wb::shard {
+
+/// Bumped on any change to either text format below.
+inline constexpr int kFormatVersion = 1;
+
+/// One shard of a planned exhaustive sweep: the instance (graph + opaque
+/// protocol spec string + budget + engine options), which shard of how many
+/// this is, and the exact subtree prefixes this shard must sweep.
+struct ShardSpec {
+  /// Protocol factory string (src/cli/spec.h grammar). Opaque at this layer:
+  /// carried, serialized, and fingerprinted, never parsed here.
+  std::string protocol_spec;
+  Graph graph{0};
+  std::uint64_t max_executions = 2'000'000;
+  /// Engine configuration the sweep must run under (serialized, so a worker
+  /// process reproduces the oracle's engine behavior exactly).
+  EngineOptions engine{};
+  /// Fingerprint of the whole plan — instance, budget, engine options, shard
+  /// count, and the *complete* partition across all shards (not just this
+  /// shard's slice). Stamped by plan_shards; results carry it forward, and
+  /// merge refuses to combine results whose fingerprints differ, so shards
+  /// of two different partitions of the same instance can never be mixed
+  /// into silently wrong totals.
+  Hash128 plan{};
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  std::vector<PrefixTask> prefixes;
+};
+
+/// What one shard's sweep produced. All fields are bit-identical for any
+/// worker thread count; `board_hashes` is sorted and unique, ready for
+/// order-oblivious set union at merge time.
+struct ShardResult {
+  /// The spec's plan fingerprint, copied forward; merge refuses to combine
+  /// results with different plans.
+  Hash128 plan{};
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  std::uint64_t max_executions = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t engine_failures = 0;
+  std::uint64_t wrong_outputs = 0;
+  /// This shard alone exceeded the global budget. Its tallies and hashes are
+  /// cleared (executions = max_executions), so the result file is
+  /// deterministic; merge_shard_results turns the flag into the same
+  /// BudgetExceededError the serial oracle throws.
+  bool budget_exceeded = false;
+  std::vector<Hash128> board_hashes;  // sorted, unique
+};
+
+/// The merged totals of a complete result set — field-for-field what the
+/// single-process exhaustive sweep reports.
+struct MergedResult {
+  std::uint32_t shard_count = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t engine_failures = 0;
+  std::uint64_t wrong_outputs = 0;
+  std::uint64_t distinct_boards = 0;
+};
+
+struct PlanOptions {
+  std::uint64_t max_executions = 2'000'000;
+  /// Partition granularity: aim for at least this many prefix tasks per
+  /// shard, so in-worker ThreadPool sweeps load-balance. The resulting
+  /// prefixes are recorded verbatim in the specs — merge equivalence never
+  /// depends on reproducing the partition.
+  std::size_t tasks_per_shard = 4;
+  EngineOptions engine;
+};
+
+/// Partition the schedule tree of (g, p) and distribute the prefix tasks
+/// round-robin over `shard_count` specs, each stamped with the plan
+/// fingerprint. Deterministic: depends only on (g, p, shard_count, opts).
+/// Shards may receive no tasks (more shards than subtrees); their sweeps
+/// report zero executions and merge harmlessly.
+[[nodiscard]] std::vector<ShardSpec> plan_shards(const Graph& g,
+                                                 const Protocol& p,
+                                                 const std::string& protocol_spec,
+                                                 std::size_t shard_count,
+                                                 const PlanOptions& opts = {});
+
+/// Canonical text forms. serialize(parse_*(text)) == text for any text the
+/// serializers produced (golden-pinned).
+[[nodiscard]] std::string serialize(const ShardSpec& spec);
+[[nodiscard]] std::string serialize(const ShardResult& result);
+
+/// Parsers throw wb::DataError with a line-numbered diagnostic on malformed,
+/// truncated, or version-skewed input.
+[[nodiscard]] ShardSpec parse_shard_spec(const std::string& text);
+[[nodiscard]] ShardResult parse_shard_result(const std::string& text);
+
+/// Sweep one shard: every execution under spec.prefixes, run with
+/// spec.engine, fanned out over the shared ThreadPool (`threads` as in
+/// ExhaustiveOptions: 0 = one worker per hardware thread, 1 = serial). `p`
+/// must be the protocol spec.protocol_spec denotes (the CLI layer
+/// constructs it; library callers pass their own).
+/// `accept` — may be empty — classifies each *successful* execution's
+/// output; failures of the engine itself are tallied separately. A
+/// worker-local budget overrun is caught and recorded as budget_exceeded
+/// (see ShardResult); visitor exceptions propagate.
+[[nodiscard]] ShardResult run_shard(
+    const ShardSpec& spec, const Protocol& p,
+    const std::function<bool(const ExecutionResult&)>& accept,
+    std::size_t threads = 0);
+
+/// Merge a complete result set (any order) into the sweep's totals.
+/// Throws wb::DataError when the set is not exactly one result per shard of
+/// one plan, and BudgetExceededError when the combined execution count
+/// exceeds the recorded budget — the same observable behavior as the serial
+/// oracle at any shard count and any assignment of shards to hosts.
+[[nodiscard]] MergedResult merge_shard_results(
+    std::span<const ShardResult> results);
+
+}  // namespace wb::shard

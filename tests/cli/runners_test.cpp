@@ -75,6 +75,85 @@ TEST(Runners, ExhaustiveSpecReportsFailures) {
       LogicError);
 }
 
+TEST(Runners, CounterexampleFindsSmallestPrefixFailingSchedule) {
+  // broken-first:1 is wrong on exactly the schedules where node 1 does not
+  // write first; the lexicographically-smallest failing write order on
+  // path:4 is therefore 2 1 3 4. The serial sweep stops right there; the
+  // parallel sweep takes the minimum over all failures — both must report
+  // the identical schedule.
+  const Graph g = graph_from_spec("path:4");
+  ExhaustiveRunOptions opts;
+  opts.counterexample = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    opts.threads = threads;
+    const RunReport r =
+        run_protocol_spec_exhaustive("broken-first:1", g, opts);
+    EXPECT_FALSE(r.correct) << "threads=" << threads;
+    EXPECT_EQ(r.counterexample, "2 1 3 4") << "threads=" << threads;
+    EXPECT_NE(r.summary.find("counterexample 2 1 3 4 (wrong-output)"),
+              std::string::npos)
+        << "threads=" << threads << "\n" << r.summary;
+  }
+}
+
+TEST(Runners, CounterexampleEmptyWhenEveryScheduleIsCorrect) {
+  const Graph g = graph_from_spec("twocliques:3");
+  ExhaustiveRunOptions opts;
+  opts.threads = 1;
+  opts.counterexample = true;
+  const RunReport r = run_protocol_spec_exhaustive("two-cliques", g, opts);
+  EXPECT_TRUE(r.correct) << r.summary;
+  EXPECT_TRUE(r.counterexample.empty());
+  EXPECT_NE(r.summary.find("counterexample none"), std::string::npos)
+      << r.summary;
+  EXPECT_NE(r.summary.find("720 executions"), std::string::npos) << r.summary;
+}
+
+TEST(Runners, ShardedSweepReproducesTheExhaustiveReportLines) {
+  // plan / run x3 / merge for a CLI protocol spec: the merged totals must
+  // produce byte-identical "schedules ... / verdict ..." lines to the
+  // threads=1 exhaustive report — which is exactly what the CI smoke job
+  // diffs across real processes.
+  const Graph g = graph_from_spec("twocliques:3");  // 6 nodes, 720 schedules
+  const RunReport serial = run_protocol_spec_exhaustive("two-cliques", g, 1);
+  const auto specs = plan_protocol_spec_shards("two-cliques", g, 3);
+  ASSERT_EQ(specs.size(), 3u);
+  std::vector<shard::ShardResult> results;
+  for (const auto& spec : specs) {
+    // Round-trip every artifact through its text form, as processes would.
+    const auto parsed = shard::parse_shard_spec(shard::serialize(spec));
+    results.push_back(shard::parse_shard_result(
+        shard::serialize(run_protocol_spec_shard(parsed, /*threads=*/2))));
+  }
+  const shard::MergedResult merged = shard::merge_shard_results(results);
+  EXPECT_EQ(merged.executions, 720u);
+  const std::string lines = exhaustive_summary_lines(
+      merged.executions, merged.engine_failures, merged.wrong_outputs,
+      merged.distinct_boards);
+  EXPECT_NE(serial.summary.find(lines), std::string::npos)
+      << "serial:\n" << serial.summary << "merged lines:\n" << lines;
+}
+
+TEST(Runners, ShardedSweepCountsWrongOutputsLikeTheExhaustiveReport) {
+  // The deliberately-broken fixture fails on a schedule-dependent subset;
+  // sharded tallies must agree with the serial exhaustive report exactly.
+  const Graph g = graph_from_spec("path:4");
+  const RunReport serial =
+      run_protocol_spec_exhaustive("broken-first:2", g, 1);
+  const auto specs = plan_protocol_spec_shards("broken-first:2", g, 4);
+  std::vector<shard::ShardResult> results;
+  for (const auto& spec : specs) {
+    results.push_back(run_protocol_spec_shard(spec, 1));
+  }
+  const shard::MergedResult merged = shard::merge_shard_results(results);
+  const std::string lines = exhaustive_summary_lines(
+      merged.executions, merged.engine_failures, merged.wrong_outputs,
+      merged.distinct_boards);
+  EXPECT_NE(serial.summary.find(lines), std::string::npos)
+      << "serial:\n" << serial.summary << "merged lines:\n" << lines;
+  EXPECT_GT(merged.wrong_outputs, 0u);
+}
+
 TEST(Runners, ReportsContainVitalSigns) {
   const RunReport r = run("forest:10:80:1", "build-forest", "random:3");
   EXPECT_NE(r.summary.find("protocol"), std::string::npos);

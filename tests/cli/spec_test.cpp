@@ -29,6 +29,37 @@ TEST(ParseProb, FractionsValidated) {
   EXPECT_THROW((void)parse_prob("1/0"), DataError);
 }
 
+TEST(ExhaustiveSpec, ParsesThreadsAndShardForms) {
+  EXPECT_TRUE(is_exhaustive_spec("exhaustive"));
+  EXPECT_TRUE(is_exhaustive_spec("exhaustive:4"));
+  EXPECT_TRUE(is_exhaustive_spec("exhaustive:shards=2"));
+  EXPECT_FALSE(is_exhaustive_spec("battery"));
+  EXPECT_FALSE(is_exhaustive_spec("first"));
+
+  ExhaustiveSpec spec = exhaustive_from_spec("exhaustive");
+  EXPECT_EQ(spec.threads, 0u);
+  EXPECT_EQ(spec.shards, 0u);
+
+  spec = exhaustive_from_spec("exhaustive:3");
+  EXPECT_EQ(spec.threads, 3u);
+  EXPECT_EQ(spec.shards, 0u);
+
+  spec = exhaustive_from_spec("exhaustive:shards=4");
+  EXPECT_EQ(spec.threads, 0u);
+  EXPECT_EQ(spec.shards, 4u);
+
+  spec = exhaustive_from_spec("exhaustive:shards=4:2");
+  EXPECT_EQ(spec.threads, 2u);
+  EXPECT_EQ(spec.shards, 4u);
+
+  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:shards=0"), DataError);
+  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:shards=x"), DataError);
+  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:1:2"), DataError);
+  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:shards=2:1:0"),
+               DataError);
+  EXPECT_THROW((void)exhaustive_from_spec("battery"), DataError);
+}
+
 TEST(GraphSpec, StructuredFamilies) {
   EXPECT_EQ(graph_from_spec("path:6"), path_graph(6));
   EXPECT_EQ(graph_from_spec("cycle:5"), cycle_graph(5));

@@ -1,0 +1,540 @@
+// The distributed-sharding equivalence harness (ISSUE 4 tentpole contract):
+// for any shard count K and any merge order, plan → serialize → parse → run
+// → serialize → parse → merge must reproduce the threads=1 serial oracle's
+// execution count, failure tallies, verdict, budget-guard behavior, and
+// distinct-board count bit-identically. Every shard spec and result crosses
+// the text format in both directions inside the sweep, so the whole
+// process-boundary pipeline is under test, not just the in-memory merge.
+//
+// Golden files under tests/wb/data/ pin the v1 text formats byte-for-byte;
+// malformed/truncated/version-skewed inputs must be rejected with a
+// wb::DataError diagnostic, never undefined behavior.
+#include "src/wb/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/protocols/bfs_sync.h"
+#include "src/wb/exhaustive.h"
+#include "tests/wb/test_protocols.h"
+
+namespace wb {
+namespace {
+
+using shard::MergedResult;
+using shard::ShardResult;
+using shard::ShardSpec;
+
+using Accept = std::function<bool(const ExecutionResult&)>;
+
+std::string data_file(const std::string& name) {
+  const std::string path = std::string(WB_TEST_DATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Everything the serial threads=1 sweep reports — the oracle every sharded
+/// configuration must reproduce bit-identically.
+struct Oracle {
+  std::uint64_t executions = 0;
+  std::uint64_t engine_failures = 0;
+  std::uint64_t wrong_outputs = 0;
+  std::uint64_t distinct = 0;
+};
+
+Oracle serial_oracle(const Graph& g, const Protocol& p, const Accept& accept) {
+  Oracle o;
+  o.executions = for_each_execution(g, p, [&](const ExecutionResult& r) {
+    if (!r.ok()) {
+      ++o.engine_failures;
+    } else if (accept != nullptr && !accept(r)) {
+      ++o.wrong_outputs;
+    }
+    return true;
+  });
+  o.distinct = count_distinct_final_boards(g, p);
+  return o;
+}
+
+enum class MergeOrder { kForward, kReverse, kShuffled };
+
+/// The full distributed pipeline, every artifact round-tripped through its
+/// text format: plan K shards, run each from a *parsed* spec, merge *parsed*
+/// results in the requested order.
+MergedResult run_sharded(const Graph& g, const Protocol& p,
+                         const Accept& accept, std::size_t shards,
+                         std::size_t threads, MergeOrder order,
+                         const shard::PlanOptions& opts = {}) {
+  const std::vector<ShardSpec> specs =
+      shard::plan_shards(g, p, "test-protocol", shards, opts);
+  EXPECT_EQ(specs.size(), shards);
+  std::vector<ShardResult> results;
+  results.reserve(shards);
+  for (const ShardSpec& spec : specs) {
+    const std::string spec_text = shard::serialize(spec);
+    const ShardSpec parsed = shard::parse_shard_spec(spec_text);
+    EXPECT_EQ(shard::serialize(parsed), spec_text) << "spec round trip";
+    const ShardResult run = shard::run_shard(parsed, p, accept, threads);
+    const std::string result_text = shard::serialize(run);
+    results.push_back(shard::parse_shard_result(result_text));
+    EXPECT_EQ(shard::serialize(results.back()), result_text)
+        << "result round trip";
+  }
+  switch (order) {
+    case MergeOrder::kForward:
+      break;
+    case MergeOrder::kReverse:
+      std::reverse(results.begin(), results.end());
+      break;
+    case MergeOrder::kShuffled: {
+      std::mt19937 rng(0xC0FFEE);  // fixed seed: deterministic test
+      std::shuffle(results.begin(), results.end(), rng);
+      break;
+    }
+  }
+  return shard::merge_shard_results(results);
+}
+
+bool first_writer_is_node1(const ExecutionResult& r) {
+  return !r.write_order.empty() && r.write_order.front() == 1;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle equivalence: K in {1, 2, 4, 7} x merge orders x protocol classes.
+
+TEST(ShardOracle, MergedTotalsBitIdenticalToSerialOracle) {
+  const Graph path4 = path_graph(4);
+  const Graph star4 = star_graph(4);
+  const Graph kb22 = complete_bipartite(2, 2);
+
+  const testing::EchoIdProtocol echo;               // SIMASYNC
+  const testing::FrozenBoardSizeProtocol frozen;    // SIMASYNC, equal messages
+  const testing::BoardSizeProtocol board_size;      // SIMSYNC
+  const SyncBfsProtocol bfs;                        // SYNC, gated activations
+  const testing::OnlyFirstNodeProtocol deadlocker;  // ASYNC, deadlocks
+
+  struct Case {
+    const Protocol* protocol;
+    Accept accept;
+  };
+  const Case cases[] = {
+      {&echo, nullptr},
+      {&echo, first_writer_is_node1},  // schedule-dependent wrong outputs
+      {&frozen, nullptr},
+      {&board_size, nullptr},
+      {&bfs, nullptr},
+      {&deadlocker, nullptr},  // every execution is an engine failure
+  };
+  const std::size_t shard_counts[] = {1, 2, 4, 7};
+  const MergeOrder orders[] = {MergeOrder::kForward, MergeOrder::kReverse,
+                               MergeOrder::kShuffled};
+  for (const Graph* g : {&path4, &star4, &kb22}) {
+    for (const Case& c : cases) {
+      const Oracle oracle = serial_oracle(*g, *c.protocol, c.accept);
+      const bool oracle_verdict = all_executions_ok(
+          *g, *c.protocol, [&](const ExecutionResult& r) {
+            return c.accept == nullptr || c.accept(r);
+          });
+      for (const std::size_t shards : shard_counts) {
+        for (const MergeOrder order : orders) {
+          const MergedResult merged = run_sharded(
+              *g, *c.protocol, c.accept, shards, /*threads=*/2, order);
+          const std::string label =
+              c.protocol->name() + " on n=" +
+              std::to_string(g->node_count()) + " K=" +
+              std::to_string(shards) + " order=" +
+              std::to_string(static_cast<int>(order));
+          EXPECT_EQ(merged.executions, oracle.executions) << label;
+          EXPECT_EQ(merged.engine_failures, oracle.engine_failures) << label;
+          EXPECT_EQ(merged.wrong_outputs, oracle.wrong_outputs) << label;
+          EXPECT_EQ(merged.distinct_boards, oracle.distinct) << label;
+          EXPECT_EQ(merged.engine_failures + merged.wrong_outputs == 0,
+                    oracle_verdict)
+              << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardOracle, WorkerThreadCountNeverChangesAResult) {
+  // A shard's result file must be bit-identical no matter how many threads
+  // the worker used (that is what makes heterogeneous fleets mergeable).
+  const Graph g = path_graph(4);
+  const testing::BoardSizeProtocol p;
+  const std::vector<ShardSpec> specs =
+      shard::plan_shards(g, p, "test-protocol", 3);
+  for (const ShardSpec& spec : specs) {
+    const std::string reference =
+        shard::serialize(shard::run_shard(spec, p, nullptr, 1));
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                      std::size_t{8}, std::size_t{0}}) {
+      EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, nullptr, threads)),
+                reference)
+          << "shard " << spec.shard_index << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ShardOracle, PlanIsDeterministicAndTilesTheScheduleTree) {
+  const Graph g = star_graph(4);
+  const testing::EchoIdProtocol p;
+  const auto once = shard::plan_shards(g, p, "echo", 4);
+  const auto twice = shard::plan_shards(g, p, "echo", 4);
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t k = 0; k < once.size(); ++k) {
+    EXPECT_EQ(shard::serialize(once[k]), shard::serialize(twice[k]));
+  }
+  // The shards' prefixes are exactly the partition, distributed round-robin.
+  const std::vector<PrefixTask> tasks =
+      partition_executions(g, p, EngineOptions{}, 4 * 4);
+  std::size_t total = 0;
+  for (const auto& spec : once) total += spec.prefixes.size();
+  EXPECT_EQ(total, tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    EXPECT_EQ(once[t % 4].prefixes[t / 4], tasks[t]) << "task " << t;
+  }
+}
+
+TEST(ShardOracle, MoreShardsThanSubtreesYieldsEmptyButMergeableShards) {
+  // A single-execution schedule tree (n = 1) planned across 3 shards: two
+  // shards sweep nothing, and the merge still reproduces the serial totals.
+  const Graph g = path_graph(1);
+  const testing::EchoIdProtocol p;
+  const Oracle oracle = serial_oracle(g, p, nullptr);
+  EXPECT_EQ(oracle.executions, 1u);
+  const MergedResult merged = run_sharded(g, p, nullptr, 3, /*threads=*/1,
+                                          MergeOrder::kReverse);
+  EXPECT_EQ(merged.executions, oracle.executions);
+  EXPECT_EQ(merged.distinct_boards, oracle.distinct);
+}
+
+// ---------------------------------------------------------------------------
+// Budget guard: the sharded sweep throws exactly when the serial oracle
+// throws — whether one shard overruns alone or only the merged total does.
+
+TEST(ShardOracle, BudgetGuardBitIdenticalToSerialOracle) {
+  const Graph g = path_graph(5);  // 120 executions
+  const testing::EchoIdProtocol p;
+
+  // Serial oracle behavior at the three budget regimes.
+  for (const std::uint64_t budget : {std::uint64_t{10}, std::uint64_t{50}}) {
+    ExhaustiveOptions opts;
+    opts.max_executions = budget;
+    EXPECT_THROW(for_each_execution(
+                     g, p, [](const ExecutionResult&) { return true; }, opts),
+                 BudgetExceededError)
+        << "budget " << budget;
+  }
+
+  shard::PlanOptions plan;
+  // budget 10 < any shard's subtree share: the worker itself overruns and
+  // records the deterministic budget_exceeded result; merge throws.
+  plan.max_executions = 10;
+  EXPECT_THROW((void)run_sharded(g, p, nullptr, 4, 2, MergeOrder::kForward,
+                                 plan),
+               BudgetExceededError);
+
+  // budget 50: every shard (~30 executions) finishes under budget on its
+  // own; only the merged total exceeds it — merge must still throw.
+  plan.max_executions = 50;
+  EXPECT_THROW((void)run_sharded(g, p, nullptr, 4, 2, MergeOrder::kShuffled,
+                                 plan),
+               BudgetExceededError);
+
+  // A budget that exactly fits never throws, at any shard count.
+  plan.max_executions = 120;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    const MergedResult merged =
+        run_sharded(g, p, nullptr, shards, 2, MergeOrder::kForward, plan);
+    EXPECT_EQ(merged.executions, 120u) << "K=" << shards;
+  }
+}
+
+TEST(ShardOracle, WorkerBudgetOverrunProducesDeterministicResultFile) {
+  const Graph g = path_graph(5);
+  const testing::EchoIdProtocol p;
+  shard::PlanOptions plan;
+  plan.max_executions = 5;  // every shard overruns its share
+  const auto specs = shard::plan_shards(g, p, "echo", 2, plan);
+  const std::string reference =
+      shard::serialize(shard::run_shard(specs[0], p, nullptr, 1));
+  EXPECT_NE(reference.find("budget-exceeded 1"), std::string::npos);
+  EXPECT_NE(reference.find("distinct 0"), std::string::npos);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    EXPECT_EQ(shard::serialize(shard::run_shard(specs[0], p, nullptr, threads)),
+              reference)
+        << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Early stop and exception propagation through the prefix-subtree sweep.
+
+TEST(ShardOracle, EarlyStopUnderPrefixTasksCountsExactlyTheVisits) {
+  const Graph g = path_graph(5);  // 120 executions
+  const testing::EchoIdProtocol p;
+  const std::vector<PrefixTask> tasks =
+      partition_executions(g, p, EngineOptions{}, 16);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::atomic<std::uint64_t> invocations{0};
+    ExhaustiveOptions opts;
+    opts.threads = threads;
+    const std::uint64_t visited = for_each_execution_under(
+        g, p, tasks,
+        [&](const ExecutionResult&, std::size_t) {
+          return invocations.fetch_add(1, std::memory_order_relaxed) + 1 < 5;
+        },
+        opts);
+    EXPECT_EQ(visited, invocations.load()) << "threads=" << threads;
+    EXPECT_GE(visited, 5u) << "threads=" << threads;
+    EXPECT_LT(visited, 120u) << "early stop did not prune, threads=" << threads;
+  }
+}
+
+TEST(ShardOracle, FullPrefixTaskSetMatchesClassicSweep) {
+  const Graph g = path_graph(4);
+  const testing::BoardSizeProtocol p;
+  const std::uint64_t reference = for_each_execution(
+      g, p, [](const ExecutionResult&) { return true; });
+  for (const std::size_t target : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{100}}) {
+    const std::vector<PrefixTask> tasks =
+        partition_executions(g, p, EngineOptions{}, target);
+    const std::uint64_t visited = for_each_execution_under(
+        g, p, tasks,
+        [](const ExecutionResult&, std::size_t) { return true; });
+    EXPECT_EQ(visited, reference) << "target=" << target;
+  }
+}
+
+TEST(ShardOracle, AcceptExceptionPropagatesOutOfRunShard) {
+  const Graph g = path_graph(4);
+  const testing::EchoIdProtocol p;
+  const auto specs = shard::plan_shards(g, p, "echo", 1);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::atomic<std::uint64_t> invocations{0};
+    EXPECT_THROW(
+        (void)shard::run_shard(
+            specs[0], p,
+            [&](const ExecutionResult&) -> bool {
+              if (invocations.fetch_add(1, std::memory_order_relaxed) + 1 ==
+                  3) {
+                throw std::runtime_error("accept bailed");
+              }
+              return true;
+            },
+            threads),
+        std::runtime_error)
+        << "threads=" << threads;
+    EXPECT_LT(invocations.load(), 24u)
+        << "exception did not cancel the sweep, threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden files: the v1 text formats, byte-for-byte.
+
+TEST(ShardGolden, SpecFileRoundTripsByteIdentically) {
+  const std::string text = data_file("path3_echo.0.shard");
+  const ShardSpec spec = shard::parse_shard_spec(text);
+  EXPECT_EQ(shard::serialize(spec), text);
+  // The planner still regenerates the committed bytes exactly: format *and*
+  // partition/distribution are pinned.
+  const testing::EchoIdProtocol p;
+  const auto specs = shard::plan_shards(path_graph(3), p, "echo-id", 2);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(shard::serialize(specs[0]), text);
+}
+
+TEST(ShardGolden, ResultFileRoundTripsByteIdentically) {
+  const std::string text = data_file("path3_echo.0.result");
+  const ShardResult result = shard::parse_shard_result(text);
+  EXPECT_EQ(shard::serialize(result), text);
+  // Re-running the committed spec regenerates the committed result bytes:
+  // board hashing, dedup, and serialization are all pinned.
+  const testing::EchoIdProtocol p;
+  const ShardSpec spec =
+      shard::parse_shard_spec(data_file("path3_echo.0.shard"));
+  EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, nullptr, 1)), text);
+}
+
+TEST(ShardGolden, CommittedMalformedFixturesAreRejected) {
+  EXPECT_THROW((void)shard::parse_shard_spec(data_file("bad_magic.shard")),
+               DataError);
+  EXPECT_THROW((void)shard::parse_shard_spec(data_file("version_skew.shard")),
+               DataError);
+  EXPECT_THROW(
+      (void)shard::parse_shard_result(data_file("truncated.result")),
+      DataError);
+  EXPECT_THROW(
+      (void)shard::parse_shard_result(data_file("unsorted_hashes.result")),
+      DataError);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input rejection (inline mutations of a valid document).
+
+std::string valid_spec_text() {
+  const testing::EchoIdProtocol p;
+  return shard::serialize(shard::plan_shards(path_graph(3), p, "echo-id", 2)[0]);
+}
+
+std::string replace_first(std::string text, const std::string& from,
+                          const std::string& to) {
+  const std::size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "fixture lost the '" << from
+                                    << "' marker";
+  return text.replace(pos, from.size(), to);
+}
+
+TEST(ShardFormats, MalformedSpecsAreRejectedWithDiagnostics) {
+  const std::string valid = valid_spec_text();
+  (void)shard::parse_shard_spec(valid);  // sanity: the base document parses
+
+  const struct {
+    const char* what;
+    std::string text;
+  } cases[] = {
+      {"empty input", ""},
+      {"wrong magic", replace_first(valid, "wbshard-spec", "wbshard-spek")},
+      {"version skew", replace_first(valid, "v1", "v99")},
+      {"missing protocol", replace_first(valid, "protocol ", "protokol ")},
+      {"edge out of range", replace_first(valid, "edge 1 2", "edge 1 9")},
+      {"self-loop edge", replace_first(valid, "edge 1 2", "edge 2 2")},
+      {"shard index out of range", replace_first(valid, "shard 0 2",
+                                                 "shard 2 2")},
+      {"prefix depth too large", replace_first(valid, "prefix 2 1 2",
+                                               "prefix 3 1 2 3")},
+      {"prefix node out of range", replace_first(valid, "prefix 2 1 2",
+                                                 "prefix 2 1 7")},
+      {"prefix arity mismatch", replace_first(valid, "prefix 2 1 2",
+                                              "prefix 2 1")},
+      {"truncated before end", valid.substr(0, valid.size() - 4)},
+      {"trailing content", valid + "extra\n"},
+      {"missing final newline", valid.substr(0, valid.size() - 1)},
+      {"non-numeric count", replace_first(valid, "max-executions 2000000",
+                                          "max-executions lots")},
+      {"engine flag out of range", replace_first(valid, "engine 0 0",
+                                                 "engine 0 2")},
+      {"bad plan hash width", replace_first(valid, "plan ", "plan f ")},
+      // A lying giant count must produce the parse error, not a giant
+      // allocation (reserve is clamped to the document size).
+      {"astronomical prefix count",
+       replace_first(valid, "prefixes 3", "prefixes 9999999999999999")},
+      {"astronomical edge count",
+       replace_first(valid, "graph 3 2", "graph 3 9999999999999999")},
+  };
+  for (const auto& c : cases) {
+    EXPECT_THROW((void)shard::parse_shard_spec(c.text), DataError) << c.what;
+  }
+}
+
+std::string valid_result_text() {
+  const testing::EchoIdProtocol p;
+  const auto specs = shard::plan_shards(path_graph(3), p, "echo-id", 2);
+  return shard::serialize(shard::run_shard(specs[0], p, nullptr, 1));
+}
+
+TEST(ShardFormats, MalformedResultsAreRejectedWithDiagnostics) {
+  const std::string valid = valid_result_text();
+  const ShardResult parsed = shard::parse_shard_result(valid);  // sanity
+  ASSERT_GE(parsed.board_hashes.size(), 2u)
+      << "fixture too small to exercise hash ordering";
+
+  std::string swapped = valid;
+  {
+    // Swap the first two hash lines: now not strictly increasing.
+    const std::size_t h1 = swapped.find("hash ");
+    const std::size_t h2 = swapped.find("hash ", h1 + 1);
+    const std::size_t h2_end = swapped.find('\n', h2);
+    const std::string line1 = swapped.substr(h1, swapped.find('\n', h1) - h1);
+    const std::string line2 = swapped.substr(h2, h2_end - h2);
+    swapped = swapped.replace(h2, line2.size(), line1);
+    swapped = swapped.replace(h1, line1.size(), line2);
+  }
+  const struct {
+    const char* what;
+    std::string text;
+  } cases[] = {
+      {"wrong magic", replace_first(valid, "wbshard-result", "wbshard-spec")},
+      {"version skew", replace_first(valid, "v1", "v0")},
+      {"bad plan hash width", replace_first(valid, "plan ", "plan f ")},
+      {"budget flag out of range",
+       replace_first(valid, "budget-exceeded 0", "budget-exceeded 2")},
+      {"hash count mismatch",
+       replace_first(valid, "distinct " +
+                                std::to_string(parsed.board_hashes.size()),
+                     "distinct " +
+                         std::to_string(parsed.board_hashes.size() + 1))},
+      {"unsorted hashes", swapped},
+      {"truncated before end", valid.substr(0, valid.size() - 4)},
+      {"trailing content", valid + "junk\n"},
+      {"astronomical distinct count",
+       replace_first(valid,
+                     "distinct " + std::to_string(parsed.board_hashes.size()),
+                     "distinct 9999999999999999")},
+  };
+  for (const auto& c : cases) {
+    EXPECT_THROW((void)shard::parse_shard_result(c.text), DataError) << c.what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Merge-time validation of the result set itself.
+
+TEST(ShardMerge, RejectsIncompleteOrInconsistentResultSets) {
+  const Graph g = path_graph(4);
+  const testing::EchoIdProtocol p;
+  const auto specs = shard::plan_shards(g, p, "echo", 3);
+  std::vector<ShardResult> results;
+  for (const ShardSpec& spec : specs) {
+    results.push_back(shard::run_shard(spec, p, nullptr, 1));
+  }
+
+  EXPECT_THROW((void)shard::merge_shard_results({}), DataError);
+
+  std::vector<ShardResult> missing = {results[0], results[2]};
+  EXPECT_THROW((void)shard::merge_shard_results(missing), DataError);
+
+  std::vector<ShardResult> duplicated = {results[0], results[1], results[1]};
+  EXPECT_THROW((void)shard::merge_shard_results(duplicated), DataError);
+
+  // A result from a different plan (other protocol string → other
+  // fingerprint) must be refused even if its shard index fits.
+  const auto other = shard::plan_shards(g, p, "echo-variant", 3);
+  std::vector<ShardResult> mixed = {results[0], results[1],
+                                    shard::run_shard(other[2], p, nullptr, 1)};
+  EXPECT_THROW((void)shard::merge_shard_results(mixed), DataError);
+
+  // Same instance, same K, but a *different partition* (coarser
+  // tasks_per_shard): its subtrees overlap the original plan's differently,
+  // so the fingerprint must differ and the mix must be refused.
+  shard::PlanOptions coarse;
+  coarse.tasks_per_shard = 1;
+  const auto repartitioned = shard::plan_shards(g, p, "echo", 3, coarse);
+  ASSERT_NE(shard::serialize(repartitioned[2]), shard::serialize(specs[2]));
+  std::vector<ShardResult> cross_partition = {
+      results[0], results[1], shard::run_shard(repartitioned[2], p, nullptr, 1)};
+  EXPECT_THROW((void)shard::merge_shard_results(cross_partition), DataError);
+
+  // The intact set merges fine (and in any order).
+  std::vector<ShardResult> reversed = {results[2], results[1], results[0]};
+  const MergedResult merged = shard::merge_shard_results(reversed);
+  EXPECT_EQ(merged.executions, 24u);
+}
+
+}  // namespace
+}  // namespace wb

@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
-"""Compare two Google-Benchmark JSON files and print a regression table.
+"""Compare Google-Benchmark JSON baselines.
 
 Usage:
     tools/bench_diff.py OLD.json NEW.json [--threshold PCT]
+    tools/bench_diff.py BENCH_pr2.json BENCH_pr3.json BENCH_pr4.json ...
 
-Matches benchmarks by name, reports wall time old -> new with the ratio, and
-carries user counters that exist on both sides (allocs_per_exec,
-executions_per_s, ...). Rows whose time grew by more than --threshold percent
-are flagged REGRESSED and make the exit status non-zero, so the script can
-gate CI once baselines come from comparable hardware; across machines treat
-the table as informational.
+With exactly two files: a pairwise regression table. Matches benchmarks by
+name, reports wall time old -> new with the ratio, and carries user counters
+that exist on both sides (allocs_per_exec, executions_per_s, ...). Rows
+whose time grew by more than --threshold percent are flagged REGRESSED and
+make the exit status non-zero, so the script can gate CI once baselines come
+from comparable hardware; across machines treat the table as informational.
 
-This is the seed of the ROADMAP's trajectory dashboard: one BENCH_prN.json
-is committed per PR (BENCH_pr2.json, BENCH_pr3.json, ...), and this diff
-renders any two of them.
+With three or more files: the ROADMAP's trajectory dashboard — one column
+per committed BENCH_prN.json baseline, one row per benchmark, and a
+first->last ratio, so the whole pr2 -> pr3 -> pr4 -> ... history reads in
+one table. Trajectory mode is informational (exit 0); missing benchmarks
+render as "-".
 
 Only the Python 3 standard library is used.
 """
@@ -65,17 +68,70 @@ def shared_counters(old: dict, new: dict) -> list[str]:
     return sorted(keys)
 
 
+def column_label(path: str) -> str:
+    """BENCH_pr3.json -> pr3; anything else -> its basename sans .json."""
+    name = path.rsplit("/", 1)[-1]
+    if name.endswith(".json"):
+        name = name[: -len(".json")]
+    if name.startswith("BENCH_"):
+        name = name[len("BENCH_"):]
+    return name
+
+
+def print_trajectory(paths: list[str]) -> int:
+    """One row per benchmark, one time column per baseline, first->last ratio."""
+    baselines = [(column_label(p), load_benchmarks(p)) for p in paths]
+    names: list[str] = []
+    for _, benches in baselines:
+        for name in benches:
+            if name not in names:
+                names.append(name)
+    if not names:
+        print("no benchmarks in any input file", file=sys.stderr)
+        return 2
+
+    rows = []
+    for name in names:
+        cells = []
+        present = []
+        for _, benches in baselines:
+            if name in benches:
+                ns = to_ns(benches[name])
+                present.append(ns)
+                cells.append(fmt_time(ns))
+            else:
+                cells.append("-")
+        ratio = (f"{present[-1] / present[0]:.2f}x"
+                 if len(present) >= 2 and present[0] > 0 else "-")
+        rows.append([name] + cells + [ratio])
+
+    header = ["benchmark"] + [label for label, _ in baselines] + ["last/first"]
+    widths = [max(len(row[i]) for row in rows + [header])
+              for i in range(len(header))]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    print(f"\ntrajectory over {len(baselines)} baselines, "
+          f"{len(names)} benchmarks")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("old", help="baseline BENCH_*.json")
-    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("files", nargs="+", metavar="BENCH.json",
+                        help="2 files: pairwise diff; 3+: trajectory table")
     parser.add_argument(
         "--threshold", type=float, default=10.0,
         help="flag rows whose time grew more than PCT percent (default 10)")
     args = parser.parse_args()
 
-    old = load_benchmarks(args.old)
-    new = load_benchmarks(args.new)
+    if len(args.files) == 1:
+        parser.error("need at least two benchmark files")
+    if len(args.files) > 2:
+        return print_trajectory(args.files)
+
+    old = load_benchmarks(args.files[0])
+    new = load_benchmarks(args.files[1])
     common = [name for name in old if name in new]
     if not common:
         print("no common benchmarks between the two files", file=sys.stderr)
@@ -111,9 +167,9 @@ def main() -> int:
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))
     if only_old:
-        print(f"\nonly in {args.old}: " + ", ".join(only_old))
+        print(f"\nonly in {args.files[0]}: " + ", ".join(only_old))
     if only_new:
-        print(f"only in {args.new}: " + ", ".join(only_new))
+        print(f"only in {args.files[1]}: " + ", ".join(only_new))
     print(f"\n{len(common)} compared, {regressed} regressed "
           f"(threshold {args.threshold:.0f}%)")
     return 1 if regressed else 0

@@ -1,7 +1,7 @@
 // wbsim — run any protocol of the library on any generated graph under any
 // adversary, from the command line.
 //
-//   wbsim <graph-spec> <protocol-spec> [adversary-spec]
+//   wbsim <graph-spec> <protocol-spec> [adversary-spec] [--counterexample]
 //
 //   wbsim kdeg:200:3:20:7 build-degenerate:3 random:5
 //   wbsim cgnp:150:1/8:3  sync-bfs          maxdeg
@@ -17,29 +17,85 @@
 // The special adversary-spec `exhaustive[:THREADS]` visits *every* adversary
 // schedule (the paper's correctness quantifier — small n only), partitioned
 // across the shared worker pool (THREADS omitted or 0 = all cores, 1 =
-// serial):
+// serial). `--counterexample` additionally reports the smallest-prefix
+// failing schedule, deterministically at any thread count:
 //
 //   wbsim twocliques:4    two-cliques       exhaustive
+//   wbsim path:4          broken-first:1    exhaustive:1 --counterexample
+//
+// `exhaustive:shards=K[:THREADS]` runs the same sweep as K local worker
+// *processes* (plan → spawn K `wbsim shard-run` children → merge), the
+// one-machine rehearsal of the fleet workflow below:
+//
+//   wbsim twocliques:4    two-cliques       exhaustive:shards=4
+//
+// Sharding subcommands — the distributable workflow (specs and results are
+// versioned text files; see src/wb/shard.h for the determinism contract):
+//
+//   wbsim shard-plan <graph-spec> <protocol-spec> <K> <out-base> [max-execs]
+//       writes <out-base>.<k>.shard for k = 0..K-1
+//   wbsim shard-run <spec-file> <result-file> [threads]
+//       sweeps one shard (threads: 0 = all cores) and writes its result
+//   wbsim shard-merge <result-file>...
+//       merges a complete result set; the schedules/verdict lines are
+//       byte-identical to what `exhaustive:1` prints for the same instance
 //
 // Exit code 0 iff every run executed and the output validated against the
 // centralized reference algorithms.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define WBSIM_HAS_PROCESSES 1
+#else
+#define WBSIM_HAS_PROCESSES 0
+#endif
 
 #include "src/cli/runners.h"
 #include "src/cli/spec.h"
 #include "src/support/check.h"
+#include "src/wb/shard.h"
 
 namespace {
 
 void usage() {
   std::printf(
-      "usage: wbsim <graph-spec> <protocol-spec> [adversary-spec]\n\n%s\n\n"
+      "usage: wbsim <graph-spec> <protocol-spec> [adversary-spec] "
+      "[--counterexample]\n"
+      "       wbsim shard-plan <graph-spec> <protocol-spec> <K> <out-base> "
+      "[max-executions]\n"
+      "       wbsim shard-run <spec-file> <result-file> [threads]\n"
+      "       wbsim shard-merge <result-file>...\n\n%s\n\n"
       "%s\n\n%s\n           battery[:SEED] (full battery, parallel)\n"
-      "           exhaustive[:THREADS] (every schedule, parallel; small n)\n",
+      "           exhaustive[:THREADS] (every schedule, parallel; small n)\n"
+      "           exhaustive:shards=K[:THREADS] (every schedule, K worker "
+      "processes)\n",
       wb::cli::graph_spec_help().c_str(),
       wb::cli::protocol_spec_help().c_str(),
       wb::cli::adversary_spec_help().c_str());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  WB_REQUIRE_MSG(in.good(), "cannot open '" << path << "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  WB_REQUIRE_MSG(!in.bad(), "cannot read '" << path << "'");
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  WB_REQUIRE_MSG(out.good(), "cannot create '" << path << "'");
+  out << contents;
+  out.flush();
+  WB_REQUIRE_MSG(out.good(), "cannot write '" << path << "'");
 }
 
 int run_battery(const wb::Graph& g, const std::string& protocol,
@@ -59,43 +115,258 @@ int run_battery(const wb::Graph& g, const std::string& protocol,
   return correct == reports.size() ? 0 : 1;
 }
 
-int run_exhaustive(const wb::Graph& g, const std::string& protocol,
-                   const std::string& spec) {
-  const auto parts = wb::cli::split_spec(spec);
-  WB_REQUIRE_MSG(parts.size() <= 2, "expected exhaustive[:THREADS]");
-  const std::size_t threads = parts.size() == 2
-                                  ? static_cast<std::size_t>(wb::cli::parse_u64(
-                                        parts[1], "threads"))
-                                  : 0;
-  const wb::cli::RunReport report =
-      wb::cli::run_protocol_spec_exhaustive(protocol, g, threads);
+int print_report(const wb::cli::RunReport& report) {
   std::printf("%s", report.summary.c_str());
   std::printf("result     %s\n", report.correct ? "PASS" : "FAIL");
   return report.correct ? 0 : 1;
 }
 
+// --- Sharding subcommands ----------------------------------------------------
+
+int cmd_shard_plan(int argc, char** argv) {
+  WB_REQUIRE_MSG(argc >= 6 && argc <= 7,
+                 "usage: wbsim shard-plan <graph-spec> <protocol-spec> <K> "
+                 "<out-base> [max-executions]");
+  const wb::Graph g = wb::cli::graph_from_spec(argv[2]);
+  const std::string protocol = argv[3];
+  const std::size_t shards = static_cast<std::size_t>(
+      wb::cli::parse_u64(argv[4], "shard count"));
+  const std::string base = argv[5];
+  wb::shard::PlanOptions opts;
+  if (argc == 7) {
+    opts.max_executions = wb::cli::parse_u64(argv[6], "max-executions");
+  }
+  const auto specs =
+      wb::cli::plan_protocol_spec_shards(protocol, g, shards, opts);
+  for (const wb::shard::ShardSpec& spec : specs) {
+    const std::string path =
+        base + "." + std::to_string(spec.shard_index) + ".shard";
+    write_file(path, wb::shard::serialize(spec));
+    std::printf("wrote %s (%zu subtree prefixes)\n", path.c_str(),
+                spec.prefixes.size());
+  }
+  return 0;
+}
+
+int cmd_shard_run(int argc, char** argv) {
+  WB_REQUIRE_MSG(argc >= 4 && argc <= 5,
+                 "usage: wbsim shard-run <spec-file> <result-file> [threads]");
+  const wb::shard::ShardSpec spec =
+      wb::shard::parse_shard_spec(read_file(argv[2]));
+  const std::size_t threads =
+      argc == 5 ? static_cast<std::size_t>(
+                      wb::cli::parse_u64(argv[4], "threads"))
+                : 0;
+  const wb::shard::ShardResult result =
+      wb::cli::run_protocol_spec_shard(spec, threads);
+  write_file(argv[3], wb::shard::serialize(result));
+  if (result.budget_exceeded) {
+    std::printf("shard %u/%u: budget of %llu executions exceeded\n",
+                result.shard_index, result.shard_count,
+                static_cast<unsigned long long>(result.max_executions));
+  } else {
+    std::printf(
+        "shard %u/%u: %llu executions, %zu distinct boards, %llu failures\n",
+        result.shard_index, result.shard_count,
+        static_cast<unsigned long long>(result.executions),
+        result.board_hashes.size(),
+        static_cast<unsigned long long>(result.engine_failures +
+                                        result.wrong_outputs));
+  }
+  return 0;
+}
+
+int print_merged(const wb::shard::MergedResult& merged) {
+  std::printf("shards     %u results merged\n", merged.shard_count);
+  std::printf("%s",
+              wb::cli::exhaustive_summary_lines(
+                  merged.executions, merged.engine_failures,
+                  merged.wrong_outputs, merged.distinct_boards)
+                  .c_str());
+  const bool correct =
+      merged.engine_failures == 0 && merged.wrong_outputs == 0;
+  std::printf("result     %s\n", correct ? "PASS" : "FAIL");
+  return correct ? 0 : 1;
+}
+
+int cmd_shard_merge(int argc, char** argv) {
+  WB_REQUIRE_MSG(argc >= 3, "usage: wbsim shard-merge <result-file>...");
+  std::vector<wb::shard::ShardResult> results;
+  results.reserve(static_cast<std::size_t>(argc - 2));
+  for (int i = 2; i < argc; ++i) {
+    results.push_back(wb::shard::parse_shard_result(read_file(argv[i])));
+  }
+  return print_merged(wb::shard::merge_shard_results(results));
+}
+
+// --- Local multi-process orchestration (exhaustive:shards=K) -----------------
+
+#if WBSIM_HAS_PROCESSES
+
+std::string self_executable(const char* argv0) {
+  char buffer[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len > 0) return std::string(buffer, static_cast<std::size_t>(len));
+  return argv0;  // non-procfs fallback; fine for relative invocations
+}
+
+int run_sharded_exhaustive(const wb::Graph& g, const std::string& protocol,
+                           const wb::cli::ExhaustiveSpec& es,
+                           const char* argv0) {
+  // Plan in-process, hand each shard to a child `wbsim shard-run`, merge the
+  // result files: the same bytes a fleet would move between hosts.
+  wb::shard::PlanOptions popts;
+  const auto specs =
+      wb::cli::plan_protocol_spec_shards(protocol, g, es.shards, popts);
+  char dir_template[] = "/tmp/wbsim-shards-XXXXXX";
+  WB_REQUIRE_MSG(::mkdtemp(dir_template) != nullptr,
+                 "cannot create temporary shard directory");
+  const std::string dir = dir_template;
+  const std::string exe = self_executable(argv0);
+  // Split the machine between the workers unless a nonzero per-worker
+  // thread count was requested explicitly (see cli::ExhaustiveSpec).
+  const std::size_t worker_threads =
+      es.threads != 0
+          ? es.threads
+          : std::max<std::size_t>(
+                1, std::thread::hardware_concurrency() / es.shards);
+  const std::string threads_arg = std::to_string(worker_threads);
+
+  std::vector<std::string> spec_paths;
+  std::vector<std::string> result_paths;
+  std::vector<pid_t> children;
+  // Every exit path — fork failure, corrupt result, the merge's budget
+  // guard — must first reap whatever workers were started (no zombies, no
+  // writers racing the unlink) and then remove the temporary files.
+  const auto reap_workers = [&]() -> bool {
+    bool workers_ok = true;
+    for (std::size_t k = 0; k < children.size(); ++k) {
+      int status = 0;
+      ::waitpid(children[k], &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "shard worker %zu failed (status %d)\n", k,
+                     status);
+        workers_ok = false;
+      }
+    }
+    children.clear();
+    return workers_ok;
+  };
+  const auto cleanup_files = [&] {
+    for (const std::string& path : spec_paths) ::unlink(path.c_str());
+    for (const std::string& path : result_paths) ::unlink(path.c_str());
+    ::rmdir(dir.c_str());
+  };
+
+  int exit_code = 1;
+  try {
+    for (const wb::shard::ShardSpec& spec : specs) {
+      const std::string tag = std::to_string(spec.shard_index);
+      spec_paths.push_back(dir + "/" + tag + ".shard");
+      result_paths.push_back(dir + "/" + tag + ".result");
+      write_file(spec_paths.back(), wb::shard::serialize(spec));
+    }
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+      const pid_t pid = ::fork();
+      WB_REQUIRE_MSG(pid >= 0, "fork failed for shard worker " << k);
+      if (pid == 0) {
+        const char* args[] = {exe.c_str(),           "shard-run",
+                              spec_paths[k].c_str(), result_paths[k].c_str(),
+                              threads_arg.c_str(),   nullptr};
+        ::execv(exe.c_str(), const_cast<char* const*>(args));
+        std::fprintf(stderr, "exec failed for shard worker %zu\n", k);
+        ::_exit(127);
+      }
+      children.push_back(pid);
+    }
+    if (reap_workers()) {
+      std::vector<wb::shard::ShardResult> results;
+      for (const std::string& path : result_paths) {
+        results.push_back(wb::shard::parse_shard_result(read_file(path)));
+      }
+      std::printf("adversary  exhaustive(shards=%zu, threads=%zu per worker)\n",
+                  es.shards, worker_threads);
+      exit_code = print_merged(wb::shard::merge_shard_results(results));
+    }
+  } catch (...) {
+    reap_workers();
+    cleanup_files();
+    throw;
+  }
+  cleanup_files();
+  return exit_code;
+}
+
+#else  // !WBSIM_HAS_PROCESSES
+
+int run_sharded_exhaustive(const wb::Graph&, const std::string&,
+                           const wb::cli::ExhaustiveSpec&, const char*) {
+  WB_REQUIRE_MSG(false,
+                 "exhaustive:shards=K needs process spawning; use shard-plan/"
+                 "shard-run/shard-merge manually on this platform");
+  return 2;  // unreachable
+}
+
+#endif  // WBSIM_HAS_PROCESSES
+
+int run_exhaustive(const wb::Graph& g, const std::string& protocol,
+                   const std::string& spec, bool counterexample,
+                   const char* argv0) {
+  const wb::cli::ExhaustiveSpec es = wb::cli::exhaustive_from_spec(spec);
+  if (es.shards > 0) {
+    WB_REQUIRE_MSG(!counterexample,
+                   "--counterexample is in-process only; use "
+                   "exhaustive[:THREADS]");
+    return run_sharded_exhaustive(g, protocol, es, argv0);
+  }
+  wb::cli::ExhaustiveRunOptions opts;
+  opts.threads = es.threads;
+  opts.counterexample = counterexample;
+  return print_report(
+      wb::cli::run_protocol_spec_exhaustive(protocol, g, opts));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3 || argc > 4 || std::string(argv[1]) == "--help") {
-    usage();
-    return argc >= 2 && std::string(argv[1]) == "--help" ? 0 : 2;
-  }
   try {
-    const wb::Graph g = wb::cli::graph_from_spec(argv[1]);
-    const std::string adversary_spec = argc == 4 ? argv[3] : "first";
+    if (argc >= 2) {
+      const std::string command = argv[1];
+      if (command == "shard-plan") return cmd_shard_plan(argc, argv);
+      if (command == "shard-run") return cmd_shard_run(argc, argv);
+      if (command == "shard-merge") return cmd_shard_merge(argc, argv);
+    }
+    // Classic invocation: positional specs plus optional flags.
+    std::vector<std::string> args;
+    bool counterexample = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--counterexample") {
+        counterexample = true;
+      } else {
+        args.push_back(arg);
+      }
+    }
+    if (args.size() < 2 || args.size() > 3 ||
+        (!args.empty() && args[0] == "--help")) {
+      usage();
+      return !args.empty() && args[0] == "--help" ? 0 : 2;
+    }
+    const wb::Graph g = wb::cli::graph_from_spec(args[0]);
+    const std::string adversary_spec = args.size() == 3 ? args[2] : "first";
     if (wb::cli::split_spec(adversary_spec)[0] == "battery") {
-      return run_battery(g, argv[2], adversary_spec);
+      WB_REQUIRE_MSG(!counterexample,
+                     "--counterexample needs an exhaustive adversary spec");
+      return run_battery(g, args[1], adversary_spec);
     }
-    if (wb::cli::split_spec(adversary_spec)[0] == "exhaustive") {
-      return run_exhaustive(g, argv[2], adversary_spec);
+    if (wb::cli::is_exhaustive_spec(adversary_spec)) {
+      return run_exhaustive(g, args[1], adversary_spec, counterexample,
+                            argv[0]);
     }
+    WB_REQUIRE_MSG(!counterexample,
+                   "--counterexample needs an exhaustive adversary spec");
     auto adversary = wb::cli::adversary_from_spec(adversary_spec, g);
-    const wb::cli::RunReport report =
-        wb::cli::run_protocol_spec(argv[2], g, *adversary);
-    std::printf("%s", report.summary.c_str());
-    std::printf("result     %s\n", report.correct ? "PASS" : "FAIL");
-    return report.correct ? 0 : 1;
+    return print_report(wb::cli::run_protocol_spec(args[1], g, *adversary));
   } catch (const wb::DataError& e) {
     std::printf("error: %s\n", e.what());
     return 2;
