@@ -30,23 +30,33 @@
 //                                execution rate (speedup needs multi-core
 //                                hardware — CI — not this 1-core container);
 //  - BM_DistinctBoards         — hash-keyed distinct-final-board counting,
-//                                streamed through sorted-run union (serial
-//                                and parallel).
+//                                streamed through the pluggable accumulator
+//                                (exact sorted-run union, or a HyperLogLog
+//                                sketch; serial and parallel);
+//  - BM_DistinctInsert /       — the accumulator layer in isolation: insert
+//    BM_DistinctMerge            and merge throughput of the exact and hll
+//                                implementations on synthetic key streams,
+//                                with a `peak_bytes` counter contrasting the
+//                                two memory models (16 B per distinct key
+//                                vs 2^p registers, flat).
 //
 // CI runs this binary as the Release bench-smoke job and uploads the JSON
-// as BENCH_pr4.json; the committed BENCH_pr{2,3,4}.json at the repo root are
+// as BENCH_pr5.json; the committed BENCH_pr{2..5}.json at the repo root are
 // the recorded baselines of that trajectory (tools/bench_diff.py renders a
 // pairwise diff for two files, the full trajectory table for three or more).
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <vector>
 
 #include "src/graph/generators.h"
 #include "src/protocols/build_full.h"
 #include "src/protocols/mis.h"
 #include "src/protocols/two_cliques.h"
+#include "src/wb/distinct.h"
 #include "src/wb/engine.h"
 #include "src/wb/exhaustive.h"
 
@@ -247,6 +257,98 @@ void BM_DistinctBoardsMis(benchmark::State& state) {
   state.counters["distinct"] = benchmark::Counter(static_cast<double>(distinct));
 }
 BENCHMARK(BM_DistinctBoardsMis)->Unit(benchmark::kMillisecond);
+
+void BM_DistinctBoardsTwoCliquesHll(benchmark::State& state) {
+  // The full sweep of BM_DistinctBoardsTwoCliques, counted through the
+  // hll:14 accumulator instead of exact dedup — the sweep cost dominates,
+  // so this pins that switching accumulators is close to free.
+  const Graph g = two_cliques(4);
+  const TwoCliquesProtocol p;
+  ExhaustiveOptions opts;
+  opts.distinct = DistinctConfig::Hll(14);
+  std::uint64_t estimate = 0;
+  for (auto _ : state) {
+    estimate = count_distinct_final_boards(g, p, opts);
+    benchmark::DoNotOptimize(estimate);
+  }
+  state.counters["distinct_estimate"] =
+      benchmark::Counter(static_cast<double>(estimate));
+}
+BENCHMARK(BM_DistinctBoardsTwoCliquesHll)->Unit(benchmark::kMillisecond);
+
+// --- Accumulator layer in isolation: exact vs hll insert/merge throughput
+// and the peak-memory proxy (what the ROADMAP's ~10^9-distinct wall is
+// about: 16 bytes per distinct key vs 2^p bytes flat).
+
+constexpr std::int64_t kExactKind = 0;
+constexpr std::int64_t kHllKind = 1;
+
+DistinctConfig bench_config(std::int64_t kind) {
+  return kind == kExactKind ? DistinctConfig::Exact()
+                            : DistinctConfig::Hll(14);
+}
+
+Hash128 bench_key(std::uint64_t i) {
+  const std::uint64_t lo = mix64(i + 1);
+  return Hash128{lo, mix64(lo + 0x9e3779b97f4a7c15ULL)};
+}
+
+void BM_DistinctInsert(benchmark::State& state) {
+  const DistinctConfig config = bench_config(state.range(0));
+  const auto keys = static_cast<std::uint64_t>(state.range(1));
+  std::uint64_t inserted = 0;
+  std::uint64_t peak_bytes = 0;
+  for (auto _ : state) {
+    const auto acc = make_distinct_accumulator(config);
+    for (std::uint64_t i = 0; i < keys; ++i) acc->insert(bench_key(i));
+    const std::uint64_t distinct = acc->estimate();
+    benchmark::DoNotOptimize(distinct);
+    inserted += keys;
+    peak_bytes = config.kind == DistinctKind::kExact
+                     ? distinct * sizeof(Hash128)
+                     : (std::uint64_t{1} << config.hll_precision);
+  }
+  state.counters["peak_bytes"] =
+      benchmark::Counter(static_cast<double>(peak_bytes));
+  state.counters["keys_per_s"] = benchmark::Counter(
+      static_cast<double>(inserted), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(inserted));
+}
+BENCHMARK(BM_DistinctInsert)
+    ->ArgsProduct({{kExactKind, kHllKind}, {1 << 16, 1 << 20}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistinctMerge(benchmark::State& state) {
+  // 16 per-task accumulators of 64k distinct keys each (the explorer's
+  // per-subtree shape), folded left like the sweep's final merge.
+  const DistinctConfig config = bench_config(state.range(0));
+  constexpr std::size_t kParts = 16;
+  constexpr std::uint64_t kKeysPerPart = 1 << 16;
+  std::uint64_t merged_keys = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::unique_ptr<DistinctAccumulator>> parts;
+    for (std::size_t k = 0; k < kParts; ++k) {
+      parts.push_back(make_distinct_accumulator(config));
+      for (std::uint64_t i = 0; i < kKeysPerPart; ++i) {
+        parts[k]->insert(bench_key(k * kKeysPerPart + i));
+      }
+    }
+    state.ResumeTiming();
+    std::unique_ptr<DistinctAccumulator> total = std::move(parts.front());
+    for (std::size_t k = 1; k < kParts; ++k) {
+      total->merge(std::move(*parts[k]));
+    }
+    const std::uint64_t distinct = total->estimate();
+    benchmark::DoNotOptimize(distinct);
+    merged_keys += kParts * kKeysPerPart;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(merged_keys));
+}
+BENCHMARK(BM_DistinctMerge)
+    ->Arg(kExactKind)
+    ->Arg(kHllKind)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace wb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -124,9 +125,9 @@ struct CounterexampleTracker {
 /// graph/protocol and writes to per-worker sinks and per-task accumulators,
 /// so the shared state is the atomic tallies (and the counterexample
 /// tracker's mutex, touched only on failures). Distinct boards stream
-/// through one StreamingDistinct per subtree task merged by sorted-run
-/// union, so peak memory is O(distinct), not O(executions) — the same
-/// aggregation shape shard::run_shard uses.
+/// through one DistinctAccumulator per subtree task (exact sorted-run dedup
+/// or an hll sketch, per ropts.distinct) folded by the accumulator's
+/// order-oblivious merge — the same aggregation shape shard::run_shard uses.
 template <typename P, typename Check>
 std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
                                       const ExhaustiveRunOptions& ropts,
@@ -134,11 +135,16 @@ std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
   ExhaustiveOptions opts;
   opts.threads = ropts.threads;
   opts.max_executions = ropts.max_executions;
+  opts.distinct = ropts.distinct;
   const std::vector<PrefixTask> tasks =
       partition_for_threads(g, protocol, opts.engine, opts.threads);
   std::atomic<std::uint64_t> engine_failures{0};
   std::atomic<std::uint64_t> wrong_outputs{0};
-  std::vector<StreamingDistinct> accumulators(tasks.size());
+  std::vector<std::unique_ptr<DistinctAccumulator>> accumulators;
+  accumulators.reserve(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    accumulators.push_back(make_distinct_accumulator(ropts.distinct));
+  }
   CounterexampleTracker cx;
   // The serial DFS visits schedules in lexicographic write-order, so its
   // first failure IS the minimum and the sweep may stop there; parallel
@@ -147,7 +153,7 @@ std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
   const std::uint64_t executions = for_each_execution_under(
       g, protocol, tasks,
       [&](const ExecutionResult& r, std::size_t task) {
-        accumulators[task].add(r.board.content_hash());
+        accumulators[task]->insert(r.board.content_hash());
         if (!r.ok()) {
           engine_failures.fetch_add(1, std::memory_order_relaxed);
           if (ropts.counterexample) {
@@ -170,10 +176,15 @@ std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
         return true;
       },
       opts);
-  std::vector<std::vector<Hash128>> runs;
-  runs.reserve(accumulators.size());
-  for (StreamingDistinct& acc : accumulators) runs.push_back(acc.take_sorted());
-  const std::uint64_t distinct = union_sorted_runs(std::move(runs)).size();
+  std::uint64_t distinct = 0;
+  if (!accumulators.empty()) {
+    std::unique_ptr<DistinctAccumulator> total =
+        std::move(accumulators.front());
+    for (std::size_t t = 1; t < accumulators.size(); ++t) {
+      total->merge(std::move(*accumulators[t]));
+    }
+    distinct = total->estimate();
+  }
 
   RunReport report;
   report.executed = true;
@@ -189,7 +200,8 @@ std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
   os << "graph      n=" << g.node_count() << " m=" << g.edge_count() << "\n";
   os << "adversary  " << report.adversary << "\n";
   os << exhaustive_summary_lines(executions, engine_failures.load(),
-                                 wrong_outputs.load(), distinct);
+                                 wrong_outputs.load(), distinct,
+                                 ropts.distinct);
   if (ropts.counterexample) {
     if (cx.found) {
       report.counterexample = cx.order_text();
@@ -243,9 +255,13 @@ std::vector<RunReport> run_shard_typed(const P& protocol, const Graph& g,
     os << "schedules  budget of " << result.max_executions
        << " executions exceeded by this shard alone\n";
   } else {
+    const std::uint64_t distinct =
+        result.distinct.kind == DistinctKind::kExact
+            ? result.board_hashes.size()
+            : (result.hll.has_value() ? result.hll->estimate() : 0);
     os << exhaustive_summary_lines(result.executions, result.engine_failures,
-                                   result.wrong_outputs,
-                                   result.board_hashes.size());
+                                   result.wrong_outputs, distinct,
+                                   result.distinct);
   }
   report.summary = os.str();
   return {std::move(report)};
@@ -597,11 +613,17 @@ shard::ShardResult run_protocol_spec_shard(const shard::ShardSpec& spec,
 std::string exhaustive_summary_lines(std::uint64_t executions,
                                      std::uint64_t engine_failures,
                                      std::uint64_t wrong_outputs,
-                                     std::uint64_t distinct_boards) {
+                                     std::uint64_t distinct_boards,
+                                     const DistinctConfig& distinct) {
   const std::uint64_t failures = engine_failures + wrong_outputs;
   std::ostringstream os;
-  os << "schedules  " << executions << " executions, " << distinct_boards
-     << " distinct final boards\n";
+  if (distinct.kind == DistinctKind::kExact) {
+    os << "schedules  " << executions << " executions, " << distinct_boards
+       << " distinct final boards\n";
+  } else {
+    os << "schedules  " << executions << " executions, ~" << distinct_boards
+       << " distinct final boards (" << to_string(distinct) << ")\n";
+  }
   os << "verdict    " << (executions - failures) << "/" << executions
      << " executions successful and correct\n";
   return os.str();

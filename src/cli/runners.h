@@ -55,6 +55,9 @@ struct ExhaustiveRunOptions {
   /// minimum — while parallel sweeps keep the running minimum over every
   /// failure they visit.
   bool counterexample = false;
+  /// Distinct-board accumulator (src/wb/distinct.h): exact sorted-run dedup
+  /// (default) or a HyperLogLog estimate with flat memory.
+  DistinctConfig distinct{};
 };
 
 /// Exhaustively validate `protocol_spec` on `g`: visit *every* adversary
@@ -90,10 +93,14 @@ struct ExhaustiveRunOptions {
 
 /// The "schedules ... / verdict ..." report lines shared by the exhaustive
 /// runner and the shard-merge CLI — byte-identical formatting is what lets
-/// CI diff a merged sharded sweep against the `exhaustive:1` oracle.
+/// CI diff a merged sharded sweep against the `exhaustive:1` oracle. The
+/// exact-mode lines are unchanged since PR 4; an hll sweep marks its
+/// distinct count as the estimate it is ("~N distinct final boards
+/// (hll:P)"), identically in both the in-process and the merged report.
 [[nodiscard]] std::string exhaustive_summary_lines(
     std::uint64_t executions, std::uint64_t engine_failures,
-    std::uint64_t wrong_outputs, std::uint64_t distinct_boards);
+    std::uint64_t wrong_outputs, std::uint64_t distinct_boards,
+    const DistinctConfig& distinct = {});
 
 /// List of known protocol specs for --help.
 [[nodiscard]] std::string protocol_spec_help();

@@ -146,16 +146,27 @@ bool is_exhaustive_spec(const std::string& spec) {
 }
 
 ExhaustiveSpec exhaustive_from_spec(const std::string& spec) {
-  const auto parts = split_spec(spec);
+  ExhaustiveSpec out;
+  // The hll config itself contains a colon (hll:14), so `distinct=` is
+  // defined as the final option: everything after it is the config text.
+  std::string head = spec;
+  constexpr std::string_view kDistinctKey = ":distinct=";
+  const std::size_t distinct_pos = spec.find(kDistinctKey);
+  if (distinct_pos != std::string::npos) {
+    out.distinct =
+        parse_distinct_config(spec.substr(distinct_pos + kDistinctKey.size()));
+    head = spec.substr(0, distinct_pos);
+  }
+  const auto parts = split_spec(head);
   WB_REQUIRE_MSG(parts[0] == "exhaustive",
                  "not an exhaustive spec: '" << spec << "'");
-  ExhaustiveSpec out;
   if (parts.size() == 1) return out;
   constexpr std::string_view kShardsKey = "shards=";
   if (parts[1].starts_with(kShardsKey)) {
     WB_REQUIRE_MSG(parts.size() <= 3,
-                   "expected exhaustive:shards=K[:THREADS], got '" << spec
-                                                                   << "'");
+                   "expected exhaustive:shards=K[:THREADS][:distinct=...], "
+                   "got '"
+                       << spec << "'");
     out.shards = static_cast<std::size_t>(
         parse_u64(parts[1].substr(kShardsKey.size()), "shard count"));
     WB_REQUIRE_MSG(out.shards >= 1, "shard count must be at least 1");
@@ -167,7 +178,8 @@ ExhaustiveSpec exhaustive_from_spec(const std::string& spec) {
   }
   WB_REQUIRE_MSG(parts.size() == 2,
                  "expected exhaustive[:THREADS] or exhaustive:shards=K"
-                 "[:THREADS], got '"
+                 "[:THREADS], each optionally ending in :distinct=exact|"
+                 "hll[:P], got '"
                      << spec << "'");
   out.threads = static_cast<std::size_t>(parse_u64(parts[1], "threads"));
   return out;

@@ -27,6 +27,7 @@
 
 #include "src/graph/graph.h"
 #include "src/wb/adversary.h"
+#include "src/wb/distinct.h"
 
 namespace wb::cli {
 
@@ -54,6 +55,14 @@ namespace wb::cli {
 ///   exhaustive:T               T worker threads (1 = the serial oracle)
 ///   exhaustive:shards=K        K local worker *processes*, merged
 ///   exhaustive:shards=K:T      K worker processes with T threads each
+///
+/// Any form may end with `:distinct=exact|hll[:P]` selecting the
+/// distinct-board accumulator (src/wb/distinct.h); because the hll form
+/// itself contains a colon, the `distinct=` option must come last:
+///
+///   exhaustive:distinct=hll:14
+///   exhaustive:1:distinct=hll:12
+///   exhaustive:shards=4:distinct=exact
 struct ExhaustiveSpec {
   /// Worker threads. In-process mode: 0 = one per hardware thread, 1 =
   /// serial. In shard mode this is each worker process's thread count, and
@@ -63,6 +72,8 @@ struct ExhaustiveSpec {
   /// Worker processes: 0 = in-process sweep, K >= 1 = plan/run/merge K
   /// local shard-runner processes.
   std::size_t shards = 0;
+  /// Distinct-board accumulator: exact (default) or HyperLogLog.
+  DistinctConfig distinct{};
 };
 
 [[nodiscard]] bool is_exhaustive_spec(const std::string& spec);

@@ -20,11 +20,16 @@ std::size_t PropertyOracleProtocol::message_bit_limit(std::size_t n) const {
 }
 
 Bits PropertyOracleProtocol::compose_initial(const LocalView& view) const {
-  const std::size_t n = view.n();
   BitWriter w;
-  codec::write_id(w, view.id(), n);
-  for (NodeId u = 1; u <= n; ++u) w.write_bit(view.has_neighbor(u));
-  return w.take();
+  return compose_initial(view, w);
+}
+
+Bits PropertyOracleProtocol::compose_initial(const LocalView& view,
+                                             BitWriter& scratch) const {
+  const std::size_t n = view.n();
+  codec::write_id(scratch, view.id(), n);
+  for (NodeId u = 1; u <= n; ++u) scratch.write_bit(view.has_neighbor(u));
+  return scratch.take();
 }
 
 bool PropertyOracleProtocol::output(const Whiteboard& board,

@@ -36,6 +36,8 @@ class PropertyOracleProtocol final : public SimAsyncProtocol<bool> {
 
   [[nodiscard]] std::size_t message_bit_limit(std::size_t n) const override;
   [[nodiscard]] Bits compose_initial(const LocalView& view) const override;
+  [[nodiscard]] Bits compose_initial(const LocalView& view,
+                                     BitWriter& scratch) const override;
   [[nodiscard]] bool output(const Whiteboard& board,
                             std::size_t n) const override;
   [[nodiscard]] std::string name() const override { return name_; }
@@ -77,6 +79,10 @@ class SpanningForestProtocol final
   [[nodiscard]] Bits compose(const LocalView& view,
                              const Whiteboard& board) const override {
     return bfs_.compose(view, board);
+  }
+  [[nodiscard]] Bits compose(const LocalView& view, const Whiteboard& board,
+                             BitWriter& scratch) const override {
+    return bfs_.compose(view, board, scratch);
   }
   [[nodiscard]] SpanningForestOutput output(const Whiteboard& board,
                                             std::size_t n) const override;

@@ -53,15 +53,20 @@ std::size_t RandomizedTwoCliquesProtocol::message_bit_limit(
 
 Bits RandomizedTwoCliquesProtocol::compose_initial(
     const LocalView& view) const {
+  BitWriter w;
+  return compose_initial(view, w);
+}
+
+Bits RandomizedTwoCliquesProtocol::compose_initial(const LocalView& view,
+                                                   BitWriter& scratch) const {
   const std::size_t n = view.n();
   std::vector<NodeId> closed(view.neighbors().begin(),
                              view.neighbors().end());
   closed.push_back(view.id());
   std::sort(closed.begin(), closed.end());
-  BitWriter w;
-  codec::write_id(w, view.id(), n);
-  w.write_uint(fingerprint(closed, point_), kFingerprintBits);
-  return w.take();
+  codec::write_id(scratch, view.id(), n);
+  scratch.write_uint(fingerprint(closed, point_), kFingerprintBits);
+  return scratch.take();
 }
 
 TwoCliquesOutput RandomizedTwoCliquesProtocol::output(const Whiteboard& board,

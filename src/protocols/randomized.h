@@ -47,6 +47,8 @@ class RandomizedTwoCliquesProtocol final
 
   [[nodiscard]] std::size_t message_bit_limit(std::size_t n) const override;
   [[nodiscard]] Bits compose_initial(const LocalView& view) const override;
+  [[nodiscard]] Bits compose_initial(const LocalView& view,
+                                     BitWriter& scratch) const override;
   [[nodiscard]] TwoCliquesOutput output(const Whiteboard& board,
                                         std::size_t n) const override;
   [[nodiscard]] std::string name() const override {

@@ -1,0 +1,132 @@
+#include "src/support/hll.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "src/support/check.h"
+
+namespace wb {
+
+namespace {
+
+/// sigma(x) = x + sum_{k>=1} x^(2^k) * 2^(k-1), the low-range half of Ertl's
+/// estimator (x = fraction of registers still zero). Diverges at x = 1, which
+/// the caller maps to "no key ever inserted" and short-circuits.
+double ertl_sigma(double x) {
+  double y = 1.0;
+  double z = x;
+  while (true) {
+    x = x * x;
+    const double z_prev = z;
+    z += x * y;
+    y += y;
+    if (z == z_prev) return z;
+  }
+}
+
+/// tau(x) = (1/3) * (1 - x - sum_{k>=1} (1 - x^(2^-k))^2 * 2^-k), the
+/// high-range half (x = fraction of registers below saturation).
+double ertl_tau(double x) {
+  if (x == 0.0 || x == 1.0) return 0.0;
+  double y = 1.0;
+  double z = 1.0 - x;
+  while (true) {
+    x = std::sqrt(x);
+    const double z_prev = z;
+    y *= 0.5;
+    const double d = 1.0 - x;
+    z -= d * d * y;
+    if (z == z_prev) return z / 3.0;
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  WB_REQUIRE_MSG(
+      precision >= kMinPrecision && precision <= kMaxPrecision,
+      "hll precision " << precision << " outside [" << kMinPrecision << ", "
+                       << kMaxPrecision << "]");
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::add(const Hash128& key) {
+  const int p = precision_;
+  const std::size_t index =
+      static_cast<std::size_t>(key.hi >> (64 - p));
+  // rho over the remaining 64 - p bits; an all-zero tail saturates at the
+  // maximum value 64 - p + 1 (countl_zero of the shifted word returns 64).
+  const std::uint64_t tail = key.hi << p;
+  const int rho =
+      tail == 0 ? 64 - p + 1 : std::countl_zero(tail) + 1;
+  if (registers_[index] < rho) {
+    registers_[index] = static_cast<std::uint8_t>(rho);
+  }
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  WB_REQUIRE_MSG(precision_ == other.precision_,
+                 "cannot merge hll sketches of precision "
+                     << precision_ << " and " << other.precision_);
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (registers_[i] < other.registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+}
+
+std::uint64_t HyperLogLog::estimate() const {
+  const int q = 64 - precision_;  // register values range over 0 .. q + 1
+  const double m = static_cast<double>(registers_.size());
+  // Histogram of register values.
+  std::vector<std::uint64_t> count(static_cast<std::size_t>(q) + 2, 0);
+  for (const std::uint8_t r : registers_) ++count[r];
+  if (count[0] == registers_.size()) return 0;  // nothing ever inserted
+
+  double z = m * ertl_tau(1.0 -
+                          static_cast<double>(count[static_cast<std::size_t>(q) + 1]) / m);
+  for (int k = q; k >= 1; --k) {
+    z = 0.5 * (z + static_cast<double>(count[static_cast<std::size_t>(k)]));
+  }
+  z += m * ertl_sigma(static_cast<double>(count[0]) / m);
+  constexpr double kAlphaInf = 0.5 / 0.693147180559945309417232121458;  // 1/(2 ln 2)
+  // A (near-)saturated sketch — every register at or close to q+1, which no
+  // real key stream reaches but a format-valid crafted register block can —
+  // drives z toward 0 and the raw estimate toward infinity. Clamp before
+  // llround: feeding it infinity (or anything past LLONG_MAX) is undefined
+  // behavior, and "more distinct keys than uint64 can count" is the honest
+  // answer for such a block.
+  constexpr double kMaxEstimate = 9.2233720368547748e18;  // just under 2^63
+  if (z <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  const double estimate = kAlphaInf * m * m / z;
+  if (!(estimate < kMaxEstimate)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(std::llround(estimate));
+}
+
+HyperLogLog HyperLogLog::from_registers(
+    int precision, std::span<const std::uint8_t> registers) {
+  HyperLogLog sketch(precision);
+  WB_REQUIRE_MSG(registers.size() == sketch.registers_.size(),
+                 "hll register block of " << registers.size()
+                                          << " bytes does not match precision "
+                                          << precision << " (want "
+                                          << sketch.registers_.size() << ")");
+  const int max_rho = 64 - precision + 1;
+  for (std::size_t i = 0; i < registers.size(); ++i) {
+    WB_REQUIRE_MSG(registers[i] <= max_rho,
+                   "hll register " << i << " holds " << int{registers[i]}
+                                   << ", above the maximum rho " << max_rho
+                                   << " at precision " << precision);
+    sketch.registers_[i] = registers[i];
+  }
+  return sketch;
+}
+
+double HyperLogLog::relative_standard_error(int precision) {
+  return 1.04 / std::sqrt(static_cast<double>(std::size_t{1} << precision));
+}
+
+}  // namespace wb

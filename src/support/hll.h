@@ -1,0 +1,86 @@
+// HyperLogLog cardinality sketch over 128-bit content hashes.
+//
+// The exhaustive explorer's exact distinct-board count keeps one 16-byte key
+// per distinct board — O(distinct) peak memory, which past ~10^9 distinct
+// boards is the scaling wall (ROADMAP). A HyperLogLog sketch answers the same
+// "how many distinct final boards" question in 2^p bytes total (p = 14 →
+// 16 KiB) with a relative standard error of 1.04/sqrt(2^p) (~0.8% at p = 14),
+// independent of the cardinality.
+//
+// Why it slots into the sharded explorer unchanged: a register holds the
+// maximum rho-value over the keys routed to it, so the sketch depends only on
+// the SET of inserted keys — insertion order, thread count, and any grouping
+// into sub-sketches merged by register-wise max all produce bit-identical
+// registers. That is exactly the order-oblivious-merge contract the sorted-run
+// union already satisfies (src/wb/distinct.h), so the PR 4 determinism
+// guarantees (same result at any K, merge order, worker thread count) carry
+// over verbatim.
+//
+// The estimator is Ertl's improved raw estimator ("New cardinality estimation
+// algorithms for HyperLogLog sketches", 2017, Algorithm 6): unbiased over the
+// full cardinality range from a closed form over the register histogram — no
+// empirical bias tables, no hard switchover between linear counting and the
+// raw estimate — and deterministic, which is what lets tests pin estimates
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/support/hash.h"
+
+namespace wb {
+
+class HyperLogLog {
+ public:
+  /// Supported precision range. 2^p registers of one byte each: p = 4 is
+  /// 16 bytes (±26% error), p = 18 is 256 KiB (±0.2%).
+  static constexpr int kMinPrecision = 4;
+  static constexpr int kMaxPrecision = 18;
+
+  /// All-zero sketch (cardinality 0) with 2^precision registers. Throws
+  /// wb::DataError when precision is outside [kMinPrecision, kMaxPrecision]
+  /// — the precision often arrives from CLI specs and shard files.
+  explicit HyperLogLog(int precision);
+
+  /// Route `key` to register (top p bits of key.hi) and keep the maximum
+  /// rho = 1 + leading-zero-count of the remaining bits. Idempotent;
+  /// insertion order never matters.
+  void add(const Hash128& key);
+
+  /// Register-wise max. After merging, the sketch equals the one a single
+  /// pass over the union of both key sets would have produced — the
+  /// order-oblivious merge the shard layer relies on. Throws wb::DataError
+  /// on a precision mismatch.
+  void merge(const HyperLogLog& other);
+
+  /// Cardinality estimate (Ertl's improved raw estimator), rounded to the
+  /// nearest integer. Deterministic for a given register state.
+  [[nodiscard]] std::uint64_t estimate() const;
+
+  [[nodiscard]] int precision() const noexcept { return precision_; }
+  [[nodiscard]] std::size_t register_count() const noexcept {
+    return registers_.size();
+  }
+  [[nodiscard]] std::span<const std::uint8_t> registers() const noexcept {
+    return registers_;
+  }
+
+  /// Rebuild a sketch from a serialized register block (shard results).
+  /// Throws wb::DataError when the block size is not 2^precision or a
+  /// register value exceeds the maximum rho (64 - precision + 1).
+  [[nodiscard]] static HyperLogLog from_registers(
+      int precision, std::span<const std::uint8_t> registers);
+
+  /// The sketch's relative standard error, 1.04/sqrt(2^p).
+  [[nodiscard]] static double relative_standard_error(int precision);
+
+  friend bool operator==(const HyperLogLog&, const HyperLogLog&) = default;
+
+ private:
+  int precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace wb

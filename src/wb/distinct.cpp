@@ -1,0 +1,103 @@
+#include "src/wb/distinct.h"
+
+#include <utility>
+
+#include "src/support/check.h"
+
+namespace wb {
+
+DistinctConfig parse_distinct_config(const std::string& text) {
+  if (text == "exact") return DistinctConfig::Exact();
+  constexpr const char* kHll = "hll";
+  if (text == kHll) return DistinctConfig::Hll();
+  const std::string prefix = std::string(kHll) + ":";
+  WB_REQUIRE_MSG(text.rfind(prefix, 0) == 0,
+                 "bad distinct config '" << text
+                                         << "' (want exact | hll | hll:P)");
+  const std::string digits = text.substr(prefix.size());
+  WB_REQUIRE_MSG(!digits.empty() &&
+                     digits.find_first_not_of("0123456789") == std::string::npos &&
+                     digits.size() <= 2,
+                 "bad hll precision '" << digits << "' in '" << text << "'");
+  const int precision = std::stoi(digits);
+  WB_REQUIRE_MSG(precision >= HyperLogLog::kMinPrecision &&
+                     precision <= HyperLogLog::kMaxPrecision,
+                 "hll precision " << precision << " outside ["
+                                  << HyperLogLog::kMinPrecision << ", "
+                                  << HyperLogLog::kMaxPrecision << "]");
+  return DistinctConfig::Hll(precision);
+}
+
+std::string to_string(const DistinctConfig& config) {
+  if (config.kind == DistinctKind::kExact) return "exact";
+  return "hll:" + std::to_string(config.hll_precision);
+}
+
+std::vector<Hash128> union_sorted_runs(std::vector<std::vector<Hash128>> runs) {
+  std::vector<Hash128> merged;
+  for (std::vector<Hash128>& run : runs) {
+    if (merged.empty()) {
+      merged = std::move(run);
+      continue;
+    }
+    if (run.empty()) continue;
+    std::vector<Hash128> next;
+    next.reserve(merged.size() + run.size());
+    std::set_union(merged.begin(), merged.end(), run.begin(), run.end(),
+                   std::back_inserter(next));
+    merged = std::move(next);
+  }
+  return merged;
+}
+
+ExactDistinctAccumulator ExactDistinctAccumulator::from_sorted(
+    std::vector<Hash128> sorted_run) {
+  ExactDistinctAccumulator acc;
+  acc.run_ = std::move(sorted_run);
+  return acc;
+}
+
+void ExactDistinctAccumulator::merge(DistinctAccumulator&& other) {
+  WB_CHECK_MSG(other.config().kind == DistinctKind::kExact,
+               "cannot merge a " << to_string(other.config())
+                                 << " accumulator into an exact one");
+  auto& exact = static_cast<ExactDistinctAccumulator&>(other);
+  std::vector<std::vector<Hash128>> runs;
+  runs.push_back(std::move(run_));
+  runs.push_back(exact.take_sorted());
+  run_ = union_sorted_runs(std::move(runs));
+}
+
+std::vector<Hash128> ExactDistinctAccumulator::take_sorted() {
+  (void)sorted_view();
+  return std::move(run_);
+}
+
+const std::vector<Hash128>& ExactDistinctAccumulator::sorted_view() {
+  std::vector<Hash128> pending = streaming_.take_sorted();
+  if (!pending.empty()) {
+    std::vector<std::vector<Hash128>> runs;
+    runs.push_back(std::move(run_));
+    runs.push_back(std::move(pending));
+    run_ = union_sorted_runs(std::move(runs));
+  }
+  return run_;
+}
+
+void HllDistinctAccumulator::merge(DistinctAccumulator&& other) {
+  WB_CHECK_MSG(other.config() == config(),
+               "cannot merge a " << to_string(other.config())
+                                 << " accumulator into a "
+                                 << to_string(config()) << " one");
+  sketch_.merge(static_cast<HllDistinctAccumulator&>(other).sketch_);
+}
+
+std::unique_ptr<DistinctAccumulator> make_distinct_accumulator(
+    const DistinctConfig& config) {
+  if (config.kind == DistinctKind::kExact) {
+    return std::make_unique<ExactDistinctAccumulator>();
+  }
+  return std::make_unique<HllDistinctAccumulator>(config.hll_precision);
+}
+
+}  // namespace wb

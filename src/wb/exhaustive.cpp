@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <iterator>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -267,41 +267,29 @@ bool all_executions_ok(
 
 std::uint64_t count_distinct_final_boards(const Graph& g, const Protocol& p,
                                           const ExhaustiveOptions& opts) {
-  // Word-wise 128-bit keys, deduplicated as the sweep streams: one
-  // accumulator per subtree task (exclusive to its worker, so no locking),
-  // merged afterwards by sorted-run union — identical counts at any thread
-  // count because set union is order-oblivious.
-  std::vector<StreamingDistinct> accumulators;
+  // Word-wise 128-bit keys through the configured accumulator: one per
+  // subtree task (exclusive to its worker, so no locking), folded afterwards
+  // by the accumulator's order-oblivious merge — identical counts at any
+  // thread count for exact (set union) and hll (register max) alike.
+  std::vector<std::unique_ptr<DistinctAccumulator>> accumulators;
   explore_all(
       g, p, opts,
-      [&](std::size_t task_count) { accumulators.resize(task_count); },
+      [&](std::size_t task_count) {
+        accumulators.reserve(task_count);
+        for (std::size_t t = 0; t < task_count; ++t) {
+          accumulators.push_back(make_distinct_accumulator(opts.distinct));
+        }
+      },
       [&](const ExecutionResult& r, std::size_t task) {
-        accumulators[task].add(r.board.content_hash());
+        accumulators[task]->insert(r.board.content_hash());
         return true;
       });
-  std::vector<std::vector<Hash128>> runs;
-  runs.reserve(accumulators.size());
-  for (StreamingDistinct& acc : accumulators) {
-    runs.push_back(acc.take_sorted());
+  if (accumulators.empty()) return 0;
+  std::unique_ptr<DistinctAccumulator> total = std::move(accumulators.front());
+  for (std::size_t t = 1; t < accumulators.size(); ++t) {
+    total->merge(std::move(*accumulators[t]));
   }
-  return static_cast<std::uint64_t>(union_sorted_runs(std::move(runs)).size());
-}
-
-std::vector<Hash128> union_sorted_runs(std::vector<std::vector<Hash128>> runs) {
-  std::vector<Hash128> merged;
-  for (std::vector<Hash128>& run : runs) {
-    if (merged.empty()) {
-      merged = std::move(run);
-      continue;
-    }
-    if (run.empty()) continue;
-    std::vector<Hash128> next;
-    next.reserve(merged.size() + run.size());
-    std::set_union(merged.begin(), merged.end(), run.begin(), run.end(),
-                   std::back_inserter(next));
-    merged = std::move(next);
-  }
-  return merged;
+  return total->estimate();
 }
 
 }  // namespace wb

@@ -30,16 +30,15 @@
 // benches.
 #pragma once
 
-#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <iterator>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/support/hash.h"
+#include "src/wb/distinct.h"
 #include "src/wb/engine.h"
 
 namespace wb {
@@ -55,6 +54,10 @@ struct ExhaustiveOptions {
   /// than 1 the visitor may be invoked concurrently from pool workers and
   /// must be thread-safe (the library's own aggregators below already are).
   std::size_t threads = 1;
+  /// Distinct-board accumulator for count_distinct_final_boards (and every
+  /// layer above it): exact sorted-run dedup, or a HyperLogLog sketch whose
+  /// memory is flat in the cardinality. See src/wb/distinct.h.
+  DistinctConfig distinct{};
   EngineOptions engine;
 };
 
@@ -148,61 +151,17 @@ std::uint64_t for_each_execution_under(
     const ExhaustiveOptions& opts = {});
 
 /// Count distinct final whiteboards over all executions (by content, keyed
-/// by a word-wise 128-bit hash — see src/support/hash.h).
-/// Streaming: keys are deduplicated into sorted runs as the sweep proceeds
-/// (per worker in parallel runs, merged by sorted-run union), so peak memory
-/// is O(distinct boards), not O(executions) — the count no longer buffers
-/// one 16-byte key per execution, which matters for sweeps past ~10^8
-/// executions. The result is bit-identical at any thread count.
+/// by a word-wise 128-bit hash — see src/support/hash.h), through the
+/// accumulator opts.distinct selects (src/wb/distinct.h): exact sorted-run
+/// dedup by default — peak memory O(distinct boards), not O(executions) —
+/// or a HyperLogLog estimate whose memory is flat in the cardinality, for
+/// sweeps past the exact mode's ~10^9-distinct memory wall. Either way one
+/// accumulator per subtree task is folded by an order-oblivious merge, so
+/// the result is bit-identical at any thread count.
 /// Diagnostic for order-oblivious protocols: a SIMASYNC whiteboard is a
 /// permutation of one fixed message multiset, so decoders must not depend on
 /// order; this reports how much the adversary can vary the board.
 [[nodiscard]] std::uint64_t count_distinct_final_boards(
     const Graph& g, const Protocol& p, const ExhaustiveOptions& opts = {});
-
-/// Streaming distinct-key accumulator: appends are buffered, and every
-/// kFlushLimit keys the buffer is folded into a sorted unique run via
-/// set-union. Peak memory is O(distinct + kFlushLimit) instead of the
-/// O(executions) a collect-then-sort pays. One accumulator per subtree task
-/// (exclusive to its worker, so no locking) is the idiom; the per-task runs
-/// merge order-obliviously with union_sorted_runs below.
-class StreamingDistinct {
- public:
-  void add(const Hash128& key) {
-    buffer_.push_back(key);
-    if (buffer_.size() >= kFlushLimit) flush();
-  }
-
-  /// Sorted unique keys seen so far; the accumulator is left empty.
-  [[nodiscard]] std::vector<Hash128> take_sorted() {
-    flush();
-    return std::move(run_);
-  }
-
- private:
-  static constexpr std::size_t kFlushLimit = std::size_t{1} << 16;  // 1 MiB
-
-  void flush() {
-    if (buffer_.empty()) return;
-    std::sort(buffer_.begin(), buffer_.end());
-    buffer_.erase(std::unique(buffer_.begin(), buffer_.end()), buffer_.end());
-    std::vector<Hash128> merged;
-    merged.reserve(run_.size() + buffer_.size());
-    std::set_union(run_.begin(), run_.end(), buffer_.begin(), buffer_.end(),
-                   std::back_inserter(merged));
-    run_ = std::move(merged);
-    buffer_.clear();
-  }
-
-  std::vector<Hash128> buffer_;
-  std::vector<Hash128> run_;  // sorted, unique
-};
-
-/// Union of sorted unique runs into one sorted unique run. Set union is
-/// order-oblivious, so the result — and every count derived from it — is
-/// identical for any ordering or grouping of the inputs; this is the merge
-/// step shared by the parallel distinct-board count and the shard layer.
-[[nodiscard]] std::vector<Hash128> union_sorted_runs(
-    std::vector<std::vector<Hash128>> runs);
 
 }  // namespace wb

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <charconv>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -115,13 +116,57 @@ std::uint64_t parse_hex16_field(const LineParser& lp, const std::string& field,
   return value;
 }
 
-void require_version_line(LineParser& lp, const std::string& magic) {
+Hash128 parse_hash_line(LineParser& lp, const std::string& keyword,
+                        const char* name) {
+  const auto fields = split_fields(lp.expect(keyword));
+  WB_REQUIRE_MSG(fields.size() == 2,
+                 lp.what() << " line " << lp.line_no() << ": expected '"
+                           << keyword << " <lo> <hi>'");
+  Hash128 h;
+  h.lo = parse_hex16_field(lp, fields[0], name);
+  h.hi = parse_hex16_field(lp, fields[1], name);
+  return h;
+}
+
+void append_hash_line(std::string& out, const std::string& keyword,
+                      const Hash128& h) {
+  out += keyword;
+  out.push_back(' ');
+  append_hex16(out, h.lo);
+  out.push_back(' ');
+  append_hex16(out, h.hi);
+  out.push_back('\n');
+}
+
+/// Version line: `<magic> v<version>`. Accepts min_version ..=
+/// kFormatVersion (min_version > 1 for formats that did not exist in v1)
+/// and returns the version read, so parsers can handle fields that arrived
+/// later.
+int require_version_line(LineParser& lp, const std::string& magic,
+                         int min_version) {
   const std::string version = lp.expect(magic);
-  std::string expected = "v";
-  expected += std::to_string(kFormatVersion);
-  WB_REQUIRE_MSG(version == expected,
-                 lp.what() << ": unsupported format version '" << version
-                           << "' (this build reads " << expected << ")");
+  int value = 0;
+  bool ok = version.size() == 2 && version[0] == 'v' &&
+            version[1] >= '0' && version[1] <= '9';
+  if (ok) {
+    value = version[1] - '0';
+    ok = value >= min_version && value <= kFormatVersion;
+  }
+  WB_REQUIRE_MSG(ok, lp.what() << ": unsupported format version '" << version
+                               << "' (this build reads v" << min_version
+                               << "..v" << kFormatVersion << ")");
+  return value;
+}
+
+DistinctConfig parse_distinct_field(const LineParser& lp,
+                                    const std::string& payload) {
+  try {
+    return parse_distinct_config(payload);
+  } catch (const DataError& e) {
+    WB_REQUIRE_MSG(false, lp.what() << " line " << lp.line_no() << ": "
+                                    << e.what());
+  }
+  return {};  // unreachable
 }
 
 /// Pack a byte string into the word-wise hasher (length-prefixed so
@@ -142,9 +187,11 @@ void hash_bytes(Hasher128& h, const std::string& bytes) {
 }
 
 /// Fingerprint of everything shards of one plan agree on — the instance,
-/// budget, engine options, shard count, and the *complete* partition. Two
-/// partitions of the same instance (e.g. different tasks_per_shard) hash
-/// differently, so their shards can never be merged into wrong totals.
+/// budget, engine options, distinct-accumulator config, shard count, and
+/// the *complete* partition. Two partitions of the same instance (e.g.
+/// different tasks_per_shard), or an exact and an hll plan of the same
+/// instance, hash differently, so their shards can never be merged into
+/// wrong (or silently mixed exact/approximate) totals.
 Hash128 fingerprint_plan(const std::string& protocol_spec, const Graph& g,
                          const PlanOptions& opts, std::size_t shard_count,
                          std::span<const PrefixTask> all_tasks) {
@@ -158,6 +205,10 @@ Hash128 fingerprint_plan(const std::string& protocol_spec, const Graph& g,
   h.update(opts.max_executions);
   h.update(opts.engine.max_rounds);
   h.update(opts.engine.record_trace ? 1 : 0);
+  h.update(static_cast<std::uint64_t>(opts.distinct.kind));
+  h.update(opts.distinct.kind == DistinctKind::kHll
+               ? static_cast<std::uint64_t>(opts.distinct.hll_precision)
+               : 0);
   h.update(shard_count);
   h.update(all_tasks.size());
   for (const PrefixTask& t : all_tasks) {
@@ -177,7 +228,75 @@ std::size_t clamped_reserve(std::uint64_t declared, const std::string& text) {
       std::min<std::uint64_t>(declared, text.size()));
 }
 
+/// Register block of an hll result: 2^p bytes, hex-encoded 64 bytes per
+/// `reg` line (so a p = 14 sketch is 256 lines of 128 hex digits).
+constexpr std::size_t kRegistersPerLine = 64;
+
+void append_register_block(std::string& out,
+                           std::span<const std::uint8_t> registers) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  out += "registers " + std::to_string(registers.size()) + "\n";
+  for (std::size_t start = 0; start < registers.size();
+       start += kRegistersPerLine) {
+    const std::size_t count =
+        std::min(kRegistersPerLine, registers.size() - start);
+    out += "reg ";
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint8_t byte = registers[start + i];
+      out.push_back(kDigits[byte >> 4]);
+      out.push_back(kDigits[byte & 0xF]);
+    }
+    out.push_back('\n');
+  }
+}
+
+HyperLogLog parse_register_block(LineParser& lp, int precision) {
+  const std::uint64_t declared =
+      parse_u64_field(lp, lp.expect("registers"), "register count");
+  const std::size_t expected = std::size_t{1} << precision;
+  WB_REQUIRE_MSG(declared == expected,
+                 lp.what() << " line " << lp.line_no() << ": " << declared
+                           << " registers, but precision " << precision
+                           << " has " << expected);
+  std::vector<std::uint8_t> registers;
+  registers.reserve(expected);
+  while (registers.size() < expected) {
+    const std::size_t count =
+        std::min(kRegistersPerLine, expected - registers.size());
+    const std::string payload = lp.expect("reg");
+    WB_REQUIRE_MSG(payload.size() == 2 * count,
+                   lp.what() << " line " << lp.line_no()
+                             << ": register line of " << payload.size()
+                             << " hex digits, expected " << 2 * count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto nibble = [&](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        WB_REQUIRE_MSG(false, lp.what() << " line " << lp.line_no()
+                                        << ": bad hex digit '" << c
+                                        << "' in register line");
+        return 0;  // unreachable
+      };
+      registers.push_back(static_cast<std::uint8_t>(
+          (nibble(payload[2 * i]) << 4) | nibble(payload[2 * i + 1])));
+    }
+  }
+  try {
+    return HyperLogLog::from_registers(precision, registers);
+  } catch (const DataError& e) {
+    WB_REQUIRE_MSG(false, lp.what() << " line " << lp.line_no() << ": "
+                                    << e.what());
+  }
+  return HyperLogLog(precision);  // unreachable
+}
+
 }  // namespace
+
+Hash128 hash_document(const std::string& text) {
+  Hasher128 h;
+  hash_bytes(h, text);
+  return h.digest();
+}
 
 std::vector<ShardSpec> plan_shards(const Graph& g, const Protocol& p,
                                    const std::string& protocol_spec,
@@ -196,6 +315,7 @@ std::vector<ShardSpec> plan_shards(const Graph& g, const Protocol& p,
     specs[k].graph = g;
     specs[k].max_executions = opts.max_executions;
     specs[k].engine = opts.engine;
+    specs[k].distinct = opts.distinct;
     specs[k].plan = plan;
     specs[k].shard_index = static_cast<std::uint32_t>(k);
     specs[k].shard_count = static_cast<std::uint32_t>(shard_count);
@@ -204,6 +324,30 @@ std::vector<ShardSpec> plan_shards(const Graph& g, const Protocol& p,
     specs[t % shard_count].prefixes.push_back(tasks[t]);
   }
   return specs;
+}
+
+ShardManifest make_manifest(std::span<const ShardSpec> specs) {
+  WB_REQUIRE_MSG(!specs.empty(), "no shard specs to index");
+  const ShardSpec& first = specs.front();
+  WB_REQUIRE_MSG(specs.size() == first.shard_count,
+                 "manifest needs the complete plan: got " << specs.size()
+                                                          << " specs of "
+                                                          << first.shard_count);
+  ShardManifest manifest;
+  manifest.plan = first.plan;
+  manifest.shard_count = first.shard_count;
+  manifest.max_executions = first.max_executions;
+  manifest.distinct = first.distinct;
+  manifest.spec_hashes.reserve(specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    WB_REQUIRE_MSG(specs[k].plan == first.plan,
+                   "spec " << k << " belongs to a different plan");
+    WB_REQUIRE_MSG(specs[k].shard_index == k,
+                   "manifest needs specs in shard order: index "
+                       << specs[k].shard_index << " at position " << k);
+    manifest.spec_hashes.push_back(hash_document(serialize(specs[k])));
+  }
+  return manifest;
 }
 
 std::string serialize(const ShardSpec& spec) {
@@ -218,11 +362,10 @@ std::string serialize(const ShardSpec& spec) {
   os << "max-executions " << spec.max_executions << "\n";
   os << "engine " << spec.engine.max_rounds << " "
      << (spec.engine.record_trace ? 1 : 0) << "\n";
-  std::string plan_line = "plan ";
-  append_hex16(plan_line, spec.plan.lo);
-  plan_line.push_back(' ');
-  append_hex16(plan_line, spec.plan.hi);
-  os << plan_line << "\n";
+  os << "distinct " << to_string(spec.distinct) << "\n";
+  std::string plan_line;
+  append_hash_line(plan_line, "plan", spec.plan);
+  os << plan_line;
   os << "shard " << spec.shard_index << " " << spec.shard_count << "\n";
   os << "prefixes " << spec.prefixes.size() << "\n";
   for (const PrefixTask& t : spec.prefixes) {
@@ -236,7 +379,7 @@ std::string serialize(const ShardSpec& spec) {
 
 ShardSpec parse_shard_spec(const std::string& text) {
   LineParser lp(text, "shard spec");
-  require_version_line(lp, "wbshard-spec");
+  const int version = require_version_line(lp, "wbshard-spec", 1);
   ShardSpec spec;
 
   spec.protocol_spec = lp.expect("protocol");
@@ -282,12 +425,12 @@ ShardSpec parse_shard_spec(const std::string& text) {
                                  << ": record-trace must be 0 or 1");
   spec.engine.record_trace = trace == 1;
 
-  const auto plan_fields = split_fields(lp.expect("plan"));
-  WB_REQUIRE_MSG(plan_fields.size() == 2,
-                 "shard spec line " << lp.line_no()
-                                    << ": expected 'plan <lo> <hi>'");
-  spec.plan.lo = parse_hex16_field(lp, plan_fields[0], "plan hash");
-  spec.plan.hi = parse_hex16_field(lp, plan_fields[1], "plan hash");
+  // v1 predates the pluggable distinct accumulator; those sweeps were exact.
+  spec.distinct = version >= 2
+                      ? parse_distinct_field(lp, lp.expect("distinct"))
+                      : DistinctConfig::Exact();
+
+  spec.plan = parse_hash_line(lp, "plan", "plan hash");
 
   const auto shard_fields = split_fields(lp.expect("shard"));
   WB_REQUIRE_MSG(shard_fields.size() == 2,
@@ -336,11 +479,7 @@ ShardSpec parse_shard_spec(const std::string& text) {
 
 std::string serialize(const ShardResult& result) {
   std::string out = "wbshard-result v" + std::to_string(kFormatVersion) + "\n";
-  out += "plan ";
-  append_hex16(out, result.plan.lo);
-  out.push_back(' ');
-  append_hex16(out, result.plan.hi);
-  out.push_back('\n');
+  append_hash_line(out, "plan", result.plan);
   out += "shard " + std::to_string(result.shard_index) + " " +
          std::to_string(result.shard_count) + "\n";
   out += "max-executions " + std::to_string(result.max_executions) + "\n";
@@ -349,13 +488,18 @@ std::string serialize(const ShardResult& result) {
   out += "wrong-outputs " + std::to_string(result.wrong_outputs) + "\n";
   out += std::string("budget-exceeded ") +
          (result.budget_exceeded ? "1" : "0") + "\n";
-  out += "distinct " + std::to_string(result.board_hashes.size()) + "\n";
-  for (const Hash128& h : result.board_hashes) {
-    out += "hash ";
-    append_hex16(out, h.lo);
-    out.push_back(' ');
-    append_hex16(out, h.hi);
-    out.push_back('\n');
+  out += "distinct-kind " + to_string(result.distinct) + "\n";
+  if (result.distinct.kind == DistinctKind::kExact) {
+    out += "distinct " + std::to_string(result.board_hashes.size()) + "\n";
+    for (const Hash128& h : result.board_hashes) {
+      append_hash_line(out, "hash", h);
+    }
+  } else {
+    // A cleared (budget-exceeded) hll result serializes an all-zero sketch,
+    // so the document stays deterministic and self-contained.
+    const HyperLogLog empty{result.distinct.hll_precision};
+    const HyperLogLog& sketch = result.hll.has_value() ? *result.hll : empty;
+    append_register_block(out, sketch.registers());
   }
   out += "end\n";
   return out;
@@ -363,15 +507,10 @@ std::string serialize(const ShardResult& result) {
 
 ShardResult parse_shard_result(const std::string& text) {
   LineParser lp(text, "shard result");
-  require_version_line(lp, "wbshard-result");
+  const int version = require_version_line(lp, "wbshard-result", 1);
   ShardResult result;
 
-  const auto plan_fields = split_fields(lp.expect("plan"));
-  WB_REQUIRE_MSG(plan_fields.size() == 2,
-                 "shard result line " << lp.line_no()
-                                      << ": expected 'plan <lo> <hi>'");
-  result.plan.lo = parse_hex16_field(lp, plan_fields[0], "plan hash");
-  result.plan.hi = parse_hex16_field(lp, plan_fields[1], "plan hash");
+  result.plan = parse_hash_line(lp, "plan", "plan hash");
 
   const auto shard_fields = split_fields(lp.expect("shard"));
   WB_REQUIRE_MSG(shard_fields.size() == 2,
@@ -402,25 +541,64 @@ ShardResult parse_shard_result(const std::string& text) {
                                     << ": budget-exceeded must be 0 or 1");
   result.budget_exceeded = exceeded == 1;
 
-  const std::uint64_t distinct =
-      parse_u64_field(lp, lp.expect("distinct"), "distinct count");
-  result.board_hashes.reserve(clamped_reserve(distinct, text));
-  for (std::uint64_t i = 0; i < distinct; ++i) {
-    const auto hf = split_fields(lp.expect("hash"));
-    WB_REQUIRE_MSG(hf.size() == 2, "shard result line "
-                                       << lp.line_no()
-                                       << ": expected 'hash <lo> <hi>'");
-    Hash128 h;
-    h.lo = parse_hex16_field(lp, hf[0], "board hash");
-    h.hi = parse_hex16_field(lp, hf[1], "board hash");
-    WB_REQUIRE_MSG(result.board_hashes.empty() || result.board_hashes.back() < h,
-                   "shard result line "
-                       << lp.line_no()
-                       << ": board hashes must be strictly increasing");
-    result.board_hashes.push_back(h);
+  // v1 predates the pluggable distinct accumulator; those results are exact.
+  result.distinct = version >= 2
+                        ? parse_distinct_field(lp, lp.expect("distinct-kind"))
+                        : DistinctConfig::Exact();
+
+  if (result.distinct.kind == DistinctKind::kExact) {
+    const std::uint64_t distinct =
+        parse_u64_field(lp, lp.expect("distinct"), "distinct count");
+    result.board_hashes.reserve(clamped_reserve(distinct, text));
+    for (std::uint64_t i = 0; i < distinct; ++i) {
+      const Hash128 h = parse_hash_line(lp, "hash", "board hash");
+      WB_REQUIRE_MSG(
+          result.board_hashes.empty() || result.board_hashes.back() < h,
+          "shard result line " << lp.line_no()
+                               << ": board hashes must be strictly increasing");
+      result.board_hashes.push_back(h);
+    }
+  } else {
+    result.hll = parse_register_block(lp, result.distinct.hll_precision);
   }
   lp.expect_end();
   return result;
+}
+
+std::string serialize(const ShardManifest& manifest) {
+  std::string out =
+      "wbshard-manifest v" + std::to_string(kFormatVersion) + "\n";
+  append_hash_line(out, "plan", manifest.plan);
+  out += "shards " + std::to_string(manifest.shard_count) + "\n";
+  out += "max-executions " + std::to_string(manifest.max_executions) + "\n";
+  out += "distinct " + to_string(manifest.distinct) + "\n";
+  for (const Hash128& h : manifest.spec_hashes) {
+    append_hash_line(out, "spec", h);
+  }
+  out += "end\n";
+  return out;
+}
+
+ShardManifest parse_shard_manifest(const std::string& text) {
+  LineParser lp(text, "shard manifest");
+  (void)require_version_line(lp, "wbshard-manifest", 2);
+  ShardManifest manifest;
+  manifest.plan = parse_hash_line(lp, "plan", "plan hash");
+  manifest.shard_count = static_cast<std::uint32_t>(
+      parse_u64_field(lp, lp.expect("shards"), "shard count"));
+  WB_REQUIRE_MSG(manifest.shard_count >= 1,
+                 "shard manifest line " << lp.line_no()
+                                        << ": shard count must be at least 1");
+  manifest.max_executions =
+      parse_u64_field(lp, lp.expect("max-executions"), "max-executions");
+  manifest.distinct = parse_distinct_field(lp, lp.expect("distinct"));
+  manifest.spec_hashes.reserve(
+      clamped_reserve(manifest.shard_count, text));
+  for (std::uint32_t k = 0; k < manifest.shard_count; ++k) {
+    manifest.spec_hashes.push_back(parse_hash_line(lp, "spec", "spec hash"));
+  }
+  lp.expect_end();
+  return manifest;
 }
 
 ShardResult run_shard(const ShardSpec& spec, const Protocol& p,
@@ -431,20 +609,31 @@ ShardResult run_shard(const ShardSpec& spec, const Protocol& p,
   out.shard_index = spec.shard_index;
   out.shard_count = spec.shard_count;
   out.max_executions = spec.max_executions;
+  out.distinct = spec.distinct;
 
   ExhaustiveOptions opts;
   opts.max_executions = spec.max_executions;
   opts.threads = threads;
+  opts.distinct = spec.distinct;
   opts.engine = spec.engine;
 
   std::atomic<std::uint64_t> engine_failures{0};
   std::atomic<std::uint64_t> wrong_outputs{0};
-  std::vector<StreamingDistinct> accumulators(spec.prefixes.size());
+  std::vector<std::unique_ptr<DistinctAccumulator>> accumulators;
+  accumulators.reserve(spec.prefixes.size());
+  for (std::size_t t = 0; t < spec.prefixes.size(); ++t) {
+    accumulators.push_back(make_distinct_accumulator(spec.distinct));
+  }
+  const auto cleared_payload = [&] {
+    if (spec.distinct.kind == DistinctKind::kHll) {
+      out.hll = HyperLogLog(spec.distinct.hll_precision);
+    }
+  };
   try {
     out.executions = for_each_execution_under(
         spec.graph, p, spec.prefixes,
         [&](const ExecutionResult& r, std::size_t task) {
-          accumulators[task].add(r.board.content_hash());
+          accumulators[task]->insert(r.board.content_hash());
           if (!r.ok()) {
             engine_failures.fetch_add(1, std::memory_order_relaxed);
             return true;
@@ -462,16 +651,25 @@ ShardResult run_shard(const ShardSpec& spec, const Protocol& p,
     // flag back into the oracle's BudgetExceededError.
     out.budget_exceeded = true;
     out.executions = spec.max_executions;
+    cleared_payload();
     return out;
   }
   out.engine_failures = engine_failures.load(std::memory_order_relaxed);
   out.wrong_outputs = wrong_outputs.load(std::memory_order_relaxed);
-  std::vector<std::vector<Hash128>> runs;
-  runs.reserve(accumulators.size());
-  for (StreamingDistinct& acc : accumulators) {
-    runs.push_back(acc.take_sorted());
+  if (accumulators.empty()) {
+    cleared_payload();
+    return out;
   }
-  out.board_hashes = union_sorted_runs(std::move(runs));
+  std::unique_ptr<DistinctAccumulator> total = std::move(accumulators.front());
+  for (std::size_t t = 1; t < accumulators.size(); ++t) {
+    total->merge(std::move(*accumulators[t]));
+  }
+  if (spec.distinct.kind == DistinctKind::kExact) {
+    out.board_hashes =
+        static_cast<ExactDistinctAccumulator&>(*total).take_sorted();
+  } else {
+    out.hll = static_cast<HllDistinctAccumulator&>(*total).take_sketch();
+  }
   return out;
 }
 
@@ -480,11 +678,20 @@ MergedResult merge_shard_results(std::span<const ShardResult> results) {
   const ShardResult& first = results.front();
   MergedResult merged;
   merged.shard_count = first.shard_count;
+  merged.distinct = first.distinct;
   std::vector<bool> seen(first.shard_count, false);
   std::vector<std::vector<Hash128>> runs;
   runs.reserve(results.size());
+  std::optional<HyperLogLog> sketch;
   bool exceeded = false;
   for (const ShardResult& r : results) {
+    WB_REQUIRE_MSG(r.distinct == first.distinct,
+                   "shard " << r.shard_index
+                            << " counts distinct boards with "
+                            << to_string(r.distinct) << ", expected "
+                            << to_string(first.distinct)
+                            << " — refusing to merge exact and approximate "
+                               "artifacts");
     WB_REQUIRE_MSG(r.plan == first.plan,
                    "shard " << r.shard_index
                             << " belongs to a different plan (fingerprint "
@@ -501,7 +708,19 @@ MergedResult merge_shard_results(std::span<const ShardResult> results) {
     merged.engine_failures += r.engine_failures;
     merged.wrong_outputs += r.wrong_outputs;
     exceeded = exceeded || r.budget_exceeded;
-    runs.push_back(r.board_hashes);
+    if (first.distinct.kind == DistinctKind::kExact) {
+      runs.push_back(r.board_hashes);
+    } else {
+      WB_REQUIRE_MSG(r.hll.has_value(),
+                     "shard " << r.shard_index
+                              << " declares an hll distinct payload but "
+                                 "carries no register block");
+      if (sketch.has_value()) {
+        sketch->merge(*r.hll);
+      } else {
+        sketch = *r.hll;
+      }
+    }
   }
   for (std::uint32_t k = 0; k < first.shard_count; ++k) {
     WB_REQUIRE_MSG(seen[k], "missing result for shard " << k << " of "
@@ -510,8 +729,12 @@ MergedResult merge_shard_results(std::span<const ShardResult> results) {
   if (exceeded || merged.executions > first.max_executions) {
     throw BudgetExceededError(first.max_executions);
   }
-  merged.distinct_boards =
-      static_cast<std::uint64_t>(union_sorted_runs(std::move(runs)).size());
+  if (first.distinct.kind == DistinctKind::kExact) {
+    merged.distinct_boards =
+        static_cast<std::uint64_t>(union_sorted_runs(std::move(runs)).size());
+  } else {
+    merged.distinct_boards = sketch.has_value() ? sketch->estimate() : 0;
+  }
   return merged;
 }
 

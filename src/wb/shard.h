@@ -3,58 +3,74 @@
 // The PR 3 subtree-prefix partition (src/wb/exhaustive.h) is shard-friendly:
 // the top of the schedule tree is split into PrefixTask subtrees whose
 // leaves tile the full execution set exactly once, and every aggregate the
-// sweep produces (visit count, failure tallies, distinct-board hash runs)
+// sweep produces (visit count, failure tallies, distinct-board accumulators)
 // merges order-obliviously. This layer serializes that partition so the
 // subtrees can be swept by different *processes* — on one machine or a
 // fleet — and merged back into totals bit-identical to the single-process
 // `threads=1` oracle:
 //
 //   plan:  partition_executions → K ShardSpec files (round-robin tasks)
+//          + one ShardManifest (plan fingerprint + per-spec document hashes,
+//          so a fleet controller can track completion and re-issue lost
+//          shards)
 //   run:   one ShardSpec → a ShardResult file (per-process, ThreadPool
 //          parallel inside)
 //   merge: K ShardResult files → MergedResult == the serial sweep's totals
 //
-// File formats are versioned, self-describing text ("wbshard-spec v1" /
-// "wbshard-result v1"); parsers reject malformed, truncated, or
-// version-skewed input with a wb::DataError diagnostic, never undefined
-// behavior, and serialize→parse→serialize is byte-identical
-// (tests/wb/shard_test.cpp pins golden files under tests/wb/data/).
+// File formats are versioned, self-describing text ("wbshard-spec v2" /
+// "wbshard-result v2" / "wbshard-manifest v2"); parsers also read the v1
+// spec/result formats (which had no distinct-accumulator field — they parse
+// as exact). Parsers reject malformed, truncated, or version-skewed input
+// with a wb::DataError diagnostic, never undefined behavior, and
+// serialize→parse→serialize is byte-identical (tests/wb/shard_test.cpp pins
+// golden files under tests/wb/data/).
 //
 // Determinism contract (the reason merge order and shard→host assignment
 // never matter):
 //  - the prefix list is recorded in the specs, so equivalence never depends
 //    on re-running the partition;
-//  - counts are sums over disjoint subtree sets; distinct boards are a set
-//    union of sorted runs — both order-oblivious;
+//  - counts are sums over disjoint subtree sets; distinct boards go through
+//    a DistinctAccumulator (src/wb/distinct.h) whose merge — sorted-run set
+//    union for exact, register-wise max for hll — is order-oblivious, so
+//    the merged count (or estimate) is bit-identical for any grouping;
 //  - the execution budget is global: a shard whose own sweep exceeds
 //    max_executions records `budget_exceeded` (deterministically — its
 //    tallies are cleared), and the merge throws BudgetExceededError exactly
 //    when the combined count exceeds the budget, i.e. exactly when the
 //    serial oracle would have thrown;
 //  - results carry a fingerprint of (protocol, graph, budget, engine
-//    options, shard count, full partition), so merging results from
-//    different plans — including two different partitions of the same
-//    instance — is rejected loudly.
+//    options, distinct-accumulator config, shard count, full partition), so
+//    merging results from different plans — including two different
+//    partitions of the same instance, or an exact and an hll plan of the
+//    same instance — is rejected loudly; the merge additionally checks the
+//    accumulator kind field itself, so even hand-edited artifacts cannot
+//    mix an estimate into an exact count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/graph/graph.h"
 #include "src/support/hash.h"
+#include "src/support/hll.h"
+#include "src/wb/distinct.h"
 #include "src/wb/exhaustive.h"
 
 namespace wb::shard {
 
-/// Bumped on any change to either text format below.
-inline constexpr int kFormatVersion = 1;
+/// Bumped on any change to the text formats below. v2 added the distinct
+/// accumulator field (spec + result), the hll register block, and the
+/// manifest format; v1 spec/result files still parse (as exact).
+inline constexpr int kFormatVersion = 2;
 
 /// One shard of a planned exhaustive sweep: the instance (graph + opaque
-/// protocol spec string + budget + engine options), which shard of how many
-/// this is, and the exact subtree prefixes this shard must sweep.
+/// protocol spec string + budget + engine options + distinct-accumulator
+/// config), which shard of how many this is, and the exact subtree prefixes
+/// this shard must sweep.
 struct ShardSpec {
   /// Protocol factory string (src/cli/spec.h grammar). Opaque at this layer:
   /// carried, serialized, and fingerprinted, never parsed here.
@@ -64,12 +80,14 @@ struct ShardSpec {
   /// Engine configuration the sweep must run under (serialized, so a worker
   /// process reproduces the oracle's engine behavior exactly).
   EngineOptions engine{};
-  /// Fingerprint of the whole plan — instance, budget, engine options, shard
-  /// count, and the *complete* partition across all shards (not just this
-  /// shard's slice). Stamped by plan_shards; results carry it forward, and
-  /// merge refuses to combine results whose fingerprints differ, so shards
-  /// of two different partitions of the same instance can never be mixed
-  /// into silently wrong totals.
+  /// Distinct-board accumulator every shard of this plan must use.
+  DistinctConfig distinct{};
+  /// Fingerprint of the whole plan — instance, budget, engine options,
+  /// distinct config, shard count, and the *complete* partition across all
+  /// shards (not just this shard's slice). Stamped by plan_shards; results
+  /// carry it forward, and merge refuses to combine results whose
+  /// fingerprints differ, so shards of two different partitions of the same
+  /// instance can never be mixed into silently wrong totals.
   Hash128 plan{};
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
@@ -77,8 +95,10 @@ struct ShardSpec {
 };
 
 /// What one shard's sweep produced. All fields are bit-identical for any
-/// worker thread count; `board_hashes` is sorted and unique, ready for
-/// order-oblivious set union at merge time.
+/// worker thread count. Exactly one distinct-board payload is populated,
+/// matching `distinct.kind`: `board_hashes` (sorted and unique, ready for
+/// order-oblivious set union) in exact mode, `hll` (register-wise
+/// max-mergeable sketch) in hll mode.
 struct ShardResult {
   /// The spec's plan fingerprint, copied forward; merge refuses to combine
   /// results with different plans.
@@ -89,22 +109,28 @@ struct ShardResult {
   std::uint64_t executions = 0;
   std::uint64_t engine_failures = 0;
   std::uint64_t wrong_outputs = 0;
-  /// This shard alone exceeded the global budget. Its tallies and hashes are
-  /// cleared (executions = max_executions), so the result file is
-  /// deterministic; merge_shard_results turns the flag into the same
+  /// This shard alone exceeded the global budget. Its tallies and distinct
+  /// payload are cleared (executions = max_executions), so the result file
+  /// is deterministic; merge_shard_results turns the flag into the same
   /// BudgetExceededError the serial oracle throws.
   bool budget_exceeded = false;
-  std::vector<Hash128> board_hashes;  // sorted, unique
+  /// Which accumulator produced the distinct payload (copied from the spec;
+  /// merge refuses kind mismatches even before the fingerprint check).
+  DistinctConfig distinct{};
+  std::vector<Hash128> board_hashes;  // exact mode: sorted, unique
+  std::optional<HyperLogLog> hll;     // hll mode: the shard's sketch
 };
 
 /// The merged totals of a complete result set — field-for-field what the
-/// single-process exhaustive sweep reports.
+/// single-process exhaustive sweep reports. `distinct_boards` is exact or a
+/// HyperLogLog estimate according to `distinct` (the plan's config).
 struct MergedResult {
   std::uint32_t shard_count = 0;
   std::uint64_t executions = 0;
   std::uint64_t engine_failures = 0;
   std::uint64_t wrong_outputs = 0;
   std::uint64_t distinct_boards = 0;
+  DistinctConfig distinct{};
 };
 
 struct PlanOptions {
@@ -114,6 +140,9 @@ struct PlanOptions {
   /// prefixes are recorded verbatim in the specs — merge equivalence never
   /// depends on reproducing the partition.
   std::size_t tasks_per_shard = 4;
+  /// Distinct-board accumulator for the whole plan (fingerprinted, so
+  /// exact and hll artifacts of one instance can never cross-merge).
+  DistinctConfig distinct{};
   EngineOptions engine;
 };
 
@@ -128,15 +157,41 @@ struct PlanOptions {
                                                  std::size_t shard_count,
                                                  const PlanOptions& opts = {});
 
+/// Completion-tracking companion of a plan: the plan fingerprint, the shard
+/// count, the distinct config, and the content hash of every spec document,
+/// in shard order. A fleet controller holding only the manifest can tell
+/// which shard results are present, missing, or foreign (wbsim
+/// shard-status), and re-issue a lost shard's spec on another host.
+struct ShardManifest {
+  Hash128 plan{};
+  std::uint32_t shard_count = 1;
+  std::uint64_t max_executions = 0;
+  DistinctConfig distinct{};
+  std::vector<Hash128> spec_hashes;  // hash_document of each serialized spec
+};
+
+/// Content hash of a serialized document (what the manifest records per
+/// spec file — re-hash a file to verify it is the planned one).
+[[nodiscard]] Hash128 hash_document(const std::string& text);
+
+/// Build the manifest of a complete plan (the full, ordered spec list that
+/// plan_shards returned). Throws wb::DataError when the list is not exactly
+/// one spec per shard of one plan, in index order.
+[[nodiscard]] ShardManifest make_manifest(std::span<const ShardSpec> specs);
+
 /// Canonical text forms. serialize(parse_*(text)) == text for any text the
 /// serializers produced (golden-pinned).
 [[nodiscard]] std::string serialize(const ShardSpec& spec);
 [[nodiscard]] std::string serialize(const ShardResult& result);
+[[nodiscard]] std::string serialize(const ShardManifest& manifest);
 
 /// Parsers throw wb::DataError with a line-numbered diagnostic on malformed,
-/// truncated, or version-skewed input.
+/// truncated, or version-skewed input. Spec and result parsers read v1 and
+/// v2 documents (v1 has no distinct field and parses as exact); manifests
+/// exist only since v2.
 [[nodiscard]] ShardSpec parse_shard_spec(const std::string& text);
 [[nodiscard]] ShardResult parse_shard_result(const std::string& text);
+[[nodiscard]] ShardManifest parse_shard_manifest(const std::string& text);
 
 /// Sweep one shard: every execution under spec.prefixes, run with
 /// spec.engine, fanned out over the shared ThreadPool (`threads` as in
@@ -154,9 +209,11 @@ struct PlanOptions {
 
 /// Merge a complete result set (any order) into the sweep's totals.
 /// Throws wb::DataError when the set is not exactly one result per shard of
-/// one plan, and BudgetExceededError when the combined execution count
-/// exceeds the recorded budget — the same observable behavior as the serial
-/// oracle at any shard count and any assignment of shards to hosts.
+/// one plan — including when results disagree on the distinct-accumulator
+/// kind (an exact count and an hll estimate must never be combined) — and
+/// BudgetExceededError when the combined execution count exceeds the
+/// recorded budget — the same observable behavior as the serial oracle at
+/// any shard count and any assignment of shards to hosts.
 [[nodiscard]] MergedResult merge_shard_results(
     std::span<const ShardResult> results);
 

@@ -134,6 +134,58 @@ TEST(Runners, ShardedSweepReproducesTheExhaustiveReportLines) {
       << "serial:\n" << serial.summary << "merged lines:\n" << lines;
 }
 
+TEST(Runners, HllExhaustiveReportMarksTheEstimateAndStaysDeterministic) {
+  const Graph g = graph_from_spec("twocliques:3");  // 6 nodes, 720 schedules
+  ExhaustiveRunOptions opts;
+  opts.threads = 1;
+  opts.distinct = DistinctConfig::Hll(14);
+  const RunReport serial = run_protocol_spec_exhaustive("two-cliques", g, opts);
+  EXPECT_TRUE(serial.correct) << serial.summary;
+  EXPECT_NE(serial.summary.find("720 executions, ~"), std::string::npos)
+      << serial.summary;
+  EXPECT_NE(serial.summary.find("distinct final boards (hll:14)"),
+            std::string::npos)
+      << serial.summary;
+  // The estimate line is bit-identical at any thread count.
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    opts.threads = threads;
+    const RunReport par =
+        run_protocol_spec_exhaustive("two-cliques", g, opts);
+    EXPECT_EQ(par.summary.substr(par.summary.find("schedules")),
+              serial.summary.substr(serial.summary.find("schedules")))
+        << "threads=" << threads;
+  }
+  // The exact report is untouched by the hll machinery: no tilde marker.
+  const RunReport exact = run_protocol_spec_exhaustive("two-cliques", g, 1);
+  EXPECT_EQ(exact.summary.find("~"), std::string::npos) << exact.summary;
+}
+
+TEST(Runners, HllShardedSweepReproducesTheExhaustiveReportLines) {
+  // Same contract as the exact version below, under distinct=hll:12: the
+  // merged report lines must match the in-process sweep byte-for-byte.
+  const Graph g = graph_from_spec("twocliques:3");
+  ExhaustiveRunOptions opts;
+  opts.threads = 1;
+  opts.distinct = DistinctConfig::Hll(12);
+  const RunReport serial = run_protocol_spec_exhaustive("two-cliques", g, opts);
+  shard::PlanOptions plan;
+  plan.distinct = DistinctConfig::Hll(12);
+  const auto specs = plan_protocol_spec_shards("two-cliques", g, 3, plan);
+  std::vector<shard::ShardResult> results;
+  for (const auto& spec : specs) {
+    const auto parsed = shard::parse_shard_spec(shard::serialize(spec));
+    results.push_back(shard::parse_shard_result(
+        shard::serialize(run_protocol_spec_shard(parsed, /*threads=*/2))));
+  }
+  const shard::MergedResult merged = shard::merge_shard_results(results);
+  EXPECT_EQ(merged.executions, 720u);
+  const std::string lines = exhaustive_summary_lines(
+      merged.executions, merged.engine_failures, merged.wrong_outputs,
+      merged.distinct_boards, merged.distinct);
+  EXPECT_NE(serial.summary.find(lines), std::string::npos)
+      << "serial:\n" << serial.summary << "merged lines:\n" << lines;
+}
+
 TEST(Runners, ShardedSweepCountsWrongOutputsLikeTheExhaustiveReport) {
   // The deliberately-broken fixture fails on a schedule-dependent subset;
   // sharded tallies must agree with the serial exhaustive report exactly.

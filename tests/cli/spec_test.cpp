@@ -60,6 +60,40 @@ TEST(ExhaustiveSpec, ParsesThreadsAndShardForms) {
   EXPECT_THROW((void)exhaustive_from_spec("battery"), DataError);
 }
 
+TEST(ExhaustiveSpec, ParsesTheTrailingDistinctOption) {
+  // distinct= is the final option of any exhaustive form (the hll config
+  // itself contains a colon, so it cannot sit in the middle).
+  ExhaustiveSpec spec = exhaustive_from_spec("exhaustive");
+  EXPECT_EQ(spec.distinct, DistinctConfig::Exact());
+
+  spec = exhaustive_from_spec("exhaustive:distinct=hll:14");
+  EXPECT_EQ(spec.threads, 0u);
+  EXPECT_EQ(spec.shards, 0u);
+  EXPECT_EQ(spec.distinct, DistinctConfig::Hll(14));
+
+  spec = exhaustive_from_spec("exhaustive:distinct=hll");
+  EXPECT_EQ(spec.distinct, DistinctConfig::Hll());
+
+  spec = exhaustive_from_spec("exhaustive:1:distinct=hll:8");
+  EXPECT_EQ(spec.threads, 1u);
+  EXPECT_EQ(spec.distinct, DistinctConfig::Hll(8));
+
+  spec = exhaustive_from_spec("exhaustive:shards=4:distinct=exact");
+  EXPECT_EQ(spec.shards, 4u);
+  EXPECT_EQ(spec.distinct, DistinctConfig::Exact());
+
+  spec = exhaustive_from_spec("exhaustive:shards=4:2:distinct=hll:12");
+  EXPECT_EQ(spec.shards, 4u);
+  EXPECT_EQ(spec.threads, 2u);
+  EXPECT_EQ(spec.distinct, DistinctConfig::Hll(12));
+
+  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:distinct=bogus"),
+               DataError);
+  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:distinct=hll:99"),
+               DataError);
+  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:distinct="), DataError);
+}
+
 TEST(GraphSpec, StructuredFamilies) {
   EXPECT_EQ(graph_from_spec("path:6"), path_graph(6));
   EXPECT_EQ(graph_from_spec("cycle:5"), cycle_graph(5));

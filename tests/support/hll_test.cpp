@@ -1,0 +1,190 @@
+// HyperLogLog sketch: error bounds against known cardinalities, the
+// order-oblivious merge contract the sharded explorer relies on, and
+// register-block validation (the shard result files round-trip raw
+// registers).
+#include "src/support/hll.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace wb {
+namespace {
+
+/// Deterministic pseudo-random 128-bit keys. mix64 is a bijection, so keys
+/// of distinct indices are distinct — the stream's true cardinality is
+/// exactly its length.
+Hash128 synthetic_key(std::uint64_t seed, std::uint64_t i) {
+  const std::uint64_t lo = mix64(seed ^ (i * 0x9e3779b97f4a7c15ULL));
+  return Hash128{lo, mix64(lo + 0xc4ceb9fe1a85ec53ULL)};
+}
+
+TEST(HyperLogLog, EmptySketchEstimatesZero) {
+  for (const int p : {4, 8, 14, 18}) {
+    HyperLogLog sketch(p);
+    EXPECT_EQ(sketch.estimate(), 0u) << "p=" << p;
+    EXPECT_EQ(sketch.register_count(), std::size_t{1} << p);
+  }
+}
+
+TEST(HyperLogLog, PrecisionOutsideSupportedRangeIsRejected) {
+  EXPECT_THROW(HyperLogLog(3), DataError);
+  EXPECT_THROW(HyperLogLog(19), DataError);
+  EXPECT_THROW(HyperLogLog(-1), DataError);
+  EXPECT_NO_THROW(HyperLogLog(HyperLogLog::kMinPrecision));
+  EXPECT_NO_THROW(HyperLogLog(HyperLogLog::kMaxPrecision));
+}
+
+TEST(HyperLogLog, InsertIsIdempotent) {
+  HyperLogLog once(12);
+  HyperLogLog thrice(12);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const Hash128 key = synthetic_key(7, i);
+    once.add(key);
+    thrice.add(key);
+    thrice.add(key);
+    thrice.add(key);
+  }
+  EXPECT_EQ(once, thrice);
+  EXPECT_EQ(once.estimate(), thrice.estimate());
+}
+
+TEST(HyperLogLog, SmallCardinalitiesAreNearExact) {
+  // The low range of Ertl's estimator behaves like linear counting: with
+  // far fewer keys than registers the estimate is essentially exact.
+  for (const int p : {12, 14}) {
+    for (const std::uint64_t n : {std::uint64_t{1}, std::uint64_t{10},
+                                  std::uint64_t{100}}) {
+      HyperLogLog sketch(p);
+      for (std::uint64_t i = 0; i < n; ++i) sketch.add(synthetic_key(3, i));
+      EXPECT_NEAR(static_cast<double>(sketch.estimate()),
+                  static_cast<double>(n),
+                  std::max(1.0, 0.02 * static_cast<double>(n)))
+          << "p=" << p << " n=" << n;
+    }
+  }
+}
+
+// The ISSUE 5 error-bound suite: across precisions {8, 12, 14} and
+// cardinalities up to 10^6, the estimate must sit within twice the sketch's
+// relative standard error 1.04/sqrt(2^p) of the exact count. The streams
+// are deterministic, so this pins concrete estimates, not a flaky
+// statistic. (A 2-sigma bound leaves ~5% of possible streams outside it by
+// design; the fixed seed below was checked to keep all twelve (p, n)
+// samples inside with margin, and the estimator's unbiasedness is what the
+// bound actually certifies.)
+TEST(HyperLogLog, ErrorBoundAcrossPrecisionsUpToAMillion) {
+  const std::uint64_t cardinalities[] = {1'000, 10'000, 100'000, 1'000'000};
+  for (const int p : {8, 12, 14}) {
+    const double bound = 2.0 * HyperLogLog::relative_standard_error(p);
+    for (const std::uint64_t n : cardinalities) {
+      HyperLogLog sketch(p);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        sketch.add(synthetic_key(0xBADC10004 + p, i));
+      }
+      const double estimate = static_cast<double>(sketch.estimate());
+      const double relative_error =
+          std::abs(estimate - static_cast<double>(n)) /
+          static_cast<double>(n);
+      EXPECT_LE(relative_error, bound)
+          << "p=" << p << " n=" << n << " estimate=" << estimate;
+    }
+  }
+}
+
+TEST(HyperLogLog, MergeEqualsSingleStreamForAnyGroupingAndOrder) {
+  // Split one 50k-key stream over 7 sub-sketches round-robin, merge them in
+  // shuffled order: registers (not just the estimate) must equal the
+  // single-pass sketch's — the contract that makes shard merges exact.
+  constexpr std::uint64_t kKeys = 50'000;
+  constexpr std::size_t kParts = 7;
+  HyperLogLog whole(14);
+  std::vector<HyperLogLog> parts(kParts, HyperLogLog(14));
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    const Hash128 key = synthetic_key(42, i);
+    whole.add(key);
+    parts[i % kParts].add(key);
+  }
+  std::vector<std::size_t> order(kParts);
+  for (std::size_t k = 0; k < kParts; ++k) order[k] = k;
+  std::mt19937 rng(0xFEED);
+  std::shuffle(order.begin(), order.end(), rng);
+  HyperLogLog merged(14);
+  for (const std::size_t k : order) merged.merge(parts[k]);
+  EXPECT_EQ(merged, whole);
+  EXPECT_EQ(merged.estimate(), whole.estimate());
+}
+
+TEST(HyperLogLog, InsertionOrderNeverChangesTheSketch) {
+  constexpr std::uint64_t kKeys = 10'000;
+  std::vector<Hash128> keys;
+  keys.reserve(kKeys);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    keys.push_back(synthetic_key(5, i));
+  }
+  HyperLogLog forward(10);
+  for (const Hash128& key : keys) forward.add(key);
+  std::mt19937 rng(0xC0DE);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  HyperLogLog shuffled(10);
+  for (const Hash128& key : keys) shuffled.add(key);
+  EXPECT_EQ(forward, shuffled);
+}
+
+TEST(HyperLogLog, MergeRejectsPrecisionMismatch) {
+  HyperLogLog a(12);
+  HyperLogLog b(14);
+  EXPECT_THROW(a.merge(b), DataError);
+}
+
+TEST(HyperLogLog, RegisterRoundTripRebuildsTheSketch) {
+  HyperLogLog sketch(8);
+  for (std::uint64_t i = 0; i < 5'000; ++i) sketch.add(synthetic_key(9, i));
+  const HyperLogLog rebuilt =
+      HyperLogLog::from_registers(8, sketch.registers());
+  EXPECT_EQ(rebuilt, sketch);
+  EXPECT_EQ(rebuilt.estimate(), sketch.estimate());
+}
+
+TEST(HyperLogLog, FromRegistersValidatesSizeAndValues) {
+  const std::vector<std::uint8_t> wrong_size(100, 0);
+  EXPECT_THROW((void)HyperLogLog::from_registers(8, wrong_size), DataError);
+  // Max rho at p = 8 is 64 - 8 + 1 = 57; 58 is impossible data.
+  std::vector<std::uint8_t> overflow(256, 0);
+  overflow[3] = 58;
+  EXPECT_THROW((void)HyperLogLog::from_registers(8, overflow), DataError);
+  overflow[3] = 57;
+  EXPECT_NO_THROW((void)HyperLogLog::from_registers(8, overflow));
+}
+
+TEST(HyperLogLog, SaturatedRegisterBlocksClampInsteadOfOverflowing) {
+  // No real key stream saturates a sketch, but a format-valid crafted
+  // register block can; the estimator must answer with a clamped maximum,
+  // never feed infinity to llround (UB).
+  const int p = 8;
+  const std::uint8_t max_rho = 64 - p + 1;
+  std::vector<std::uint8_t> saturated(std::size_t{1} << p, max_rho);
+  const HyperLogLog full = HyperLogLog::from_registers(p, saturated);
+  EXPECT_EQ(full.estimate(), std::numeric_limits<std::uint64_t>::max());
+  // One step below saturation: finite in double space but far past any
+  // countable cardinality — still clamped, still defined behavior.
+  std::vector<std::uint8_t> near(std::size_t{1} << p, max_rho - 1);
+  const HyperLogLog almost = HyperLogLog::from_registers(p, near);
+  EXPECT_EQ(almost.estimate(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(HyperLogLog, RelativeStandardErrorMatchesTheFormula) {
+  EXPECT_NEAR(HyperLogLog::relative_standard_error(14),
+              1.04 / std::sqrt(16384.0), 1e-12);
+  EXPECT_NEAR(HyperLogLog::relative_standard_error(8),
+              1.04 / 16.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wb

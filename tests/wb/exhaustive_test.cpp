@@ -351,6 +351,38 @@ TEST(ExhaustiveParallel, DistinctBoardCountsBitIdenticalAtEveryThreadCount) {
   }
 }
 
+TEST(ExhaustiveParallel, HllDistinctCountsBitIdenticalAtEveryThreadCount) {
+  // The approximate accumulator rides the same per-task/merge shape as the
+  // exact one, so its estimate must be just as thread-count independent —
+  // and, with far fewer distinct boards than registers, essentially exact.
+  const testing::EchoIdProtocol echo;
+  const testing::BoardSizeProtocol board_size;
+  const std::vector<const Protocol*> protocols = {&echo, &board_size};
+  const std::vector<Graph> graphs = {path_graph(5), star_graph(4)};
+  for (const Protocol* p : protocols) {
+    for (const Graph& g : graphs) {
+      const std::uint64_t exact =
+          count_distinct_final_boards(g, *p, with_threads(1));
+      ExhaustiveOptions opts = with_threads(1);
+      opts.distinct = DistinctConfig::Hll(14);
+      const std::uint64_t reference = count_distinct_final_boards(g, *p, opts);
+      // n! distinct boards at n <= 5 sit deep in the sketch's
+      // linear-counting regime: the estimate should not be off by more than
+      // a rounding step.
+      EXPECT_NEAR(static_cast<double>(reference), static_cast<double>(exact),
+                  std::max(1.0, 0.01 * static_cast<double>(exact)))
+          << p->name() << " on n=" << g.node_count();
+      for (const std::size_t threads : kThreadCounts) {
+        opts = with_threads(threads);
+        opts.distinct = DistinctConfig::Hll(14);
+        EXPECT_EQ(count_distinct_final_boards(g, *p, opts), reference)
+            << p->name() << " on n=" << g.node_count() << " threads="
+            << threads;
+      }
+    }
+  }
+}
+
 TEST(ExhaustiveParallel, AllExecutionsOkVerdictDeterministic) {
   const Graph g = path_graph(5);
   const testing::EchoIdProtocol echo;

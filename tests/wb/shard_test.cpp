@@ -1,13 +1,16 @@
-// The distributed-sharding equivalence harness (ISSUE 4 tentpole contract):
-// for any shard count K and any merge order, plan → serialize → parse → run
-// → serialize → parse → merge must reproduce the threads=1 serial oracle's
-// execution count, failure tallies, verdict, budget-guard behavior, and
-// distinct-board count bit-identically. Every shard spec and result crosses
-// the text format in both directions inside the sweep, so the whole
+// The distributed-sharding equivalence harness (ISSUE 4 tentpole contract,
+// extended by ISSUE 5 to pluggable distinct counting): for any shard count K
+// and any merge order, plan → serialize → parse → run → serialize → parse →
+// merge must reproduce the threads=1 serial oracle's execution count,
+// failure tallies, verdict, budget-guard behavior, and distinct-board count
+// (exact) or estimate (hll) bit-identically. Every shard spec and result
+// crosses the text format in both directions inside the sweep, so the whole
 // process-boundary pipeline is under test, not just the in-memory merge.
 //
-// Golden files under tests/wb/data/ pin the v1 text formats byte-for-byte;
-// malformed/truncated/version-skewed inputs must be rejected with a
+// Golden files under tests/wb/data/ pin the text formats byte-for-byte: the
+// v2 set is what the serializers write today (exact, hll, and manifest); the
+// v1 set is frozen input the parsers must keep reading (as exact).
+// Malformed/truncated/version-skewed inputs must be rejected with a
 // wb::DataError diagnostic, never undefined behavior.
 #include "src/wb/shard.h"
 
@@ -15,6 +18,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -24,6 +28,8 @@
 
 #include "src/graph/generators.h"
 #include "src/protocols/bfs_sync.h"
+#include "src/protocols/two_cliques.h"
+#include "src/wb/distinct.h"
 #include "src/wb/exhaustive.h"
 #include "tests/wb/test_protocols.h"
 
@@ -222,6 +228,154 @@ TEST(ShardOracle, MoreShardsThanSubtreesYieldsEmptyButMergeableShards) {
 }
 
 // ---------------------------------------------------------------------------
+// HyperLogLog distinct counting through the sharded pipeline: the estimate
+// must be bit-identical to the in-process sweep's at any K, merge order, or
+// worker thread count — the ISSUE 4 determinism contract carries over to
+// approximate counting verbatim because registers max-merge obliviously.
+
+TEST(ShardHll, MergedEstimateBitIdenticalToInProcessSweep) {
+  const Graph path4 = path_graph(4);
+  const Graph star4 = star_graph(4);
+  const testing::EchoIdProtocol echo;
+  const testing::BoardSizeProtocol board_size;
+  const DistinctConfig config = DistinctConfig::Hll(12);
+
+  struct Case {
+    const Graph* graph;
+    const Protocol* protocol;
+  };
+  const Case cases[] = {{&path4, &echo}, {&star4, &echo},
+                        {&path4, &board_size}};
+  for (const Case& c : cases) {
+    ExhaustiveOptions opts;
+    opts.distinct = config;
+    const std::uint64_t oracle =
+        count_distinct_final_boards(*c.graph, *c.protocol, opts);
+    // The estimate itself is deterministic across thread counts...
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                      std::size_t{8}}) {
+      opts.threads = threads;
+      EXPECT_EQ(count_distinct_final_boards(*c.graph, *c.protocol, opts),
+                oracle)
+          << c.protocol->name() << " threads=" << threads;
+    }
+    // ...and across every sharding of the same plan, in any merge order.
+    shard::PlanOptions plan;
+    plan.distinct = config;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}, std::size_t{7}}) {
+      for (const MergeOrder order : {MergeOrder::kForward,
+                                     MergeOrder::kShuffled}) {
+        const MergedResult merged = run_sharded(
+            *c.graph, *c.protocol, nullptr, shards, /*threads=*/2, order,
+            plan);
+        EXPECT_EQ(merged.distinct_boards, oracle)
+            << c.protocol->name() << " K=" << shards;
+        EXPECT_EQ(merged.distinct, config);
+      }
+    }
+  }
+}
+
+TEST(ShardHll, ResultFilesAreWorkerThreadCountInvariant) {
+  const Graph g = path_graph(4);
+  const testing::EchoIdProtocol p;
+  shard::PlanOptions plan;
+  plan.distinct = DistinctConfig::Hll(8);
+  const auto specs = shard::plan_shards(g, p, "echo", 3, plan);
+  for (const ShardSpec& spec : specs) {
+    const std::string reference =
+        shard::serialize(shard::run_shard(spec, p, nullptr, 1));
+    EXPECT_NE(reference.find("distinct-kind hll:8"), std::string::npos);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8},
+                                      std::size_t{0}}) {
+      EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, nullptr, threads)),
+                reference)
+          << "shard " << spec.shard_index << " threads=" << threads;
+    }
+  }
+}
+
+// ISSUE 5 acceptance: on the two_cliques(4) sweep (8 nodes, 8! = 40320
+// executions, 40320 distinct final boards) the hll:14 estimate must sit
+// within 1% of the exact count and be bit-identical across thread counts
+// {1,2,4,8} and shard counts {1,2,4,7} in any merge order — while the exact
+// mode keeps reproducing the old numbers byte-for-byte (covered by the
+// golden and oracle suites above).
+TEST(ShardHll, TwoCliques4EstimateWithinOnePercentAndDeterministic) {
+  const Graph g = two_cliques(4);
+  const TwoCliquesProtocol p;
+  const std::uint64_t exact = count_distinct_final_boards(g, p);
+
+  ExhaustiveOptions opts;
+  opts.distinct = DistinctConfig::Hll(14);
+  opts.threads = 1;
+  const std::uint64_t estimate = count_distinct_final_boards(g, p, opts);
+  const double relative_error =
+      std::abs(static_cast<double>(estimate) - static_cast<double>(exact)) /
+      static_cast<double>(exact);
+  EXPECT_LE(relative_error, 0.01)
+      << "exact=" << exact << " hll:14=" << estimate;
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    opts.threads = threads;
+    EXPECT_EQ(count_distinct_final_boards(g, p, opts), estimate)
+        << "threads=" << threads;
+  }
+  shard::PlanOptions plan;
+  plan.distinct = DistinctConfig::Hll(14);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{7}}) {
+    for (const MergeOrder order : {MergeOrder::kReverse,
+                                   MergeOrder::kShuffled}) {
+      const MergedResult merged =
+          run_sharded(g, p, nullptr, shards, /*threads=*/4, order, plan);
+      EXPECT_EQ(merged.distinct_boards, estimate) << "K=" << shards;
+    }
+  }
+}
+
+TEST(ShardHll, HllResultWithoutARegisterBlockIsRejectedAtMergeTime) {
+  // The struct is public API: a programmatically built hll result that
+  // forgot its sketch must fail loudly, not silently contribute nothing.
+  const Graph g = path_graph(3);
+  const testing::EchoIdProtocol p;
+  shard::PlanOptions plan;
+  plan.distinct = DistinctConfig::Hll(8);
+  const auto specs = shard::plan_shards(g, p, "echo", 2, plan);
+  std::vector<ShardResult> results;
+  for (const ShardSpec& spec : specs) {
+    results.push_back(shard::run_shard(spec, p, nullptr, 1));
+  }
+  results[1].hll.reset();
+  EXPECT_THROW((void)shard::merge_shard_results(results), DataError);
+}
+
+TEST(ShardHll, MixingExactAndHllArtifactsIsRejectedWithADiagnostic) {
+  const Graph g = path_graph(4);
+  const testing::EchoIdProtocol p;
+  shard::PlanOptions exact_plan;
+  shard::PlanOptions hll_plan;
+  hll_plan.distinct = DistinctConfig::Hll(14);
+  const auto exact_specs = shard::plan_shards(g, p, "echo", 2, exact_plan);
+  const auto hll_specs = shard::plan_shards(g, p, "echo", 2, hll_plan);
+  // The distinct choice is fingerprinted: same instance, different plans.
+  ASSERT_NE(exact_specs[0].plan, hll_specs[0].plan);
+
+  std::vector<ShardResult> mixed = {
+      shard::run_shard(exact_specs[0], p, nullptr, 1),
+      shard::run_shard(hll_specs[1], p, nullptr, 1)};
+  try {
+    (void)shard::merge_shard_results(mixed);
+    FAIL() << "mixed exact/hll merge was not rejected";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("refusing to merge"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Budget guard: the sharded sweep throws exactly when the serial oracle
 // throws — whether one shard overruns alone or only the merged total does.
 
@@ -274,6 +428,25 @@ TEST(ShardOracle, WorkerBudgetOverrunProducesDeterministicResultFile) {
   EXPECT_NE(reference.find("budget-exceeded 1"), std::string::npos);
   EXPECT_NE(reference.find("distinct 0"), std::string::npos);
   for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    EXPECT_EQ(shard::serialize(shard::run_shard(specs[0], p, nullptr, threads)),
+              reference)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ShardOracle, HllWorkerBudgetOverrunClearsTheSketchDeterministically) {
+  const Graph g = path_graph(5);
+  const testing::EchoIdProtocol p;
+  shard::PlanOptions plan;
+  plan.max_executions = 5;
+  plan.distinct = DistinctConfig::Hll(8);
+  const auto specs = shard::plan_shards(g, p, "echo", 2, plan);
+  const ShardResult overrun = shard::run_shard(specs[0], p, nullptr, 4);
+  EXPECT_TRUE(overrun.budget_exceeded);
+  ASSERT_TRUE(overrun.hll.has_value());
+  EXPECT_EQ(overrun.hll->estimate(), 0u);  // cleared, like the exact hashes
+  const std::string reference = shard::serialize(overrun);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
     EXPECT_EQ(shard::serialize(shard::run_shard(specs[0], p, nullptr, threads)),
               reference)
         << "threads=" << threads;
@@ -345,11 +518,13 @@ TEST(ShardOracle, AcceptExceptionPropagatesOutOfRunShard) {
 }
 
 // ---------------------------------------------------------------------------
-// Golden files: the v1 text formats, byte-for-byte.
+// Golden files: the v2 text formats byte-for-byte, and the frozen v1 inputs
+// the parsers must keep reading.
 
-TEST(ShardGolden, SpecFileRoundTripsByteIdentically) {
-  const std::string text = data_file("path3_echo.0.shard");
+TEST(ShardGolden, V2SpecFileRoundTripsByteIdentically) {
+  const std::string text = data_file("path3_echo_v2.0.shard");
   const ShardSpec spec = shard::parse_shard_spec(text);
+  EXPECT_EQ(spec.distinct, DistinctConfig::Exact());
   EXPECT_EQ(shard::serialize(spec), text);
   // The planner still regenerates the committed bytes exactly: format *and*
   // partition/distribution are pinned.
@@ -359,29 +534,106 @@ TEST(ShardGolden, SpecFileRoundTripsByteIdentically) {
   EXPECT_EQ(shard::serialize(specs[0]), text);
 }
 
-TEST(ShardGolden, ResultFileRoundTripsByteIdentically) {
-  const std::string text = data_file("path3_echo.0.result");
+TEST(ShardGolden, V2ResultFileRoundTripsByteIdentically) {
+  const std::string text = data_file("path3_echo_v2.0.result");
   const ShardResult result = shard::parse_shard_result(text);
   EXPECT_EQ(shard::serialize(result), text);
   // Re-running the committed spec regenerates the committed result bytes:
   // board hashing, dedup, and serialization are all pinned.
   const testing::EchoIdProtocol p;
   const ShardSpec spec =
-      shard::parse_shard_spec(data_file("path3_echo.0.shard"));
+      shard::parse_shard_spec(data_file("path3_echo_v2.0.shard"));
   EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, nullptr, 1)), text);
 }
 
+TEST(ShardGolden, V2HllSpecAndResultRoundTripByteIdentically) {
+  const std::string spec_text = data_file("path3_echo_hll8.0.shard");
+  const ShardSpec spec = shard::parse_shard_spec(spec_text);
+  EXPECT_EQ(spec.distinct, DistinctConfig::Hll(8));
+  EXPECT_EQ(shard::serialize(spec), spec_text);
+  const testing::EchoIdProtocol p;
+  shard::PlanOptions plan;
+  plan.distinct = DistinctConfig::Hll(8);
+  const auto specs = shard::plan_shards(path_graph(3), p, "echo-id", 2, plan);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(shard::serialize(specs[0]), spec_text);
+
+  const std::string result_text = data_file("path3_echo_hll8.0.result");
+  const ShardResult result = shard::parse_shard_result(result_text);
+  EXPECT_EQ(result.distinct, DistinctConfig::Hll(8));
+  ASSERT_TRUE(result.hll.has_value());
+  EXPECT_EQ(shard::serialize(result), result_text);
+  EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, nullptr, 1)),
+            result_text);
+}
+
+TEST(ShardGolden, V2ManifestRoundTripsByteIdentically) {
+  const std::string text = data_file("path3_echo_v2.manifest");
+  const shard::ShardManifest manifest = shard::parse_shard_manifest(text);
+  EXPECT_EQ(shard::serialize(manifest), text);
+  // make_manifest over the regenerated plan reproduces the committed bytes:
+  // the per-spec document hashes are pinned transitively.
+  const testing::EchoIdProtocol p;
+  const auto specs = shard::plan_shards(path_graph(3), p, "echo-id", 2);
+  EXPECT_EQ(shard::serialize(shard::make_manifest(specs)), text);
+  ASSERT_EQ(manifest.spec_hashes.size(), 2u);
+  EXPECT_EQ(manifest.spec_hashes[0],
+            shard::hash_document(data_file("path3_echo_v2.0.shard")));
+}
+
+TEST(ShardGolden, FrozenV1FilesStillParseAsExact) {
+  // The v1 formats predate the distinct-accumulator field; committed v1
+  // artifacts must keep parsing (as exact) so fleets can read old results.
+  const std::string spec_text = data_file("path3_echo.0.shard");
+  const ShardSpec spec = shard::parse_shard_spec(spec_text);
+  EXPECT_EQ(spec.distinct, DistinctConfig::Exact());
+  EXPECT_EQ(spec.protocol_spec, "echo-id");
+  EXPECT_EQ(spec.prefixes.size(), 3u);
+
+  const std::string result_text = data_file("path3_echo.0.result");
+  const ShardResult result = shard::parse_shard_result(result_text);
+  EXPECT_EQ(result.distinct, DistinctConfig::Exact());
+  EXPECT_EQ(result.executions, 3u);
+  EXPECT_EQ(result.board_hashes.size(), 3u);
+
+  // Re-serialization upgrades a v1 document to v2 with only the version
+  // bump and the (default) distinct field added — every other byte is
+  // preserved, including the recorded v1 plan fingerprint.
+  std::string upgraded_spec = spec_text;
+  upgraded_spec.replace(upgraded_spec.find("wbshard-spec v1"),
+                        15, "wbshard-spec v2");
+  upgraded_spec.insert(upgraded_spec.find("plan "), "distinct exact\n");
+  EXPECT_EQ(shard::serialize(spec), upgraded_spec);
+
+  std::string upgraded_result = result_text;
+  upgraded_result.replace(upgraded_result.find("wbshard-result v1"),
+                          17, "wbshard-result v2");
+  upgraded_result.insert(upgraded_result.find("distinct "),
+                         "distinct-kind exact\n");
+  EXPECT_EQ(shard::serialize(result), upgraded_result);
+
+  // Results of one (old) plan still merge with each other.
+  std::vector<ShardResult> halves = {result, result};
+  halves[1].shard_index = 1;
+  const MergedResult merged = shard::merge_shard_results(halves);
+  EXPECT_EQ(merged.executions, 6u);
+}
+
 TEST(ShardGolden, CommittedMalformedFixturesAreRejected) {
-  EXPECT_THROW((void)shard::parse_shard_spec(data_file("bad_magic.shard")),
+  for (const char* name :
+       {"bad_magic.shard", "version_skew.shard", "bad_distinct.shard"}) {
+    EXPECT_THROW((void)shard::parse_shard_spec(data_file(name)), DataError)
+        << name;
+  }
+  for (const char* name :
+       {"truncated.result", "unsorted_hashes.result",
+        "registers_mismatch.result", "register_overflow.result"}) {
+    EXPECT_THROW((void)shard::parse_shard_result(data_file(name)), DataError)
+        << name;
+  }
+  EXPECT_THROW((void)shard::parse_shard_manifest(
+                   data_file("version_skew.manifest")),
                DataError);
-  EXPECT_THROW((void)shard::parse_shard_spec(data_file("version_skew.shard")),
-               DataError);
-  EXPECT_THROW(
-      (void)shard::parse_shard_result(data_file("truncated.result")),
-      DataError);
-  EXPECT_THROW(
-      (void)shard::parse_shard_result(data_file("unsorted_hashes.result")),
-      DataError);
 }
 
 // ---------------------------------------------------------------------------
@@ -410,7 +662,14 @@ TEST(ShardFormats, MalformedSpecsAreRejectedWithDiagnostics) {
   } cases[] = {
       {"empty input", ""},
       {"wrong magic", replace_first(valid, "wbshard-spec", "wbshard-spek")},
-      {"version skew", replace_first(valid, "v1", "v99")},
+      {"version skew", replace_first(valid, "wbshard-spec v2",
+                                     "wbshard-spec v9")},
+      {"two-digit version", replace_first(valid, "wbshard-spec v2",
+                                          "wbshard-spec v22")},
+      {"bad distinct config", replace_first(valid, "distinct exact",
+                                            "distinct approximately")},
+      {"hll precision out of range", replace_first(valid, "distinct exact",
+                                                   "distinct hll:25")},
       {"missing protocol", replace_first(valid, "protocol ", "protokol ")},
       {"edge out of range", replace_first(valid, "edge 1 2", "edge 1 9")},
       {"self-loop edge", replace_first(valid, "edge 1 2", "edge 2 2")},
@@ -470,7 +729,10 @@ TEST(ShardFormats, MalformedResultsAreRejectedWithDiagnostics) {
     std::string text;
   } cases[] = {
       {"wrong magic", replace_first(valid, "wbshard-result", "wbshard-spec")},
-      {"version skew", replace_first(valid, "v1", "v0")},
+      {"version skew", replace_first(valid, "wbshard-result v2",
+                                     "wbshard-result v0")},
+      {"bad distinct kind", replace_first(valid, "distinct-kind exact",
+                                          "distinct-kind fuzzy")},
       {"bad plan hash width", replace_first(valid, "plan ", "plan f ")},
       {"budget flag out of range",
        replace_first(valid, "budget-exceeded 0", "budget-exceeded 2")},
@@ -490,6 +752,100 @@ TEST(ShardFormats, MalformedResultsAreRejectedWithDiagnostics) {
   for (const auto& c : cases) {
     EXPECT_THROW((void)shard::parse_shard_result(c.text), DataError) << c.what;
   }
+}
+
+TEST(ShardFormats, MalformedHllResultsAreRejectedWithDiagnostics) {
+  const testing::EchoIdProtocol p;
+  shard::PlanOptions plan;
+  plan.distinct = DistinctConfig::Hll(4);  // 16 registers: one reg line
+  const auto specs = shard::plan_shards(path_graph(3), p, "echo-id", 1, plan);
+  const std::string valid =
+      shard::serialize(shard::run_shard(specs[0], p, nullptr, 1));
+  const ShardResult parsed = shard::parse_shard_result(valid);  // sanity
+  ASSERT_TRUE(parsed.hll.has_value());
+
+  // Overwrite the first register's two hex digits in place (their value
+  // depends on the board hashes, so a literal search-and-replace can't name
+  // them).
+  const std::size_t first_byte = valid.find("reg ") + 4;
+  ASSERT_NE(valid.find("reg "), std::string::npos);
+  std::string bad_hex = valid;
+  bad_hex[first_byte] = 'z';
+  std::string overflow = valid;  // p = 4: max rho = 61 = 0x3d; 0x3e is a lie
+  overflow[first_byte] = '3';
+  overflow[first_byte + 1] = 'e';
+
+  const struct {
+    const char* what;
+    std::string text;
+  } cases[] = {
+      {"register count does not match precision",
+       replace_first(valid, "registers 16", "registers 32")},
+      {"astronomical register count",
+       replace_first(valid, "registers 16", "registers 9999999999999999")},
+      {"short register line", replace_first(valid, "reg ", "reg 00")},
+      {"bad hex digit", bad_hex},
+      {"register value above max rho", overflow},
+      {"truncated before end", valid.substr(0, valid.size() - 4)},
+      {"kind/payload mismatch: exact hash lines after an hll kind",
+       replace_first(valid, "registers 16", "distinct 0")},
+  };
+  for (const auto& c : cases) {
+    EXPECT_THROW((void)shard::parse_shard_result(c.text), DataError) << c.what;
+  }
+}
+
+TEST(ShardFormats, MalformedManifestsAreRejectedWithDiagnostics) {
+  const testing::EchoIdProtocol p;
+  const auto specs = shard::plan_shards(path_graph(3), p, "echo-id", 2);
+  const std::string valid = shard::serialize(shard::make_manifest(specs));
+  (void)shard::parse_shard_manifest(valid);  // sanity
+
+  const struct {
+    const char* what;
+    std::string text;
+  } cases[] = {
+      {"empty input", ""},
+      {"wrong magic",
+       replace_first(valid, "wbshard-manifest", "wbshard-result")},
+      {"v1 never existed for manifests",
+       replace_first(valid, "wbshard-manifest v2", "wbshard-manifest v1")},
+      {"zero shards", replace_first(valid, "shards 2", "shards 0")},
+      {"missing spec hash", replace_first(valid, "spec ", "spek ")},
+      {"bad spec hash width", replace_first(valid, "spec ", "spec f ")},
+      {"bad distinct", replace_first(valid, "distinct exact",
+                                     "distinct nope")},
+      {"truncated before end", valid.substr(0, valid.size() - 4)},
+      {"trailing content", valid + "extra\n"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_THROW((void)shard::parse_shard_manifest(c.text), DataError)
+        << c.what;
+  }
+}
+
+TEST(ShardManifestApi, MakeManifestValidatesThePlanSet) {
+  const testing::EchoIdProtocol p;
+  const auto specs = shard::plan_shards(path_graph(4), p, "echo", 3);
+  const shard::ShardManifest manifest = shard::make_manifest(specs);
+  EXPECT_EQ(manifest.shard_count, 3u);
+  EXPECT_EQ(manifest.plan, specs[0].plan);
+  EXPECT_EQ(manifest.distinct, DistinctConfig::Exact());
+  ASSERT_EQ(manifest.spec_hashes.size(), 3u);
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    EXPECT_EQ(manifest.spec_hashes[k],
+              shard::hash_document(shard::serialize(specs[k])));
+  }
+
+  // An incomplete or out-of-order spec list is refused.
+  std::vector<ShardSpec> partial = {specs[0], specs[2]};
+  EXPECT_THROW((void)shard::make_manifest(partial), DataError);
+  std::vector<ShardSpec> swapped = {specs[1], specs[0], specs[2]};
+  EXPECT_THROW((void)shard::make_manifest(swapped), DataError);
+  // A spec from another plan is refused even in the right slot.
+  auto foreign = shard::plan_shards(path_graph(4), p, "other", 3);
+  std::vector<ShardSpec> mixed = {specs[0], foreign[1], specs[2]};
+  EXPECT_THROW((void)shard::make_manifest(mixed), DataError);
 }
 
 // ---------------------------------------------------------------------------

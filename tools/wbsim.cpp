@@ -29,20 +29,40 @@
 //
 //   wbsim twocliques:4    two-cliques       exhaustive:shards=4
 //
-// Sharding subcommands — the distributable workflow (specs and results are
-// versioned text files; see src/wb/shard.h for the determinism contract):
+// Every exhaustive form may end in `:distinct=exact|hll[:P]` selecting the
+// distinct-board accumulator (src/wb/distinct.h): exact sorted-run dedup
+// (default, O(distinct) memory) or a HyperLogLog estimate (2^P bytes flat,
+// relative error ~1.04/sqrt(2^P)) for schedule spaces whose distinct-board
+// count would not fit in memory:
 //
-//   wbsim shard-plan <graph-spec> <protocol-spec> <K> <out-base> [max-execs]
-//       writes <out-base>.<k>.shard for k = 0..K-1
+//   wbsim twocliques:4    two-cliques       exhaustive:distinct=hll:14
+//
+// Sharding subcommands — the distributable workflow (specs, results, and
+// manifests are versioned text files; see src/wb/shard.h for the
+// determinism contract):
+//
+//   wbsim shard-plan <graph-spec> <protocol-spec> <K> <out-base>
+//                    [max-execs] [distinct=exact|hll[:P]]
+//       writes <out-base>.<k>.shard for k = 0..K-1, plus
+//       <out-base>.manifest (plan fingerprint + per-spec hashes) for
+//       fleet-side completion tracking
 //   wbsim shard-run <spec-file> <result-file> [threads]
 //       sweeps one shard (threads: 0 = all cores) and writes its result
+//   wbsim shard-status <manifest-file> <dir>
+//       scans <dir>'s *.result files against the manifest and reports which
+//       shards are present / missing / foreign (exit 0 iff complete), so a
+//       lost shard can be re-run on another host
 //   wbsim shard-merge <result-file>...
 //       merges a complete result set; the schedules/verdict lines are
 //       byte-identical to what `exhaustive:1` prints for the same instance
+//       (with the same distinct= choice)
 //
 // Exit code 0 iff every run executed and the output validated against the
 // centralized reference algorithms.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -69,13 +89,17 @@ void usage() {
       "usage: wbsim <graph-spec> <protocol-spec> [adversary-spec] "
       "[--counterexample]\n"
       "       wbsim shard-plan <graph-spec> <protocol-spec> <K> <out-base> "
-      "[max-executions]\n"
+      "[max-executions] [distinct=exact|hll[:P]]\n"
       "       wbsim shard-run <spec-file> <result-file> [threads]\n"
+      "       wbsim shard-status <manifest-file> <dir>\n"
       "       wbsim shard-merge <result-file>...\n\n%s\n\n"
       "%s\n\n%s\n           battery[:SEED] (full battery, parallel)\n"
       "           exhaustive[:THREADS] (every schedule, parallel; small n)\n"
       "           exhaustive:shards=K[:THREADS] (every schedule, K worker "
-      "processes)\n",
+      "processes)\n"
+      "           either exhaustive form may end in :distinct=exact|hll[:P]\n"
+      "           (distinct-board counting: exact dedup, or a HyperLogLog\n"
+      "           estimate in 2^P bytes of memory)\n",
       wb::cli::graph_spec_help().c_str(),
       wb::cli::protocol_spec_help().c_str(),
       wb::cli::adversary_spec_help().c_str());
@@ -124,17 +148,24 @@ int print_report(const wb::cli::RunReport& report) {
 // --- Sharding subcommands ----------------------------------------------------
 
 int cmd_shard_plan(int argc, char** argv) {
-  WB_REQUIRE_MSG(argc >= 6 && argc <= 7,
+  WB_REQUIRE_MSG(argc >= 6 && argc <= 8,
                  "usage: wbsim shard-plan <graph-spec> <protocol-spec> <K> "
-                 "<out-base> [max-executions]");
+                 "<out-base> [max-executions] [distinct=exact|hll[:P]]");
   const wb::Graph g = wb::cli::graph_from_spec(argv[2]);
   const std::string protocol = argv[3];
   const std::size_t shards = static_cast<std::size_t>(
       wb::cli::parse_u64(argv[4], "shard count"));
   const std::string base = argv[5];
   wb::shard::PlanOptions opts;
-  if (argc == 7) {
-    opts.max_executions = wb::cli::parse_u64(argv[6], "max-executions");
+  for (int i = 6; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr const char* kDistinctKey = "distinct=";
+    if (arg.rfind(kDistinctKey, 0) == 0) {
+      opts.distinct =
+          wb::parse_distinct_config(arg.substr(std::strlen(kDistinctKey)));
+    } else {
+      opts.max_executions = wb::cli::parse_u64(arg, "max-executions");
+    }
   }
   const auto specs =
       wb::cli::plan_protocol_spec_shards(protocol, g, shards, opts);
@@ -145,7 +176,96 @@ int cmd_shard_plan(int argc, char** argv) {
     std::printf("wrote %s (%zu subtree prefixes)\n", path.c_str(),
                 spec.prefixes.size());
   }
+  const std::string manifest_path = base + ".manifest";
+  write_file(manifest_path,
+             wb::shard::serialize(wb::shard::make_manifest(specs)));
+  std::printf("wrote %s (%zu spec hashes; track completion with "
+              "`wbsim shard-status %s <dir>`)\n",
+              manifest_path.c_str(), specs.size(), manifest_path.c_str());
   return 0;
+}
+
+// --- shard-status: manifest-driven completion tracking -----------------------
+
+int cmd_shard_status(int argc, char** argv) {
+  WB_REQUIRE_MSG(argc == 4,
+                 "usage: wbsim shard-status <manifest-file> <dir>");
+  const wb::shard::ShardManifest manifest =
+      wb::shard::parse_shard_manifest(read_file(argv[2]));
+  const std::filesystem::path dir = argv[3];
+  WB_REQUIRE_MSG(std::filesystem::is_directory(dir),
+                 "'" << argv[3] << "' is not a directory");
+
+  std::string plan_hex;
+  {
+    char buffer[33];
+    std::snprintf(buffer, sizeof buffer, "%016llx%016llx",
+                  static_cast<unsigned long long>(manifest.plan.lo),
+                  static_cast<unsigned long long>(manifest.plan.hi));
+    plan_hex = buffer;
+  }
+  std::printf("manifest   plan %s — %u shards, distinct=%s, budget %llu\n",
+              plan_hex.c_str(), manifest.shard_count,
+              wb::to_string(manifest.distinct).c_str(),
+              static_cast<unsigned long long>(manifest.max_executions));
+
+  // Scan every *.result in the directory (sorted, so the report is
+  // deterministic) and classify it against the manifest: a parseable result
+  // whose plan fingerprint matches claims its shard slot; anything else is
+  // foreign — another plan's result, or a corrupt file.
+  std::vector<std::string> owner(manifest.shard_count);
+  std::vector<std::pair<std::string, std::string>> foreign;  // file, reason
+  std::vector<std::filesystem::path> candidates;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".result") {
+      candidates.push_back(entry.path());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const std::filesystem::path& path : candidates) {
+    const std::string name = path.filename().string();
+    try {
+      const wb::shard::ShardResult result =
+          wb::shard::parse_shard_result(read_file(path.string()));
+      if (result.plan != manifest.plan) {
+        foreign.emplace_back(name, "different plan fingerprint");
+      } else if (result.shard_index >= manifest.shard_count) {
+        // Defense in depth: the fingerprint covers the shard count, so only
+        // a hand-edited file can get here — classify, don't crash.
+        foreign.emplace_back(name, "shard index " +
+                                       std::to_string(result.shard_index) +
+                                       " outside the manifest's " +
+                                       std::to_string(manifest.shard_count));
+      } else if (!owner[result.shard_index].empty()) {
+        foreign.emplace_back(
+            name, "duplicate of shard " + std::to_string(result.shard_index) +
+                      " (already claimed by " + owner[result.shard_index] +
+                      ")");
+      } else {
+        owner[result.shard_index] = name;
+      }
+    } catch (const wb::DataError&) {
+      foreign.emplace_back(name, "unparseable result file");
+    }
+  }
+
+  std::uint32_t present = 0;
+  for (std::uint32_t k = 0; k < manifest.shard_count; ++k) {
+    if (!owner[k].empty()) {
+      ++present;
+      std::printf("shard %-4u present (%s)\n", k, owner[k].c_str());
+    } else {
+      std::printf("shard %-4u MISSING — re-run its .%u.shard spec on any "
+                  "host\n",
+                  k, k);
+    }
+  }
+  for (const auto& [name, reason] : foreign) {
+    std::printf("foreign    %s — %s\n", name.c_str(), reason.c_str());
+  }
+  std::printf("status     %u/%u shard results present\n", present,
+              manifest.shard_count);
+  return present == manifest.shard_count ? 0 : 1;
 }
 
 int cmd_shard_run(int argc, char** argv) {
@@ -165,11 +285,16 @@ int cmd_shard_run(int argc, char** argv) {
                 result.shard_index, result.shard_count,
                 static_cast<unsigned long long>(result.max_executions));
   } else {
+    const unsigned long long distinct =
+        result.distinct.kind == wb::DistinctKind::kExact
+            ? result.board_hashes.size()
+            : (result.hll.has_value() ? result.hll->estimate() : 0);
     std::printf(
-        "shard %u/%u: %llu executions, %zu distinct boards, %llu failures\n",
+        "shard %u/%u: %llu executions, %s%llu distinct boards, %llu "
+        "failures\n",
         result.shard_index, result.shard_count,
         static_cast<unsigned long long>(result.executions),
-        result.board_hashes.size(),
+        result.distinct.kind == wb::DistinctKind::kExact ? "" : "~", distinct,
         static_cast<unsigned long long>(result.engine_failures +
                                         result.wrong_outputs));
   }
@@ -181,7 +306,8 @@ int print_merged(const wb::shard::MergedResult& merged) {
   std::printf("%s",
               wb::cli::exhaustive_summary_lines(
                   merged.executions, merged.engine_failures,
-                  merged.wrong_outputs, merged.distinct_boards)
+                  merged.wrong_outputs, merged.distinct_boards,
+                  merged.distinct)
                   .c_str());
   const bool correct =
       merged.engine_failures == 0 && merged.wrong_outputs == 0;
@@ -216,6 +342,7 @@ int run_sharded_exhaustive(const wb::Graph& g, const std::string& protocol,
   // Plan in-process, hand each shard to a child `wbsim shard-run`, merge the
   // result files: the same bytes a fleet would move between hosts.
   wb::shard::PlanOptions popts;
+  popts.distinct = es.distinct;
   const auto specs =
       wb::cli::plan_protocol_spec_shards(protocol, g, es.shards, popts);
   char dir_template[] = "/tmp/wbsim-shards-XXXXXX";
@@ -322,6 +449,7 @@ int run_exhaustive(const wb::Graph& g, const std::string& protocol,
   wb::cli::ExhaustiveRunOptions opts;
   opts.threads = es.threads;
   opts.counterexample = counterexample;
+  opts.distinct = es.distinct;
   return print_report(
       wb::cli::run_protocol_spec_exhaustive(protocol, g, opts));
 }
@@ -334,6 +462,7 @@ int main(int argc, char** argv) {
       const std::string command = argv[1];
       if (command == "shard-plan") return cmd_shard_plan(argc, argv);
       if (command == "shard-run") return cmd_shard_run(argc, argv);
+      if (command == "shard-status") return cmd_shard_status(argc, argv);
       if (command == "shard-merge") return cmd_shard_merge(argc, argv);
     }
     // Classic invocation: positional specs plus optional flags.
