@@ -38,10 +38,14 @@
 //                                implementations on synthetic key streams,
 //                                with a `peak_bytes` counter contrasting the
 //                                two memory models (16 B per distinct key
-//                                vs 2^p registers, flat).
+//                                vs 2^p registers, flat);
+//  - BM_FrameRoundTrip         — the fleet wire layer: encode + byte-chunked
+//                                decode of spec-sized frames, pinning the
+//                                framing overhead the controller pays per
+//                                dispatched shard.
 //
 // CI runs this binary as the Release bench-smoke job and uploads the JSON
-// as BENCH_pr5.json; the committed BENCH_pr{2..5}.json at the repo root are
+// as BENCH_pr6.json; the committed BENCH_pr{2..6}.json at the repo root are
 // the recorded baselines of that trajectory (tools/bench_diff.py renders a
 // pairwise diff for two files, the full trajectory table for three or more).
 #include <benchmark/benchmark.h>
@@ -52,6 +56,7 @@
 #include <new>
 #include <vector>
 
+#include "src/fleet/transport.h"
 #include "src/graph/generators.h"
 #include "src/protocols/build_full.h"
 #include "src/protocols/mis.h"
@@ -349,6 +354,27 @@ BENCHMARK(BM_DistinctMerge)
     ->Arg(kExactKind)
     ->Arg(kHllKind)
     ->Unit(benchmark::kMillisecond);
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+  // One spec-sized payload per iteration, fed to the decoder in 512-byte
+  // chunks the way a pipe delivers it. The fleet pays this once per
+  // dispatched shard, so the bar is "noise next to a sweep", not "fast".
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 's');
+  const fleet::Frame frame{fleet::FrameType::kSpec, payload};
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const std::string wire = encode_frame(frame);
+    fleet::FrameDecoder decoder;
+    for (std::size_t off = 0; off < wire.size(); off += 512) {
+      decoder.feed(wire.data() + off, std::min<std::size_t>(512, wire.size() - off));
+    }
+    const std::optional<fleet::Frame> decoded = decoder.next();
+    benchmark::DoNotOptimize(decoded);
+    bytes += wire.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FrameRoundTrip)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
 }  // namespace
 }  // namespace wb

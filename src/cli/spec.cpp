@@ -145,8 +145,8 @@ bool is_exhaustive_spec(const std::string& spec) {
   return split_spec(spec)[0] == "exhaustive";
 }
 
-ExhaustiveSpec exhaustive_from_spec(const std::string& spec) {
-  ExhaustiveSpec out;
+SweepSpec sweep_from_spec(const std::string& spec) {
+  SweepSpec out;
   // The hll config itself contains a colon (hll:14), so `distinct=` is
   // defined as the final option: everything after it is the config text.
   std::string head = spec;
@@ -160,28 +160,58 @@ ExhaustiveSpec exhaustive_from_spec(const std::string& spec) {
   const auto parts = split_spec(head);
   WB_REQUIRE_MSG(parts[0] == "exhaustive",
                  "not an exhaustive spec: '" << spec << "'");
-  if (parts.size() == 1) return out;
   constexpr std::string_view kShardsKey = "shards=";
-  if (parts[1].starts_with(kShardsKey)) {
-    WB_REQUIRE_MSG(parts.size() <= 3,
-                   "expected exhaustive:shards=K[:THREADS][:distinct=...], "
-                   "got '"
-                       << spec << "'");
-    out.shards = static_cast<std::size_t>(
-        parse_u64(parts[1].substr(kShardsKey.size()), "shard count"));
-    WB_REQUIRE_MSG(out.shards >= 1, "shard count must be at least 1");
-    if (parts.size() == 3) {
-      out.threads =
-          static_cast<std::size_t>(parse_u64(parts[2], "threads"));
+  constexpr std::string_view kBudgetKey = "budget=";
+  bool seen_threads = false;
+  bool seen_shards = false;
+  bool seen_budget = false;
+  const auto reject_duplicate = [&](bool seen, const char* what) {
+    WB_REQUIRE_MSG(!seen, "duplicate " << what << " in sweep spec '" << spec
+                                       << "'");
+  };
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string& token = parts[i];
+    if (token.starts_with(kShardsKey)) {
+      reject_duplicate(seen_shards, "shards= option");
+      seen_shards = true;
+      out.shards = static_cast<std::size_t>(
+          parse_u64(token.substr(kShardsKey.size()), "shard count"));
+      WB_REQUIRE_MSG(out.shards >= 1, "shard count must be at least 1");
+      continue;
     }
-    return out;
+    if (token.starts_with(kBudgetKey)) {
+      reject_duplicate(seen_budget, "budget= option");
+      seen_budget = true;
+      out.max_executions =
+          parse_u64(token.substr(kBudgetKey.size()), "budget");
+      WB_REQUIRE_MSG(out.max_executions >= 1, "budget must be at least 1");
+      continue;
+    }
+    // A bare number is the thread count; canonically it comes first, but
+    // the legacy `exhaustive:shards=K:T` order is still accepted.
+    reject_duplicate(seen_threads, "thread count");
+    seen_threads = true;
+    WB_REQUIRE_MSG(
+        !token.empty() && token.find_first_not_of("0123456789") ==
+                              std::string::npos,
+        "expected exhaustive[:THREADS][:shards=K][:budget=N]"
+        "[:distinct=exact|hll[:P]], got '"
+            << spec << "'");
+    out.threads = static_cast<std::size_t>(parse_u64(token, "threads"));
   }
-  WB_REQUIRE_MSG(parts.size() == 2,
-                 "expected exhaustive[:THREADS] or exhaustive:shards=K"
-                 "[:THREADS], each optionally ending in :distinct=exact|"
-                 "hll[:P], got '"
-                     << spec << "'");
-  out.threads = static_cast<std::size_t>(parse_u64(parts[1], "threads"));
+  return out;
+}
+
+std::string format_sweep_spec(const SweepSpec& spec) {
+  std::string out = "exhaustive";
+  if (spec.threads != 0) out += ":" + std::to_string(spec.threads);
+  if (spec.shards != 0) out += ":shards=" + std::to_string(spec.shards);
+  if (spec.max_executions != kDefaultSweepBudget) {
+    out += ":budget=" + std::to_string(spec.max_executions);
+  }
+  if (!(spec.distinct == DistinctConfig{})) {
+    out += ":distinct=" + to_string(spec.distinct);
+  }
   return out;
 }
 

@@ -49,36 +49,55 @@ namespace wb::cli {
 [[nodiscard]] std::unique_ptr<Adversary> adversary_from_spec(
     const std::string& spec, const Graph& g);
 
-/// The wbsim pseudo-adversary `exhaustive`, parsed:
+/// Execution budget every sweep entry point defaults to (the
+/// ExhaustiveRunOptions / shard::PlanOptions default, shared here so the
+/// spec grammar can omit it).
+inline constexpr std::uint64_t kDefaultSweepBudget = 2'000'000;
+
+/// The one grammar for configuring an exhaustive sweep — the wbsim
+/// pseudo-adversary, `wbsim shard-plan`, and the fleet controller all parse
+/// and print exactly this (PR 6 consolidated the previously per-command
+/// option handling):
+///
+///   exhaustive[:THREADS][:shards=K][:budget=N][:distinct=exact|hll[:P]]
 ///
 ///   exhaustive                 every schedule, all cores, in-process
-///   exhaustive:T               T worker threads (1 = the serial oracle)
-///   exhaustive:shards=K        K local worker *processes*, merged
-///   exhaustive:shards=K:T      K worker processes with T threads each
+///   exhaustive:1               the serial oracle
+///   exhaustive:shards=4        4 worker processes (fleet), merged
+///   exhaustive:2:shards=4      4 workers, 2 sweep threads each
+///   exhaustive:budget=100000   stop (loudly) after 100000 executions
+///   exhaustive:distinct=hll:14 HyperLogLog distinct-board estimate
 ///
-/// Any form may end with `:distinct=exact|hll[:P]` selecting the
-/// distinct-board accumulator (src/wb/distinct.h); because the hll form
-/// itself contains a colon, the `distinct=` option must come last:
-///
-///   exhaustive:distinct=hll:14
-///   exhaustive:1:distinct=hll:12
-///   exhaustive:shards=4:distinct=exact
-struct ExhaustiveSpec {
+/// Because the hll config itself contains a colon, `distinct=` must be the
+/// final option. The legacy PR 4 order `exhaustive:shards=K:T` still
+/// parses; format_sweep_spec always prints the canonical order above, and
+/// parse(format(s)) == s for every SweepSpec (round-trip pinned in
+/// tests/cli/spec_test.cpp).
+struct SweepSpec {
   /// Worker threads. In-process mode: 0 = one per hardware thread, 1 =
   /// serial. In shard mode this is each worker process's thread count, and
   /// 0 (or omitting it) splits the machine between the workers
   /// (hardware threads / K, at least 1).
   std::size_t threads = 0;
-  /// Worker processes: 0 = in-process sweep, K >= 1 = plan/run/merge K
-  /// local shard-runner processes.
+  /// Worker processes: 0 = in-process sweep, K >= 1 = a K-worker fleet.
   std::size_t shards = 0;
+  /// Execution budget (max-executions); exceeding it is a loud failure.
+  std::uint64_t max_executions = kDefaultSweepBudget;
   /// Distinct-board accumulator: exact (default) or HyperLogLog.
   DistinctConfig distinct{};
+
+  friend bool operator==(const SweepSpec& a, const SweepSpec& b) {
+    return a.threads == b.threads && a.shards == b.shards &&
+           a.max_executions == b.max_executions && a.distinct == b.distinct;
+  }
 };
 
 [[nodiscard]] bool is_exhaustive_spec(const std::string& spec);
 /// Parse an `exhaustive...` spec. Throws wb::DataError on malformed input.
-[[nodiscard]] ExhaustiveSpec exhaustive_from_spec(const std::string& spec);
+[[nodiscard]] SweepSpec sweep_from_spec(const std::string& spec);
+/// Canonical text of a SweepSpec: defaulted fields are omitted, options
+/// appear in the grammar order. parse ∘ format is the identity.
+[[nodiscard]] std::string format_sweep_spec(const SweepSpec& spec);
 
 /// Human-readable lists for --help.
 [[nodiscard]] std::string graph_spec_help();

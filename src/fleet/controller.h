@@ -1,0 +1,150 @@
+// The fleet controller: a fault-tolerant driver for long-running sharded
+// sweeps (wbsim fleet run).
+//
+// PRs 4–5 built every ingredient of distributed exploration — versioned
+// shard spec/result/manifest formats, fingerprint-guarded merges,
+// present/missing/foreign classification — but a human still drove the
+// plan → run → merge loop, and a lost worker meant a manually re-issued
+// shard. This controller owns that loop end to end:
+//
+//   - it holds a queue of plans (each: a manifest + one spec document per
+//     shard, exactly what `wbsim shard-plan` writes) and serves several
+//     concurrently — workers are plan-agnostic, every spec document is
+//     self-describing;
+//   - it spawns K persistent worker processes through an injected launcher
+//     and speaks the length-prefixed frame protocol (src/fleet/transport.h)
+//     to them over pipes;
+//   - it polls completion with per-dispatch deadlines and per-worker
+//     heartbeat clocks, and re-issues timed-out or lost shards to another
+//     worker under exponential backoff;
+//   - it folds results in as they arrive under the plan-fingerprint guard
+//     (a result whose fingerprint matches no live plan, or whose shard
+//     already completed, is discarded as foreign/stale — never merged), and
+//     produces each plan's totals with shard::merge_shard_results, so the
+//     merged report obeys exactly the oracle-equivalence contract of
+//     src/wb/shard.h.
+//
+// Failure semantics (the asynchrony-plus-crash model of Gafni–Losa's "Time
+// is not a Healer": a silent worker and a slow worker are indistinguishable,
+// so every suspicion must stay safe to be wrong about):
+//
+//   worker EOF / SIGKILL     -> worker is dead: reap it, re-queue its shard,
+//                               respawn a replacement while budget remains
+//   heartbeat silence        -> worker is *suspect*: its shard is re-issued
+//                               elsewhere, but the link stays open — a
+//                               late result is still accepted if the shard
+//                               is not done (first valid result wins; both
+//                               runs of one spec are bit-identical), and a
+//                               worker that speaks again is rehabilitated
+//   dispatch deadline passed -> worker is presumed wedged: killed like EOF
+//   malformed frame          -> the link cannot be resynchronized: killed
+//   error frame              -> the worker is healthy, the shard failed:
+//                               re-queue with backoff until max_attempts
+//
+// Because a shard's result is a deterministic function of its spec, every
+// retry path above preserves the bit-identical-to-`exhaustive:1` guarantee;
+// tests/fleet/controller_test.cpp injects each fault and pins that.
+#pragma once
+
+#include "src/fleet/transport.h"
+
+#if WB_FLEET_HAS_PROCESSES
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/wb/shard.h"
+
+namespace wb::fleet {
+
+/// One plan for the fleet to serve: its manifest plus the serialized spec
+/// document of every shard, in shard order. run_fleet verifies each
+/// document's hash against the manifest before dispatching anything, so a
+/// swapped or corrupted spec file is caught up front, not after a sweep.
+struct PlanInputs {
+  std::string name;  // label for reports/observer lines
+  shard::ShardManifest manifest;
+  std::vector<std::string> spec_documents;
+};
+
+struct FleetOptions {
+  /// Worker processes to launch up front.
+  std::size_t workers = 4;
+  /// A busy worker silent for longer than this is suspect: its shard is
+  /// re-issued to another worker (the link stays open — see file comment).
+  std::chrono::milliseconds heartbeat_timeout{2000};
+  /// Hard per-dispatch bound: a worker still holding a shard this long
+  /// after dispatch is killed and replaced.
+  std::chrono::milliseconds shard_deadline{120000};
+  /// Exponential backoff for re-issues of one shard: attempt k waits
+  /// backoff_base * 2^(k-1), capped at backoff_max.
+  std::chrono::milliseconds backoff_base{100};
+  std::chrono::milliseconds backoff_max{5000};
+  /// Dispatch attempts per shard before its plan is declared failed.
+  int max_attempts = 5;
+  /// Replacement workers the controller may spawn after losses. When the
+  /// budget is exhausted the fleet degrades to the surviving workers; a
+  /// plan fails only when no worker is left to run its pending shards.
+  std::size_t max_respawns = 8;
+};
+
+/// A spawned worker process and the two pipe ends the controller owns.
+struct WorkerEndpoint {
+  pid_t pid = -1;
+  int to_worker_fd = -1;
+  int from_worker_fd = -1;
+};
+
+/// Launch worker number `index` (indices are never reused). Throwing
+/// wb::DataError means the launch failed; the controller degrades.
+using WorkerLauncher = std::function<WorkerEndpoint(std::size_t index)>;
+
+/// Observation hooks for logging and fault-injection tests. Any callback
+/// may be empty. They fire from the controller's (single) thread.
+struct FleetObserver {
+  std::function<void(std::size_t worker, pid_t pid)> on_spawn;
+  std::function<void(std::size_t worker, const std::string& plan,
+                     std::uint32_t shard, int attempt)>
+      on_dispatch;
+  std::function<void(std::size_t worker, const std::string& reason)>
+      on_worker_lost;
+  /// A shard re-queued after a loss, timeout, or error frame.
+  std::function<void(const std::string& plan, std::uint32_t shard,
+                     const std::string& reason)>
+      on_requeue;
+  std::function<void(const std::string& plan, std::uint32_t shard)> on_result;
+  /// A result frame that was not merged: stale (shard already done),
+  /// foreign (fingerprint matches no plan), or invalid.
+  std::function<void(std::size_t worker, const std::string& reason)>
+      on_discard;
+};
+
+/// What became of one plan.
+struct PlanOutcome {
+  std::string name;
+  bool completed = false;        // every shard merged
+  bool budget_exceeded = false;  // the serial oracle would have thrown too
+  /// Valid iff completed && !budget_exceeded.
+  shard::MergedResult merged{};
+  std::string error;        // non-empty when !completed
+  std::size_t reissues = 0; // shards dispatched more than once
+};
+
+/// Serve every plan to completion (or failure) over a fleet of worker
+/// processes. Blocks; returns one outcome per plan, in input order. Workers
+/// receive shutdown frames and are reaped before returning. Throws
+/// wb::DataError only for broken inputs (e.g. a spec document whose hash
+/// contradicts its manifest) — worker failures never escape as exceptions.
+[[nodiscard]] std::vector<PlanOutcome> run_fleet(
+    const std::vector<PlanInputs>& plans, const FleetOptions& options,
+    const WorkerLauncher& launcher, const FleetObserver& observer = {});
+
+}  // namespace wb::fleet
+
+#endif  // WB_FLEET_HAS_PROCESSES

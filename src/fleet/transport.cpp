@@ -1,0 +1,174 @@
+#include "src/fleet/transport.h"
+
+#include <charconv>
+
+#include "src/support/check.h"
+
+#if WB_FLEET_HAS_PROCESSES
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+#endif
+
+namespace wb::fleet {
+
+namespace {
+
+constexpr std::string_view kMagic = "wbframe";
+constexpr std::string_view kVersion = "v1";
+
+constexpr std::string_view kTypeNames[] = {
+    "hello", "spec", "result", "heartbeat", "shutdown", "error",
+};
+
+}  // namespace
+
+std::string_view to_string(FrameType type) {
+  const auto index = static_cast<std::size_t>(type);
+  WB_CHECK_MSG(index < std::size(kTypeNames), "invalid FrameType");
+  return kTypeNames[index];
+}
+
+FrameType frame_type_from_string(std::string_view token) {
+  for (std::size_t i = 0; i < std::size(kTypeNames); ++i) {
+    if (token == kTypeNames[i]) return static_cast<FrameType>(i);
+  }
+  throw DataError("unknown frame type '" + std::string(token) +
+                  "' — expected hello|spec|result|heartbeat|shutdown|error");
+}
+
+std::string encode_frame(const Frame& frame) {
+  WB_CHECK_MSG(frame.payload.size() <= kMaxFramePayload,
+               "frame payload of " << frame.payload.size()
+                                   << " bytes exceeds the "
+                                   << kMaxFramePayload << "-byte cap");
+  std::string out;
+  out.reserve(kMaxHeaderBytes + frame.payload.size());
+  out.append(kMagic);
+  out.append(" ");
+  out.append(kVersion);
+  out.append(" ");
+  out.append(to_string(frame.type));
+  out.append(" ");
+  out.append(std::to_string(frame.payload.size()));
+  out.append("\n");
+  out.append(frame.payload);
+  return out;
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) throw DataError(poison_reason_);
+  const auto poison = [&](const std::string& why) -> DataError {
+    poisoned_ = true;
+    buffer_.clear();
+    poison_reason_ = "malformed frame: " + why;
+    return DataError(poison_reason_);
+  };
+
+  const std::size_t newline = buffer_.find('\n');
+  if (newline == std::string::npos) {
+    // No complete header yet. A conforming peer's header fits in
+    // kMaxHeaderBytes, so anything longer can never become valid.
+    if (buffer_.size() > kMaxHeaderBytes) {
+      throw poison("header exceeds " + std::to_string(kMaxHeaderBytes) +
+                   " bytes without a terminating newline");
+    }
+    return std::nullopt;
+  }
+  if (newline > kMaxHeaderBytes) {
+    throw poison("header line of " + std::to_string(newline) +
+                 " bytes exceeds the " + std::to_string(kMaxHeaderBytes) +
+                 "-byte bound");
+  }
+  const std::string_view header(buffer_.data(), newline);
+
+  // Tokenize "wbframe v1 <type> <length>".
+  std::string_view rest = header;
+  const auto take_token = [&]() -> std::string_view {
+    const std::size_t space = rest.find(' ');
+    std::string_view token = rest.substr(0, space);
+    rest = space == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(space + 1);
+    return token;
+  };
+  const std::string_view magic = take_token();
+  if (magic != kMagic) {
+    throw poison("bad magic '" + std::string(magic) + "' (expected '" +
+                 std::string(kMagic) + "')");
+  }
+  const std::string_view version = take_token();
+  if (version != kVersion) {
+    throw poison("unsupported frame version '" + std::string(version) + "'");
+  }
+  const std::string_view type_token = take_token();
+  FrameType type;
+  try {
+    type = frame_type_from_string(type_token);
+  } catch (const DataError& e) {
+    throw poison(e.what());
+  }
+  const std::string_view length_token = rest;
+  std::uint64_t length = 0;
+  const auto [ptr, ec] = std::from_chars(
+      length_token.data(), length_token.data() + length_token.size(), length);
+  if (length_token.empty() || ec != std::errc{} ||
+      ptr != length_token.data() + length_token.size()) {
+    throw poison("bad payload length '" + std::string(length_token) + "'");
+  }
+  if (length > kMaxFramePayload) {
+    throw poison("payload length " + std::to_string(length) + " exceeds the " +
+                 std::to_string(kMaxFramePayload) + "-byte cap");
+  }
+
+  const std::size_t frame_end = newline + 1 + static_cast<std::size_t>(length);
+  if (buffer_.size() < frame_end) return std::nullopt;  // payload still coming
+  Frame frame;
+  frame.type = type;
+  frame.payload = buffer_.substr(newline + 1, static_cast<std::size_t>(length));
+  buffer_.erase(0, frame_end);
+  return frame;
+}
+
+#if WB_FLEET_HAS_PROCESSES
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+std::optional<Frame> read_frame(int fd, FrameDecoder& decoder) {
+  if (std::optional<Frame> frame = decoder.next()) return frame;
+  char chunk[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw DataError(std::string("frame read failed: ") +
+                      std::strerror(errno));
+    }
+    if (n == 0) {
+      WB_REQUIRE_MSG(decoder.idle(),
+                     "peer closed the stream mid-frame ("
+                         << decoder.buffered_bytes() << " bytes buffered)");
+      return std::nullopt;
+    }
+    decoder.feed(chunk, static_cast<std::size_t>(n));
+    if (std::optional<Frame> frame = decoder.next()) return frame;
+  }
+}
+
+void write_frame(int fd, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  std::size_t written = 0;
+  while (written < wire.size()) {
+    const ssize_t n = ::write(fd, wire.data() + written, wire.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw DataError(std::string("frame write failed: ") +
+                      std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+#endif  // WB_FLEET_HAS_PROCESSES
+
+}  // namespace wb::fleet

@@ -1,0 +1,118 @@
+// Length-prefixed framing for the fleet controller's worker links.
+//
+// The shard layer's v2 documents (wbshard-spec / wbshard-result, see
+// src/wb/shard.h) are self-describing text — the ROADMAP's observation is
+// that length-prefixing them is all it takes to move them over a byte
+// stream. A frame is one ASCII header line followed by an exact payload:
+//
+//   wbframe v1 <type> <length>\n<length bytes of payload>
+//
+// where <type> is one of the tokens below and <length> is the decimal
+// payload size. The header is bounded (kMaxHeaderBytes) and the payload is
+// capped (kMaxFramePayload), so a garbage, truncated, or hostile length
+// prefix is rejected with a wb::DataError diagnostic — never a hang, an
+// unbounded allocation, or a crash (tests/fleet/transport_test.cpp pins the
+// rejection cases next to the shard layer's v2 ones).
+//
+// FrameDecoder is incremental: feed() whatever bytes poll()+read() produced,
+// next() pops complete frames. That is the controller's consumption shape —
+// one decoder per worker pipe, fed nonblockingly. The blocking read_frame /
+// write_frame helpers are the worker-process side, where stdin/stdout are a
+// dedicated control channel and blocking is correct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wb::fleet {
+
+/// Frame vocabulary of the controller<->worker protocol:
+///   controller -> worker: kSpec (a serialized wbshard-spec to sweep),
+///                         kShutdown (drain and exit)
+///   worker -> controller: kHello (alive, ready for work), kHeartbeat
+///                         (still sweeping), kResult (a serialized
+///                         wbshard-result), kError (sweep failed; payload is
+///                         the diagnostic)
+enum class FrameType : std::uint8_t {
+  kHello,
+  kSpec,
+  kResult,
+  kHeartbeat,
+  kShutdown,
+  kError,
+};
+
+[[nodiscard]] std::string_view to_string(FrameType type);
+/// Throws wb::DataError on a token that is not a frame type.
+[[nodiscard]] FrameType frame_type_from_string(std::string_view token);
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Header line bound: "wbframe v1 heartbeat 268435456\n" is 31 bytes; 64
+/// leaves headroom without letting a stream that never sends '\n' buffer
+/// forever.
+inline constexpr std::size_t kMaxHeaderBytes = 64;
+/// Payload cap. The largest legitimate frame is an exact-mode result at the
+/// default 2M-execution budget (~75 MiB of hash lines); 256 MiB bounds the
+/// allocation a corrupt or hostile length prefix can demand.
+inline constexpr std::size_t kMaxFramePayload = 256u << 20;
+
+/// The canonical wire form: header line + payload, exactly as specified
+/// above. Throws wb::LogicError if payload exceeds kMaxFramePayload (a
+/// sender bug, not a data error).
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Incremental frame parser. feed() buffers bytes; next() pops the earliest
+/// complete frame, or std::nullopt when more bytes are needed. Malformed
+/// input — bad magic, unsupported version, unknown type, non-numeric or
+/// oversized length, an unterminated header — throws wb::DataError from
+/// next(); the decoder is then poisoned (every later call rethrows), because
+/// a framing error leaves no way to resynchronize the stream.
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+  void feed(std::string_view data) { buffer_.append(data); }
+
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// True when no partial frame is buffered — EOF here is a clean close;
+  /// EOF with idle() false means the peer died mid-frame.
+  [[nodiscard]] bool idle() const { return buffer_.empty() && !poisoned_; }
+
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WB_FLEET_HAS_PROCESSES 1
+
+/// Make writes to a closed pipe fail with EPIPE instead of killing the
+/// process with SIGPIPE. Idempotent; call once per process before using the
+/// fd helpers below.
+void ignore_sigpipe();
+
+/// Blocking read of the next frame from `fd` through `decoder`. Returns
+/// std::nullopt on EOF at a frame boundary; throws wb::DataError on EOF
+/// mid-frame or on malformed framing.
+[[nodiscard]] std::optional<Frame> read_frame(int fd, FrameDecoder& decoder);
+
+/// Write one frame to `fd`, retrying short writes. Throws wb::DataError when
+/// the peer is gone (EPIPE) or the fd errors out.
+void write_frame(int fd, const Frame& frame);
+
+#else
+#define WB_FLEET_HAS_PROCESSES 0
+#endif
+
+}  // namespace wb::fleet

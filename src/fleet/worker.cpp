@@ -1,0 +1,136 @@
+#include "src/fleet/worker.h"
+
+#if WB_FLEET_HAS_PROCESSES
+
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "src/support/check.h"
+
+namespace wb::fleet {
+
+namespace {
+
+/// All frame writes go through one mutex so a heartbeat from the sidecar
+/// thread can never interleave into the middle of a result frame.
+class FrameChannel {
+ public:
+  explicit FrameChannel(int fd) : fd_(fd) {}
+  void send(const Frame& frame) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    write_frame(fd_, frame);
+  }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
+
+/// Emits heartbeat frames every `interval` until stopped. Write failures are
+/// swallowed: the controller going away mid-sweep is detected by the main
+/// loop's next send, and a heartbeat must never crash a sweep.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(FrameChannel& channel, std::chrono::milliseconds interval)
+      : channel_(channel), interval_(interval) {
+    if (interval_.count() <= 0) return;
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~HeartbeatPump() {
+    if (!thread_.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, interval_, [this] { return stop_; })) {
+      lock.unlock();
+      try {
+        channel_.send(Frame{FrameType::kHeartbeat, {}});
+      } catch (const DataError&) {
+        // Controller gone; the sweep's own result send will notice.
+      }
+      lock.lock();
+    }
+  }
+
+  FrameChannel& channel_;
+  std::chrono::milliseconds interval_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int run_worker(int in_fd, int out_fd, const ShardRunner& runner,
+               const WorkerOptions& options) {
+  ignore_sigpipe();
+  FrameChannel channel(out_fd);
+  FrameDecoder decoder;
+  bool first_spec = true;
+  try {
+    channel.send(Frame{FrameType::kHello,
+                       "pid " + std::to_string(::getpid()) + "\n"});
+    while (true) {
+      const std::optional<Frame> frame = read_frame(in_fd, decoder);
+      if (!frame.has_value()) return 0;  // EOF: controller is gone
+      switch (frame->type) {
+        case FrameType::kShutdown:
+          return 0;
+        case FrameType::kSpec: {
+          // Heartbeats cover the whole service of the spec — parse, the
+          // injected stall, and the sweep — so the controller's liveness
+          // clock never depends on shard size.
+          HeartbeatPump pump(channel, options.heartbeat_interval);
+          if (first_spec && options.stall_first.count() > 0) {
+            std::this_thread::sleep_for(options.stall_first);
+          }
+          first_spec = false;
+          try {
+            const shard::ShardSpec spec =
+                shard::parse_shard_spec(frame->payload);
+            const shard::ShardResult result = runner(spec, options.threads);
+            channel.send(
+                Frame{FrameType::kResult, shard::serialize(result)});
+          } catch (const DataError& e) {
+            channel.send(Frame{FrameType::kError, e.what()});
+          } catch (const LogicError& e) {
+            channel.send(Frame{FrameType::kError, e.what()});
+          }
+          break;
+        }
+        case FrameType::kHello:
+        case FrameType::kHeartbeat:
+          break;  // harmless from a controller; ignore
+        case FrameType::kResult:
+        case FrameType::kError:
+          // A controller never sends these; a peer that does is confused
+          // enough that continuing would serve garbage.
+          std::fprintf(stderr,
+                       "fleet worker: unexpected %s frame from controller\n",
+                       std::string(to_string(frame->type)).c_str());
+          return 2;
+      }
+    }
+  } catch (const DataError& e) {
+    std::fprintf(stderr, "fleet worker: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace wb::fleet
+
+#endif  // WB_FLEET_HAS_PROCESSES

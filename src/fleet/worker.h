@@ -1,0 +1,59 @@
+// The persistent worker process of the fleet (wbsim fleet worker).
+//
+// A worker is a frame loop on a pair of fds (stdin/stdout when spawned by
+// the controller): it announces itself with a hello frame, then serves spec
+// frames — each payload is a serialized wbshard-spec (src/wb/shard.h) — by
+// sweeping the shard through the injected ShardRunner and answering with a
+// result frame carrying the serialized wbshard-result. While a sweep runs, a
+// sidecar thread emits heartbeat frames so the controller can tell "still
+// working on a big subtree" from "dead"; sweeps whose runner throws answer
+// with an error frame instead of dying, so one poisoned shard does not cost
+// the fleet a worker. A shutdown frame — or EOF, the controller vanishing —
+// ends the loop.
+//
+// The runner is a callback (the CLI wires in
+// wb::cli::run_protocol_spec_shard) so this layer depends only on the shard
+// formats, not on the protocol registry.
+#pragma once
+
+#include "src/fleet/transport.h"
+
+#if WB_FLEET_HAS_PROCESSES
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+#include "src/wb/shard.h"
+
+namespace wb::fleet {
+
+/// Sweep one parsed shard spec with `threads` workers and return its result.
+/// Must be deterministic in the spec (the fleet's re-issue correctness —
+/// a re-run of a lost shard anywhere must produce the same bytes).
+using ShardRunner = std::function<shard::ShardResult(
+    const shard::ShardSpec& spec, std::size_t threads)>;
+
+struct WorkerOptions {
+  /// Sweep threads per shard (as in ExhaustiveOptions: 0 = all cores, 1 =
+  /// serial).
+  std::size_t threads = 1;
+  /// Heartbeat period while a sweep is running. 0 disables heartbeats —
+  /// a worker that never heartbeats is indistinguishable from a lost one,
+  /// which is exactly what the controller's timeout tests inject.
+  std::chrono::milliseconds heartbeat_interval{200};
+  /// Fault-injection aid: sleep this long before sweeping the FIRST spec
+  /// (heartbeats keep flowing). Gives `kill -9` smoke tests a deterministic
+  /// window in which every worker is provably mid-shard.
+  std::chrono::milliseconds stall_first{0};
+};
+
+/// Serve frames on in_fd/out_fd until shutdown or EOF. Returns the process
+/// exit code: 0 on a clean shutdown/EOF, 2 when the controller's stream is
+/// malformed (diagnostic on stderr).
+int run_worker(int in_fd, int out_fd, const ShardRunner& runner,
+               const WorkerOptions& options = {});
+
+}  // namespace wb::fleet
+
+#endif  // WB_FLEET_HAS_PROCESSES

@@ -1,0 +1,90 @@
+// The command registry's contract: help is generated from the table (a
+// command cannot exist without appearing in it), dispatch routes by name
+// with the default command as the fallback, and the exit-code conventions
+// are centralized in one place.
+#include "src/cli/command.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/check.h"
+
+namespace wb::cli {
+namespace {
+
+CommandRegistry make_registry(std::vector<std::string>* trace) {
+  CommandRegistry registry("tool");
+  registry.set_default(Command{
+      "", "positional specs", "tool <spec> [flags]",
+      [trace](const std::vector<std::string>& args) {
+        trace->push_back("default:" + std::to_string(args.size()));
+        return kExitPass;
+      }});
+  registry.add(Command{
+      "alpha", "does the alpha thing", "tool alpha <x>",
+      [trace](const std::vector<std::string>& args) {
+        trace->push_back("alpha:" + (args.empty() ? "" : args[0]));
+        return kExitPass;
+      }});
+  registry.add(Command{
+      "beta", "does the beta thing", "tool beta",
+      [](const std::vector<std::string>&) { return kExitFail; }});
+  return registry;
+}
+
+TEST(CommandRegistry, DispatchRoutesByNameWithDefaultFallback) {
+  std::vector<std::string> trace;
+  const CommandRegistry registry = make_registry(&trace);
+  EXPECT_EQ(registry.dispatch({"alpha", "x"}), kExitPass);
+  EXPECT_EQ(registry.dispatch({"beta"}), kExitFail);
+  // An unknown first token is not an error: it is the default command's
+  // first positional argument (graph specs are open-ended).
+  EXPECT_EQ(registry.dispatch({"path:4", "proto"}), kExitPass);
+  EXPECT_EQ(trace,
+            (std::vector<std::string>{"alpha:x", "default:2"}));
+}
+
+TEST(CommandRegistry, OverviewListsEveryRegisteredCommand) {
+  std::vector<std::string> trace;
+  const CommandRegistry registry = make_registry(&trace);
+  const std::string overview = registry.overview();
+  EXPECT_NE(overview.find("tool <spec> [flags]"), std::string::npos);
+  EXPECT_NE(overview.find("alpha"), std::string::npos);
+  EXPECT_NE(overview.find("does the alpha thing"), std::string::npos);
+  EXPECT_NE(overview.find("beta"), std::string::npos);
+  EXPECT_NE(overview.find("help"), std::string::npos);
+}
+
+TEST(CommandRegistry, PerCommandHelpIsGeneratedFromTheTable) {
+  std::vector<std::string> trace;
+  const CommandRegistry registry = make_registry(&trace);
+  const std::string help = registry.help_for("alpha");
+  EXPECT_NE(help.find("usage: tool alpha <x>"), std::string::npos);
+  EXPECT_NE(help.find("does the alpha thing"), std::string::npos);
+  // An unknown name names the known commands in its diagnostic.
+  try {
+    (void)registry.help_for("gamma");
+    FAIL();
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("alpha"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("beta"), std::string::npos);
+  }
+}
+
+TEST(CommandRegistry, DuplicateRegistrationIsABug) {
+  std::vector<std::string> trace;
+  CommandRegistry registry = make_registry(&trace);
+  EXPECT_THROW(
+      registry.add(Command{"alpha", "again", "tool alpha",
+                           [](const std::vector<std::string>&) { return 0; }}),
+      LogicError);
+}
+
+TEST(CommandRegistry, ExitCodeConventionsAreTheDocumentedOnes) {
+  EXPECT_EQ(kExitPass, 0);
+  EXPECT_EQ(kExitFail, 1);
+  EXPECT_EQ(kExitUsage, 2);
+  EXPECT_EQ(kExitBug, 3);
+}
+
+}  // namespace
+}  // namespace wb::cli

@@ -29,69 +29,124 @@ TEST(ParseProb, FractionsValidated) {
   EXPECT_THROW((void)parse_prob("1/0"), DataError);
 }
 
-TEST(ExhaustiveSpec, ParsesThreadsAndShardForms) {
+TEST(SweepSpec, ParsesThreadsAndShardForms) {
   EXPECT_TRUE(is_exhaustive_spec("exhaustive"));
   EXPECT_TRUE(is_exhaustive_spec("exhaustive:4"));
   EXPECT_TRUE(is_exhaustive_spec("exhaustive:shards=2"));
   EXPECT_FALSE(is_exhaustive_spec("battery"));
   EXPECT_FALSE(is_exhaustive_spec("first"));
 
-  ExhaustiveSpec spec = exhaustive_from_spec("exhaustive");
+  SweepSpec spec = sweep_from_spec("exhaustive");
   EXPECT_EQ(spec.threads, 0u);
   EXPECT_EQ(spec.shards, 0u);
+  EXPECT_EQ(spec.max_executions, kDefaultSweepBudget);
 
-  spec = exhaustive_from_spec("exhaustive:3");
+  spec = sweep_from_spec("exhaustive:3");
   EXPECT_EQ(spec.threads, 3u);
   EXPECT_EQ(spec.shards, 0u);
 
-  spec = exhaustive_from_spec("exhaustive:shards=4");
+  spec = sweep_from_spec("exhaustive:shards=4");
   EXPECT_EQ(spec.threads, 0u);
   EXPECT_EQ(spec.shards, 4u);
 
-  spec = exhaustive_from_spec("exhaustive:shards=4:2");
+  // Canonical order: THREADS before shards=.
+  spec = sweep_from_spec("exhaustive:2:shards=4");
   EXPECT_EQ(spec.threads, 2u);
   EXPECT_EQ(spec.shards, 4u);
 
-  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:shards=0"), DataError);
-  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:shards=x"), DataError);
-  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:1:2"), DataError);
-  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:shards=2:1:0"),
+  // The legacy PR 4 order still parses.
+  spec = sweep_from_spec("exhaustive:shards=4:2");
+  EXPECT_EQ(spec.threads, 2u);
+  EXPECT_EQ(spec.shards, 4u);
+
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:shards=0"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:shards=x"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:1:2"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:shards=2:1:0"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:shards=2:shards=3"),
                DataError);
-  EXPECT_THROW((void)exhaustive_from_spec("battery"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:bogus"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("battery"), DataError);
 }
 
-TEST(ExhaustiveSpec, ParsesTheTrailingDistinctOption) {
+TEST(SweepSpec, ParsesTheBudgetOption) {
+  SweepSpec spec = sweep_from_spec("exhaustive:budget=100000");
+  EXPECT_EQ(spec.max_executions, 100000u);
+  EXPECT_EQ(spec.threads, 0u);
+
+  spec = sweep_from_spec("exhaustive:1:shards=4:budget=5000");
+  EXPECT_EQ(spec.threads, 1u);
+  EXPECT_EQ(spec.shards, 4u);
+  EXPECT_EQ(spec.max_executions, 5000u);
+
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:budget=0"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:budget="), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:budget=1:budget=2"),
+               DataError);
+}
+
+TEST(SweepSpec, ParsesTheTrailingDistinctOption) {
   // distinct= is the final option of any exhaustive form (the hll config
   // itself contains a colon, so it cannot sit in the middle).
-  ExhaustiveSpec spec = exhaustive_from_spec("exhaustive");
+  SweepSpec spec = sweep_from_spec("exhaustive");
   EXPECT_EQ(spec.distinct, DistinctConfig::Exact());
 
-  spec = exhaustive_from_spec("exhaustive:distinct=hll:14");
+  spec = sweep_from_spec("exhaustive:distinct=hll:14");
   EXPECT_EQ(spec.threads, 0u);
   EXPECT_EQ(spec.shards, 0u);
   EXPECT_EQ(spec.distinct, DistinctConfig::Hll(14));
 
-  spec = exhaustive_from_spec("exhaustive:distinct=hll");
+  spec = sweep_from_spec("exhaustive:distinct=hll");
   EXPECT_EQ(spec.distinct, DistinctConfig::Hll());
 
-  spec = exhaustive_from_spec("exhaustive:1:distinct=hll:8");
+  spec = sweep_from_spec("exhaustive:1:distinct=hll:8");
   EXPECT_EQ(spec.threads, 1u);
   EXPECT_EQ(spec.distinct, DistinctConfig::Hll(8));
 
-  spec = exhaustive_from_spec("exhaustive:shards=4:distinct=exact");
+  spec = sweep_from_spec("exhaustive:shards=4:distinct=exact");
   EXPECT_EQ(spec.shards, 4u);
   EXPECT_EQ(spec.distinct, DistinctConfig::Exact());
 
-  spec = exhaustive_from_spec("exhaustive:shards=4:2:distinct=hll:12");
+  spec = sweep_from_spec("exhaustive:shards=4:2:distinct=hll:12");
   EXPECT_EQ(spec.shards, 4u);
   EXPECT_EQ(spec.threads, 2u);
   EXPECT_EQ(spec.distinct, DistinctConfig::Hll(12));
 
-  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:distinct=bogus"),
-               DataError);
-  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:distinct=hll:99"),
-               DataError);
-  EXPECT_THROW((void)exhaustive_from_spec("exhaustive:distinct="), DataError);
+  spec = sweep_from_spec("exhaustive:budget=77:distinct=hll:10");
+  EXPECT_EQ(spec.max_executions, 77u);
+  EXPECT_EQ(spec.distinct, DistinctConfig::Hll(10));
+
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:distinct=bogus"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:distinct=hll:99"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:distinct="), DataError);
+}
+
+TEST(SweepSpec, FormatParseRoundTrip) {
+  // format ∘ parse is the identity on canonical text...
+  for (const char* canonical : {
+           "exhaustive",
+           "exhaustive:1",
+           "exhaustive:shards=4",
+           "exhaustive:2:shards=4",
+           "exhaustive:budget=100000",
+           "exhaustive:distinct=hll:14",
+           "exhaustive:1:shards=8:budget=5000:distinct=hll:12",
+       }) {
+    EXPECT_EQ(format_sweep_spec(sweep_from_spec(canonical)), canonical)
+        << canonical;
+  }
+  // ...and parse ∘ format is the identity on every SweepSpec, including the
+  // defaults format omits.
+  for (const SweepSpec spec :
+       {SweepSpec{}, SweepSpec{.threads = 3}, SweepSpec{.shards = 2},
+        SweepSpec{.max_executions = 1},
+        SweepSpec{.threads = 1, .shards = 4, .max_executions = 9,
+                  .distinct = DistinctConfig::Hll(9)}}) {
+    EXPECT_EQ(sweep_from_spec(format_sweep_spec(spec)), spec);
+  }
+  // The legacy order normalizes to the canonical one.
+  EXPECT_EQ(format_sweep_spec(sweep_from_spec("exhaustive:shards=4:2")),
+            "exhaustive:2:shards=4");
 }
 
 TEST(GraphSpec, StructuredFamilies) {

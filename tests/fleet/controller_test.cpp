@@ -1,0 +1,523 @@
+// Fault injection for the fleet controller: every failure mode of the
+// asynchronous-crash model — SIGKILL mid-shard, a worker that never
+// heartbeats, duplicate/stale results after a re-issue, foreign results,
+// malformed frames, poisoned shards — must leave the merged report
+// bit-identical to the no-fault reference (and therefore, by the PR 4/5
+// shard pins, to the `exhaustive:1` serial oracle). Workers here are real
+// forked processes running run_worker in-process (no exec), always with
+// threads=1 so a forked child never touches the parent's thread pool.
+#include "src/fleet/controller.h"
+
+#if WB_FLEET_HAS_PROCESSES
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cli/runners.h"
+#include "src/cli/spec.h"
+#include "src/fleet/worker.h"
+#include "src/support/check.h"
+#include "src/wb/shard.h"
+
+namespace wb::fleet {
+namespace {
+
+using std::chrono::milliseconds;
+
+shard::ShardResult serial_runner(const shard::ShardSpec& spec,
+                                 std::size_t /*threads*/) {
+  return cli::run_protocol_spec_shard(spec, 1);
+}
+
+PlanInputs make_plan(const std::string& name, const std::string& graph_spec,
+                     const std::string& protocol, std::size_t shards,
+                     const DistinctConfig& distinct = {}) {
+  const Graph g = cli::graph_from_spec(graph_spec);
+  shard::PlanOptions opts;
+  opts.distinct = distinct;
+  const auto specs =
+      cli::plan_protocol_spec_shards(protocol, g, shards, opts);
+  PlanInputs plan;
+  plan.name = name;
+  plan.manifest = shard::make_manifest(specs);
+  for (const shard::ShardSpec& spec : specs) {
+    plan.spec_documents.push_back(shard::serialize(spec));
+  }
+  return plan;
+}
+
+/// The no-fault reference: sweep every spec document serially in-process and
+/// merge. PR 4's tests pin this against the `exhaustive:1` oracle, so
+/// equality here is transitively oracle equality.
+shard::MergedResult reference_merge(const PlanInputs& plan) {
+  std::vector<shard::ShardResult> results;
+  for (const std::string& doc : plan.spec_documents) {
+    results.push_back(serial_runner(shard::parse_shard_spec(doc), 1));
+  }
+  return shard::merge_shard_results(results);
+}
+
+void expect_same_merge(const shard::MergedResult& got,
+                       const shard::MergedResult& want) {
+  EXPECT_EQ(got.shard_count, want.shard_count);
+  EXPECT_EQ(got.executions, want.executions);
+  EXPECT_EQ(got.engine_failures, want.engine_failures);
+  EXPECT_EQ(got.wrong_outputs, want.wrong_outputs);
+  EXPECT_EQ(got.distinct_boards, want.distinct_boards);
+  EXPECT_EQ(got.distinct, want.distinct);
+}
+
+/// Fork a child that serves frames with run_worker (in-process, no exec).
+WorkerEndpoint fork_worker(const WorkerOptions& options = {}) {
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  WB_REQUIRE_MSG(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+                 "pipe failed");
+  const pid_t pid = ::fork();
+  WB_REQUIRE_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::_exit(run_worker(to_child[0], from_child[1], serial_runner, options));
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  return WorkerEndpoint{pid, to_child[1], from_child[0]};
+}
+
+/// Fork a child that speaks raw frames according to `behave` (for byzantine
+/// behaviors run_worker would never produce). behave(in_fd, out_fd) runs in
+/// the child.
+template <typename Behave>
+WorkerEndpoint fork_raw(const Behave& behave) {
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  WB_REQUIRE_MSG(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+                 "pipe failed");
+  const pid_t pid = ::fork();
+  WB_REQUIRE_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ignore_sigpipe();
+    behave(to_child[0], from_child[1]);
+    ::_exit(0);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  return WorkerEndpoint{pid, to_child[1], from_child[0]};
+}
+
+WorkerLauncher plain_launcher(const WorkerOptions& options = {}) {
+  return [options](std::size_t) { return fork_worker(options); };
+}
+
+// --- the happy path, as a baseline ------------------------------------------
+
+TEST(FleetController, NoFaultSweepMatchesTheSerialReference) {
+  const PlanInputs plan = make_plan("clean", "twocliques:3", "two-cliques", 3);
+  FleetOptions options;
+  options.workers = 3;
+  const auto outcomes = run_fleet({plan}, options, plain_launcher());
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  EXPECT_FALSE(outcomes[0].budget_exceeded);
+  EXPECT_EQ(outcomes[0].reissues, 0u);
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+}
+
+TEST(FleetController, OneResidentFleetServesSeveralPlansConcurrently) {
+  // Three heterogeneous plans — exact, failing-protocol, and hll — on two
+  // workers in one run_fleet call; every merged report must match its own
+  // serial reference (workers are plan-agnostic: the spec documents are
+  // self-describing).
+  const std::vector<PlanInputs> plans = {
+      make_plan("clean", "twocliques:3", "two-cliques", 3),
+      make_plan("failing", "path:4", "broken-first:1", 2),
+      make_plan("sketched", "twocliques:3", "two-cliques", 2,
+                DistinctConfig::Hll(12)),
+  };
+  FleetOptions options;
+  options.workers = 2;
+  const auto outcomes = run_fleet(plans, options, plain_launcher());
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].completed) << outcomes[i].error;
+    expect_same_merge(outcomes[i].merged, reference_merge(plans[i]));
+  }
+  // The failing protocol's wrong outputs must be counted, not lost.
+  EXPECT_GT(outcomes[1].merged.wrong_outputs, 0u);
+}
+
+// --- crash faults ------------------------------------------------------------
+
+class KillOneWorkerMidShard : public ::testing::TestWithParam<DistinctConfig> {
+};
+
+TEST_P(KillOneWorkerMidShard, SweepStillMatchesTheSerialReference) {
+  // The ISSUE's success bar: kill -9 a worker while it provably holds a
+  // shard (stall_first keeps it mid-service); the sweep must complete and
+  // merge bit-identically, for the exact and the hll accumulator alike.
+  const PlanInputs plan =
+      make_plan("kill9", "twocliques:3", "two-cliques", 4, GetParam());
+  WorkerOptions stalling;
+  stalling.stall_first = milliseconds(400);
+  std::vector<pid_t> pids;
+  bool killed = false;
+  std::string lost_reason;
+  FleetObserver observer;
+  observer.on_spawn = [&](std::size_t, pid_t pid) { pids.push_back(pid); };
+  observer.on_dispatch = [&](std::size_t worker, const std::string&,
+                             std::uint32_t, int) {
+    if (!killed) {
+      killed = true;
+      ::kill(pids.at(worker), SIGKILL);
+    }
+  };
+  observer.on_worker_lost = [&](std::size_t, const std::string& why) {
+    lost_reason = why;
+  };
+  FleetOptions options;
+  options.workers = 2;
+  options.backoff_base = milliseconds(10);
+  const auto outcomes = run_fleet(
+      {plan}, options,
+      [&](std::size_t) { return fork_worker(stalling); }, observer);
+  ASSERT_TRUE(killed);
+  EXPECT_NE(lost_reason, "");
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  EXPECT_GE(outcomes[0].reissues, 1u);
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+}
+
+INSTANTIATE_TEST_SUITE_P(Accumulators, KillOneWorkerMidShard,
+                         ::testing::Values(DistinctConfig::Exact(),
+                                           DistinctConfig::Hll(14)));
+
+TEST(FleetController, NeverHeartbeatingWorkerIsSuspectedAndItsShardReissued) {
+  // Worker 0 reads its spec and goes silent forever (no heartbeats, no
+  // result) — indistinguishable from a dead one. The controller must
+  // suspect it, re-issue the shard elsewhere, and still finish with the
+  // reference totals.
+  const PlanInputs plan = make_plan("silence", "twocliques:3", "two-cliques", 2);
+  std::vector<std::string> requeue_reasons;
+  FleetObserver observer;
+  observer.on_requeue = [&](const std::string&, std::uint32_t,
+                            const std::string& why) {
+    requeue_reasons.push_back(why);
+  };
+  FleetOptions options;
+  options.workers = 2;
+  options.heartbeat_timeout = milliseconds(150);
+  options.backoff_base = milliseconds(10);
+  std::size_t spawned = 0;
+  const WorkerLauncher launcher = [&](std::size_t) {
+    if (spawned++ == 0) {
+      // The trap: hello, swallow one spec, sleep "forever".
+      return fork_raw([](int in_fd, int out_fd) {
+        write_frame(out_fd, Frame{FrameType::kHello, ""});
+        FrameDecoder decoder;
+        (void)read_frame(in_fd, decoder);
+        std::this_thread::sleep_for(std::chrono::seconds(60));
+      });
+    }
+    return fork_worker();
+  };
+  const auto outcomes = run_fleet({plan}, options, launcher, observer);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  EXPECT_GE(outcomes[0].reissues, 1u);
+  ASSERT_FALSE(requeue_reasons.empty());
+  EXPECT_NE(requeue_reasons[0].find("heartbeat"), std::string::npos)
+      << requeue_reasons[0];
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+}
+
+TEST(FleetController, StaleDuplicateResultAfterCompletionIsDiscarded) {
+  // A worker delivers its shard's result twice — the second copy models the
+  // original holder of a re-issued shard answering after the re-run already
+  // merged. First valid result wins; the duplicate is discarded as stale
+  // and the totals cannot double-count.
+  const PlanInputs plan = make_plan("stale", "twocliques:3", "two-cliques", 2);
+  std::vector<std::string> discard_reasons;
+  FleetObserver observer;
+  observer.on_discard = [&](std::size_t, const std::string& why) {
+    discard_reasons.push_back(why);
+  };
+  FleetOptions options;
+  options.workers = 1;  // one worker serves both shards back to back
+  const WorkerLauncher launcher = [](std::size_t) {
+    return fork_raw([](int in_fd, int out_fd) {
+      FrameDecoder decoder;
+      write_frame(out_fd, Frame{FrameType::kHello, ""});
+      while (const std::optional<Frame> frame = read_frame(in_fd, decoder)) {
+        if (frame->type != FrameType::kSpec) return;
+        const shard::ShardResult result =
+            serial_runner(shard::parse_shard_spec(frame->payload), 1);
+        const std::string doc = shard::serialize(result);
+        write_frame(out_fd, Frame{FrameType::kResult, doc});
+        write_frame(out_fd, Frame{FrameType::kResult, doc});  // the stale twin
+      }
+    });
+  };
+  const auto outcomes = run_fleet({plan}, options, launcher, observer);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  ASSERT_FALSE(discard_reasons.empty());
+  EXPECT_NE(discard_reasons[0].find("stale"), std::string::npos)
+      << discard_reasons[0];
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+}
+
+TEST(FleetController, ForeignResultIsDiscardedAndTheShardRetried) {
+  // Worker 0 answers its first spec with a result from a *different* plan.
+  // The plan-fingerprint guard must discard it (never merge it) and retry
+  // the shard; the worker behaves afterwards, so the sweep completes.
+  const PlanInputs plan = make_plan("served", "twocliques:3", "two-cliques", 2);
+  const PlanInputs other = make_plan("other", "path:4", "broken-first:1", 1);
+  const std::string foreign_doc = shard::serialize(
+      serial_runner(shard::parse_shard_spec(other.spec_documents[0]), 1));
+  std::vector<std::string> discard_reasons;
+  FleetObserver observer;
+  observer.on_discard = [&](std::size_t, const std::string& why) {
+    discard_reasons.push_back(why);
+  };
+  FleetOptions options;
+  options.workers = 1;
+  options.backoff_base = milliseconds(10);
+  const WorkerLauncher launcher = [&](std::size_t) {
+    return fork_raw([&foreign_doc](int in_fd, int out_fd) {
+      FrameDecoder decoder;
+      write_frame(out_fd, Frame{FrameType::kHello, ""});
+      bool lied = false;
+      while (const std::optional<Frame> frame = read_frame(in_fd, decoder)) {
+        if (frame->type != FrameType::kSpec) return;
+        if (!lied) {
+          lied = true;
+          write_frame(out_fd, Frame{FrameType::kResult, foreign_doc});
+          continue;
+        }
+        const shard::ShardResult result =
+            serial_runner(shard::parse_shard_spec(frame->payload), 1);
+        write_frame(out_fd,
+                    Frame{FrameType::kResult, shard::serialize(result)});
+      }
+    });
+  };
+  const auto outcomes = run_fleet({plan}, options, launcher, observer);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  EXPECT_GE(outcomes[0].reissues, 1u);
+  ASSERT_FALSE(discard_reasons.empty());
+  EXPECT_NE(discard_reasons[0].find("foreign"), std::string::npos)
+      << discard_reasons[0];
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+}
+
+TEST(FleetController, MalformedFramesKillTheWorkerAndTheFleetRecovers) {
+  // A worker whose stream degenerates into garbage cannot be
+  // resynchronized: the controller must kill it, respawn, and finish.
+  const PlanInputs plan = make_plan("garbled", "twocliques:3", "two-cliques", 2);
+  std::string lost_reason;
+  FleetObserver observer;
+  observer.on_worker_lost = [&](std::size_t, const std::string& why) {
+    if (lost_reason.empty()) lost_reason = why;
+  };
+  FleetOptions options;
+  options.workers = 1;
+  options.backoff_base = milliseconds(10);
+  std::size_t spawned = 0;
+  const WorkerLauncher launcher = [&](std::size_t) {
+    if (spawned++ == 0) {
+      return fork_raw([](int in_fd, int out_fd) {
+        write_frame(out_fd, Frame{FrameType::kHello, ""});
+        FrameDecoder decoder;
+        (void)read_frame(in_fd, decoder);  // wait for the spec
+        const char garbage[] = "this is not a frame\n";
+        (void)!::write(out_fd, garbage, sizeof garbage - 1);
+        std::this_thread::sleep_for(std::chrono::seconds(60));
+      });
+    }
+    return fork_worker();
+  };
+  const auto outcomes = run_fleet({plan}, options, launcher, observer);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  EXPECT_NE(lost_reason.find("malformed"), std::string::npos) << lost_reason;
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+}
+
+// --- plan-level failures ------------------------------------------------------
+
+TEST(FleetController, PoisonedShardFailsItsPlanButNotItsNeighbors) {
+  // A spec whose protocol no worker can construct makes every attempt
+  // answer with an error frame; after max_attempts the plan fails — while a
+  // healthy plan served by the same fleet still completes.
+  // A different graph than the healthy plan: the fingerprint is computed at
+  // plan time, so tampering the protocol line below does not change it, and
+  // two live plans may not share one.
+  PlanInputs poisoned = make_plan("poisoned", "twocliques:4", "two-cliques", 2);
+  {
+    // Tamper the protocol line (opaque to the shard layer, fatal to the
+    // runner), then rebuild a *consistent* manifest so the input guard
+    // admits the plan and the failure happens in the workers.
+    std::vector<shard::ShardSpec> specs;
+    for (std::string& doc : poisoned.spec_documents) {
+      shard::ShardSpec spec = shard::parse_shard_spec(doc);
+      spec.protocol_spec = "no-such-protocol";
+      doc = shard::serialize(spec);
+      specs.push_back(std::move(spec));
+    }
+    poisoned.manifest = shard::make_manifest(specs);
+  }
+  const PlanInputs healthy = make_plan("healthy", "twocliques:3", "two-cliques", 2);
+  FleetOptions options;
+  options.workers = 2;
+  options.max_attempts = 2;
+  options.backoff_base = milliseconds(1);
+  const auto outcomes =
+      run_fleet({poisoned, healthy}, options, plain_launcher());
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].completed);
+  EXPECT_NE(outcomes[0].error.find("attempts"), std::string::npos)
+      << outcomes[0].error;
+  ASSERT_TRUE(outcomes[1].completed) << outcomes[1].error;
+  expect_same_merge(outcomes[1].merged, reference_merge(healthy));
+}
+
+TEST(FleetController, DuplicateFingerprintPlansAreRefusedUpFront) {
+  // Results are attributed by fingerprint, so two live plans sharing one
+  // would be indistinguishable on the wire; the controller refuses the
+  // ambiguity before spawning anything.
+  const PlanInputs a = make_plan("a", "twocliques:3", "two-cliques", 2);
+  PlanInputs b = a;
+  b.name = "b";
+  FleetOptions options;
+  options.workers = 1;
+  EXPECT_THROW((void)run_fleet({a, b}, options, plain_launcher()), DataError);
+}
+
+TEST(FleetController, SwappedSpecDocumentIsRefusedUpFront) {
+  // A spec document whose hash contradicts the manifest must be rejected
+  // before any worker is spawned — not discovered after a sweep.
+  PlanInputs plan = make_plan("swapped", "twocliques:3", "two-cliques", 2);
+  std::swap(plan.spec_documents[0], plan.spec_documents[1]);
+  FleetOptions options;
+  options.workers = 1;
+  EXPECT_THROW((void)run_fleet({plan}, options, plain_launcher()), DataError);
+}
+
+TEST(FleetController, BudgetExceededSurfacesLikeTheSerialOracle) {
+  // A plan whose schedule space exceeds its budget must report
+  // budget_exceeded — the flag the CLI turns into the oracle's
+  // BudgetExceededError behavior — not silently truncated totals.
+  const Graph g = cli::graph_from_spec("twocliques:3");
+  shard::PlanOptions popts;
+  popts.max_executions = 100;  // 6! = 720 schedules >> 100
+  const auto specs =
+      cli::plan_protocol_spec_shards("two-cliques", g, 2, popts);
+  PlanInputs plan;
+  plan.name = "overbudget";
+  plan.manifest = shard::make_manifest(specs);
+  for (const shard::ShardSpec& spec : specs) {
+    plan.spec_documents.push_back(shard::serialize(spec));
+  }
+  FleetOptions options;
+  options.workers = 2;
+  const auto outcomes = run_fleet({plan}, options, plain_launcher());
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  EXPECT_TRUE(outcomes[0].budget_exceeded);
+}
+
+// --- the worker loop, driven in-process --------------------------------------
+
+TEST(FleetWorker, ServesSpecsThenShutsDownCleanly) {
+  const PlanInputs plan = make_plan("direct", "twocliques:3", "two-cliques", 1);
+  int to_worker[2] = {-1, -1};
+  int from_worker[2] = {-1, -1};
+  ASSERT_EQ(::pipe(to_worker), 0);
+  ASSERT_EQ(::pipe(from_worker), 0);
+  std::thread worker([&] {
+    (void)run_worker(to_worker[0], from_worker[1], serial_runner);
+    ::close(from_worker[1]);
+  });
+  write_frame(to_worker[1], Frame{FrameType::kSpec, plan.spec_documents[0]});
+  write_frame(to_worker[1], Frame{FrameType::kShutdown, ""});
+  FrameDecoder decoder;
+  std::optional<Frame> hello = read_frame(from_worker[0], decoder);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->type, FrameType::kHello);
+  // Heartbeats may precede the result; skip them.
+  std::optional<Frame> frame;
+  do {
+    frame = read_frame(from_worker[0], decoder);
+    ASSERT_TRUE(frame.has_value());
+  } while (frame->type == FrameType::kHeartbeat);
+  EXPECT_EQ(frame->type, FrameType::kResult);
+  const shard::ShardResult result = shard::parse_shard_result(frame->payload);
+  EXPECT_EQ(result.plan, plan.manifest.plan);
+  worker.join();
+  ::close(to_worker[1]);
+  ::close(to_worker[0]);
+  ::close(from_worker[0]);
+}
+
+TEST(FleetWorker, UnsweepableSpecAnswersWithAnErrorFrameAndLivesOn) {
+  int to_worker[2] = {-1, -1};
+  int from_worker[2] = {-1, -1};
+  ASSERT_EQ(::pipe(to_worker), 0);
+  ASSERT_EQ(::pipe(from_worker), 0);
+  int exit_code = -1;
+  std::thread worker([&] {
+    exit_code = run_worker(to_worker[0], from_worker[1], serial_runner);
+    ::close(from_worker[1]);
+  });
+  write_frame(to_worker[1], Frame{FrameType::kSpec, "not a shard spec"});
+  write_frame(to_worker[1], Frame{FrameType::kShutdown, ""});
+  FrameDecoder decoder;
+  std::optional<Frame> frame = read_frame(from_worker[0], decoder);  // hello
+  ASSERT_TRUE(frame.has_value());
+  do {
+    frame = read_frame(from_worker[0], decoder);
+    ASSERT_TRUE(frame.has_value());
+  } while (frame->type == FrameType::kHeartbeat);
+  EXPECT_EQ(frame->type, FrameType::kError);
+  EXPECT_FALSE(frame->payload.empty());
+  worker.join();
+  EXPECT_EQ(exit_code, 0);  // one poisoned shard does not cost a worker
+  ::close(to_worker[1]);
+  ::close(to_worker[0]);
+  ::close(from_worker[0]);
+}
+
+TEST(FleetWorker, MalformedControllerStreamExitsWithDataErrorCode) {
+  int to_worker[2] = {-1, -1};
+  int from_worker[2] = {-1, -1};
+  ASSERT_EQ(::pipe(to_worker), 0);
+  ASSERT_EQ(::pipe(from_worker), 0);
+  int exit_code = -1;
+  std::thread worker([&] {
+    exit_code = run_worker(to_worker[0], from_worker[1], serial_runner);
+    ::close(from_worker[1]);
+  });
+  const char garbage[] = "wbframe v9 nonsense\n";
+  ASSERT_GT(::write(to_worker[1], garbage, sizeof garbage - 1), 0);
+  ::close(to_worker[1]);
+  worker.join();
+  EXPECT_EQ(exit_code, 2);
+  ::close(to_worker[0]);
+  ::close(from_worker[0]);
+}
+
+}  // namespace
+}  // namespace wb::fleet
+
+#endif  // WB_FLEET_HAS_PROCESSES

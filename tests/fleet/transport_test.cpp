@@ -1,0 +1,155 @@
+// The frame layer's contract: encode∘decode is the identity, arbitrary
+// chunking never matters, and malformed input — truncated, oversized, or
+// garbage length prefixes included — is rejected with a diagnostic, never a
+// hang, an unbounded allocation, or a crash. These rejection cases sit
+// alongside the shard layer's v2 document rejections (tests/wb/shard_test.cpp)
+// because the fleet moves exactly those documents inside these frames.
+#include "src/fleet/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace wb::fleet {
+namespace {
+
+std::optional<Frame> decode_all(const std::string& wire) {
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  return decoder.next();
+}
+
+TEST(Transport, EncodeDecodeRoundTripsEveryType) {
+  for (const FrameType type :
+       {FrameType::kHello, FrameType::kSpec, FrameType::kResult,
+        FrameType::kHeartbeat, FrameType::kShutdown, FrameType::kError}) {
+    const Frame frame{type, "payload for " + std::string(to_string(type))};
+    const std::optional<Frame> decoded = decode_all(encode_frame(frame));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, frame);
+  }
+}
+
+TEST(Transport, WireFormIsTheDocumentedHeaderLine) {
+  EXPECT_EQ(encode_frame(Frame{FrameType::kSpec, "abc"}),
+            "wbframe v1 spec 3\nabc");
+  EXPECT_EQ(encode_frame(Frame{FrameType::kHeartbeat, ""}),
+            "wbframe v1 heartbeat 0\n");
+}
+
+TEST(Transport, EmptyPayloadAndBinaryPayloadSurvive) {
+  const Frame empty{FrameType::kShutdown, ""};
+  EXPECT_EQ(decode_all(encode_frame(empty)), empty);
+
+  const std::string binary("with\nnewlines\0and nul bytes", 27);
+  const Frame frame{FrameType::kResult, binary};
+  EXPECT_EQ(decode_all(encode_frame(frame)), frame);
+}
+
+TEST(Transport, DecoderIsIncremental_ByteAtATime) {
+  const Frame a{FrameType::kSpec, "first document"};
+  const Frame b{FrameType::kResult, "second document"};
+  const std::string wire = encode_frame(a) + encode_frame(b);
+  FrameDecoder decoder;
+  std::vector<Frame> seen;
+  for (const char c : wire) {
+    decoder.feed(&c, 1);
+    while (const std::optional<Frame> frame = decoder.next()) {
+      seen.push_back(*frame);
+    }
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], a);
+  EXPECT_EQ(seen[1], b);
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(Transport, PartialFrameReportsNotIdle) {
+  FrameDecoder decoder;
+  decoder.feed("wbframe v1 spec 10\nhalf");
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_FALSE(decoder.idle());  // EOF here would be a mid-frame death
+}
+
+// --- rejection: every way a length-prefixed stream can lie ------------------
+
+void expect_rejected(const std::string& wire, const char* needle) {
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  try {
+    (void)decoder.next();
+    FAIL() << "accepted: " << wire.substr(0, 60);
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic '" << e.what() << "' should mention '" << needle << "'";
+  }
+}
+
+TEST(Transport, RejectsBadMagic) {
+  expect_rejected("wbfraME v1 spec 3\nabc", "magic");
+  expect_rejected("GET / HTTP/1.1\r\n\r\n", "magic");
+  expect_rejected(std::string("\x00\x01\x02\x03garbage\n", 12), "magic");
+}
+
+TEST(Transport, RejectsVersionSkew) {
+  expect_rejected("wbframe v2 spec 3\nabc", "version");
+  expect_rejected("wbframe  spec 3\nabc", "version");
+}
+
+TEST(Transport, RejectsUnknownType) {
+  expect_rejected("wbframe v1 gossip 3\nabc", "frame type");
+  expect_rejected("wbframe v1  3\nabc", "frame type");
+}
+
+TEST(Transport, RejectsGarbageLengthPrefixes) {
+  expect_rejected("wbframe v1 spec x\n", "length");
+  expect_rejected("wbframe v1 spec -1\n", "length");
+  expect_rejected("wbframe v1 spec 3abc\n", "length");
+  expect_rejected("wbframe v1 spec\n", "length");
+  expect_rejected("wbframe v1 spec 1 2\n", "length");
+}
+
+TEST(Transport, RejectsOversizedLengthWithoutAllocating) {
+  // A hostile length must be rejected from the header alone — the payload
+  // cap guards the allocation, not an OOM.
+  expect_rejected("wbframe v1 spec 99999999999999999999\n", "length");
+  expect_rejected(
+      "wbframe v1 spec " + std::to_string(kMaxFramePayload + 1) + "\n", "cap");
+}
+
+TEST(Transport, RejectsUnterminatedHeaderBeforeBufferingForever) {
+  // A stream that never sends '\n' must fail at the header bound, not
+  // buffer unboundedly.
+  FrameDecoder decoder;
+  decoder.feed(std::string(kMaxHeaderBytes + 1, 'a'));
+  EXPECT_THROW((void)decoder.next(), DataError);
+}
+
+TEST(Transport, RejectsOverlongHeaderLineEvenWithNewline) {
+  expect_rejected("wbframe v1 spec " + std::string(60, '0') + "\n", "bound");
+}
+
+TEST(Transport, PoisonedDecoderStaysPoisoned) {
+  FrameDecoder decoder;
+  decoder.feed("wbframe v1 bogus 0\n");
+  EXPECT_THROW((void)decoder.next(), DataError);
+  // Feeding perfectly valid bytes cannot resynchronize a framing error.
+  decoder.feed(encode_frame(Frame{FrameType::kHello, ""}));
+  EXPECT_THROW((void)decoder.next(), DataError);
+  EXPECT_FALSE(decoder.idle());
+}
+
+TEST(Transport, FrameTypeTokensRoundTrip) {
+  for (const char* token :
+       {"hello", "spec", "result", "heartbeat", "shutdown", "error"}) {
+    EXPECT_EQ(to_string(frame_type_from_string(token)), token);
+  }
+  EXPECT_THROW((void)frame_type_from_string("HELLO"), DataError);
+  EXPECT_THROW((void)frame_type_from_string(""), DataError);
+}
+
+}  // namespace
+}  // namespace wb::fleet

@@ -194,6 +194,44 @@ TEST(ShardOracle, WorkerThreadCountNeverChangesAResult) {
   }
 }
 
+TEST(ShardOracle, ReRunningAShardIsByteIdenticalSoReissuesAreSafe) {
+  // The fleet controller's whole retry story rests on this: a shard spec
+  // re-swept anywhere — after a crash, a timeout, on a different worker with
+  // a different thread count — produces the same result *bytes*, so a
+  // re-issued shard's result can replace (or arrive after) the original
+  // without changing the merged totals.
+  const Graph g = two_cliques(3);
+  const TwoCliquesProtocol p;
+  shard::PlanOptions opts;
+  for (const DistinctConfig distinct :
+       {DistinctConfig::Exact(), DistinctConfig::Hll(12)}) {
+    opts.distinct = distinct;
+    const std::vector<ShardSpec> specs =
+        shard::plan_shards(g, p, "two-cliques", 3, opts);
+    std::vector<ShardResult> first_runs;
+    for (const ShardSpec& spec : specs) {
+      // Round-trip the spec (the bytes a controller would re-send), then
+      // run it twice at different thread counts.
+      const ShardSpec resent =
+          shard::parse_shard_spec(shard::serialize(spec));
+      first_runs.push_back(shard::run_shard(resent, p, nullptr, 1));
+      const ShardResult rerun = shard::run_shard(resent, p, nullptr, 2);
+      EXPECT_EQ(shard::serialize(rerun), shard::serialize(first_runs.back()))
+          << "shard " << spec.shard_index;
+    }
+    // Substituting a re-run for the original in the merge changes nothing.
+    const MergedResult original = shard::merge_shard_results(first_runs);
+    std::vector<ShardResult> with_rerun = first_runs;
+    with_rerun[0] = shard::parse_shard_result(
+        shard::serialize(shard::run_shard(specs[0], p, nullptr, 0)));
+    const MergedResult substituted = shard::merge_shard_results(with_rerun);
+    EXPECT_EQ(substituted.executions, original.executions);
+    EXPECT_EQ(substituted.engine_failures, original.engine_failures);
+    EXPECT_EQ(substituted.wrong_outputs, original.wrong_outputs);
+    EXPECT_EQ(substituted.distinct_boards, original.distinct_boards);
+  }
+}
+
 TEST(ShardOracle, PlanIsDeterministicAndTilesTheScheduleTree) {
   const Graph g = star_graph(4);
   const testing::EchoIdProtocol p;

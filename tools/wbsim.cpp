@@ -1,64 +1,40 @@
 // wbsim — run any protocol of the library on any generated graph under any
 // adversary, from the command line.
 //
+// The tool is a command registry (src/cli/command.h): `wbsim help` lists
+// every subcommand, `wbsim help <command>` prints its usage, and the
+// commandless invocation runs one protocol:
+//
 //   wbsim <graph-spec> <protocol-spec> [adversary-spec] [--counterexample]
 //
 //   wbsim kdeg:200:3:20:7 build-degenerate:3 random:5
 //   wbsim cgnp:150:1/8:3  sync-bfs          maxdeg
 //   wbsim twocliques:16   rand-two-cliques:99
-//   wbsim ceob:80:1/6:2   eob-bfs           last
 //
-// The special adversary-spec `battery[:SEED]` runs the protocol under the
-// whole standard adversary battery, fanned out across all cores through the
-// batch engine:
+// The pseudo-adversaries `battery[:SEED]` (the standard adversary battery,
+// parallel) and `exhaustive...` (every schedule — the paper's correctness
+// quantifier) accept the unified sweep grammar of src/cli/spec.h:
 //
-//   wbsim cgnp:400:1/8:3  sync-bfs          battery:7
+//   exhaustive[:THREADS][:shards=K][:budget=N][:distinct=exact|hll[:P]]
 //
-// The special adversary-spec `exhaustive[:THREADS]` visits *every* adversary
-// schedule (the paper's correctness quantifier — small n only), partitioned
-// across the shared worker pool (THREADS omitted or 0 = all cores, 1 =
-// serial). `--counterexample` additionally reports the smallest-prefix
-// failing schedule, deterministically at any thread count:
+// `shards=K` runs the sweep as a K-worker *fleet*: the schedule tree is
+// planned into K shard specs, K persistent worker processes are spawned, and
+// the fleet controller (src/fleet/controller.h) dispatches, retries, and
+// merges — the same machinery `wbsim fleet run` applies to on-disk plans.
 //
-//   wbsim twocliques:4    two-cliques       exhaustive
-//   wbsim path:4          broken-first:1    exhaustive:1 --counterexample
+// Sharding subcommands (versioned text artifacts; src/wb/shard.h):
 //
-// `exhaustive:shards=K[:THREADS]` runs the same sweep as K local worker
-// *processes* (plan → spawn K `wbsim shard-run` children → merge), the
-// one-machine rehearsal of the fleet workflow below:
-//
-//   wbsim twocliques:4    two-cliques       exhaustive:shards=4
-//
-// Every exhaustive form may end in `:distinct=exact|hll[:P]` selecting the
-// distinct-board accumulator (src/wb/distinct.h): exact sorted-run dedup
-// (default, O(distinct) memory) or a HyperLogLog estimate (2^P bytes flat,
-// relative error ~1.04/sqrt(2^P)) for schedule spaces whose distinct-board
-// count would not fit in memory:
-//
-//   wbsim twocliques:4    two-cliques       exhaustive:distinct=hll:14
-//
-// Sharding subcommands — the distributable workflow (specs, results, and
-// manifests are versioned text files; see src/wb/shard.h for the
-// determinism contract):
-//
-//   wbsim shard-plan <graph-spec> <protocol-spec> <K> <out-base>
-//                    [max-execs] [distinct=exact|hll[:P]]
-//       writes <out-base>.<k>.shard for k = 0..K-1, plus
-//       <out-base>.manifest (plan fingerprint + per-spec hashes) for
-//       fleet-side completion tracking
-//   wbsim shard-run <spec-file> <result-file> [threads]
-//       sweeps one shard (threads: 0 = all cores) and writes its result
+//   wbsim shard-plan  <graph> <protocol> <sweep-spec> <out-base>
+//   wbsim shard-run   <spec-file> <result-file> [threads]
 //   wbsim shard-status <manifest-file> <dir>
-//       scans <dir>'s *.result files against the manifest and reports which
-//       shards are present / missing / foreign (exit 0 iff complete), so a
-//       lost shard can be re-run on another host
 //   wbsim shard-merge <result-file>...
-//       merges a complete result set; the schedules/verdict lines are
-//       byte-identical to what `exhaustive:1` prints for the same instance
-//       (with the same distinct= choice)
 //
-// Exit code 0 iff every run executed and the output validated against the
-// centralized reference algorithms.
+// Fleet subcommands (length-prefixed frames over pipes; src/fleet/):
+//
+//   wbsim fleet run <manifest>... [--workers=K] [...]   serve plans to done
+//   wbsim fleet worker [--threads=T] [...]              frame loop on stdio
+//
+// Exit codes (src/cli/command.h): 0 PASS, 1 FAIL, 2 bad input, 3 wbsim bug.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -69,41 +45,22 @@
 #include <thread>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/wait.h>
-#include <unistd.h>
-#define WBSIM_HAS_PROCESSES 1
-#else
-#define WBSIM_HAS_PROCESSES 0
-#endif
-
+#include "src/cli/command.h"
 #include "src/cli/runners.h"
 #include "src/cli/spec.h"
+#include "src/fleet/controller.h"
+#include "src/fleet/worker.h"
 #include "src/support/check.h"
 #include "src/wb/shard.h"
 
+#if WB_FLEET_HAS_PROCESSES
+#include <unistd.h>
+#endif
+
 namespace {
 
-void usage() {
-  std::printf(
-      "usage: wbsim <graph-spec> <protocol-spec> [adversary-spec] "
-      "[--counterexample]\n"
-      "       wbsim shard-plan <graph-spec> <protocol-spec> <K> <out-base> "
-      "[max-executions] [distinct=exact|hll[:P]]\n"
-      "       wbsim shard-run <spec-file> <result-file> [threads]\n"
-      "       wbsim shard-status <manifest-file> <dir>\n"
-      "       wbsim shard-merge <result-file>...\n\n%s\n\n"
-      "%s\n\n%s\n           battery[:SEED] (full battery, parallel)\n"
-      "           exhaustive[:THREADS] (every schedule, parallel; small n)\n"
-      "           exhaustive:shards=K[:THREADS] (every schedule, K worker "
-      "processes)\n"
-      "           either exhaustive form may end in :distinct=exact|hll[:P]\n"
-      "           (distinct-board counting: exact dedup, or a HyperLogLog\n"
-      "           estimate in 2^P bytes of memory)\n",
-      wb::cli::graph_spec_help().c_str(),
-      wb::cli::protocol_spec_help().c_str(),
-      wb::cli::adversary_spec_help().c_str());
-}
+using wb::cli::kExitFail;
+using wb::cli::kExitPass;
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -122,12 +79,65 @@ void write_file(const std::string& path, const std::string& contents) {
   WB_REQUIRE_MSG(out.good(), "cannot write '" << path << "'");
 }
 
+std::uint64_t parse_u64_arg(const std::string& field, const std::string& what) {
+  return wb::cli::parse_u64(field, what);
+}
+
+/// Pop every `--key=value` option named in `keys` out of `args` (in place)
+/// and return the values by key; unknown `--` arguments are rejected.
+std::vector<std::string> take_options(
+    std::vector<std::string>& args, const std::vector<std::string>& keys,
+    std::vector<std::string>* values) {
+  values->assign(keys.size(), "");
+  std::vector<std::string> rest;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) != 0) {
+      rest.push_back(arg);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    bool known = false;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (key == keys[i]) {
+        WB_REQUIRE_MSG(eq != std::string::npos, key << " needs =VALUE");
+        (*values)[i] = arg.substr(eq + 1);
+        known = true;
+        break;
+      }
+    }
+    WB_REQUIRE_MSG(known, "unknown option '" << arg << "'");
+  }
+  args = rest;
+  return *values;
+}
+
+int print_report(const wb::cli::RunReport& report) {
+  std::printf("%s", report.summary.c_str());
+  std::printf("result     %s\n", report.correct ? "PASS" : "FAIL");
+  return report.correct ? kExitPass : kExitFail;
+}
+
+int print_merged(const wb::shard::MergedResult& merged) {
+  std::printf("shards     %u results merged\n", merged.shard_count);
+  std::printf("%s",
+              wb::cli::exhaustive_summary_lines(
+                  merged.executions, merged.engine_failures,
+                  merged.wrong_outputs, merged.distinct_boards,
+                  merged.distinct)
+                  .c_str());
+  const bool correct =
+      merged.engine_failures == 0 && merged.wrong_outputs == 0;
+  std::printf("result     %s\n", correct ? "PASS" : "FAIL");
+  return correct ? kExitPass : kExitFail;
+}
+
 int run_battery(const wb::Graph& g, const std::string& protocol,
                 const std::string& spec) {
   const auto parts = wb::cli::split_spec(spec);
   WB_REQUIRE_MSG(parts.size() <= 2, "expected battery[:SEED]");
   const std::uint64_t seed =
-      parts.size() == 2 ? wb::cli::parse_u64(parts[1], "seed") : 1;
+      parts.size() == 2 ? parse_u64_arg(parts[1], "seed") : 1;
   const auto reports = wb::cli::run_protocol_spec_battery(protocol, g, seed);
   std::size_t correct = 0;
   for (const auto& report : reports) {
@@ -136,39 +146,304 @@ int run_battery(const wb::Graph& g, const std::string& protocol,
     if (report.correct) ++correct;
   }
   std::printf("battery    %zu/%zu adversaries ok\n", correct, reports.size());
-  return correct == reports.size() ? 0 : 1;
+  return correct == reports.size() ? kExitPass : kExitFail;
 }
 
-int print_report(const wb::cli::RunReport& report) {
-  std::printf("%s", report.summary.c_str());
-  std::printf("result     %s\n", report.correct ? "PASS" : "FAIL");
-  return report.correct ? 0 : 1;
+// --- Fleet plumbing ----------------------------------------------------------
+
+#if WB_FLEET_HAS_PROCESSES
+
+std::string g_argv0;  // for self_executable on non-procfs systems
+
+std::string self_executable() {
+  char buffer[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len > 0) return std::string(buffer, static_cast<std::size_t>(len));
+  return g_argv0;  // fine for relative invocations
 }
+
+struct FleetCliOptions {
+  wb::fleet::FleetOptions fleet;
+  std::size_t worker_threads = 1;
+  std::chrono::milliseconds heartbeat_interval{200};
+  std::chrono::milliseconds stall_first{0};
+};
+
+/// Parse the shared fleet flags out of `args` (consuming them). `defaults`
+/// seeds the values so each command keeps its own worker-count default.
+FleetCliOptions take_fleet_options(std::vector<std::string>& args,
+                                   FleetCliOptions defaults) {
+  std::vector<std::string> values;
+  take_options(args,
+               {"--workers", "--threads", "--heartbeat-timeout-ms",
+                "--shard-deadline-ms", "--max-attempts", "--stall-first-ms"},
+               &values);
+  FleetCliOptions out = defaults;
+  if (!values[0].empty()) {
+    out.fleet.workers = parse_u64_arg(values[0], "--workers");
+    WB_REQUIRE_MSG(out.fleet.workers >= 1, "--workers must be at least 1");
+  }
+  if (!values[1].empty()) {
+    out.worker_threads = parse_u64_arg(values[1], "--threads");
+  }
+  if (!values[2].empty()) {
+    out.fleet.heartbeat_timeout =
+        std::chrono::milliseconds(parse_u64_arg(values[2], "timeout"));
+  }
+  if (!values[3].empty()) {
+    out.fleet.shard_deadline =
+        std::chrono::milliseconds(parse_u64_arg(values[3], "deadline"));
+  }
+  if (!values[4].empty()) {
+    out.fleet.max_attempts =
+        static_cast<int>(parse_u64_arg(values[4], "--max-attempts"));
+  }
+  if (!values[5].empty()) {
+    out.stall_first =
+        std::chrono::milliseconds(parse_u64_arg(values[5], "stall"));
+  }
+  return out;
+}
+
+/// Launch `wbsim fleet worker` children of this very binary, stdio wired to
+/// the controller's pipe pairs.
+wb::fleet::WorkerLauncher make_self_launcher(const FleetCliOptions& options) {
+  const std::string exe = self_executable();
+  const std::string threads = std::to_string(options.worker_threads);
+  const std::string stall =
+      std::to_string(options.stall_first.count());
+  const std::string heartbeat =
+      std::to_string(options.heartbeat_interval.count());
+  return [exe, threads, stall, heartbeat](std::size_t index) {
+    int to_child[2] = {-1, -1};
+    int from_child[2] = {-1, -1};
+    WB_REQUIRE_MSG(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+                   "cannot create pipes for worker " << index);
+    const pid_t pid = ::fork();
+    WB_REQUIRE_MSG(pid >= 0, "fork failed for worker " << index);
+    if (pid == 0) {
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      const std::string threads_arg = "--threads=" + threads;
+      const std::string stall_arg = "--stall-first-ms=" + stall;
+      const std::string heartbeat_arg = "--heartbeat-ms=" + heartbeat;
+      const char* args[] = {exe.c_str(),          "fleet",
+                            "worker",             threads_arg.c_str(),
+                            stall_arg.c_str(),    heartbeat_arg.c_str(),
+                            nullptr};
+      ::execv(exe.c_str(), const_cast<char* const*>(args));
+      ::_exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    return wb::fleet::WorkerEndpoint{pid, to_child[1], from_child[0]};
+  };
+}
+
+/// Progress lines, flushed eagerly so an observer (CI's kill-a-worker smoke
+/// included) sees pids and dispatches while the sweep is still running.
+wb::fleet::FleetObserver make_printing_observer() {
+  wb::fleet::FleetObserver observer;
+  observer.on_spawn = [](std::size_t worker, pid_t pid) {
+    std::printf("fleet      worker %zu spawned (pid %ld)\n", worker,
+                static_cast<long>(pid));
+    std::fflush(stdout);
+  };
+  observer.on_dispatch = [](std::size_t worker, const std::string& plan,
+                            std::uint32_t shard, int attempt) {
+    std::printf("fleet      %s shard %u -> worker %zu (attempt %d)\n",
+                plan.c_str(), shard, worker, attempt);
+    std::fflush(stdout);
+  };
+  observer.on_worker_lost = [](std::size_t worker, const std::string& why) {
+    std::printf("fleet      worker %zu lost: %s\n", worker, why.c_str());
+    std::fflush(stdout);
+  };
+  observer.on_requeue = [](const std::string& plan, std::uint32_t shard,
+                           const std::string& why) {
+    std::printf("fleet      requeue %s shard %u: %s\n", plan.c_str(), shard,
+                why.c_str());
+    std::fflush(stdout);
+  };
+  observer.on_discard = [](std::size_t worker, const std::string& why) {
+    std::printf("fleet      discarded a result from worker %zu: %s\n", worker,
+                why.c_str());
+    std::fflush(stdout);
+  };
+  return observer;
+}
+
+/// Render the fleet's outcomes in the shard-merge report shape (the
+/// schedules/verdict lines stay byte-diffable against `exhaustive:1`).
+int print_outcomes(const std::vector<wb::fleet::PlanOutcome>& outcomes) {
+  int exit_code = kExitPass;
+  for (const wb::fleet::PlanOutcome& outcome : outcomes) {
+    if (outcomes.size() > 1) std::printf("plan       %s\n", outcome.name.c_str());
+    if (outcome.reissues > 0) {
+      std::printf("fleet      %zu shard dispatches were re-issues\n",
+                  outcome.reissues);
+    }
+    if (!outcome.completed) {
+      std::printf("error: plan %s failed: %s\n", outcome.name.c_str(),
+                  outcome.error.c_str());
+      exit_code = std::max(exit_code, wb::cli::kExitUsage);
+      continue;
+    }
+    if (outcome.budget_exceeded) {
+      // The serial oracle throws BudgetExceededError here; keep the same
+      // observable exit behavior (internal error, code 3).
+      std::printf("internal error: plan %s exceeded its execution budget\n",
+                  outcome.name.c_str());
+      exit_code = std::max(exit_code, wb::cli::kExitBug);
+      continue;
+    }
+    exit_code = std::max(exit_code, print_merged(outcome.merged));
+  }
+  return exit_code;
+}
+
+/// The `exhaustive:shards=K` path: plan in memory, serve the plan over a
+/// K-worker fleet of this binary, merge. The bytes on the pipes are exactly
+/// the shard-plan/shard-run artifacts a multi-host fleet would move.
+int run_fleet_exhaustive(const wb::Graph& g, const std::string& protocol,
+                         const wb::cli::SweepSpec& sweep) {
+  wb::shard::PlanOptions popts;
+  popts.max_executions = sweep.max_executions;
+  popts.distinct = sweep.distinct;
+  const auto specs =
+      wb::cli::plan_protocol_spec_shards(protocol, g, sweep.shards, popts);
+
+  wb::fleet::PlanInputs plan;
+  plan.name = "sweep";
+  plan.manifest = wb::shard::make_manifest(specs);
+  for (const wb::shard::ShardSpec& spec : specs) {
+    plan.spec_documents.push_back(wb::shard::serialize(spec));
+  }
+
+  FleetCliOptions options;
+  options.fleet.workers = sweep.shards;
+  // Split the machine between the workers unless a per-worker thread count
+  // was requested explicitly.
+  options.worker_threads =
+      sweep.threads != 0
+          ? sweep.threads
+          : std::max<std::size_t>(
+                1, std::thread::hardware_concurrency() / sweep.shards);
+  std::printf("adversary  exhaustive(fleet of %zu workers, %zu threads each)\n",
+              options.fleet.workers, options.worker_threads);
+  const auto outcomes =
+      wb::fleet::run_fleet({plan}, options.fleet, make_self_launcher(options),
+                           make_printing_observer());
+  return print_outcomes(outcomes);
+}
+
+int cmd_fleet_run(std::vector<std::string> args) {
+  FleetCliOptions defaults;
+  const FleetCliOptions options = take_fleet_options(args, defaults);
+  WB_REQUIRE_MSG(!args.empty(),
+                 "usage: wbsim fleet run <manifest-file>... [--workers=K]");
+  std::vector<wb::fleet::PlanInputs> plans;
+  for (const std::string& manifest_path : args) {
+    // shard-plan writes <base>.manifest next to <base>.<k>.shard — recover
+    // the spec documents from that naming convention.
+    wb::fleet::PlanInputs plan;
+    plan.manifest = wb::shard::parse_shard_manifest(read_file(manifest_path));
+    const std::string suffix = ".manifest";
+    WB_REQUIRE_MSG(manifest_path.size() > suffix.size() &&
+                       manifest_path.ends_with(suffix),
+                   "manifest path must end in .manifest (shard-plan's "
+                   "naming), got '"
+                       << manifest_path << "'");
+    const std::string base =
+        manifest_path.substr(0, manifest_path.size() - suffix.size());
+    plan.name = std::filesystem::path(base).filename().string();
+    for (std::uint32_t k = 0; k < plan.manifest.shard_count; ++k) {
+      plan.spec_documents.push_back(
+          read_file(base + "." + std::to_string(k) + ".shard"));
+    }
+    plans.push_back(std::move(plan));
+  }
+  const auto outcomes =
+      wb::fleet::run_fleet(plans, options.fleet, make_self_launcher(options),
+                           make_printing_observer());
+  return print_outcomes(outcomes);
+}
+
+int cmd_fleet_worker(std::vector<std::string> args) {
+  std::vector<std::string> values;
+  take_options(args, {"--threads", "--heartbeat-ms", "--stall-first-ms"},
+               &values);
+  WB_REQUIRE_MSG(args.empty(),
+                 "usage: wbsim fleet worker [--threads=T] [--heartbeat-ms=N] "
+                 "[--stall-first-ms=N]");
+  wb::fleet::WorkerOptions options;
+  if (!values[0].empty()) {
+    options.threads = parse_u64_arg(values[0], "--threads");
+  }
+  if (!values[1].empty()) {
+    options.heartbeat_interval =
+        std::chrono::milliseconds(parse_u64_arg(values[1], "heartbeat"));
+  }
+  if (!values[2].empty()) {
+    options.stall_first =
+        std::chrono::milliseconds(parse_u64_arg(values[2], "stall"));
+  }
+  return wb::fleet::run_worker(
+      STDIN_FILENO, STDOUT_FILENO,
+      [](const wb::shard::ShardSpec& spec, std::size_t threads) {
+        return wb::cli::run_protocol_spec_shard(spec, threads);
+      },
+      options);
+}
+
+int cmd_fleet(const std::vector<std::string>& args) {
+  WB_REQUIRE_MSG(!args.empty() && (args[0] == "run" || args[0] == "worker"),
+                 "usage: wbsim fleet run|worker ... (see `wbsim help fleet`)");
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  return args[0] == "run" ? cmd_fleet_run(std::move(rest))
+                          : cmd_fleet_worker(std::move(rest));
+}
+
+#else  // !WB_FLEET_HAS_PROCESSES
+
+int run_fleet_exhaustive(const wb::Graph&, const std::string&,
+                         const wb::cli::SweepSpec&) {
+  WB_REQUIRE_MSG(false,
+                 "exhaustive:shards=K needs process spawning; use shard-plan/"
+                 "shard-run/shard-merge manually on this platform");
+  return wb::cli::kExitUsage;  // unreachable
+}
+
+int cmd_fleet(const std::vector<std::string>&) {
+  WB_REQUIRE_MSG(false, "the fleet needs process spawning on this platform");
+  return wb::cli::kExitUsage;  // unreachable
+}
+
+#endif  // WB_FLEET_HAS_PROCESSES
 
 // --- Sharding subcommands ----------------------------------------------------
 
-int cmd_shard_plan(int argc, char** argv) {
-  WB_REQUIRE_MSG(argc >= 6 && argc <= 8,
-                 "usage: wbsim shard-plan <graph-spec> <protocol-spec> <K> "
-                 "<out-base> [max-executions] [distinct=exact|hll[:P]]");
-  const wb::Graph g = wb::cli::graph_from_spec(argv[2]);
-  const std::string protocol = argv[3];
-  const std::size_t shards = static_cast<std::size_t>(
-      wb::cli::parse_u64(argv[4], "shard count"));
-  const std::string base = argv[5];
+int cmd_shard_plan(const std::vector<std::string>& args) {
+  WB_REQUIRE_MSG(args.size() == 4,
+                 "usage: wbsim shard-plan <graph-spec> <protocol-spec> "
+                 "<sweep-spec> <out-base>");
+  const wb::Graph g = wb::cli::graph_from_spec(args[0]);
+  const std::string& protocol = args[1];
+  const wb::cli::SweepSpec sweep = wb::cli::sweep_from_spec(args[2]);
+  WB_REQUIRE_MSG(sweep.shards >= 1,
+                 "shard-plan needs a sharded sweep spec "
+                 "(exhaustive:shards=K...), got '"
+                     << args[2] << "'");
+  const std::string& base = args[3];
   wb::shard::PlanOptions opts;
-  for (int i = 6; i < argc; ++i) {
-    const std::string arg = argv[i];
-    constexpr const char* kDistinctKey = "distinct=";
-    if (arg.rfind(kDistinctKey, 0) == 0) {
-      opts.distinct =
-          wb::parse_distinct_config(arg.substr(std::strlen(kDistinctKey)));
-    } else {
-      opts.max_executions = wb::cli::parse_u64(arg, "max-executions");
-    }
-  }
+  opts.max_executions = sweep.max_executions;
+  opts.distinct = sweep.distinct;
   const auto specs =
-      wb::cli::plan_protocol_spec_shards(protocol, g, shards, opts);
+      wb::cli::plan_protocol_spec_shards(protocol, g, sweep.shards, opts);
   for (const wb::shard::ShardSpec& spec : specs) {
     const std::string path =
         base + "." + std::to_string(spec.shard_index) + ".shard";
@@ -179,22 +454,54 @@ int cmd_shard_plan(int argc, char** argv) {
   const std::string manifest_path = base + ".manifest";
   write_file(manifest_path,
              wb::shard::serialize(wb::shard::make_manifest(specs)));
-  std::printf("wrote %s (%zu spec hashes; track completion with "
-              "`wbsim shard-status %s <dir>`)\n",
-              manifest_path.c_str(), specs.size(), manifest_path.c_str());
-  return 0;
+  std::printf("wrote %s (%zu spec hashes; serve with `wbsim fleet run %s` or "
+              "track with `wbsim shard-status %s <dir>`)\n",
+              manifest_path.c_str(), specs.size(), manifest_path.c_str(),
+              manifest_path.c_str());
+  return kExitPass;
 }
 
-// --- shard-status: manifest-driven completion tracking -----------------------
+int cmd_shard_run(const std::vector<std::string>& args) {
+  WB_REQUIRE_MSG(args.size() >= 2 && args.size() <= 3,
+                 "usage: wbsim shard-run <spec-file> <result-file> [threads]");
+  const wb::shard::ShardSpec spec =
+      wb::shard::parse_shard_spec(read_file(args[0]));
+  const std::size_t threads =
+      args.size() == 3
+          ? static_cast<std::size_t>(parse_u64_arg(args[2], "threads"))
+          : 0;
+  const wb::shard::ShardResult result =
+      wb::cli::run_protocol_spec_shard(spec, threads);
+  write_file(args[1], wb::shard::serialize(result));
+  if (result.budget_exceeded) {
+    std::printf("shard %u/%u: budget of %llu executions exceeded\n",
+                result.shard_index, result.shard_count,
+                static_cast<unsigned long long>(result.max_executions));
+  } else {
+    const unsigned long long distinct =
+        result.distinct.kind == wb::DistinctKind::kExact
+            ? result.board_hashes.size()
+            : (result.hll.has_value() ? result.hll->estimate() : 0);
+    std::printf(
+        "shard %u/%u: %llu executions, %s%llu distinct boards, %llu "
+        "failures\n",
+        result.shard_index, result.shard_count,
+        static_cast<unsigned long long>(result.executions),
+        result.distinct.kind == wb::DistinctKind::kExact ? "" : "~", distinct,
+        static_cast<unsigned long long>(result.engine_failures +
+                                        result.wrong_outputs));
+  }
+  return kExitPass;
+}
 
-int cmd_shard_status(int argc, char** argv) {
-  WB_REQUIRE_MSG(argc == 4,
+int cmd_shard_status(const std::vector<std::string>& args) {
+  WB_REQUIRE_MSG(args.size() == 2,
                  "usage: wbsim shard-status <manifest-file> <dir>");
   const wb::shard::ShardManifest manifest =
-      wb::shard::parse_shard_manifest(read_file(argv[2]));
-  const std::filesystem::path dir = argv[3];
+      wb::shard::parse_shard_manifest(read_file(args[0]));
+  const std::filesystem::path dir = args[1];
   WB_REQUIRE_MSG(std::filesystem::is_directory(dir),
-                 "'" << argv[3] << "' is not a directory");
+                 "'" << args[1] << "' is not a directory");
 
   std::string plan_hex;
   {
@@ -265,242 +572,132 @@ int cmd_shard_status(int argc, char** argv) {
   }
   std::printf("status     %u/%u shard results present\n", present,
               manifest.shard_count);
-  return present == manifest.shard_count ? 0 : 1;
+  return present == manifest.shard_count ? kExitPass : kExitFail;
 }
 
-int cmd_shard_run(int argc, char** argv) {
-  WB_REQUIRE_MSG(argc >= 4 && argc <= 5,
-                 "usage: wbsim shard-run <spec-file> <result-file> [threads]");
-  const wb::shard::ShardSpec spec =
-      wb::shard::parse_shard_spec(read_file(argv[2]));
-  const std::size_t threads =
-      argc == 5 ? static_cast<std::size_t>(
-                      wb::cli::parse_u64(argv[4], "threads"))
-                : 0;
-  const wb::shard::ShardResult result =
-      wb::cli::run_protocol_spec_shard(spec, threads);
-  write_file(argv[3], wb::shard::serialize(result));
-  if (result.budget_exceeded) {
-    std::printf("shard %u/%u: budget of %llu executions exceeded\n",
-                result.shard_index, result.shard_count,
-                static_cast<unsigned long long>(result.max_executions));
-  } else {
-    const unsigned long long distinct =
-        result.distinct.kind == wb::DistinctKind::kExact
-            ? result.board_hashes.size()
-            : (result.hll.has_value() ? result.hll->estimate() : 0);
-    std::printf(
-        "shard %u/%u: %llu executions, %s%llu distinct boards, %llu "
-        "failures\n",
-        result.shard_index, result.shard_count,
-        static_cast<unsigned long long>(result.executions),
-        result.distinct.kind == wb::DistinctKind::kExact ? "" : "~", distinct,
-        static_cast<unsigned long long>(result.engine_failures +
-                                        result.wrong_outputs));
-  }
-  return 0;
-}
-
-int print_merged(const wb::shard::MergedResult& merged) {
-  std::printf("shards     %u results merged\n", merged.shard_count);
-  std::printf("%s",
-              wb::cli::exhaustive_summary_lines(
-                  merged.executions, merged.engine_failures,
-                  merged.wrong_outputs, merged.distinct_boards,
-                  merged.distinct)
-                  .c_str());
-  const bool correct =
-      merged.engine_failures == 0 && merged.wrong_outputs == 0;
-  std::printf("result     %s\n", correct ? "PASS" : "FAIL");
-  return correct ? 0 : 1;
-}
-
-int cmd_shard_merge(int argc, char** argv) {
-  WB_REQUIRE_MSG(argc >= 3, "usage: wbsim shard-merge <result-file>...");
+int cmd_shard_merge(const std::vector<std::string>& args) {
+  WB_REQUIRE_MSG(!args.empty(), "usage: wbsim shard-merge <result-file>...");
   std::vector<wb::shard::ShardResult> results;
-  results.reserve(static_cast<std::size_t>(argc - 2));
-  for (int i = 2; i < argc; ++i) {
-    results.push_back(wb::shard::parse_shard_result(read_file(argv[i])));
+  results.reserve(args.size());
+  for (const std::string& path : args) {
+    results.push_back(wb::shard::parse_shard_result(read_file(path)));
   }
   return print_merged(wb::shard::merge_shard_results(results));
 }
 
-// --- Local multi-process orchestration (exhaustive:shards=K) -----------------
+// --- The commandless (classic) invocation ------------------------------------
 
-#if WBSIM_HAS_PROCESSES
-
-std::string self_executable(const char* argv0) {
-  char buffer[4096];
-  const ssize_t len = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
-  if (len > 0) return std::string(buffer, static_cast<std::size_t>(len));
-  return argv0;  // non-procfs fallback; fine for relative invocations
-}
-
-int run_sharded_exhaustive(const wb::Graph& g, const std::string& protocol,
-                           const wb::cli::ExhaustiveSpec& es,
-                           const char* argv0) {
-  // Plan in-process, hand each shard to a child `wbsim shard-run`, merge the
-  // result files: the same bytes a fleet would move between hosts.
-  wb::shard::PlanOptions popts;
-  popts.distinct = es.distinct;
-  const auto specs =
-      wb::cli::plan_protocol_spec_shards(protocol, g, es.shards, popts);
-  char dir_template[] = "/tmp/wbsim-shards-XXXXXX";
-  WB_REQUIRE_MSG(::mkdtemp(dir_template) != nullptr,
-                 "cannot create temporary shard directory");
-  const std::string dir = dir_template;
-  const std::string exe = self_executable(argv0);
-  // Split the machine between the workers unless a nonzero per-worker
-  // thread count was requested explicitly (see cli::ExhaustiveSpec).
-  const std::size_t worker_threads =
-      es.threads != 0
-          ? es.threads
-          : std::max<std::size_t>(
-                1, std::thread::hardware_concurrency() / es.shards);
-  const std::string threads_arg = std::to_string(worker_threads);
-
-  std::vector<std::string> spec_paths;
-  std::vector<std::string> result_paths;
-  std::vector<pid_t> children;
-  // Every exit path — fork failure, corrupt result, the merge's budget
-  // guard — must first reap whatever workers were started (no zombies, no
-  // writers racing the unlink) and then remove the temporary files.
-  const auto reap_workers = [&]() -> bool {
-    bool workers_ok = true;
-    for (std::size_t k = 0; k < children.size(); ++k) {
-      int status = 0;
-      ::waitpid(children[k], &status, 0);
-      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-        std::fprintf(stderr, "shard worker %zu failed (status %d)\n", k,
-                     status);
-        workers_ok = false;
-      }
+int cmd_classic(const std::vector<std::string>& all_args) {
+  std::vector<std::string> args;
+  bool counterexample = false;
+  for (const std::string& arg : all_args) {
+    if (arg == "--counterexample") {
+      counterexample = true;
+    } else {
+      args.push_back(arg);
     }
-    children.clear();
-    return workers_ok;
-  };
-  const auto cleanup_files = [&] {
-    for (const std::string& path : spec_paths) ::unlink(path.c_str());
-    for (const std::string& path : result_paths) ::unlink(path.c_str());
-    ::rmdir(dir.c_str());
-  };
-
-  int exit_code = 1;
-  try {
-    for (const wb::shard::ShardSpec& spec : specs) {
-      const std::string tag = std::to_string(spec.shard_index);
-      spec_paths.push_back(dir + "/" + tag + ".shard");
-      result_paths.push_back(dir + "/" + tag + ".result");
-      write_file(spec_paths.back(), wb::shard::serialize(spec));
-    }
-    for (std::size_t k = 0; k < specs.size(); ++k) {
-      const pid_t pid = ::fork();
-      WB_REQUIRE_MSG(pid >= 0, "fork failed for shard worker " << k);
-      if (pid == 0) {
-        const char* args[] = {exe.c_str(),           "shard-run",
-                              spec_paths[k].c_str(), result_paths[k].c_str(),
-                              threads_arg.c_str(),   nullptr};
-        ::execv(exe.c_str(), const_cast<char* const*>(args));
-        std::fprintf(stderr, "exec failed for shard worker %zu\n", k);
-        ::_exit(127);
-      }
-      children.push_back(pid);
-    }
-    if (reap_workers()) {
-      std::vector<wb::shard::ShardResult> results;
-      for (const std::string& path : result_paths) {
-        results.push_back(wb::shard::parse_shard_result(read_file(path)));
-      }
-      std::printf("adversary  exhaustive(shards=%zu, threads=%zu per worker)\n",
-                  es.shards, worker_threads);
-      exit_code = print_merged(wb::shard::merge_shard_results(results));
-    }
-  } catch (...) {
-    reap_workers();
-    cleanup_files();
-    throw;
   }
-  cleanup_files();
-  return exit_code;
-}
-
-#else  // !WBSIM_HAS_PROCESSES
-
-int run_sharded_exhaustive(const wb::Graph&, const std::string&,
-                           const wb::cli::ExhaustiveSpec&, const char*) {
-  WB_REQUIRE_MSG(false,
-                 "exhaustive:shards=K needs process spawning; use shard-plan/"
-                 "shard-run/shard-merge manually on this platform");
-  return 2;  // unreachable
-}
-
-#endif  // WBSIM_HAS_PROCESSES
-
-int run_exhaustive(const wb::Graph& g, const std::string& protocol,
-                   const std::string& spec, bool counterexample,
-                   const char* argv0) {
-  const wb::cli::ExhaustiveSpec es = wb::cli::exhaustive_from_spec(spec);
-  if (es.shards > 0) {
+  WB_REQUIRE_MSG(args.size() >= 2 && args.size() <= 3,
+                 "usage: wbsim <graph-spec> <protocol-spec> [adversary-spec] "
+                 "[--counterexample] (see `wbsim help`)\n\n"
+                     << wb::cli::graph_spec_help() << "\n\n"
+                     << wb::cli::protocol_spec_help() << "\n\n"
+                     << wb::cli::adversary_spec_help());
+  const wb::Graph g = wb::cli::graph_from_spec(args[0]);
+  const std::string adversary_spec = args.size() == 3 ? args[2] : "first";
+  if (wb::cli::split_spec(adversary_spec)[0] == "battery") {
     WB_REQUIRE_MSG(!counterexample,
-                   "--counterexample is in-process only; use "
-                   "exhaustive[:THREADS]");
-    return run_sharded_exhaustive(g, protocol, es, argv0);
+                   "--counterexample needs an exhaustive adversary spec");
+    return run_battery(g, args[1], adversary_spec);
   }
-  wb::cli::ExhaustiveRunOptions opts;
-  opts.threads = es.threads;
-  opts.counterexample = counterexample;
-  opts.distinct = es.distinct;
-  return print_report(
-      wb::cli::run_protocol_spec_exhaustive(protocol, g, opts));
+  if (wb::cli::is_exhaustive_spec(adversary_spec)) {
+    const wb::cli::SweepSpec sweep = wb::cli::sweep_from_spec(adversary_spec);
+    if (sweep.shards > 0) {
+      WB_REQUIRE_MSG(!counterexample,
+                     "--counterexample is in-process only; use "
+                     "exhaustive[:THREADS]");
+      return run_fleet_exhaustive(g, args[1], sweep);
+    }
+    wb::cli::ExhaustiveRunOptions opts;
+    opts.threads = sweep.threads;
+    opts.max_executions = sweep.max_executions;
+    opts.counterexample = counterexample;
+    opts.distinct = sweep.distinct;
+    return print_report(
+        wb::cli::run_protocol_spec_exhaustive(args[1], g, opts));
+  }
+  WB_REQUIRE_MSG(!counterexample,
+                 "--counterexample needs an exhaustive adversary spec");
+  auto adversary = wb::cli::adversary_from_spec(adversary_spec, g);
+  return print_report(wb::cli::run_protocol_spec(args[1], g, *adversary));
+}
+
+wb::cli::CommandRegistry build_registry() {
+  wb::cli::CommandRegistry registry("wbsim");
+  registry.set_default(wb::cli::Command{
+      "",
+      "specs — " + wb::cli::graph_spec_help() + "\n" +
+          wb::cli::adversary_spec_help() +
+          "\nsweeps: exhaustive[:THREADS][:shards=K][:budget=N]"
+          "[:distinct=exact|hll[:P]]",
+      "wbsim <graph-spec> <protocol-spec> [adversary-spec] "
+      "[--counterexample]",
+      cmd_classic});
+  registry.add(wb::cli::Command{
+      "shard-plan",
+      "partition an exhaustive sweep into K self-describing shard specs "
+      "plus a tracking manifest",
+      "wbsim shard-plan <graph-spec> <protocol-spec> <sweep-spec> <out-base>"
+      "\n\nThe sweep spec must name a shard count — e.g. "
+      "exhaustive:shards=4:budget=100000:distinct=hll:14.\nWrites "
+      "<out-base>.<k>.shard for k = 0..K-1 and <out-base>.manifest.",
+      cmd_shard_plan});
+  registry.add(wb::cli::Command{
+      "shard-run",
+      "sweep one shard spec file and write its result file",
+      "wbsim shard-run <spec-file> <result-file> [threads]\n\nthreads: 0 = "
+      "one per hardware thread (default), 1 = serial.",
+      cmd_shard_run});
+  registry.add(wb::cli::Command{
+      "shard-status",
+      "classify a directory's *.result files against a manifest "
+      "(present / missing / foreign)",
+      "wbsim shard-status <manifest-file> <dir>\n\nExit 0 iff every shard "
+      "of the manifest has a matching result in <dir>.",
+      cmd_shard_status});
+  registry.add(wb::cli::Command{
+      "shard-merge",
+      "merge a complete result set into the sweep's totals "
+      "(byte-identical to the exhaustive:1 report)",
+      "wbsim shard-merge <result-file>...",
+      cmd_shard_merge});
+  registry.add(wb::cli::Command{
+      "fleet",
+      "serve shard plans over a fault-tolerant fleet of persistent worker "
+      "processes (see README: Fleet controller)",
+      "wbsim fleet run <manifest-file>... [--workers=K] [--threads=T]\n"
+      "                [--heartbeat-timeout-ms=N] [--shard-deadline-ms=N]\n"
+      "                [--max-attempts=N] [--stall-first-ms=N]\n"
+      "wbsim fleet worker [--threads=T] [--heartbeat-ms=N] "
+      "[--stall-first-ms=N]\n\n"
+      "`fleet run` loads each <base>.manifest plus its <base>.<k>.shard "
+      "specs (shard-plan's naming),\nspawns --workers persistent `fleet "
+      "worker` processes of this binary, dispatches shard specs as\n"
+      "length-prefixed frames over pipes, re-issues timed-out or lost "
+      "shards with exponential backoff,\nand merges under the "
+      "plan-fingerprint guard — killing a worker mid-sweep changes "
+      "nothing in the\nmerged report. `fleet worker` is the frame loop on "
+      "stdin/stdout (spawned by `fleet run`;\n--stall-first-ms delays the "
+      "first sweep, a fault-injection window for kill tests).",
+      cmd_fleet});
+  return registry;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
-    if (argc >= 2) {
-      const std::string command = argv[1];
-      if (command == "shard-plan") return cmd_shard_plan(argc, argv);
-      if (command == "shard-run") return cmd_shard_run(argc, argv);
-      if (command == "shard-status") return cmd_shard_status(argc, argv);
-      if (command == "shard-merge") return cmd_shard_merge(argc, argv);
-    }
-    // Classic invocation: positional specs plus optional flags.
-    std::vector<std::string> args;
-    bool counterexample = false;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--counterexample") {
-        counterexample = true;
-      } else {
-        args.push_back(arg);
-      }
-    }
-    if (args.size() < 2 || args.size() > 3 ||
-        (!args.empty() && args[0] == "--help")) {
-      usage();
-      return !args.empty() && args[0] == "--help" ? 0 : 2;
-    }
-    const wb::Graph g = wb::cli::graph_from_spec(args[0]);
-    const std::string adversary_spec = args.size() == 3 ? args[2] : "first";
-    if (wb::cli::split_spec(adversary_spec)[0] == "battery") {
-      WB_REQUIRE_MSG(!counterexample,
-                     "--counterexample needs an exhaustive adversary spec");
-      return run_battery(g, args[1], adversary_spec);
-    }
-    if (wb::cli::is_exhaustive_spec(adversary_spec)) {
-      return run_exhaustive(g, args[1], adversary_spec, counterexample,
-                            argv[0]);
-    }
-    WB_REQUIRE_MSG(!counterexample,
-                   "--counterexample needs an exhaustive adversary spec");
-    auto adversary = wb::cli::adversary_from_spec(adversary_spec, g);
-    return print_report(wb::cli::run_protocol_spec(args[1], g, *adversary));
-  } catch (const wb::DataError& e) {
-    std::printf("error: %s\n", e.what());
-    return 2;
-  } catch (const wb::LogicError& e) {
-    std::printf("internal error: %s\n", e.what());
-    return 3;
-  }
+#if WB_FLEET_HAS_PROCESSES
+  g_argv0 = argv[0];
+#endif
+  return build_registry().main(argc, argv);
 }
