@@ -231,9 +231,12 @@ class Controller {
   void dispatch_ready_jobs() {
     const Clock::time_point now = Clock::now();
     for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
-      if (workers_[wi].health != WorkerHealth::kIdle) continue;
-      bool dispatched = false;
-      for (std::size_t pi = 0; pi < plans_.size() && !dispatched; ++pi) {
+      // Re-check health after every dispatch attempt: a failed dispatch
+      // loses the worker (closing its fds, which a respawned replacement may
+      // reuse), so writing to this slot again would hit the wrong process.
+      for (std::size_t pi = 0;
+           pi < plans_.size() && workers_[wi].health == WorkerHealth::kIdle;
+           ++pi) {
         PlanState& plan = plans_[pi];
         if (plan.failed) continue;
         for (std::uint32_t k = 0; k < plan.jobs.size(); ++k) {
@@ -241,7 +244,7 @@ class Controller {
           if (job.state != JobState::kPending || job.not_before > now) {
             continue;
           }
-          dispatched = dispatch(wi, pi, k);
+          dispatch(wi, pi, k);
           break;
         }
       }
@@ -452,14 +455,14 @@ class Controller {
     }
     // First valid result wins — whether it came from the current dispatchee
     // or a suspect worker that turned out to be merely slow.
+    const std::uint32_t merged_shard = result.shard_index;
     job.state = JobState::kDone;
     job.current_worker = SIZE_MAX;
-    plan->results[result.shard_index] = std::move(result);
-    plan->have_result[result.shard_index] = true;
+    plan->results[merged_shard] = std::move(result);
+    plan->have_result[merged_shard] = true;
     ++plan->done;
     if (observer_.on_result) {
-      observer_.on_result(plan->inputs->name,
-                          plan->results[plan->done - 1].shard_index);
+      observer_.on_result(plan->inputs->name, merged_shard);
     }
     // If this worker delivered a different shard than its current
     // assignment (it was suspect, got rehabilitated by a late result for an

@@ -201,6 +201,64 @@ INSTANTIATE_TEST_SUITE_P(Accumulators, KillOneWorkerMidShard,
                          ::testing::Values(DistinctConfig::Exact(),
                                            DistinctConfig::Hll(14)));
 
+TEST(FleetController, WorkerDeadAtDispatchGetsNoFurtherShardsThatPass) {
+  // Worker 0's stdin read end is gone before the first dispatch, so the
+  // dispatch write fails and the worker is lost mid-pass. With several
+  // plans queued, the dispatch pass must stop offering that dead slot the
+  // next plan's shard: its closed fd numbers are typically reused by the
+  // respawned replacement's pipes, so a write on the stale entry would land
+  // in the replacement's stdin, flip the dead entry back to busy, and later
+  // double-close fds the replacement owns.
+  const std::vector<PlanInputs> plans = {
+      make_plan("first", "twocliques:3", "two-cliques", 2),
+      make_plan("second", "path:4", "broken-first:1", 2),
+  };
+  std::vector<bool> lost;
+  std::vector<std::string> dispatches_after_loss;
+  FleetObserver observer;
+  observer.on_worker_lost = [&](std::size_t worker, const std::string&) {
+    if (lost.size() <= worker) lost.resize(worker + 1, false);
+    lost[worker] = true;
+  };
+  observer.on_dispatch = [&](std::size_t worker, const std::string& plan,
+                             std::uint32_t shard, int) {
+    if (worker < lost.size() && lost[worker]) {
+      dispatches_after_loss.push_back(plan + " shard " +
+                                      std::to_string(shard) + " -> worker " +
+                                      std::to_string(worker));
+    }
+  };
+  FleetOptions options;
+  options.workers = 1;
+  options.backoff_base = milliseconds(10);
+  std::size_t spawned = 0;
+  const WorkerLauncher launcher = [&](std::size_t) {
+    if (spawned++ == 0) {
+      WorkerEndpoint trap = fork_raw([](int in_fd, int out_fd) {
+        ::close(in_fd);
+        write_frame(out_fd, Frame{FrameType::kHello, ""});
+        std::this_thread::sleep_for(std::chrono::seconds(60));
+      });
+      // The hello is written only after the child closed its stdin end, so
+      // consuming it here guarantees the controller's dispatch write fails
+      // deterministically (EPIPE), not racily.
+      FrameDecoder sync;
+      (void)read_frame(trap.from_worker_fd, sync);
+      return trap;
+    }
+    return fork_worker();
+  };
+  const auto outcomes = run_fleet(plans, options, launcher, observer);
+  EXPECT_TRUE(dispatches_after_loss.empty())
+      << "a lost worker slot was re-dispatched: "
+      << dispatches_after_loss.front();
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].completed) << outcomes[i].error;
+    expect_same_merge(outcomes[i].merged, reference_merge(plans[i]));
+  }
+}
+
 TEST(FleetController, NeverHeartbeatingWorkerIsSuspectedAndItsShardReissued) {
   // Worker 0 reads its spec and goes silent forever (no heartbeats, no
   // result) — indistinguishable from a dead one. The controller must

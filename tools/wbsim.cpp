@@ -54,6 +54,7 @@
 #include "src/wb/shard.h"
 
 #if WB_FLEET_HAS_PROCESSES
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -219,6 +220,16 @@ wb::fleet::WorkerLauncher make_self_launcher(const FleetCliOptions& options) {
     int from_child[2] = {-1, -1};
     WB_REQUIRE_MSG(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
                    "cannot create pipes for worker " << index);
+    // CLOEXEC on all four ends: a later-spawned worker must not inherit a
+    // sibling's pipe ends, or a SIGKILLed sibling never yields EOF/POLLHUP
+    // (the inherited write end keeps the pipe open) and crash detection
+    // degrades to the heartbeat-timeout path. The child's own two ends
+    // survive exec via dup2 below, which clears the flag on the duplicate.
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]}) {
+      WB_REQUIRE_MSG(::fcntl(fd, F_SETFD, FD_CLOEXEC) == 0,
+                     "cannot set CLOEXEC for worker " << index);
+    }
     const pid_t pid = ::fork();
     WB_REQUIRE_MSG(pid >= 0, "fork failed for worker " << index);
     if (pid == 0) {
@@ -288,9 +299,11 @@ int print_outcomes(const std::vector<wb::fleet::PlanOutcome>& outcomes) {
                   outcome.reissues);
     }
     if (!outcome.completed) {
+      // A sweep that could not finish (worker attrition, attempts exhausted)
+      // is a runtime FAIL, not a malformed-input usage error.
       std::printf("error: plan %s failed: %s\n", outcome.name.c_str(),
                   outcome.error.c_str());
-      exit_code = std::max(exit_code, wb::cli::kExitUsage);
+      exit_code = std::max(exit_code, kExitFail);
       continue;
     }
     if (outcome.budget_exceeded) {
