@@ -4,6 +4,7 @@
 
 #include <poll.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -11,9 +12,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <utility>
 
+#include "src/fleet/socket.h"
 #include "src/support/check.h"
 
 namespace wb::fleet {
@@ -46,7 +49,18 @@ struct PlanState {
   std::size_t reissues = 0;
 };
 
-enum class WorkerHealth : std::uint8_t { kIdle, kBusy, kSuspect, kDead };
+/// kHandshaking is remote-only: an accepted connection is not dispatchable
+/// until its hello validates. Launcher-spawned locals start kIdle — their
+/// process exists the moment the launcher returns, so holding shards back
+/// would only add latency (and the hello may have been consumed by the
+/// launcher itself).
+enum class WorkerHealth : std::uint8_t {
+  kHandshaking,
+  kIdle,
+  kBusy,
+  kSuspect,
+  kDead,
+};
 
 struct Assignment {
   std::size_t plan = 0;
@@ -60,13 +74,28 @@ struct WorkerState {
   std::optional<Assignment> assigned;
   Clock::time_point dispatched_at{};
   Clock::time_point last_heard{};
+  /// Accounting key: "local" for launcher-spawned workers, the peer address
+  /// for a handshaking remote, the hello host once admitted.
+  std::string host = "local";
+  /// hello v2 host/pid; empty for locals and anonymous (v1) remotes.
+  std::string identity;
+};
+
+struct HostStats {
+  std::size_t admitted = 0;
+  std::size_t lost = 0;
+  std::size_t results = 0;
 };
 
 class Controller {
  public:
   Controller(const std::vector<PlanInputs>& plans, const FleetOptions& options,
-             const WorkerLauncher& launcher, const FleetObserver& observer)
-      : options_(options), launcher_(launcher), observer_(observer) {
+             const WorkerLauncher& launcher, const FleetObserver& observer,
+             SocketListener* listener)
+      : options_(options),
+        launcher_(launcher),
+        observer_(observer),
+        listener_(listener) {
     plans_.reserve(plans.size());
     for (const PlanInputs& inputs : plans) {
       PlanState state;
@@ -109,7 +138,10 @@ class Controller {
     ignore_sigpipe();
     for (std::size_t i = 0; i < options_.workers; ++i) spawn_worker();
     while (!finished()) {
-      if (alive_workers() == 0 && !try_respawn()) {
+      if (alive_workers() == 0 && !try_respawn() && !listening()) {
+        // With a listener the fleet never gives up on attrition alone: a
+        // full partition is indistinguishable from slow redials, and the
+        // worker that heals it may be carrying a finished result.
         fail_remaining("no workers left and the respawn budget is exhausted");
         break;
       }
@@ -118,6 +150,7 @@ class Controller {
       enforce_timeouts();
     }
     shutdown_workers();
+    report_hosts();
     return collect_outcomes();
   }
 
@@ -154,8 +187,11 @@ class Controller {
     return std::min(delay, options_.backoff_max);
   }
 
+  /// `min_delay` floors the re-dispatch wait below the backoff schedule —
+  /// the drain grace of a lost remote link, giving a redialing worker's
+  /// redelivery a window to land before the shard is swept again.
   void requeue(std::size_t plan_index, std::uint32_t shard,
-               const std::string& reason) {
+               const std::string& reason, Millis min_delay = Millis(0)) {
     PlanState& plan = plans_[plan_index];
     Job& job = plan.jobs[shard];
     if (job.state != JobState::kInFlight) return;
@@ -166,7 +202,8 @@ class Controller {
       return;
     }
     job.state = JobState::kPending;
-    job.not_before = Clock::now() + backoff_for(job.attempts);
+    job.not_before =
+        Clock::now() + std::max(backoff_for(job.attempts), min_delay);
     job.current_worker = SIZE_MAX;
     if (observer_.on_requeue) {
       observer_.on_requeue(plan.inputs->name, shard, reason);
@@ -174,6 +211,8 @@ class Controller {
   }
 
   // --- worker lifecycle ----------------------------------------------------
+
+  bool listening() const { return listener_ != nullptr && listener_->fd() >= 0; }
 
   std::size_t alive_workers() const {
     std::size_t n = 0;
@@ -184,6 +223,7 @@ class Controller {
   }
 
   bool spawn_worker() {
+    if (!launcher_) return false;  // all-dial-in fleet: nothing to fork
     WorkerState state;
     try {
       state.endpoint = launcher_(next_worker_index_);
@@ -193,6 +233,7 @@ class Controller {
     ++next_worker_index_;
     state.last_heard = Clock::now();
     workers_.push_back(std::move(state));
+    ++hosts_[workers_.back().host].admitted;
     if (observer_.on_spawn) {
       observer_.on_spawn(workers_.size() - 1, workers_.back().endpoint.pid);
     }
@@ -201,29 +242,46 @@ class Controller {
 
   bool try_respawn() {
     if (respawns_used_ >= options_.max_respawns) return false;
+    if (!launcher_) return false;
     ++respawns_used_;
     return spawn_worker();
   }
 
-  /// The worker is gone for good: kill, reap, close, re-queue its shard, and
-  /// spend a respawn if the budget allows.
+  void close_endpoint(WorkerState& w) {
+    if (w.endpoint.to_worker_fd >= 0) ::close(w.endpoint.to_worker_fd);
+    if (!w.endpoint.remote && w.endpoint.from_worker_fd >= 0) {
+      ::close(w.endpoint.from_worker_fd);  // remote: same fd, already closed
+    }
+    w.endpoint.to_worker_fd = -1;
+    w.endpoint.from_worker_fd = -1;
+  }
+
+  /// The worker (local: the process; remote: the *link*) is gone. Kill and
+  /// reap a local, close fds, re-queue its shard, and spend a respawn if
+  /// local and the budget allows. A remote loss spends no respawn — the
+  /// worker process may well be alive and redialing, so its shard waits out
+  /// drain_grace before re-issue to give a redelivery the first shot.
   void lose_worker(std::size_t index, const std::string& reason) {
     WorkerState& w = workers_[index];
     if (w.health == WorkerHealth::kDead) return;
-    ::kill(w.endpoint.pid, SIGKILL);
-    ::waitpid(w.endpoint.pid, nullptr, 0);
-    ::close(w.endpoint.to_worker_fd);
-    ::close(w.endpoint.from_worker_fd);
+    const bool remote = w.endpoint.remote;
+    if (!remote && w.endpoint.pid > 0) {
+      ::kill(w.endpoint.pid, SIGKILL);
+      ::waitpid(w.endpoint.pid, nullptr, 0);
+    }
+    close_endpoint(w);
     w.health = WorkerHealth::kDead;
+    ++hosts_[w.host].lost;
     if (observer_.on_worker_lost) observer_.on_worker_lost(index, reason);
     if (w.assigned.has_value()) {
       const Assignment a = *w.assigned;
       w.assigned.reset();
       if (plans_[a.plan].jobs[a.shard].current_worker == index) {
-        requeue(a.plan, a.shard, reason);
+        requeue(a.plan, a.shard, reason,
+                remote ? options_.drain_grace : Millis(0));
       }
     }
-    try_respawn();
+    if (!remote) try_respawn();
   }
 
   // --- dispatch ------------------------------------------------------------
@@ -283,11 +341,15 @@ class Controller {
 
   void poll_workers() {
     std::vector<pollfd> fds;
-    std::vector<std::size_t> owners;
+    std::vector<std::size_t> owners;  // SIZE_MAX marks the listener's slot
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       if (workers_[i].health == WorkerHealth::kDead) continue;
       fds.push_back(pollfd{workers_[i].endpoint.from_worker_fd, POLLIN, 0});
       owners.push_back(i);
+    }
+    if (listening()) {
+      fds.push_back(pollfd{listener_->fd(), POLLIN, 0});
+      owners.push_back(SIZE_MAX);
     }
     if (fds.empty()) return;
     const int timeout = static_cast<int>(
@@ -295,10 +357,91 @@ class Controller {
     const int ready = ::poll(fds.data(), fds.size(), timeout);
     if (ready <= 0) return;
     for (std::size_t i = 0; i < fds.size(); ++i) {
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (owners[i] == SIZE_MAX) {
+        accept_connections();
+      } else {
         drain_worker(owners[i]);
       }
     }
+  }
+
+  void accept_connections() {
+    while (true) {
+      std::string peer;
+      int fd = -1;
+      try {
+        fd = listener_->accept_connection(&peer);
+      } catch (const DataError&) {
+        return;  // broken listener: surviving workers carry on
+      }
+      if (fd < 0) return;
+      WorkerState state;
+      state.endpoint.remote = true;
+      state.endpoint.to_worker_fd = fd;
+      state.endpoint.from_worker_fd = fd;
+      state.health = WorkerHealth::kHandshaking;
+      state.host = peer;
+      state.last_heard = Clock::now();
+      workers_.push_back(std::move(state));
+      if (observer_.on_accept) observer_.on_accept(workers_.size() - 1, peer);
+    }
+  }
+
+  /// A handshaking remote's first frame must be a hello that validates;
+  /// anything the controller cannot live with is refused with an error frame
+  /// so the worker knows not to redial.
+  void admit_remote(std::size_t index, const std::string& payload) {
+    WorkerState& w = workers_[index];
+    HelloInfo hello;
+    try {
+      hello = parse_hello(payload);
+    } catch (const DataError& e) {
+      refuse_remote(index, e.what());
+      return;
+    }
+    if (hello.heartbeat_ms > 0 &&
+        Millis(hello.heartbeat_ms) >= options_.heartbeat_timeout) {
+      refuse_remote(index,
+                    "worker heartbeat interval " +
+                        std::to_string(hello.heartbeat_ms) +
+                        "ms is not under the controller's heartbeat timeout " +
+                        std::to_string(options_.heartbeat_timeout.count()) +
+                        "ms — every sweep would be suspected; fix the "
+                        "--heartbeat-ms/--heartbeat-timeout-ms pair");
+      return;
+    }
+    bool reconnected = false;
+    const std::string identity = hello.identity();
+    if (!identity.empty()) {
+      const auto it = identity_to_worker_.find(identity);
+      if (it != identity_to_worker_.end() && it->second != index) {
+        reconnected = true;
+        WorkerState& old = workers_[it->second];
+        if (old.health != WorkerHealth::kDead) {
+          // The worker redialed before we noticed the old link die (e.g. a
+          // half-open connection). The new link is the live one; the old
+          // slot is a ghost.
+          lose_worker(it->second, "superseded by a reconnect from " + identity);
+        }
+      }
+      identity_to_worker_[identity] = index;
+      w.identity = identity;
+    }
+    if (!hello.host.empty()) w.host = hello.host;
+    w.health = WorkerHealth::kIdle;
+    ++hosts_[w.host].admitted;
+    if (observer_.on_admit) observer_.on_admit(index, hello, reconnected);
+  }
+
+  void refuse_remote(std::size_t index, const std::string& why) {
+    WorkerState& w = workers_[index];
+    try {
+      write_frame(w.endpoint.to_worker_fd, Frame{FrameType::kError, why});
+    } catch (const DataError&) {
+      // It will find out from the close instead.
+    }
+    lose_worker(index, "handshake refused: " + why);
   }
 
   std::int64_t next_wakeup_in_ms() const {
@@ -360,6 +503,17 @@ class Controller {
   void handle_frame(std::size_t index, const Frame& frame) {
     WorkerState& w = workers_[index];
     w.last_heard = Clock::now();
+    if (w.health == WorkerHealth::kHandshaking) {
+      // Nothing but a valid hello admits a remote; any other opener is a
+      // peer that does not speak our protocol.
+      if (frame.type == FrameType::kHello) {
+        admit_remote(index, frame.payload);
+      } else {
+        refuse_remote(index, "expected a hello frame, got " +
+                                 std::string(to_string(frame.type)));
+      }
+      return;
+    }
     switch (frame.type) {
       case FrameType::kHello:
       case FrameType::kHeartbeat:
@@ -380,9 +534,23 @@ class Controller {
       }
       case FrameType::kSpec:
       case FrameType::kShutdown:
+      case FrameType::kAck:
         lose_worker(index, "worker sent a controller-only " +
                                std::string(to_string(frame.type)) + " frame");
         break;
+    }
+  }
+
+  /// Tell the worker its last result frame was consumed (merged or
+  /// classified and discarded — either way a redelivery would be pointless),
+  /// so it can drop its redelivery copy.
+  void ack_result(std::size_t index) {
+    WorkerState& w = workers_[index];
+    if (w.health == WorkerHealth::kDead) return;
+    try {
+      write_frame(w.endpoint.to_worker_fd, Frame{FrameType::kAck, {}});
+    } catch (const DataError& e) {
+      lose_worker(index, std::string("ack write failed: ") + e.what());
     }
   }
 
@@ -429,6 +597,8 @@ class Controller {
           requeue(assigned->plan, assigned->shard, why);
         }
       }
+      // Classified is consumed: a redelivery would be discarded again.
+      ack_result(index);
     };
     if (plan == nullptr) {
       discard("foreign result (plan fingerprint matches no live plan)");
@@ -461,9 +631,11 @@ class Controller {
     plan->results[merged_shard] = std::move(result);
     plan->have_result[merged_shard] = true;
     ++plan->done;
+    ++hosts_[w.host].results;
     if (observer_.on_result) {
       observer_.on_result(plan->inputs->name, merged_shard);
     }
+    ack_result(index);
     // If this worker delivered a different shard than its current
     // assignment (it was suspect, got rehabilitated by a late result for an
     // old assignment), re-queue whatever it was supposed to be doing.
@@ -484,6 +656,14 @@ class Controller {
     const Clock::time_point now = Clock::now();
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       WorkerState& w = workers_[i];
+      if (w.health == WorkerHealth::kHandshaking &&
+          now - w.last_heard > options_.heartbeat_timeout) {
+        // A connection that never says hello holds no shard; just drop it.
+        lose_worker(i, "no hello within " +
+                           std::to_string(options_.heartbeat_timeout.count()) +
+                           "ms of connecting");
+        continue;
+      }
       if (w.health == WorkerHealth::kBusy &&
           now - w.last_heard > options_.heartbeat_timeout) {
         // Silent too long: suspect. Re-issue the shard elsewhere but keep
@@ -510,6 +690,9 @@ class Controller {
   // --- teardown and reporting ----------------------------------------------
 
   void shutdown_workers() {
+    // Stop accepting first: a dial-in landing during teardown would never be
+    // served, and redialing workers should see refusal, not a dead session.
+    if (listener_ != nullptr) listener_->close();
     for (WorkerState& w : workers_) {
       if (w.health == WorkerHealth::kDead) continue;
       try {
@@ -517,13 +700,27 @@ class Controller {
       } catch (const DataError&) {
         // Already gone; the reap below handles it.
       }
-      ::close(w.endpoint.to_worker_fd);
+      if (w.endpoint.remote) {
+        // Half-close our write side; the worker answering the shutdown frame
+        // with a clean close gives us EOF below.
+        ::shutdown(w.endpoint.to_worker_fd, SHUT_WR);
+      } else {
+        ::close(w.endpoint.to_worker_fd);
+        w.endpoint.to_worker_fd = -1;
+      }
     }
     // Grace period for clean exits (a worker mid-sweep finishes its shard
-    // first), then SIGKILL whatever is left — e.g. a wedged suspect.
+    // first), then SIGKILL whatever is left — e.g. a wedged suspect. A
+    // remote cannot be killed, only waited out (drain_grace) and closed.
     const Clock::time_point deadline = Clock::now() + Millis(2000);
     for (WorkerState& w : workers_) {
       if (w.health == WorkerHealth::kDead) continue;
+      if (w.endpoint.remote) {
+        drain_remote(w);
+        close_endpoint(w);
+        w.health = WorkerHealth::kDead;
+        continue;
+      }
       while (true) {
         const pid_t reaped = ::waitpid(w.endpoint.pid, nullptr, WNOHANG);
         if (reaped == w.endpoint.pid || reaped < 0) break;
@@ -535,7 +732,37 @@ class Controller {
         ::usleep(10 * 1000);
       }
       ::close(w.endpoint.from_worker_fd);
+      w.endpoint.from_worker_fd = -1;
       w.health = WorkerHealth::kDead;
+    }
+  }
+
+  /// Wait (bounded by drain_grace) for a remote to acknowledge shutdown by
+  /// closing its side, discarding whatever it still sends.
+  void drain_remote(WorkerState& w) {
+    const Clock::time_point deadline = Clock::now() + options_.drain_grace;
+    char sink[4096];
+    while (true) {
+      const std::int64_t left = std::chrono::duration_cast<Millis>(
+                                    deadline - Clock::now())
+                                    .count();
+      if (left <= 0) return;
+      pollfd pfd{w.endpoint.from_worker_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(
+                                            left, 100)));
+      if (ready < 0 && errno != EINTR) return;
+      if (ready <= 0) continue;
+      const ssize_t n = ::read(w.endpoint.from_worker_fd, sink, sizeof sink);
+      if (n == 0) return;  // clean EOF: the worker drained and closed
+      if (n < 0 && errno != EINTR && errno != EAGAIN) return;
+    }
+  }
+
+  void report_hosts() {
+    if (!observer_.on_host_summary) return;
+    for (const auto& [host, stats] : hosts_) {
+      observer_.on_host_summary(host, stats.admitted, stats.lost,
+                                stats.results);
     }
   }
 
@@ -564,8 +791,13 @@ class Controller {
   const FleetOptions options_;
   const WorkerLauncher& launcher_;
   const FleetObserver& observer_;
+  SocketListener* listener_ = nullptr;
   std::vector<PlanState> plans_;
   std::vector<WorkerState> workers_;
+  /// hello v2 host/pid -> latest worker slot claiming it. Entries outlive
+  /// their slot's death so a redial is recognized as a reconnect.
+  std::map<std::string, std::size_t> identity_to_worker_;
+  std::map<std::string, HostStats> hosts_;
   std::size_t next_worker_index_ = 0;
   std::size_t respawns_used_ = 0;
 };
@@ -575,11 +807,17 @@ class Controller {
 std::vector<PlanOutcome> run_fleet(const std::vector<PlanInputs>& plans,
                                    const FleetOptions& options,
                                    const WorkerLauncher& launcher,
-                                   const FleetObserver& observer) {
+                                   const FleetObserver& observer,
+                                   SocketListener* listener) {
   WB_REQUIRE_MSG(!plans.empty(), "no plans to serve");
-  WB_REQUIRE_MSG(options.workers >= 1, "a fleet needs at least one worker");
+  WB_REQUIRE_MSG(options.workers >= 1 || listener != nullptr,
+                 "a fleet needs at least one worker or a listener for "
+                 "dial-ins");
+  WB_REQUIRE_MSG(launcher != nullptr || options.workers == 0,
+                 "cannot launch " << options.workers
+                                  << " workers without a launcher");
   WB_REQUIRE_MSG(options.max_attempts >= 1, "max_attempts must be at least 1");
-  Controller controller(plans, options, launcher, observer);
+  Controller controller(plans, options, launcher, observer, listener);
   return controller.run();
 }
 

@@ -41,6 +41,30 @@
 //   error frame              -> the worker is healthy, the shard failed:
 //                               re-queue with backoff until max_attempts
 //
+// PR 7 adds remote workers: a SocketListener handed to run_fleet turns
+// accepted connections into endpoints on the same frame loop. Remote
+// lifecycle differs from local in exactly the ways a network differs from a
+// pipe:
+//
+//   accepted connection      -> *handshaking*, not dispatchable: nothing is
+//                               sent until a hello validates (version skew
+//                               and an untenable heartbeat interval are
+//                               refused with an error frame, up front)
+//   hello v2 identity        -> host/pid is stable across redials, so a
+//                               reconnecting worker is recognized and
+//                               re-admitted (its stale slot is superseded);
+//                               its first frame may redeliver a result the
+//                               partition swallowed — merged if the shard is
+//                               open, discarded as stale if not, both safe
+//   remote link loss         -> the *link* is dead, not provably the worker:
+//                               its shard is re-queued after a drain grace
+//                               (time for a redelivery to land first) and no
+//                               respawn is spent — dial-ins are awaited, not
+//                               forked; attrition shifts load to survivors
+//   zero workers + listener  -> the fleet waits for dial-ins instead of
+//                               failing: a full partition heals when the
+//                               other side redials
+//
 // Because a shard's result is a deterministic function of its spec, every
 // retry path above preserves the bit-identical-to-`exhaustive:1` guarantee;
 // tests/fleet/controller_test.cpp injects each fault and pins that.
@@ -91,14 +115,24 @@ struct FleetOptions {
   /// Replacement workers the controller may spawn after losses. When the
   /// budget is exhausted the fleet degrades to the surviving workers; a
   /// plan fails only when no worker is left to run its pending shards.
+  /// Remote dial-ins never spend this budget — they are awaited, not forked.
   std::size_t max_respawns = 8;
+  /// After a remote link is lost, its in-flight shard waits this long before
+  /// re-issue: a quickly-redialing worker redelivers the finished result in
+  /// that window and the re-sweep never happens. Also bounds how long
+  /// teardown waits for a remote to drain after its shutdown frame.
+  std::chrono::milliseconds drain_grace{500};
 };
 
-/// A spawned worker process and the two pipe ends the controller owns.
+/// A spawned worker process and the two pipe ends the controller owns — or,
+/// for a remote worker, one socket fd in both slots (pid stays -1).
 struct WorkerEndpoint {
   pid_t pid = -1;
   int to_worker_fd = -1;
   int from_worker_fd = -1;
+  /// True for an accepted socket connection: no child to signal or reap, one
+  /// fd to close, losses re-queue after drain_grace and spend no respawn.
+  bool remote = false;
 };
 
 /// Launch worker number `index` (indices are never reused). Throwing
@@ -123,6 +157,20 @@ struct FleetObserver {
   /// foreign (fingerprint matches no plan), or invalid.
   std::function<void(std::size_t worker, const std::string& reason)>
       on_discard;
+  /// A connection was accepted from `peer` — not yet dispatchable.
+  std::function<void(std::size_t worker, const std::string& peer)> on_accept;
+  /// A remote connection's hello validated and the worker joined the fleet.
+  /// `reconnected` means its host/pid identity was seen before — this is a
+  /// known worker redialing after a partition, not a stranger.
+  std::function<void(std::size_t worker, const HelloInfo& hello,
+                     bool reconnected)>
+      on_admit;
+  /// Per-host accounting, fired once per host at teardown ("local" covers
+  /// launcher-spawned workers). `admitted` counts admissions including
+  /// re-admissions, `lost` counts losses, `results` counts merged results.
+  std::function<void(const std::string& host, std::size_t admitted,
+                     std::size_t lost, std::size_t results)>
+      on_host_summary;
 };
 
 /// What became of one plan.
@@ -136,14 +184,23 @@ struct PlanOutcome {
   std::size_t reissues = 0; // shards dispatched more than once
 };
 
+class SocketListener;
+
 /// Serve every plan to completion (or failure) over a fleet of worker
 /// processes. Blocks; returns one outcome per plan, in input order. Workers
 /// receive shutdown frames and are reaped before returning. Throws
 /// wb::DataError only for broken inputs (e.g. a spec document whose hash
 /// contradicts its manifest) — worker failures never escape as exceptions.
+///
+/// With a `listener`, connections accepted on it join the fleet as remote
+/// workers after their hello validates; the listener is closed before
+/// teardown. options.workers may then be 0 (and `launcher` empty): an
+/// all-dial-in fleet that waits for workers instead of failing when none are
+/// connected.
 [[nodiscard]] std::vector<PlanOutcome> run_fleet(
     const std::vector<PlanInputs>& plans, const FleetOptions& options,
-    const WorkerLauncher& launcher, const FleetObserver& observer = {});
+    const WorkerLauncher& launcher, const FleetObserver& observer = {},
+    SocketListener* listener = nullptr);
 
 }  // namespace wb::fleet
 

@@ -1,0 +1,244 @@
+#include "src/fleet/socket.h"
+
+#if WB_FLEET_HAS_PROCESSES
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <thread>
+
+#include "src/support/check.h"
+
+namespace wb::fleet {
+
+namespace {
+
+void set_cloexec(int fd) {
+  WB_REQUIRE_MSG(::fcntl(fd, F_SETFD, FD_CLOEXEC) == 0,
+                 "cannot set CLOEXEC on fd " << fd);
+}
+
+void set_nodelay(int fd) {
+  // Frames are request/response; latency beats batching. Failure is not
+  // fatal (e.g. a non-TCP test double).
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// getaddrinfo over the address, invoking `try_fd(fd, ai)` per candidate
+/// until one returns true; throws `what`-flavored DataError when none does.
+template <typename TryFd>
+int with_resolved(const SocketAddress& address, bool passive,
+                  const char* what, const TryFd& try_fd) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  const std::string port = std::to_string(address.port);
+  addrinfo* list = nullptr;
+  const int rc = ::getaddrinfo(address.host.c_str(), port.c_str(), &hints,
+                               &list);
+  WB_REQUIRE_MSG(rc == 0, "cannot resolve '" << to_string(address)
+                                             << "': " << ::gai_strerror(rc));
+  int last_errno = 0;
+  for (const addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (try_fd(fd, *ai)) {
+      ::freeaddrinfo(list);
+      return fd;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(list);
+  throw DataError(std::string(what) + " '" + to_string(address) +
+                  "' failed: " + std::strerror(last_errno));
+}
+
+std::string peer_to_string(const sockaddr_storage& storage,
+                           socklen_t length) {
+  char host[NI_MAXHOST];
+  char port[NI_MAXSERV];
+  if (::getnameinfo(reinterpret_cast<const sockaddr*>(&storage), length, host,
+                    sizeof host, port, sizeof port,
+                    NI_NUMERICHOST | NI_NUMERICSERV) != 0) {
+    return "unknown-peer";
+  }
+  return std::string(host) + ":" + port;
+}
+
+}  // namespace
+
+std::string to_string(const SocketAddress& address) {
+  return address.host + ":" + std::to_string(address.port);
+}
+
+SocketAddress parse_socket_address(std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  WB_REQUIRE_MSG(colon != std::string_view::npos && colon > 0,
+                 "expected HOST:PORT, got '" << std::string(text) << "'");
+  SocketAddress address;
+  address.host = std::string(text.substr(0, colon));
+  const std::string_view port_token = text.substr(colon + 1);
+  std::uint32_t port = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_token.data(), port_token.data() + port_token.size(), port);
+  WB_REQUIRE_MSG(!port_token.empty() && ec == std::errc{} &&
+                     ptr == port_token.data() + port_token.size() &&
+                     port <= 65535,
+                 "bad port '" << std::string(port_token) << "' in '"
+                              << std::string(text) << "'");
+  address.port = static_cast<std::uint16_t>(port);
+  return address;
+}
+
+std::vector<SocketAddress> parse_socket_address_list(std::string_view text) {
+  std::vector<SocketAddress> addresses;
+  while (true) {
+    const std::size_t comma = text.find(',');
+    addresses.push_back(parse_socket_address(text.substr(0, comma)));
+    if (comma == std::string_view::npos) break;
+    text = text.substr(comma + 1);
+  }
+  return addresses;
+}
+
+SocketListener::SocketListener(const SocketAddress& address) {
+  fd_ = with_resolved(address, /*passive=*/true, "bind to",
+                      [](int fd, const addrinfo& ai) {
+                        const int one = 1;
+                        (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                                           sizeof one);
+                        return ::bind(fd, ai.ai_addr, ai.ai_addrlen) == 0 &&
+                               ::listen(fd, 64) == 0;
+                      });
+  set_cloexec(fd_);
+  // Non-blocking: the controller drains *all* pending connections after one
+  // poll wakeup, relying on accept() returning EAGAIN when the backlog is
+  // empty rather than blocking the whole fleet.
+  WB_REQUIRE_MSG(::fcntl(fd_, F_SETFL, O_NONBLOCK) == 0,
+                 "cannot make the listener non-blocking");
+  bound_ = address;
+  sockaddr_storage storage{};
+  socklen_t length = sizeof storage;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&storage), &length) ==
+      0) {
+    if (storage.ss_family == AF_INET) {
+      bound_.port = ntohs(reinterpret_cast<sockaddr_in&>(storage).sin_port);
+    } else if (storage.ss_family == AF_INET6) {
+      bound_.port = ntohs(reinterpret_cast<sockaddr_in6&>(storage).sin6_port);
+    }
+  }
+}
+
+SocketListener::~SocketListener() { close(); }
+
+int SocketListener::accept_connection(std::string* peer) {
+  WB_REQUIRE_MSG(fd_ >= 0, "accept on a closed listener");
+  sockaddr_storage storage{};
+  socklen_t length = sizeof storage;
+  while (true) {
+    const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&storage),
+                            &length);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+        return -1;
+      }
+      throw DataError(std::string("accept failed: ") + std::strerror(errno));
+    }
+    set_cloexec(fd);
+    WB_REQUIRE_MSG(::fcntl(fd, F_SETFL, O_NONBLOCK) == 0,
+                   "cannot make accepted fd non-blocking");
+    set_nodelay(fd);
+    if (peer != nullptr) *peer = peer_to_string(storage, length);
+    return fd;
+  }
+}
+
+void SocketListener::close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+int dial(const SocketAddress& address) {
+  const int fd = with_resolved(address, /*passive=*/false, "connect to",
+                               [](int fd, const addrinfo& ai) {
+                                 return ::connect(fd, ai.ai_addr,
+                                                  ai.ai_addrlen) == 0;
+                               });
+  set_cloexec(fd);
+  set_nodelay(fd);
+  return fd;
+}
+
+int run_worker_connect(const ConnectOptions& connect, const ShardRunner& runner,
+                       const WorkerOptions& options) {
+  WB_REQUIRE_MSG(!connect.addresses.empty(), "no addresses to connect to");
+  ignore_sigpipe();
+  WorkerOptions session_options = options;
+  std::string pending;
+  std::chrono::milliseconds backoff = connect.redial_base;
+  std::size_t failed_passes = 0;
+  while (true) {
+    int fd = -1;
+    std::string last_error;
+    for (const SocketAddress& address : connect.addresses) {
+      try {
+        fd = dial(address);
+        break;
+      } catch (const DataError& e) {
+        last_error = e.what();
+      }
+    }
+    if (fd < 0) {
+      ++failed_passes;
+      if (connect.redial_limit != 0 && failed_passes >= connect.redial_limit) {
+        std::fprintf(stderr,
+                     "fleet worker: giving up after %zu redial passes (%s)\n",
+                     failed_passes, last_error.c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, connect.redial_max);
+      continue;
+    }
+    failed_passes = 0;
+    backoff = connect.redial_base;
+    const SessionResult session =
+        serve_worker(fd, fd, runner, session_options, std::move(pending));
+    ::close(fd);
+    switch (session.end) {
+      case SessionEnd::kShutdown:
+        return 0;
+      case SessionEnd::kProtocolError:
+        return 2;
+      case SessionEnd::kEof:
+        break;
+    }
+    // Link lost: carry the unacknowledged result into the next session so a
+    // partition is healed by a redelivery, not a re-sweep. The
+    // fault-injection knobs were spent on the first session.
+    pending = session.undelivered_result;
+    session_options.stall_first = std::chrono::milliseconds(0);
+    session_options.sever_after = std::chrono::milliseconds(0);
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, connect.redial_max);
+  }
+}
+
+}  // namespace wb::fleet
+
+#endif  // WB_FLEET_HAS_PROCESSES

@@ -1,0 +1,113 @@
+// The fleet's TCP layer: the listener that turns accepted connections into
+// WorkerEndpoints, and the dial-in side of `wbsim fleet worker --connect`.
+//
+// The controller was built transport-agnostic (PR 6): a worker is a pair of
+// fds speaking wbframe v1, and an accepted socket is just another fd pair
+// (the same fd twice). This file adds exactly the networking the ROADMAP's
+// multi-host item asks for:
+//
+//   - SocketListener: bind/listen on HOST:PORT (port 0 picks an ephemeral
+//     port; bound_address() reports the real one, which `wbsim fleet run
+//     --listen` prints so scripts can dial it), accept with CLOEXEC +
+//     non-blocking fds ready for the controller's poll loop;
+//   - dial(): one blocking TCP connect for the worker side;
+//   - run_worker_connect(): the long-running dial-in worker — cycle the
+//     address list, serve a session (src/fleet/worker.h), and on link loss
+//     redial with exponential backoff, carrying any unacknowledged result
+//     across reconnects so a partition costs a redelivery, not a re-sweep.
+//     The worker's identity (hello v2 host/pid) is stable across redials,
+//     which is what lets the controller re-admit it instead of treating the
+//     reconnection as a stranger.
+#pragma once
+
+#include "src/fleet/transport.h"
+
+#if WB_FLEET_HAS_PROCESSES
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fleet/worker.h"
+
+namespace wb::fleet {
+
+/// A HOST:PORT pair. Host may be a numeric address or a resolvable name.
+struct SocketAddress {
+  std::string host;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const SocketAddress&, const SocketAddress&) = default;
+};
+
+[[nodiscard]] std::string to_string(const SocketAddress& address);
+
+/// Parse "HOST:PORT". Throws wb::DataError on a missing/garbled port or an
+/// empty host.
+[[nodiscard]] SocketAddress parse_socket_address(std::string_view text);
+
+/// Parse "HOST:PORT[,HOST:PORT...]" (the --connect grammar).
+[[nodiscard]] std::vector<SocketAddress> parse_socket_address_list(
+    std::string_view text);
+
+/// A bound, listening TCP socket. Non-copyable; closes on destruction.
+class SocketListener {
+ public:
+  /// Bind and listen. Port 0 asks the kernel for an ephemeral port. Throws
+  /// wb::DataError when the address cannot be resolved or bound.
+  explicit SocketListener(const SocketAddress& address);
+  ~SocketListener();
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// The listening fd, for the controller's poll set. -1 after close().
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// The actually-bound address (real port even when constructed with 0).
+  [[nodiscard]] const SocketAddress& bound_address() const { return bound_; }
+
+  /// Accept one pending connection: a non-blocking, CLOEXEC, TCP_NODELAY fd,
+  /// or -1 when no connection is pending (call after poll says readable).
+  /// `peer` (optional) receives the peer's address for logging. Throws
+  /// wb::DataError on a broken listener.
+  [[nodiscard]] int accept_connection(std::string* peer = nullptr);
+
+  /// Stop accepting (idempotent). Existing connections are unaffected.
+  void close();
+
+ private:
+  int fd_ = -1;
+  SocketAddress bound_;
+};
+
+/// Blocking TCP connect (CLOEXEC, TCP_NODELAY). Throws wb::DataError when
+/// the address cannot be resolved or no endpoint accepts.
+[[nodiscard]] int dial(const SocketAddress& address);
+
+struct ConnectOptions {
+  /// Addresses to try, in order, cycling.
+  std::vector<SocketAddress> addresses;
+  /// Redial backoff: after a full pass over the address list fails, wait
+  /// redial_base * 2^(failures-1), capped at redial_max.
+  std::chrono::milliseconds redial_base{100};
+  std::chrono::milliseconds redial_max{2000};
+  /// Give up after this many consecutive full passes with no connection
+  /// (exit code 1). 0 = redial forever (service semantics).
+  std::size_t redial_limit = 0;
+};
+
+/// The dial-in worker loop: dial, serve a session, redial on link loss with
+/// backoff (carrying any unacknowledged result for redelivery), until a
+/// shutdown frame (exit 0), a protocol error from the controller — its
+/// handshake refusal included — (exit 2), or redial_limit passes without a
+/// connection (exit 1). options.stall_first and options.sever_after apply to
+/// the first session only.
+[[nodiscard]] int run_worker_connect(const ConnectOptions& connect,
+                                     const ShardRunner& runner,
+                                     const WorkerOptions& options = {});
+
+}  // namespace wb::fleet
+
+#endif  // WB_FLEET_HAS_PROCESSES

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <poll.h>
 #include <unistd.h>
 #endif
 
@@ -19,8 +20,10 @@ constexpr std::string_view kMagic = "wbframe";
 constexpr std::string_view kVersion = "v1";
 
 constexpr std::string_view kTypeNames[] = {
-    "hello", "spec", "result", "heartbeat", "shutdown", "error",
+    "hello", "spec", "result", "heartbeat", "shutdown", "error", "ack",
 };
+
+constexpr std::string_view kHelloMagic = "wbhello";
 
 }  // namespace
 
@@ -35,7 +38,98 @@ FrameType frame_type_from_string(std::string_view token) {
     if (token == kTypeNames[i]) return static_cast<FrameType>(i);
   }
   throw DataError("unknown frame type '" + std::string(token) +
-                  "' — expected hello|spec|result|heartbeat|shutdown|error");
+                  "' — expected hello|spec|result|heartbeat|shutdown|error|"
+                  "ack");
+}
+
+std::string HelloInfo::identity() const {
+  if (version < 2 || host.empty()) return {};
+  return host + "/" + std::to_string(pid);
+}
+
+std::string serialize_hello(const HelloInfo& info) {
+  WB_CHECK_MSG(info.version == kHelloVersion,
+               "serialize_hello emits v" << kHelloVersion << " only, got v"
+                                         << info.version);
+  WB_CHECK_MSG(!info.host.empty() && info.host.find('\n') == std::string::npos,
+               "hello host must be a non-empty single line");
+  std::string out;
+  out.append(kHelloMagic);
+  out.append(" v2\n");
+  out.append("host ");
+  out.append(info.host);
+  out.append("\npid ");
+  out.append(std::to_string(info.pid));
+  out.append("\nthreads ");
+  out.append(std::to_string(info.threads));
+  out.append("\nheartbeat-ms ");
+  out.append(std::to_string(info.heartbeat_ms));
+  out.append("\n");
+  return out;
+}
+
+HelloInfo parse_hello(std::string_view payload) {
+  HelloInfo info;
+  const std::size_t magic_len = kHelloMagic.size();
+  if (payload.substr(0, magic_len) != kHelloMagic ||
+      (payload.size() > magic_len && payload[magic_len] != ' ')) {
+    return info;  // not a wbhello document: a v1 (anonymous) hello
+  }
+  const std::size_t first_newline = payload.find('\n');
+  const std::string_view version_token = payload.substr(
+      magic_len + 1, (first_newline == std::string_view::npos
+                          ? payload.size()
+                          : first_newline) -
+                         magic_len - 1);
+  WB_REQUIRE_MSG(version_token == "v2",
+                 "unsupported hello version '"
+                     << version_token << "' (this controller speaks v"
+                     << kHelloVersion
+                     << ") — refusing a version-skewed worker");
+  info.version = 2;
+  bool have_host = false;
+  bool have_pid = false;
+  std::string_view rest = first_newline == std::string_view::npos
+                              ? std::string_view{}
+                              : payload.substr(first_newline + 1);
+  const auto parse_i64 = [](std::string_view text,
+                            const char* what) -> std::int64_t {
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    WB_REQUIRE_MSG(!text.empty() && ec == std::errc{} &&
+                       ptr == text.data() + text.size(),
+                   "bad hello " << what << " '" << std::string(text) << "'");
+    return value;
+  };
+  while (!rest.empty()) {
+    const std::size_t newline = rest.find('\n');
+    const std::string_view line = rest.substr(0, newline);
+    rest = newline == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(newline + 1);
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    const std::string_view key = line.substr(0, space);
+    const std::string_view value =
+        space == std::string_view::npos ? std::string_view{}
+                                        : line.substr(space + 1);
+    if (key == "host") {
+      WB_REQUIRE_MSG(!value.empty(), "hello host line is empty");
+      info.host = std::string(value);
+      have_host = true;
+    } else if (key == "pid") {
+      info.pid = parse_i64(value, "pid");
+      have_pid = true;
+    } else if (key == "threads") {
+      info.threads = static_cast<std::size_t>(parse_i64(value, "threads"));
+    } else if (key == "heartbeat-ms") {
+      info.heartbeat_ms = parse_i64(value, "heartbeat-ms");
+    }
+    // Unknown keys: ignored, so a later v2 can add fields.
+  }
+  WB_REQUIRE_MSG(have_host && have_pid,
+                 "hello v2 document is missing its host or pid line");
+  return info;
 }
 
 std::string encode_frame(const Frame& frame) {
@@ -141,13 +235,20 @@ std::optional<Frame> read_frame(int fd, FrameDecoder& decoder) {
     const ssize_t n = ::read(fd, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw DataError(std::string("frame read failed: ") +
-                      std::strerror(errno));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd, POLLIN, 0};
+        (void)::poll(&pfd, 1, -1);
+        continue;
+      }
+      throw StreamError(std::string("frame read failed: ") +
+                        std::strerror(errno));
     }
     if (n == 0) {
-      WB_REQUIRE_MSG(decoder.idle(),
-                     "peer closed the stream mid-frame ("
-                         << decoder.buffered_bytes() << " bytes buffered)");
+      if (!decoder.idle()) {
+        throw StreamError("peer closed the stream mid-frame (" +
+                          std::to_string(decoder.buffered_bytes()) +
+                          " bytes buffered)");
+      }
       return std::nullopt;
     }
     decoder.feed(chunk, static_cast<std::size_t>(n));
@@ -162,8 +263,18 @@ void write_frame(int fd, const Frame& frame) {
     const ssize_t n = ::write(fd, wire.data() + written, wire.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw DataError(std::string("frame write failed: ") +
-                      std::strerror(errno));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full kernel buffer: wait for room, bounded
+        // — a peer that stops reading this long is as good as severed.
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, kWriteStallTimeoutMs);
+        if (ready > 0) continue;
+        throw StreamError("frame write stalled for " +
+                          std::to_string(kWriteStallTimeoutMs) +
+                          "ms (peer stopped reading)");
+      }
+      throw StreamError(std::string("frame write failed: ") +
+                        std::strerror(errno));
     }
     written += static_cast<std::size_t>(n);
   }

@@ -27,12 +27,28 @@
 #include <string>
 #include <string_view>
 
+#include "src/support/check.h"
+
 namespace wb::fleet {
+
+/// IO-level stream failure: EOF mid-frame, a dead peer, a read or write
+/// error. Distinct from plain wb::DataError (malformed framing) because the
+/// two demand different responses from a socket worker — a lost link is
+/// redialed, a peer that sent garbage is abandoned. Callers that treat both
+/// the same can keep catching DataError.
+class StreamError : public DataError {
+ public:
+  explicit StreamError(const std::string& what) : DataError(what) {}
+};
 
 /// Frame vocabulary of the controller<->worker protocol:
 ///   controller -> worker: kSpec (a serialized wbshard-spec to sweep),
-///                         kShutdown (drain and exit)
-///   worker -> controller: kHello (alive, ready for work), kHeartbeat
+///                         kAck (the worker's last result was consumed —
+///                         merged or deliberately discarded — so the worker
+///                         may drop its redelivery copy), kShutdown (drain
+///                         and exit)
+///   worker -> controller: kHello (alive, ready for work; payload is a
+///                         hello document, see HelloInfo), kHeartbeat
 ///                         (still sweeping), kResult (a serialized
 ///                         wbshard-result), kError (sweep failed; payload is
 ///                         the diagnostic)
@@ -43,6 +59,7 @@ enum class FrameType : std::uint8_t {
   kHeartbeat,
   kShutdown,
   kError,
+  kAck,
 };
 
 [[nodiscard]] std::string_view to_string(FrameType type);
@@ -94,6 +111,56 @@ class FrameDecoder {
   std::string poison_reason_;
 };
 
+// --- the hello handshake document -------------------------------------------
+
+/// What a worker announces about itself in its hello frame. Two payload
+/// generations coexist on the wire:
+///
+///   v1 (PR 6 workers): freeform or empty payload — accepted as an
+///      *anonymous local*: no identity, no handshake validation, never
+///      recognized across reconnects.
+///   v2: a structured document,
+///
+///        wbhello v2
+///        host <hostname>
+///        pid <pid>
+///        threads <n>
+///        heartbeat-ms <n>
+///
+///      carrying the worker's identity (host + pid — stable across redials
+///      of one process, so a reconnecting worker is re-admitted instead of
+///      treated as a stranger) and its heartbeat interval, which the
+///      controller validates against its own --heartbeat-timeout-ms at
+///      handshake time: a pair that would flap between suspect and
+///      rehabilitated is refused up front.
+///
+/// A "wbhello" document of any *other* version is rejected (version skew —
+/// an old controller must refuse a future worker loudly, not misparse it).
+/// Unknown keys in a v2 document are ignored, so v2 can grow fields.
+struct HelloInfo {
+  int version = 1;
+  std::string host;            // empty for v1/anonymous
+  std::int64_t pid = -1;       // -1 for v1/anonymous
+  std::size_t threads = 0;     // sweep threads the worker will use
+  std::int64_t heartbeat_ms = -1;  // -1 unknown (v1), 0 disabled
+
+  /// "host/pid" for v2, "" for v1 — the reconnect-recognition key.
+  [[nodiscard]] std::string identity() const;
+
+  friend bool operator==(const HelloInfo&, const HelloInfo&) = default;
+};
+
+inline constexpr int kHelloVersion = 2;
+
+/// The v2 document above. WB_CHECKs version == kHelloVersion.
+[[nodiscard]] std::string serialize_hello(const HelloInfo& info);
+
+/// Parse a hello frame payload of either generation (see HelloInfo). Throws
+/// wb::DataError on a "wbhello" document whose version is not v2 or whose
+/// required fields are missing/garbled; any payload that is not a "wbhello"
+/// document at all is a v1 hello (anonymous, never an error).
+[[nodiscard]] HelloInfo parse_hello(std::string_view payload);
+
 #if defined(__unix__) || defined(__APPLE__)
 #define WB_FLEET_HAS_PROCESSES 1
 
@@ -103,13 +170,22 @@ class FrameDecoder {
 void ignore_sigpipe();
 
 /// Blocking read of the next frame from `fd` through `decoder`. Returns
-/// std::nullopt on EOF at a frame boundary; throws wb::DataError on EOF
-/// mid-frame or on malformed framing.
+/// std::nullopt on EOF at a frame boundary. Throws StreamError on EOF
+/// mid-frame or a read error, plain wb::DataError on malformed framing.
+/// EAGAIN on a non-blocking fd is waited out with poll(), so the helper is
+/// safe on the controller's non-blocking socket fds too.
 [[nodiscard]] std::optional<Frame> read_frame(int fd, FrameDecoder& decoder);
 
-/// Write one frame to `fd`, retrying short writes. Throws wb::DataError when
-/// the peer is gone (EPIPE) or the fd errors out.
+/// Write one frame to `fd`, retrying short writes. On a non-blocking fd a
+/// full buffer is waited out with poll() up to kWriteStallTimeoutMs — a peer
+/// that stops reading for longer is indistinguishable from a severed link
+/// and fails the write. Throws StreamError when the peer is gone (EPIPE),
+/// the fd errors out, or the stall timeout passes.
 void write_frame(int fd, const Frame& frame);
+
+/// How long write_frame tolerates a full kernel buffer on a non-blocking fd
+/// before declaring the link dead.
+inline constexpr int kWriteStallTimeoutMs = 10000;
 
 #else
 #define WB_FLEET_HAS_PROCESSES 0

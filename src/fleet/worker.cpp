@@ -2,6 +2,7 @@
 
 #if WB_FLEET_HAS_PROCESSES
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <condition_variable>
@@ -73,23 +74,81 @@ class HeartbeatPump {
   bool stop_ = false;
 };
 
+/// Fault injection: hard-shutdown(2) `fd` after a delay unless stopped
+/// first. Leaves the fd number alive (no close) so nothing double-closes —
+/// only the link is dead, exactly like a severed cable.
+class SeverTimer {
+ public:
+  SeverTimer(int fd, std::chrono::milliseconds after) : fd_(fd) {
+    if (after.count() <= 0) return;
+    thread_ = std::thread([this, after] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, after, [this] { return stop_; })) {
+        ::shutdown(fd_, SHUT_RDWR);
+      }
+    });
+  }
+
+  ~SeverTimer() {
+    if (!thread_.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  int fd_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+std::string local_hostname() {
+  char buffer[256] = {0};
+  if (::gethostname(buffer, sizeof buffer - 1) != 0) return "unknown-host";
+  return buffer;
+}
+
 }  // namespace
 
-int run_worker(int in_fd, int out_fd, const ShardRunner& runner,
-               const WorkerOptions& options) {
+SessionResult serve_worker(int in_fd, int out_fd, const ShardRunner& runner,
+                           const WorkerOptions& options,
+                           std::string pending_result) {
   ignore_sigpipe();
   FrameChannel channel(out_fd);
   FrameDecoder decoder;
+  SeverTimer sever(in_fd, options.sever_after);
   bool first_spec = true;
+  std::string pending = std::move(pending_result);
   try {
-    channel.send(Frame{FrameType::kHello,
-                       "pid " + std::to_string(::getpid()) + "\n"});
+    HelloInfo hello;
+    hello.version = kHelloVersion;
+    hello.host = options.hostname.empty() ? local_hostname() : options.hostname;
+    hello.pid = ::getpid();
+    hello.threads = options.threads;
+    hello.heartbeat_ms = options.heartbeat_interval.count();
+    channel.send(Frame{FrameType::kHello, serialize_hello(hello)});
+    if (!pending.empty()) {
+      // Redelivery of the previous session's unacknowledged result. If the
+      // shard was merged in the meantime the controller discards it as
+      // stale — both runs are bit-identical, so either way is correct.
+      channel.send(Frame{FrameType::kResult, pending});
+    }
     while (true) {
       const std::optional<Frame> frame = read_frame(in_fd, decoder);
-      if (!frame.has_value()) return 0;  // EOF: controller is gone
+      if (!frame.has_value()) {
+        return {SessionEnd::kEof, std::move(pending)};
+      }
       switch (frame->type) {
         case FrameType::kShutdown:
-          return 0;
+          return {SessionEnd::kShutdown, {}};
+        case FrameType::kAck:
+          pending.clear();
+          break;
         case FrameType::kSpec: {
           // Heartbeats cover the whole service of the spec — parse, the
           // injected stall, and the sweep — so the controller's liveness
@@ -103,8 +162,12 @@ int run_worker(int in_fd, int out_fd, const ShardRunner& runner,
             const shard::ShardSpec spec =
                 shard::parse_shard_spec(frame->payload);
             const shard::ShardResult result = runner(spec, options.threads);
-            channel.send(
-                Frame{FrameType::kResult, shard::serialize(result)});
+            // Held until the controller acks it: a link that dies between
+            // this send and the ack leaves the result redeliverable.
+            pending = shard::serialize(result);
+            channel.send(Frame{FrameType::kResult, pending});
+          } catch (const StreamError&) {
+            throw;  // link loss mid-send: pending survives for redelivery
           } catch (const DataError& e) {
             channel.send(Frame{FrameType::kError, e.what()});
           } catch (const LogicError& e) {
@@ -115,20 +178,36 @@ int run_worker(int in_fd, int out_fd, const ShardRunner& runner,
         case FrameType::kHello:
         case FrameType::kHeartbeat:
           break;  // harmless from a controller; ignore
-        case FrameType::kResult:
         case FrameType::kError:
+          // The controller refused us — e.g. a heartbeat interval its
+          // timeout cannot tolerate, announced at handshake. Redialing
+          // would be refused again.
+          std::fprintf(stderr, "fleet worker: refused by controller: %s\n",
+                       frame->payload.c_str());
+          return {SessionEnd::kProtocolError, std::move(pending)};
+        case FrameType::kResult:
           // A controller never sends these; a peer that does is confused
           // enough that continuing would serve garbage.
           std::fprintf(stderr,
                        "fleet worker: unexpected %s frame from controller\n",
                        std::string(to_string(frame->type)).c_str());
-          return 2;
+          return {SessionEnd::kProtocolError, std::move(pending)};
       }
     }
+  } catch (const StreamError&) {
+    // Link loss, not malformed data: the session is over but the worker is
+    // healthy — a dial-in worker redials with the pending result.
+    return {SessionEnd::kEof, std::move(pending)};
   } catch (const DataError& e) {
     std::fprintf(stderr, "fleet worker: %s\n", e.what());
-    return 2;
+    return {SessionEnd::kProtocolError, std::move(pending)};
   }
+}
+
+int run_worker(int in_fd, int out_fd, const ShardRunner& runner,
+               const WorkerOptions& options) {
+  const SessionResult session = serve_worker(in_fd, out_fd, runner, options);
+  return session.end == SessionEnd::kProtocolError ? 2 : 0;
 }
 
 }  // namespace wb::fleet

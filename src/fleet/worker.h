@@ -46,11 +46,45 @@ struct WorkerOptions {
   /// (heartbeats keep flowing). Gives `kill -9` smoke tests a deterministic
   /// window in which every worker is provably mid-shard.
   std::chrono::milliseconds stall_first{0};
+  /// Fault-injection aid: hard-shutdown(2) this session's link this long
+  /// after it starts (0 = never) — the "sever a live worker's connection"
+  /// scenario. The sweep keeps running; its result goes undelivered and a
+  /// dial-in worker redelivers it after redialing. No-op on pipe fds.
+  std::chrono::milliseconds sever_after{0};
+  /// Hostname announced in the hello v2 frame (host+pid is the reconnect
+  /// identity). Empty = gethostname(). Tests use overrides to simulate a
+  /// multi-host fleet on one machine.
+  std::string hostname;
 };
 
-/// Serve frames on in_fd/out_fd until shutdown or EOF. Returns the process
-/// exit code: 0 on a clean shutdown/EOF, 2 when the controller's stream is
-/// malformed (diagnostic on stderr).
+/// Why a worker session ended.
+enum class SessionEnd : std::uint8_t {
+  kShutdown,       // controller sent a shutdown frame: drain and exit
+  kEof,            // link lost (EOF, reset, write failure): redial-worthy
+  kProtocolError,  // the controller's stream is malformed or it refused the
+                   // handshake: abandon, do not redial
+};
+
+struct SessionResult {
+  SessionEnd end = SessionEnd::kEof;
+  /// The serialized result whose delivery was never acknowledged — redeliver
+  /// it on the next session so a partition costs a redelivery, not a
+  /// re-sweep. Empty when everything sent was acked.
+  std::string undelivered_result;
+};
+
+/// Serve one session of frames on in_fd/out_fd: hello v2 first (then
+/// `pending_result`, if any, as a redelivery), then specs/acks/shutdown.
+/// The last result stays held until the controller's ack frame confirms it
+/// was consumed. Diagnostics for kProtocolError go to stderr.
+[[nodiscard]] SessionResult serve_worker(int in_fd, int out_fd,
+                                         const ShardRunner& runner,
+                                         const WorkerOptions& options = {},
+                                         std::string pending_result = {});
+
+/// One-shot wrapper (the stdio worker spawned over pipes): serve a single
+/// session and map its end to a process exit code — 0 on shutdown/EOF, 2 on
+/// a malformed controller stream.
 int run_worker(int in_fd, int out_fd, const ShardRunner& runner,
                const WorkerOptions& options = {});
 

@@ -12,15 +12,19 @@
 
 #include <gtest/gtest.h>
 #include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/cli/runners.h"
 #include "src/cli/spec.h"
+#include "src/fleet/socket.h"
 #include "src/fleet/worker.h"
 #include "src/support/check.h"
 #include "src/wb/shard.h"
@@ -316,6 +320,7 @@ TEST(FleetController, StaleDuplicateResultAfterCompletionIsDiscarded) {
       FrameDecoder decoder;
       write_frame(out_fd, Frame{FrameType::kHello, ""});
       while (const std::optional<Frame> frame = read_frame(in_fd, decoder)) {
+        if (frame->type == FrameType::kAck) continue;
         if (frame->type != FrameType::kSpec) return;
         const shard::ShardResult result =
             serial_runner(shard::parse_shard_spec(frame->payload), 1);
@@ -356,6 +361,7 @@ TEST(FleetController, ForeignResultIsDiscardedAndTheShardRetried) {
       write_frame(out_fd, Frame{FrameType::kHello, ""});
       bool lied = false;
       while (const std::optional<Frame> frame = read_frame(in_fd, decoder)) {
+        if (frame->type == FrameType::kAck) continue;
         if (frame->type != FrameType::kSpec) return;
         if (!lied) {
           lied = true;
@@ -555,6 +561,465 @@ TEST(FleetWorker, UnsweepableSpecAnswersWithAnErrorFrameAndLivesOn) {
   ::close(to_worker[0]);
   ::close(from_worker[0]);
 }
+
+// --- the socket fleet: remote workers over real loopback connections --------
+//
+// These children are real processes dialing a real listener; every fault is
+// injected on an actual TCP link (SIGKILL, shutdown(2), silence), and every
+// sweep must still merge bit-identically to the serial reference.
+
+/// Fork a child running the long-lived dial-in loop (wbsim fleet worker
+/// --connect). The child closes the inherited listener fd first so a
+/// dangling child can never keep the port alive past the controller.
+pid_t fork_connect_worker(const SocketListener& listener,
+                          const WorkerOptions& options = {}) {
+  const SocketAddress address = listener.bound_address();
+  const int listener_fd = listener.fd();
+  const pid_t pid = ::fork();
+  WB_REQUIRE_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    ::close(listener_fd);
+    ConnectOptions connect;
+    connect.addresses = {address};
+    connect.redial_base = milliseconds(50);
+    connect.redial_max = milliseconds(500);
+    connect.redial_limit = 40;  // bounded so a test bug cannot hang the suite
+    ::_exit(run_worker_connect(connect, serial_runner, options));
+  }
+  return pid;
+}
+
+/// Fork a raw TCP client: dial and run `behave(fd)` (byzantine or
+/// half-broken remotes run_worker_connect would never produce).
+template <typename Behave>
+pid_t fork_raw_dialer(const SocketListener& listener, const Behave& behave) {
+  const SocketAddress address = listener.bound_address();
+  const int listener_fd = listener.fd();
+  const pid_t pid = ::fork();
+  WB_REQUIRE_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    ::close(listener_fd);
+    ignore_sigpipe();
+    behave(dial(address));
+    ::_exit(0);
+  }
+  return pid;
+}
+
+/// Wait for `pid`; returns its exit code, or -signal when killed.
+int reap(pid_t pid) {
+  int status = 0;
+  WB_REQUIRE_MSG(::waitpid(pid, &status, 0) == pid, "waitpid failed");
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return WIFSIGNALED(status) ? -WTERMSIG(status) : -1;
+}
+
+std::string hello_v2(const std::string& host, std::int64_t heartbeat_ms) {
+  HelloInfo info;
+  info.version = kHelloVersion;
+  info.host = host;
+  info.pid = ::getpid();
+  info.threads = 1;
+  info.heartbeat_ms = heartbeat_ms;
+  return serialize_hello(info);
+}
+
+TEST(SocketFleet, DialInWorkersServeAnAllRemoteSweep) {
+  // workers=0, no launcher: the fleet starts with nobody and *waits* — the
+  // two dial-ins are its entire workforce. This is also the partition
+  // half of the tolerance story: zero connected workers is not failure
+  // while the listener is up.
+  const PlanInputs plan = make_plan("remote", "twocliques:3", "two-cliques", 4);
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  std::vector<std::string> admitted_hosts;
+  bool any_reconnect = false;
+  FleetObserver observer;
+  observer.on_admit = [&](std::size_t, const HelloInfo& hello,
+                          bool reconnected) {
+    admitted_hosts.push_back(hello.host);
+    any_reconnect = any_reconnect || reconnected;
+  };
+  WorkerOptions alpha;
+  alpha.hostname = "alpha";
+  WorkerOptions beta;
+  beta.hostname = "beta";
+  const pid_t pid_a = fork_connect_worker(listener, alpha);
+  const pid_t pid_b = fork_connect_worker(listener, beta);
+  FleetOptions options;
+  options.workers = 0;
+  options.drain_grace = milliseconds(200);
+  const auto outcomes =
+      run_fleet({plan}, options, WorkerLauncher{}, observer, &listener);
+  EXPECT_EQ(reap(pid_a), 0);
+  EXPECT_EQ(reap(pid_b), 0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+  ASSERT_EQ(admitted_hosts.size(), 2u);
+  EXPECT_NE(std::count(admitted_hosts.begin(), admitted_hosts.end(), "alpha"),
+            0);
+  EXPECT_NE(std::count(admitted_hosts.begin(), admitted_hosts.end(), "beta"),
+            0);
+  EXPECT_FALSE(any_reconnect);
+}
+
+TEST(SocketFleet, SigkillRemoteMidShardShiftsLoadToTheSurvivor) {
+  const PlanInputs plan = make_plan("kill9", "twocliques:3", "two-cliques", 4);
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  WorkerOptions victim;
+  victim.hostname = "victim";
+  victim.stall_first = milliseconds(400);  // provably mid-shard when killed
+  WorkerOptions survivor;
+  survivor.hostname = "survivor";
+  const pid_t victim_pid = fork_connect_worker(listener, victim);
+  const pid_t survivor_pid = fork_connect_worker(listener, survivor);
+  std::size_t victim_index = SIZE_MAX;
+  bool killed = false;
+  std::string lost_reason;
+  FleetObserver observer;
+  observer.on_admit = [&](std::size_t worker, const HelloInfo& hello, bool) {
+    if (hello.host == "victim") victim_index = worker;
+  };
+  observer.on_dispatch = [&](std::size_t worker, const std::string&,
+                             std::uint32_t, int) {
+    if (!killed && worker == victim_index) {
+      killed = true;
+      ::kill(victim_pid, SIGKILL);
+    }
+  };
+  observer.on_worker_lost = [&](std::size_t worker, const std::string& why) {
+    if (worker == victim_index) lost_reason = why;
+  };
+  FleetOptions options;
+  options.workers = 0;
+  options.backoff_base = milliseconds(10);
+  options.drain_grace = milliseconds(100);
+  const auto outcomes =
+      run_fleet({plan}, options, WorkerLauncher{}, observer, &listener);
+  EXPECT_EQ(reap(victim_pid), -SIGKILL);
+  EXPECT_EQ(reap(survivor_pid), 0);
+  ASSERT_TRUE(killed);
+  EXPECT_NE(lost_reason, "");
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  EXPECT_GE(outcomes[0].reissues, 1u);
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+}
+
+TEST(SocketFleet, RemoteLossSpendsNoRespawnBudget) {
+  // Host-aware respawn policy: a mixed fleet (one local fork, one dial-in)
+  // loses the remote — the controller must NOT burn a fork on it (dial-ins
+  // are awaited, not forked); the local worker absorbs the load alone.
+  const PlanInputs plan = make_plan("mixed", "twocliques:3", "two-cliques", 3);
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  WorkerOptions remote;
+  remote.hostname = "remote";
+  remote.stall_first = milliseconds(400);
+  const pid_t remote_pid = fork_connect_worker(listener, remote);
+  std::size_t remote_index = SIZE_MAX;
+  std::size_t spawns = 0;
+  bool killed = false;
+  FleetObserver observer;
+  observer.on_spawn = [&](std::size_t, pid_t) { ++spawns; };
+  observer.on_admit = [&](std::size_t worker, const HelloInfo& hello, bool) {
+    if (hello.host == "remote") remote_index = worker;
+  };
+  observer.on_dispatch = [&](std::size_t worker, const std::string&,
+                             std::uint32_t, int) {
+    if (!killed && worker == remote_index) {
+      killed = true;
+      ::kill(remote_pid, SIGKILL);
+    }
+  };
+  FleetOptions options;
+  options.workers = 1;
+  options.backoff_base = milliseconds(10);
+  options.drain_grace = milliseconds(100);
+  const auto outcomes =
+      run_fleet({plan}, options, plain_launcher(), observer, &listener);
+  EXPECT_EQ(reap(remote_pid), -SIGKILL);
+  ASSERT_TRUE(killed);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+  EXPECT_EQ(spawns, 1u) << "a remote loss must not trigger a local respawn";
+}
+
+TEST(SocketFleet, SeveredLinkWorkerRedialsAndRedeliversWithoutAReSweep) {
+  // The partition-then-reconnect pin: the link is severed while the worker
+  // is mid-sweep. The worker survives, redials, is recognized by its
+  // host/pid identity, and REDELIVERS the finished result — inside the
+  // drain grace, so the shard is never swept twice.
+  const PlanInputs plan = make_plan("sever", "twocliques:3", "two-cliques", 1);
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  WorkerOptions worker;
+  worker.hostname = "flaky";
+  worker.stall_first = milliseconds(300);
+  worker.sever_after = milliseconds(100);  // dies mid-stall, sweep continues
+  const pid_t pid = fork_connect_worker(listener, worker);
+  bool reconnected_seen = false;
+  std::string lost_reason;
+  FleetObserver observer;
+  observer.on_admit = [&](std::size_t, const HelloInfo& hello,
+                          bool reconnected) {
+    EXPECT_EQ(hello.host, "flaky");
+    reconnected_seen = reconnected_seen || reconnected;
+  };
+  observer.on_worker_lost = [&](std::size_t, const std::string& why) {
+    lost_reason = why;
+  };
+  FleetOptions options;
+  options.workers = 0;
+  options.drain_grace = milliseconds(3000);  // ample room for the redelivery
+  const auto outcomes =
+      run_fleet({plan}, options, WorkerLauncher{}, observer, &listener);
+  EXPECT_EQ(reap(pid), 0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+  EXPECT_TRUE(reconnected_seen) << "the redial must be recognized, not "
+                                   "admitted as a stranger";
+  EXPECT_NE(lost_reason, "") << "the severed link must have been noticed";
+  EXPECT_EQ(outcomes[0].reissues, 0u)
+      << "the redelivery landed inside the drain grace; a re-sweep means "
+         "drain semantics failed";
+}
+
+TEST(SocketFleet, HalfOpenConnectionIsSuspectedButTheLinkStaysOpen) {
+  // A worker whose process lives but never speaks again (half-open link):
+  // indistinguishable from a slow worker, so the controller may only
+  // *suspect* it — re-issue its shard elsewhere, keep the link open. No
+  // on_worker_lost, no respawn spent; the honest dial-in finishes the sweep.
+  const PlanInputs plan = make_plan("halfopen", "twocliques:3", "two-cliques",
+                                    2);
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  const pid_t silent_pid = fork_raw_dialer(listener, [](int fd) {
+    write_frame(fd, Frame{FrameType::kHello, hello_v2("silent", 0)});
+    FrameDecoder decoder;
+    while (const std::optional<Frame> frame = read_frame(fd, decoder)) {
+      if (frame->type == FrameType::kSpec) {
+        ::usleep(60 * 1000 * 1000);  // the parent SIGKILLs us long before
+      }
+    }
+  });
+  WorkerOptions honest;
+  honest.hostname = "honest";
+  honest.heartbeat_interval = milliseconds(100);
+  const pid_t honest_pid = fork_connect_worker(listener, honest);
+  std::vector<std::string> lost;
+  std::size_t requeues = 0;
+  FleetObserver observer;
+  observer.on_worker_lost = [&](std::size_t, const std::string& why) {
+    lost.push_back(why);
+  };
+  observer.on_requeue = [&](const std::string&, std::uint32_t,
+                            const std::string&) { ++requeues; };
+  FleetOptions options;
+  options.workers = 0;
+  // Long enough that a loaded sanitizer build still lands both hellos inside
+  // the handshake window; short enough that suspecting the silent worker
+  // doesn't dominate the test.
+  options.heartbeat_timeout = milliseconds(600);
+  options.backoff_base = milliseconds(10);
+  options.drain_grace = milliseconds(100);
+  const auto outcomes =
+      run_fleet({plan}, options, WorkerLauncher{}, observer, &listener);
+  ::kill(silent_pid, SIGKILL);
+  EXPECT_EQ(reap(silent_pid), -SIGKILL);
+  EXPECT_EQ(reap(honest_pid), 0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+  EXPECT_GE(requeues, 1u) << "the silent worker's shard must be re-issued";
+  EXPECT_TRUE(lost.empty())
+      << "silence is not death — the link must stay open (got: " << lost[0]
+      << ")";
+}
+
+TEST(SocketFleet, MisconfiguredHeartbeatIsRefusedAtHandshake) {
+  // Satellite 2: a worker whose heartbeat interval cannot satisfy the
+  // controller's timeout would be suspected on every sweep. It is refused
+  // at the handshake — error frame, worker exits 2 (no futile redials).
+  const PlanInputs plan = make_plan("hb", "twocliques:3", "two-cliques", 1);
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  WorkerOptions bad;
+  bad.hostname = "lazy";
+  bad.heartbeat_interval = milliseconds(5000);  // >= the controller's timeout
+  const pid_t bad_pid = fork_connect_worker(listener, bad);
+  WorkerOptions good;
+  good.hostname = "good";
+  good.heartbeat_interval = milliseconds(100);
+  const pid_t good_pid = fork_connect_worker(listener, good);
+  std::vector<std::string> lost;
+  std::vector<std::string> admitted;
+  FleetObserver observer;
+  observer.on_worker_lost = [&](std::size_t, const std::string& why) {
+    lost.push_back(why);
+  };
+  observer.on_admit = [&](std::size_t, const HelloInfo& hello, bool) {
+    admitted.push_back(hello.host);
+  };
+  FleetOptions options;
+  options.workers = 0;
+  // Generous: the timeout also bounds the hello handshake, and a sanitizer
+  // build under load must not drop the bad worker for a *late* hello (the
+  // refusal under test is the heartbeat mismatch, not handshake tardiness).
+  options.heartbeat_timeout = milliseconds(1500);
+  options.drain_grace = milliseconds(100);
+  const auto outcomes =
+      run_fleet({plan}, options, WorkerLauncher{}, observer, &listener);
+  EXPECT_EQ(reap(bad_pid), 2) << "a refused worker must not redial";
+  EXPECT_EQ(reap(good_pid), 0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+  EXPECT_EQ(admitted, std::vector<std::string>{"good"});
+  ASSERT_FALSE(lost.empty());
+  EXPECT_NE(lost[0].find("heartbeat"), std::string::npos) << lost[0];
+}
+
+TEST(SocketFleet, VersionSkewedHelloIsRefusedAtHandshake) {
+  // Satellite 1: a worker from a future protocol version is refused up
+  // front with an error frame; the current-version worker serves the sweep.
+  const PlanInputs plan = make_plan("skew", "twocliques:3", "two-cliques", 1);
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  const pid_t skewed_pid = fork_raw_dialer(listener, [](int fd) {
+    write_frame(fd, Frame{FrameType::kHello,
+                          "wbhello v3\nhost futurist\npid 1\n"});
+    FrameDecoder decoder;
+    // Drain until the controller hangs up; the error frame arrives first.
+    bool saw_error = false;
+    try {
+      while (const std::optional<Frame> frame = read_frame(fd, decoder)) {
+        saw_error = saw_error || frame->type == FrameType::kError;
+      }
+    } catch (const DataError&) {
+    }
+    ::_exit(saw_error ? 0 : 7);
+  });
+  WorkerOptions current;
+  current.hostname = "current";
+  const pid_t current_pid = fork_connect_worker(listener, current);
+  std::vector<std::string> lost;
+  FleetObserver observer;
+  observer.on_worker_lost = [&](std::size_t, const std::string& why) {
+    lost.push_back(why);
+  };
+  FleetOptions options;
+  options.workers = 0;
+  options.drain_grace = milliseconds(100);
+  const auto outcomes =
+      run_fleet({plan}, options, WorkerLauncher{}, observer, &listener);
+  EXPECT_EQ(reap(skewed_pid), 0) << "the skewed worker must see the error "
+                                    "frame explaining its refusal";
+  EXPECT_EQ(reap(current_pid), 0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+  ASSERT_FALSE(lost.empty());
+  EXPECT_NE(lost[0].find("version"), std::string::npos) << lost[0];
+}
+
+TEST(SocketFleet, SlowTrickleFramesAreReassembledIntact) {
+  // A congested link delivering a few bytes at a time (including mid-header
+  // and mid-payload splits) must change nothing: the decoder reassembles,
+  // the merge is bit-identical.
+  const PlanInputs plan = make_plan("trickle", "twocliques:3", "two-cliques",
+                                    2);
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  const pid_t pid = fork_raw_dialer(listener, [](int fd) {
+    const auto trickle = [fd](const std::string& wire) {
+      for (std::size_t i = 0; i < wire.size(); i += 7) {
+        const std::size_t n = std::min<std::size_t>(7, wire.size() - i);
+        std::size_t written = 0;
+        while (written < n) {
+          const ssize_t rc = ::write(fd, wire.data() + i + written,
+                                     n - written);
+          if (rc < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+          if (rc <= 0) ::_exit(7);
+          written += static_cast<std::size_t>(rc);
+        }
+        ::usleep(200);
+      }
+    };
+    trickle(encode_frame(
+        Frame{FrameType::kHello, hello_v2("dripfeed", 0)}));
+    FrameDecoder decoder;
+    while (const std::optional<Frame> frame = read_frame(fd, decoder)) {
+      if (frame->type == FrameType::kShutdown) ::_exit(0);
+      if (frame->type != FrameType::kSpec) continue;
+      const shard::ShardResult result =
+          serial_runner(shard::parse_shard_spec(frame->payload), 1);
+      trickle(encode_frame(Frame{FrameType::kResult,
+                                 shard::serialize(result)}));
+    }
+  });
+  FleetOptions options;
+  options.workers = 0;
+  options.heartbeat_timeout = milliseconds(10000);  // trickling is not death
+  options.drain_grace = milliseconds(200);
+  const auto outcomes =
+      run_fleet({plan}, options, WorkerLauncher{}, {}, &listener);
+  EXPECT_EQ(reap(pid), 0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+}
+
+/// The acceptance bar of the ISSUE: two dial-in workers, one SIGKILLed
+/// mid-shard, the other's connection severed once (it redials and
+/// redelivers); the merged report must stay bit-identical to the serial
+/// reference for the exact and the hll accumulator alike.
+class SocketFleetKillAndSever
+    : public ::testing::TestWithParam<DistinctConfig> {};
+
+TEST_P(SocketFleetKillAndSever, SweepStaysBitIdenticalToTheOracle) {
+  const PlanInputs plan =
+      make_plan("gauntlet", "twocliques:3", "two-cliques", 4, GetParam());
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  WorkerOptions victim;
+  victim.hostname = "victim";
+  victim.stall_first = milliseconds(400);
+  WorkerOptions survivor;
+  survivor.hostname = "survivor";
+  survivor.stall_first = milliseconds(400);
+  survivor.sever_after = milliseconds(200);
+  const pid_t victim_pid = fork_connect_worker(listener, victim);
+  const pid_t survivor_pid = fork_connect_worker(listener, survivor);
+  std::size_t victim_index = SIZE_MAX;
+  bool killed = false;
+  bool reconnected_seen = false;
+  FleetObserver observer;
+  observer.on_admit = [&](std::size_t worker, const HelloInfo& hello,
+                          bool reconnected) {
+    if (hello.host == "victim") victim_index = worker;
+    reconnected_seen = reconnected_seen || reconnected;
+  };
+  observer.on_dispatch = [&](std::size_t worker, const std::string&,
+                             std::uint32_t, int) {
+    if (!killed && worker == victim_index) {
+      killed = true;
+      ::kill(victim_pid, SIGKILL);
+    }
+  };
+  FleetOptions options;
+  options.workers = 0;
+  options.backoff_base = milliseconds(10);
+  options.drain_grace = milliseconds(300);
+  const auto outcomes =
+      run_fleet({plan}, options, WorkerLauncher{}, observer, &listener);
+  EXPECT_EQ(reap(victim_pid), -SIGKILL);
+  EXPECT_EQ(reap(survivor_pid), 0);
+  ASSERT_TRUE(killed);
+  EXPECT_TRUE(reconnected_seen);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_TRUE(outcomes[0].completed) << outcomes[0].error;
+  expect_same_merge(outcomes[0].merged, reference_merge(plan));
+}
+
+INSTANTIATE_TEST_SUITE_P(Accumulators, SocketFleetKillAndSever,
+                         ::testing::Values(DistinctConfig::Exact(),
+                                           DistinctConfig::Hll(14)));
 
 TEST(FleetWorker, MalformedControllerStreamExitsWithDataErrorCode) {
   int to_worker[2] = {-1, -1};

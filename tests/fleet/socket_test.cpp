@@ -1,0 +1,144 @@
+// The TCP layer under the fleet: address parsing (the --listen/--connect
+// grammar), the listener's ephemeral-port contract, and a loopback frame
+// round trip — the plumbing the controller's remote-worker tests
+// (controller_test.cpp) build their fault injection on.
+#include "src/fleet/socket.h"
+
+#if WB_FLEET_HAS_PROCESSES
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/support/check.h"
+
+namespace wb::fleet {
+namespace {
+
+TEST(SocketAddressParse, HostPortForms) {
+  EXPECT_EQ(parse_socket_address("127.0.0.1:9000"),
+            (SocketAddress{"127.0.0.1", 9000}));
+  EXPECT_EQ(parse_socket_address("localhost:0"), (SocketAddress{"localhost", 0}));
+  // rfind(':') keeps colons inside the host part (IPv6-ish forms).
+  EXPECT_EQ(parse_socket_address("::1:8080"), (SocketAddress{"::1", 8080}));
+  EXPECT_EQ(to_string(SocketAddress{"node7", 12}), "node7:12");
+}
+
+TEST(SocketAddressParse, RejectsGarbage) {
+  EXPECT_THROW((void)parse_socket_address("no-port-here"), DataError);
+  EXPECT_THROW((void)parse_socket_address("host:"), DataError);
+  EXPECT_THROW((void)parse_socket_address(":123"), DataError);
+  EXPECT_THROW((void)parse_socket_address("host:notaport"), DataError);
+  EXPECT_THROW((void)parse_socket_address("host:70000"), DataError);
+  EXPECT_THROW((void)parse_socket_address("host:-1"), DataError);
+  EXPECT_THROW((void)parse_socket_address("host:12 "), DataError);
+}
+
+TEST(SocketAddressParse, CommaSeparatedLists) {
+  const std::vector<SocketAddress> list =
+      parse_socket_address_list("a:1,b:2,c:3");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], (SocketAddress{"a", 1}));
+  EXPECT_EQ(list[2], (SocketAddress{"c", 3}));
+  EXPECT_EQ(parse_socket_address_list("solo:9").size(), 1u);
+  EXPECT_THROW((void)parse_socket_address_list("a:1,,b:2"), DataError);
+}
+
+TEST(SocketListener, EphemeralPortIsReportedAndDialable) {
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  EXPECT_GT(listener.bound_address().port, 0);  // the kernel's pick, not 0
+  EXPECT_GE(listener.fd(), 0);
+
+  const int client = dial(listener.bound_address());
+  ASSERT_GE(client, 0);
+  std::string peer;
+  const int accepted = listener.accept_connection(&peer);
+  ASSERT_GE(accepted, 0);
+  EXPECT_NE(peer.find("127.0.0.1"), std::string::npos) << peer;
+
+  // Frames survive the socket in both directions (the accepted side is
+  // non-blocking — exactly what read_frame/write_frame are built for).
+  const Frame ping{FrameType::kSpec, "over the wire"};
+  write_frame(client, ping);
+  FrameDecoder decoder;
+  const std::optional<Frame> got = read_frame(accepted, decoder);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, ping);
+
+  const Frame pong{FrameType::kAck, {}};
+  write_frame(accepted, pong);
+  FrameDecoder client_decoder;
+  const std::optional<Frame> back = read_frame(client, client_decoder);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pong);
+
+  ::close(client);
+  ::close(accepted);
+}
+
+TEST(SocketListener, PeerDisconnectIsEofNotAnError) {
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  const int client = dial(listener.bound_address());
+  const int accepted = listener.accept_connection();
+  ASSERT_GE(accepted, 0);
+  ::close(client);
+  FrameDecoder decoder;
+  EXPECT_EQ(read_frame(accepted, decoder), std::nullopt);  // clean EOF
+  ::close(accepted);
+}
+
+TEST(SocketListener, MidFrameDisconnectIsAStreamError) {
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  const int client = dial(listener.bound_address());
+  const int accepted = listener.accept_connection();
+  ASSERT_GE(accepted, 0);
+  // Half a header, then gone: the reader must say *stream* death, which the
+  // worker maps to "redial", not "abandon".
+  ASSERT_EQ(::write(client, "wbframe v1 spe", 14), 14);
+  ::close(client);
+  FrameDecoder decoder;
+  EXPECT_THROW((void)read_frame(accepted, decoder), StreamError);
+  ::close(accepted);
+}
+
+TEST(SocketListener, CloseIsIdempotentAndStopsAccepts) {
+  SocketListener listener(SocketAddress{"127.0.0.1", 0});
+  listener.close();
+  listener.close();
+  EXPECT_EQ(listener.fd(), -1);
+  EXPECT_THROW((void)listener.accept_connection(), DataError);
+}
+
+TEST(SocketDial, RefusedConnectionIsADataError) {
+  // Bind-then-close frees a port that (very likely) refuses immediately.
+  std::uint16_t port = 0;
+  {
+    SocketListener listener(SocketAddress{"127.0.0.1", 0});
+    port = listener.bound_address().port;
+  }
+  EXPECT_THROW((void)dial(SocketAddress{"127.0.0.1", port}), DataError);
+}
+
+TEST(RunWorkerConnect, RedialLimitGivesUpWithExitCode1) {
+  std::uint16_t dead_port = 0;
+  {
+    SocketListener listener(SocketAddress{"127.0.0.1", 0});
+    dead_port = listener.bound_address().port;
+  }
+  ConnectOptions connect;
+  connect.addresses = {SocketAddress{"127.0.0.1", dead_port}};
+  connect.redial_base = std::chrono::milliseconds(1);
+  connect.redial_max = std::chrono::milliseconds(2);
+  connect.redial_limit = 3;
+  const int rc = run_worker_connect(
+      connect, [](const shard::ShardSpec&, std::size_t) -> shard::ShardResult {
+        throw LogicError("runner must never be reached without a connection");
+      });
+  EXPECT_EQ(rc, 1);
+}
+
+}  // namespace
+}  // namespace wb::fleet
+
+#endif  // WB_FLEET_HAS_PROCESSES

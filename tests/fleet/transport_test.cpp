@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,7 +27,8 @@ std::optional<Frame> decode_all(const std::string& wire) {
 TEST(Transport, EncodeDecodeRoundTripsEveryType) {
   for (const FrameType type :
        {FrameType::kHello, FrameType::kSpec, FrameType::kResult,
-        FrameType::kHeartbeat, FrameType::kShutdown, FrameType::kError}) {
+        FrameType::kHeartbeat, FrameType::kShutdown, FrameType::kError,
+        FrameType::kAck}) {
     const Frame frame{type, "payload for " + std::string(to_string(type))};
     const std::optional<Frame> decoded = decode_all(encode_frame(frame));
     ASSERT_TRUE(decoded.has_value());
@@ -144,11 +147,162 @@ TEST(Transport, PoisonedDecoderStaysPoisoned) {
 
 TEST(Transport, FrameTypeTokensRoundTrip) {
   for (const char* token :
-       {"hello", "spec", "result", "heartbeat", "shutdown", "error"}) {
+       {"hello", "spec", "result", "heartbeat", "shutdown", "error", "ack"}) {
     EXPECT_EQ(to_string(frame_type_from_string(token)), token);
   }
   EXPECT_THROW((void)frame_type_from_string("HELLO"), DataError);
   EXPECT_THROW((void)frame_type_from_string(""), DataError);
+}
+
+// --- the hello v2 document: the fleet's identity handshake ------------------
+
+TEST(Transport, HelloV2RoundTrips) {
+  HelloInfo info;
+  info.version = kHelloVersion;
+  info.host = "rack7-node3";
+  info.pid = 41235;
+  info.threads = 8;
+  info.heartbeat_ms = 200;
+  const HelloInfo parsed = parse_hello(serialize_hello(info));
+  EXPECT_EQ(parsed, info);
+  EXPECT_EQ(parsed.identity(), "rack7-node3/41235");
+}
+
+TEST(Transport, HelloV2WireFormIsTheDocumentedDocument) {
+  HelloInfo info;
+  info.host = "h";
+  info.pid = 7;
+  info.threads = 2;
+  info.heartbeat_ms = 0;
+  info.version = kHelloVersion;
+  EXPECT_EQ(serialize_hello(info),
+            "wbhello v2\nhost h\npid 7\nthreads 2\nheartbeat-ms 0\n");
+}
+
+TEST(Transport, LegacyHelloPayloadsParseAsAnonymousV1) {
+  // PR 6 workers sent "pid N\n" (or anything at all); they stay accepted as
+  // anonymous locals: version 1, no identity, heartbeat unknown.
+  for (const std::string payload : {"pid 1234\n", "", "anything goes"}) {
+    const HelloInfo info = parse_hello(payload);
+    EXPECT_EQ(info.version, 1);
+    EXPECT_EQ(info.identity(), "");
+    EXPECT_EQ(info.heartbeat_ms, -1);
+  }
+}
+
+TEST(Transport, HelloVersionSkewIsRefused) {
+  // A worker from the future must be refused up front — admitting it and
+  // failing mid-sweep would waste the whole dispatch.
+  try {
+    (void)parse_hello("wbhello v3\nhost h\npid 1\nwormhole yes\n");
+    FAIL() << "accepted a version-skewed hello";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_hello("wbhello v\nhost h\npid 1\n"), DataError);
+  EXPECT_THROW((void)parse_hello("wbhello \nhost h\npid 1\n"), DataError);
+}
+
+TEST(Transport, HelloV2RequiresHostAndPid) {
+  EXPECT_THROW((void)parse_hello("wbhello v2\npid 1\n"), DataError);
+  EXPECT_THROW((void)parse_hello("wbhello v2\nhost h\n"), DataError);
+  EXPECT_THROW((void)parse_hello("wbhello v2\nhost h\npid zero\n"), DataError);
+  EXPECT_THROW((void)parse_hello("wbhello v2\nhost \npid 1\n"), DataError);
+}
+
+TEST(Transport, HelloV2IgnoresUnknownKeysForForwardCompat) {
+  const HelloInfo info =
+      parse_hello("wbhello v2\nhost h\npid 9\ncolor mauve\nthreads 3\n");
+  EXPECT_EQ(info.host, "h");
+  EXPECT_EQ(info.pid, 9);
+  EXPECT_EQ(info.threads, 3u);
+}
+
+// --- fuzz-style chunked feeding: satellite 3 --------------------------------
+
+/// splitmix64: a tiny deterministic PRNG so the chunk schedule is a fixed
+/// function of the seed — reproducible without <random>'s unspecified
+/// distributions.
+class SplitMix {
+ public:
+  explicit SplitMix(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::vector<Frame> every_type_frames() {
+  SplitMix payload_rng(0xfeedULL);
+  std::vector<Frame> frames;
+  for (const FrameType type :
+       {FrameType::kHello, FrameType::kSpec, FrameType::kResult,
+        FrameType::kHeartbeat, FrameType::kShutdown, FrameType::kError,
+        FrameType::kAck}) {
+    // Payloads with newlines, NULs, and high bytes: framing must never peek
+    // inside the payload.
+    std::string payload;
+    const std::size_t size = payload_rng.next() % 512;
+    for (std::size_t i = 0; i < size; ++i) {
+      payload.push_back(static_cast<char>(payload_rng.next() & 0xff));
+    }
+    frames.push_back(Frame{type, std::move(payload)});
+  }
+  return frames;
+}
+
+TEST(Transport, ByteAtATimeFeedDeliversEveryTypeIntact) {
+  const std::vector<Frame> frames = every_type_frames();
+  std::string wire;
+  for (const Frame& frame : frames) wire += encode_frame(frame);
+  FrameDecoder decoder;
+  std::vector<Frame> seen;
+  for (const char c : wire) {
+    decoder.feed(&c, 1);
+    while (const std::optional<Frame> frame = decoder.next()) {
+      seen.push_back(*frame);
+    }
+  }
+  EXPECT_EQ(seen, frames);
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(Transport, RandomChunkScheduleNeverChangesTheDecodedStream) {
+  // 64 seeds x (frames in random order, fed in random-sized chunks): the
+  // decoded stream must equal the input stream bit for bit, every time. Any
+  // buffer-boundary bug in the decoder shows up as a seed number to replay.
+  const std::vector<Frame> base = every_type_frames();
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    SplitMix rng(seed);
+    std::vector<Frame> frames;
+    for (std::size_t i = 0; i < 16; ++i) {
+      frames.push_back(base[rng.next() % base.size()]);
+    }
+    std::string wire;
+    for (const Frame& frame : frames) wire += encode_frame(frame);
+    FrameDecoder decoder;
+    std::vector<Frame> seen;
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+      // Chunk sizes biased small (1–32) with occasional large gulps, so both
+      // header splits and payload splits get exercised.
+      std::size_t chunk = 1 + rng.next() % 32;
+      if (rng.next() % 8 == 0) chunk = 1 + rng.next() % 4096;
+      chunk = std::min(chunk, wire.size() - offset);
+      decoder.feed(wire.data() + offset, chunk);
+      offset += chunk;
+      while (const std::optional<Frame> frame = decoder.next()) {
+        seen.push_back(*frame);
+      }
+    }
+    ASSERT_EQ(seen, frames) << "seed " << seed;
+    ASSERT_TRUE(decoder.idle()) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -29,10 +29,13 @@
 //   wbsim shard-status <manifest-file> <dir>
 //   wbsim shard-merge <result-file>...
 //
-// Fleet subcommands (length-prefixed frames over pipes; src/fleet/):
+// Fleet subcommands (length-prefixed frames over pipes or TCP; src/fleet/):
 //
-//   wbsim fleet run <manifest>... [--workers=K] [...]   serve plans to done
-//   wbsim fleet worker [--threads=T] [...]              frame loop on stdio
+//   wbsim fleet run <manifest>... [--workers=K] [--listen=H:P] [...]
+//   wbsim fleet worker [--connect=H:P[,...]] [--threads=T] [...]
+//
+// `--listen` also accepts dial-in workers from other hosts; `--connect`
+// turns the worker's stdio frame loop into a TCP session with redial.
 //
 // Exit codes (src/cli/command.h): 0 PASS, 1 FAIL, 2 bad input, 3 wbsim bug.
 #include <algorithm>
@@ -40,6 +43,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -49,6 +53,7 @@
 #include "src/cli/runners.h"
 #include "src/cli/spec.h"
 #include "src/fleet/controller.h"
+#include "src/fleet/socket.h"
 #include "src/fleet/worker.h"
 #include "src/support/check.h"
 #include "src/wb/shard.h"
@@ -168,6 +173,9 @@ struct FleetCliOptions {
   std::size_t worker_threads = 1;
   std::chrono::milliseconds heartbeat_interval{200};
   std::chrono::milliseconds stall_first{0};
+  /// Non-empty: also accept dial-in workers on this HOST:PORT (port 0 picks
+  /// an ephemeral port, printed as `fleet listening on H:P`).
+  std::string listen;
 };
 
 /// Parse the shared fleet flags out of `args` (consuming them). `defaults`
@@ -177,12 +185,16 @@ FleetCliOptions take_fleet_options(std::vector<std::string>& args,
   std::vector<std::string> values;
   take_options(args,
                {"--workers", "--threads", "--heartbeat-timeout-ms",
-                "--shard-deadline-ms", "--max-attempts", "--stall-first-ms"},
+                "--shard-deadline-ms", "--max-attempts", "--stall-first-ms",
+                "--listen", "--drain-grace-ms", "--heartbeat-ms"},
                &values);
   FleetCliOptions out = defaults;
+  out.listen = values[6];
   if (!values[0].empty()) {
     out.fleet.workers = parse_u64_arg(values[0], "--workers");
-    WB_REQUIRE_MSG(out.fleet.workers >= 1, "--workers must be at least 1");
+    WB_REQUIRE_MSG(out.fleet.workers >= 1 || !out.listen.empty(),
+                   "--workers=0 only makes sense with --listen (an "
+                   "all-dial-in fleet)");
   }
   if (!values[1].empty()) {
     out.worker_threads = parse_u64_arg(values[1], "--threads");
@@ -203,6 +215,24 @@ FleetCliOptions take_fleet_options(std::vector<std::string>& args,
     out.stall_first =
         std::chrono::milliseconds(parse_u64_arg(values[5], "stall"));
   }
+  if (!values[7].empty()) {
+    out.fleet.drain_grace =
+        std::chrono::milliseconds(parse_u64_arg(values[7], "grace"));
+  }
+  if (!values[8].empty()) {
+    out.heartbeat_interval =
+        std::chrono::milliseconds(parse_u64_arg(values[8], "heartbeat"));
+  }
+  // The same misconfiguration the controller refuses at a remote handshake,
+  // caught before a single local worker is spawned: an interval the timeout
+  // cannot tolerate would suspect every sweep.
+  WB_REQUIRE_MSG(out.heartbeat_interval.count() == 0 ||
+                     out.heartbeat_interval < out.fleet.heartbeat_timeout,
+                 "--heartbeat-ms="
+                     << out.heartbeat_interval.count()
+                     << " is not under --heartbeat-timeout-ms="
+                     << out.fleet.heartbeat_timeout.count()
+                     << " — every sweep would be suspected");
   return out;
 }
 
@@ -285,6 +315,24 @@ wb::fleet::FleetObserver make_printing_observer() {
                 why.c_str());
     std::fflush(stdout);
   };
+  observer.on_accept = [](std::size_t worker, const std::string& peer) {
+    std::printf("fleet      worker %zu connection from %s\n", worker,
+                peer.c_str());
+    std::fflush(stdout);
+  };
+  observer.on_admit = [](std::size_t worker, const wb::fleet::HelloInfo& hello,
+                         bool reconnected) {
+    std::printf("fleet      worker %zu %s: %s (%zu threads)\n", worker,
+                reconnected ? "re-admitted" : "admitted",
+                hello.identity().c_str(), hello.threads);
+    std::fflush(stdout);
+  };
+  observer.on_host_summary = [](const std::string& host, std::size_t admitted,
+                                std::size_t lost, std::size_t results) {
+    std::printf("fleet      host %s: %zu admitted, %zu lost, %zu results\n",
+                host.c_str(), admitted, lost, results);
+    std::fflush(stdout);
+  };
   return observer;
 }
 
@@ -358,7 +406,8 @@ int cmd_fleet_run(std::vector<std::string> args) {
   FleetCliOptions defaults;
   const FleetCliOptions options = take_fleet_options(args, defaults);
   WB_REQUIRE_MSG(!args.empty(),
-                 "usage: wbsim fleet run <manifest-file>... [--workers=K]");
+                 "usage: wbsim fleet run <manifest-file>... [--workers=K] "
+                 "[--listen=HOST:PORT]");
   std::vector<wb::fleet::PlanInputs> plans;
   for (const std::string& manifest_path : args) {
     // shard-plan writes <base>.manifest next to <base>.<k>.shard — recover
@@ -380,19 +429,35 @@ int cmd_fleet_run(std::vector<std::string> args) {
     }
     plans.push_back(std::move(plan));
   }
-  const auto outcomes =
-      wb::fleet::run_fleet(plans, options.fleet, make_self_launcher(options),
-                           make_printing_observer());
+  // --listen opens the door to dial-in workers on other hosts; --workers=0
+  // with --listen runs an all-remote sweep (no local forks at all).
+  std::optional<wb::fleet::SocketListener> listener;
+  if (!options.listen.empty()) {
+    listener.emplace(wb::fleet::parse_socket_address(options.listen));
+    // The real bound port (HOST:0 asks the kernel to pick), printed eagerly
+    // so scripts can parse it and point their workers' --connect at it.
+    std::printf("fleet      listening on %s\n",
+                wb::fleet::to_string(listener->bound_address()).c_str());
+    std::fflush(stdout);
+  }
+  wb::fleet::WorkerLauncher launcher;
+  if (options.fleet.workers > 0) launcher = make_self_launcher(options);
+  const auto outcomes = wb::fleet::run_fleet(
+      plans, options.fleet, launcher, make_printing_observer(),
+      listener ? &*listener : nullptr);
   return print_outcomes(outcomes);
 }
 
 int cmd_fleet_worker(std::vector<std::string> args) {
   std::vector<std::string> values;
-  take_options(args, {"--threads", "--heartbeat-ms", "--stall-first-ms"},
+  take_options(args,
+               {"--threads", "--heartbeat-ms", "--stall-first-ms", "--connect",
+                "--sever-after-ms", "--hostname", "--redial-limit"},
                &values);
   WB_REQUIRE_MSG(args.empty(),
-                 "usage: wbsim fleet worker [--threads=T] [--heartbeat-ms=N] "
-                 "[--stall-first-ms=N]");
+                 "usage: wbsim fleet worker [--connect=HOST:PORT[,...]] "
+                 "[--threads=T] [--heartbeat-ms=N] [--stall-first-ms=N] "
+                 "[--sever-after-ms=N] [--hostname=H] [--redial-limit=N]");
   wb::fleet::WorkerOptions options;
   if (!values[0].empty()) {
     options.threads = parse_u64_arg(values[0], "--threads");
@@ -405,12 +470,29 @@ int cmd_fleet_worker(std::vector<std::string> args) {
     options.stall_first =
         std::chrono::milliseconds(parse_u64_arg(values[2], "stall"));
   }
-  return wb::fleet::run_worker(
-      STDIN_FILENO, STDOUT_FILENO,
-      [](const wb::shard::ShardSpec& spec, std::size_t threads) {
-        return wb::cli::run_protocol_spec_shard(spec, threads);
-      },
-      options);
+  if (!values[4].empty()) {
+    options.sever_after =
+        std::chrono::milliseconds(parse_u64_arg(values[4], "sever"));
+  }
+  options.hostname = values[5];
+  const auto runner = [](const wb::shard::ShardSpec& spec,
+                         std::size_t threads) {
+    return wb::cli::run_protocol_spec_shard(spec, threads);
+  };
+  if (values[3].empty()) {
+    // The PR 6 shape: one session over stdio, the launcher owns the pipes.
+    WB_REQUIRE_MSG(values[6].empty(),
+                   "--redial-limit only applies with --connect");
+    return wb::fleet::run_worker(STDIN_FILENO, STDOUT_FILENO, runner, options);
+  }
+  // Dial-in mode: cycle the address list with exponential backoff, redial
+  // after a lost link, redeliver the unacknowledged result.
+  wb::fleet::ConnectOptions connect;
+  connect.addresses = wb::fleet::parse_socket_address_list(values[3]);
+  if (!values[6].empty()) {
+    connect.redial_limit = parse_u64_arg(values[6], "--redial-limit");
+  }
+  return wb::fleet::run_worker_connect(connect, runner, options);
 }
 
 int cmd_fleet(const std::vector<std::string>& args) {
@@ -691,17 +773,32 @@ wb::cli::CommandRegistry build_registry() {
       "wbsim fleet run <manifest-file>... [--workers=K] [--threads=T]\n"
       "                [--heartbeat-timeout-ms=N] [--shard-deadline-ms=N]\n"
       "                [--max-attempts=N] [--stall-first-ms=N]\n"
-      "wbsim fleet worker [--threads=T] [--heartbeat-ms=N] "
-      "[--stall-first-ms=N]\n\n"
+      "                [--listen=HOST:PORT] [--drain-grace-ms=N] "
+      "[--heartbeat-ms=N]\n"
+      "wbsim fleet worker [--connect=HOST:PORT[,...]] [--threads=T] "
+      "[--heartbeat-ms=N]\n"
+      "                [--stall-first-ms=N] [--sever-after-ms=N] "
+      "[--hostname=H] [--redial-limit=N]\n\n"
       "`fleet run` loads each <base>.manifest plus its <base>.<k>.shard "
       "specs (shard-plan's naming),\nspawns --workers persistent `fleet "
       "worker` processes of this binary, dispatches shard specs as\n"
       "length-prefixed frames over pipes, re-issues timed-out or lost "
       "shards with exponential backoff,\nand merges under the "
       "plan-fingerprint guard — killing a worker mid-sweep changes "
-      "nothing in the\nmerged report. `fleet worker` is the frame loop on "
-      "stdin/stdout (spawned by `fleet run`;\n--stall-first-ms delays the "
-      "first sweep, a fault-injection window for kill tests).",
+      "nothing in the\nmerged report. With --listen the controller also "
+      "accepts dial-in workers over TCP (port 0\npicks an ephemeral port, "
+      "printed as `fleet listening on H:P`); --workers=0 plus --listen "
+      "runs\nan all-remote sweep. A lost remote link costs no respawn "
+      "budget: its shards are requeued after\n--drain-grace-ms so a "
+      "redialing worker can redeliver its finished result instead of "
+      "re-sweeping.\n\n`fleet worker` is the frame loop on stdin/stdout "
+      "(spawned by `fleet run`) or, with --connect,\na TCP session that "
+      "redials with exponential backoff across the address list; "
+      "--redial-limit\ngives up (exit 1) after N failed passes. "
+      "--stall-first-ms delays the first sweep and\n--sever-after-ms "
+      "drops the link mid-session — fault-injection windows for kill and "
+      "partition\ntests. --hostname overrides the advertised identity "
+      "(hello v2: host/pid).",
       cmd_fleet});
   return registry;
 }
