@@ -1,0 +1,148 @@
+// The million-node graph substrate, quantified:
+//
+//  - RMAT generation (Graph500 A=.57/B=.19/C=.19/D=.05) straight into packed
+//    CSR via the two-pass pair stream — the `peak_over_csr` counter is the
+//    whole point: peak build memory over the final CSR footprint must stay
+//    well under the 1.5x acceptance line (the old edge-vector design paid
+//    ~3x).
+//  - Bulk CSR assembly from a flat unsorted edge buffer (from_unsorted_edges,
+//    the generator/builder path): CSR MB/s.
+//  - The streaming edge-list loader on a seekable source: input MB/s parsed,
+//    again with peak_over_csr.
+//  - The BFS reference oracle at scale (the verdict checker protocols are
+//    measured against): edges/s and traversal rounds.
+//  - Frontier-aware sync rounds vs the reference engine on a sparse-frontier
+//    instance (sync-bfs on a star: after the hub writes, every later round
+//    touches one leaf whose whole neighborhood is already written, so the
+//    frontier engine recomposes nothing while the reference engine rescans
+//    every active leaf). `rounds_per_s` is the headline ratio.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/algorithms.h"
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/protocols/bfs_sync.h"
+#include "src/wb/engine.h"
+
+namespace wb {
+namespace {
+
+constexpr std::size_t kEdgeFactor = 16;
+
+void BM_RmatGenerate(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  Graph::BuildStats stats;
+  std::size_t csr_bytes = 0;
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    const Graph g = rmat_graph(scale, kEdgeFactor, 1, &stats);
+    csr_bytes = g.memory_bytes();
+    edges = g.edge_count();
+    benchmark::DoNotOptimize(&g);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      csr_bytes * static_cast<std::size_t>(state.iterations())));
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["peak_over_csr"] =
+      static_cast<double>(stats.peak_bytes) / static_cast<double>(csr_bytes);
+}
+BENCHMARK(BM_RmatGenerate)->DenseRange(16, 20, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CsrFromUnsortedEdges(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  const Graph seed = rmat_graph(scale, kEdgeFactor, 1);
+  const std::vector<Edge> edges = seed.edge_vector();
+  const std::size_t csr_bytes = seed.memory_bytes();
+  for (auto _ : state) {
+    std::vector<Edge> buffer = edges;  // the build consumes its input
+    const Graph g =
+        Graph::from_unsorted_edges(seed.node_count(), std::move(buffer));
+    benchmark::DoNotOptimize(&g);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      csr_bytes * static_cast<std::size_t>(state.iterations())));
+}
+BENCHMARK(BM_CsrFromUnsortedEdges)->DenseRange(16, 20, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EdgeListLoad(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  const Graph g = rmat_graph(scale, kEdgeFactor, 1);
+  std::string text;
+  {
+    std::ostringstream os;
+    write_edge_list(g, os);
+    text = std::move(os).str();
+  }
+  EdgeListLoadStats stats;
+  for (auto _ : state) {
+    std::istringstream in(text);
+    const Graph h = read_edge_list(in, {}, &stats);
+    benchmark::DoNotOptimize(&h);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      text.size() * static_cast<std::size_t>(state.iterations())));
+  state.counters["two_pass"] = stats.two_pass ? 1.0 : 0.0;
+  state.counters["peak_over_csr"] =
+      static_cast<double>(stats.build.peak_bytes) /
+      static_cast<double>(g.memory_bytes());
+}
+BENCHMARK(BM_EdgeListLoad)->DenseRange(16, 20, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BfsOracle(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  const Graph g = rmat_graph(scale, kEdgeFactor, 1);
+  int rounds = 0;
+  for (auto _ : state) {
+    const BfsForest f = bfs_forest(g);
+    rounds = 0;
+    for (const int l : f.layer) rounds = std::max(rounds, l + 1);
+    benchmark::DoNotOptimize(&f);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      g.edge_count() * static_cast<std::size_t>(state.iterations())));
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_BfsOracle)->DenseRange(16, 20, 2)->Unit(benchmark::kMillisecond);
+
+void sync_bfs_star_rounds(benchmark::State& state, bool frontier) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = star_graph(n);
+  const SyncBfsProtocol p;
+  EngineOptions opts;
+  opts.frontier = frontier;
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    const ExecutionResult r = run_protocol(g, p, opts);
+    WB_CHECK(r.ok());
+    rounds = r.stats.rounds;
+  }
+  state.counters["rounds_per_s"] = benchmark::Counter(
+      static_cast<double>(rounds * static_cast<std::size_t>(state.iterations())),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SyncBfsStarReference(benchmark::State& state) {
+  sync_bfs_star_rounds(state, /*frontier=*/false);
+}
+BENCHMARK(BM_SyncBfsStarReference)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SyncBfsStarFrontier(benchmark::State& state) {
+  sync_bfs_star_rounds(state, /*frontier=*/true);
+}
+BENCHMARK(BM_SyncBfsStarFrontier)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wb
+
+BENCHMARK_MAIN();

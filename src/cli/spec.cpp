@@ -1,9 +1,11 @@
 #include "src/cli/spec.h"
 
 #include <charconv>
+#include <fstream>
 #include <string_view>
 
 #include "src/graph/generators.h"
+#include "src/graph/io.h"
 #include "src/support/check.h"
 
 namespace wb::cli {
@@ -54,6 +56,26 @@ void expect_arity(const std::vector<std::string>& parts, std::size_t arity,
 Graph graph_from_spec(const std::string& spec) {
   const auto parts = split_spec(spec);
   const std::string& kind = parts[0];
+  if (kind == "file") {
+    // The path may itself contain colons: take everything after "file:".
+    WB_REQUIRE_MSG(spec.size() > 5, "file spec must be file:PATH");
+    const std::string path = spec.substr(5);
+    std::ifstream in(path, std::ios::binary);
+    WB_REQUIRE_MSG(in.is_open(), "cannot open edge-list file '" << path << "'");
+    return read_edge_list(in);
+  }
+  if (kind == "rmat") {
+    expect_arity(parts, 4, "rmat:SCALE:EF:SEED");
+    return rmat_graph(static_cast<int>(parse_u64(parts[1], "scale")),
+                      parse_u64(parts[2], "edge factor"),
+                      parse_u64(parts[3], "seed"));
+  }
+  if (kind == "powerlaw") {
+    expect_arity(parts, 4, "powerlaw:N:EF:SEED");
+    return random_power_law(parse_u64(parts[1], "N"),
+                            parse_u64(parts[2], "edge factor"),
+                            /*exponent=*/2.5, parse_u64(parts[3], "seed"));
+  }
   if (kind == "path") {
     expect_arity(parts, 2, "path:N");
     return path_graph(parse_u64(parts[1], "N"));
@@ -219,7 +241,8 @@ std::string graph_spec_help() {
   return "graphs: path:N cycle:N complete:N star:N grid:RxC twocliques:N\n"
          "        switched:N tree:N:SEED forest:N:PCT:SEED kdeg:N:K:PCT:SEED\n"
          "        gnp:N:NUM/DEN:SEED cgnp:N:NUM/DEN:SEED eob:N:NUM/DEN:SEED\n"
-         "        ceob:N:NUM/DEN:SEED bipartite:A:B:NUM/DEN:SEED";
+         "        ceob:N:NUM/DEN:SEED bipartite:A:B:NUM/DEN:SEED\n"
+         "        rmat:SCALE:EF:SEED powerlaw:N:EF:SEED file:PATH";
 }
 
 std::string adversary_spec_help() {

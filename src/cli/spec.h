@@ -8,6 +8,8 @@
 //                kdeg:N:K:PCT:SEED gnp:N:NUM/DEN:SEED
 //                cgnp:N:NUM/DEN:SEED    eob:N:NUM/DEN:SEED
 //                ceob:N:NUM/DEN:SEED    bipartite:A:B:NUM/DEN:SEED
+//                rmat:SCALE:EF:SEED     powerlaw:N:EF:SEED
+//                file:PATH  (streaming edge-list loader)
 //
 //   adversaries: first | last | rotating | maxdeg | mindeg | random:SEED
 //

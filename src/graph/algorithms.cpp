@@ -27,18 +27,30 @@ BfsResult bfs_from(const Graph& g, NodeId root) {
 }
 
 BfsForest bfs_forest(const Graph& g) {
+  // One shared O(n + m) sweep. The per-component bfs_from + full merge scan
+  // was O(components * n) — quadratic on generated graphs with many isolated
+  // nodes (an RMAT instance is ~30% singletons). Queue discipline is the
+  // same (FIFO, sorted neighbors), so layers and parents are unchanged.
   const std::size_t n = g.node_count();
   BfsForest f;
   f.layer.assign(n, -1);
   f.parent.assign(n, kNoNode);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
   for (NodeId v = 1; v <= n; ++v) {
     if (f.layer[v - 1] != -1) continue;
     f.roots.push_back(v);
-    BfsResult r = bfs_from(g, v);
-    for (NodeId w = 1; w <= n; ++w) {
-      if (r.dist[w - 1] != -1) {
-        f.layer[w - 1] = r.dist[w - 1];
-        f.parent[w - 1] = r.parent[w - 1];
+    f.layer[v - 1] = 0;
+    queue.clear();
+    queue.push_back(v);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (const NodeId w : g.neighbors(u)) {
+        if (f.layer[w - 1] == -1) {
+          f.layer[w - 1] = f.layer[u - 1] + 1;
+          f.parent[w - 1] = u;
+          queue.push_back(w);
+        }
       }
     }
   }

@@ -1,7 +1,9 @@
 #include "src/graph/generators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <unordered_set>
 
 #include "src/support/rng.h"
 
@@ -172,10 +174,15 @@ Graph random_regular(std::size_t n, std::size_t d, std::uint64_t seed) {
   }
 
   Rng rng(seed);
-  std::vector<Edge> edges = base.build().edges();
-  // Adjacency set for O(log) membership during switches.
-  GraphBuilder current(n);
-  for (const Edge& e : edges) current.add_edge(e.u, e.v);
+  std::vector<Edge> edges = base.build().edge_vector();
+  // Edge set keyed on the normalized endpoints for O(1) membership during
+  // switches (with erase, so no rebuilds).
+  const auto key = [](Edge e) {
+    return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+  };
+  std::unordered_set<std::uint64_t> current;
+  current.reserve(edges.size() * 2);
+  for (const Edge& e : edges) current.insert(key(e));
   const std::size_t steps = 10 * n * d + 100;
   for (std::size_t step = 0; step < steps && edges.size() >= 2; ++step) {
     const auto i = static_cast<std::size_t>(rng.below(edges.size()));
@@ -185,14 +192,17 @@ Graph random_regular(std::size_t n, std::size_t d, std::uint64_t seed) {
     // Randomize orientation of the switch.
     if (rng.chance(1, 2)) std::swap(c.u, c.v);
     if (a.u == c.u || a.u == c.v || a.v == c.u || a.v == c.v) continue;
-    if (current.has_edge(a.u, c.v) || current.has_edge(c.u, a.v)) continue;
-    // Apply: {a.u,a.v},{c.u,c.v} -> {a.u,c.v},{c.u,a.v}. GraphBuilder has no
-    // erase, so rebuild the membership structure lazily every batch.
+    if (current.contains(key(make_edge(a.u, c.v))) ||
+        current.contains(key(make_edge(c.u, a.v)))) {
+      continue;
+    }
+    // Apply: {a.u,a.v},{c.u,c.v} -> {a.u,c.v},{c.u,a.v}.
+    current.erase(key(edges[i]));
+    current.erase(key(edges[j]));
     edges[i] = make_edge(a.u, c.v);
     edges[j] = make_edge(c.u, a.v);
-    GraphBuilder next(n);
-    for (const Edge& e : edges) next.add_edge(e.u, e.v);
-    current = std::move(next);
+    current.insert(key(edges[i]));
+    current.insert(key(edges[j]));
   }
   return Graph(n, edges);
 }
@@ -388,6 +398,78 @@ std::vector<NodeId> random_permutation(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
   rng.shuffle(perm);
   return perm;
+}
+
+namespace {
+
+/// Per-sample RNG stream: splitmix64-style derivation from (seed, index), so
+/// sample i is reproducible in isolation — the property the two-pass CSR
+/// build and any parallel generation both rely on.
+Rng stream_rng(std::uint64_t base, std::size_t i) {
+  return Rng(base + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+Graph rmat_graph(int scale, std::size_t edge_factor, std::uint64_t seed,
+                 Graph::BuildStats* stats) {
+  WB_CHECK_MSG(scale >= 1 && scale <= 28, "rmat scale out of range 1..28");
+  WB_CHECK_MSG(edge_factor >= 1, "rmat edge factor must be >= 1");
+  const std::size_t n = std::size_t{1} << scale;
+  const std::size_t samples = n * edge_factor;
+  const std::uint64_t base = mix64(seed);
+  const auto replay = [=](const Graph::PairSink& sink) {
+    for (std::size_t i = 0; i < samples; ++i) {
+      Rng r = stream_rng(base, i);
+      std::uint64_t u = 0, v = 0;
+      for (int level = 0; level < scale; ++level) {
+        // Graph500 defaults: A=0.57, B=0.19, C=0.19, D=0.05 — quadrant
+        // (row, col) bits per recursion level.
+        const std::uint64_t q = r.below(100);
+        const std::uint64_t ubit = q >= 76 ? 1 : 0;            // C or D
+        const std::uint64_t vbit =
+            (q >= 57 && q < 76) || q >= 95 ? 1 : 0;            // B or D
+        u = (u << 1) | ubit;
+        v = (v << 1) | vbit;
+      }
+      sink(static_cast<NodeId>(u + 1), static_cast<NodeId>(v + 1));
+    }
+  };
+  return Graph::from_pair_stream(n, replay, stats);
+}
+
+Graph random_power_law(std::size_t n, std::size_t edge_factor, double exponent,
+                       std::uint64_t seed, Graph::BuildStats* stats) {
+  WB_CHECK_MSG(n >= 1, "power-law graph needs at least one node");
+  WB_CHECK_MSG(edge_factor >= 1, "power-law edge factor must be >= 1");
+  WB_CHECK_MSG(exponent > 1.0, "power-law exponent must exceed 1");
+  // Chung–Lu weights w_i = i^(-1/(exponent-1)); endpoints sampled by binary
+  // search on the cumulative weights.
+  std::vector<double> cum(n + 1, 0.0);
+  const double alpha = -1.0 / (exponent - 1.0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    cum[i] = cum[i - 1] + std::pow(static_cast<double>(i), alpha);
+  }
+  const double total = cum[n];
+  const std::size_t samples = n * edge_factor;
+  const std::uint64_t base = mix64(seed ^ 0xc2b2ae3d27d4eb4fULL);
+  const auto pick = [&](Rng& r) {
+    const double x =
+        static_cast<double>(r.next() >> 11) * (1.0 / 9007199254740992.0) *
+        total;
+    const auto it = std::upper_bound(cum.begin() + 1, cum.end(), x);
+    const auto idx = static_cast<std::size_t>(it - cum.begin());
+    return static_cast<NodeId>(std::min(idx, n));
+  };
+  const auto replay = [&](const Graph::PairSink& sink) {
+    for (std::size_t i = 0; i < samples; ++i) {
+      Rng r = stream_rng(base, i);
+      const NodeId a = pick(r);
+      const NodeId b = pick(r);
+      sink(a, b);
+    }
+  };
+  return Graph::from_pair_stream(n, replay, stats);
 }
 
 }  // namespace wb

@@ -105,4 +105,25 @@ namespace wb {
 [[nodiscard]] std::vector<NodeId> random_permutation(std::size_t n,
                                                      std::uint64_t seed);
 
+// --- Scale-N families (million-node substrate) ------------------------------
+
+/// Deterministic R-MAT / Graph500-style generator: n = 2^scale nodes,
+/// edge_factor·n sampled directed pairs with the Graph500 partition
+/// probabilities (A,B,C,D) = (0.57, 0.19, 0.19, 0.05); self-loops are
+/// dropped and duplicate/reverse pairs collapse during CSR assembly. Every
+/// pair derives its own RNG stream from (seed, index), so the output is a
+/// pure function of (scale, edge_factor, seed) — independent of thread count
+/// and evaluation order, and replayable for the two-pass CSR build.
+[[nodiscard]] Graph rmat_graph(int scale, std::size_t edge_factor,
+                               std::uint64_t seed,
+                               Graph::BuildStats* stats = nullptr);
+
+/// Chung–Lu-style power-law sibling: endpoints drawn with probability
+/// proportional to i^(-1/(exponent-1)) (node 1 is the heaviest hub), with
+/// edge_factor·n sampled pairs and the same per-index stream derivation as
+/// rmat_graph. exponent must exceed 1; 2.5 is the classic web-graph value.
+[[nodiscard]] Graph random_power_law(std::size_t n, std::size_t edge_factor,
+                                     double exponent, std::uint64_t seed,
+                                     Graph::BuildStats* stats = nullptr);
+
 }  // namespace wb

@@ -1,8 +1,11 @@
-// Text serialization for graphs: compact edge-list format (round-trippable)
-// and Graphviz DOT output for the examples.
+// Text serialization for graphs: compact edge-list format (round-trippable),
+// a streaming loader/writer for Graph500-scale files, and Graphviz DOT output
+// for the examples.
 #pragma once
 
+#include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "src/graph/graph.h"
 
@@ -11,8 +14,40 @@ namespace wb {
 /// "n m\nu1 v1\nu2 v2\n..." — canonical since Graph::edges() is sorted.
 [[nodiscard]] std::string to_edge_list(const Graph& g);
 
-/// Parse the to_edge_list format. Throws wb::DataError on malformed input.
+/// Parse the to_edge_list format *strictly*: self-loops, duplicates, and
+/// out-of-range endpoints are DataErrors. For large or messy external files
+/// use read_edge_list below. Throws wb::DataError on malformed input.
 [[nodiscard]] Graph from_edge_list(const std::string& text);
+
+/// Hard admission bounds for external files (checked before any allocation,
+/// so a hostile header cannot drive a giant resize).
+struct EdgeListLimits {
+  std::size_t max_nodes = std::size_t{1} << 31;
+  std::size_t max_edges = std::size_t{1} << 35;
+};
+
+/// What the streaming loader did, for benches and diagnostics.
+struct EdgeListLoadStats {
+  std::size_t bytes_read = 0;    // input bytes consumed (per pass)
+  bool two_pass = false;         // seekable input: CSR built with zero
+                                 // intermediate edge buffer
+  Graph::BuildStats build;       // peak bytes, dropped loops/duplicates
+};
+
+/// Streaming edge-list reader. Same "n m" + m pairs format, but tolerant the
+/// way external Graph500-style files need: pairs may arrive unsorted, in
+/// either orientation, duplicated, or as both (u,v) and (v,u) — all collapse
+/// via streaming symmetrization; self-loops are dropped. Malformed tokens,
+/// out-of-range endpoints, numeric overflow, and headers exceeding `limits`
+/// are DataErrors. Seekable streams are read twice and build the CSR in
+/// place (peak memory ~= the CSR itself); non-seekable streams fall back to
+/// one buffered edge vector.
+[[nodiscard]] Graph read_edge_list(std::istream& in,
+                                   const EdgeListLimits& limits = {},
+                                   EdgeListLoadStats* stats = nullptr);
+
+/// Streaming writer for the same format: chunked, no whole-graph string.
+void write_edge_list(const Graph& g, std::ostream& out);
 
 /// Graphviz DOT (undirected). `highlight` nodes are drawn filled.
 [[nodiscard]] std::string to_dot(const Graph& g,

@@ -31,6 +31,12 @@ class RootedMisProtocol final : public SimSyncProtocol<MisOutput> {
                              BitWriter& scratch) const override;
   [[nodiscard]] MisOutput output(const Whiteboard& board,
                                  std::size_t n) const override;
+  /// compose skips every message whose author is not a neighbor (the root
+  /// special-cases read only the local view), so recomposition is needed
+  /// only after a neighbor writes.
+  [[nodiscard]] FrontierLocality frontier_locality() const override {
+    return {.activate_neighbor_local = false, .compose_neighbor_local = true};
+  }
   [[nodiscard]] std::string name() const override { return "rooted-mis"; }
 
   [[nodiscard]] NodeId root() const noexcept { return root_; }

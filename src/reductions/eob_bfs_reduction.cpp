@@ -12,7 +12,7 @@ Graph fig2_gadget(const Graph& g, NodeId i) {
   WB_CHECK_MSG(is_even_odd_bipartite(g), "input must be even-odd-bipartite");
   WB_CHECK_MSG(i >= 3 && i <= n && i % 2 == 1, "i must be an odd ID in [3,n]");
 
-  std::vector<Edge> edges = g.edges();
+  std::vector<Edge> edges = g.edge_vector();
   edges.push_back(make_edge(1, static_cast<NodeId>(i + n - 2)));
   for (NodeId j = 3; j <= n; j += 2) {
     edges.push_back(make_edge(j, static_cast<NodeId>(j + n - 2)));

@@ -10,7 +10,7 @@ namespace wb {
 Graph mis_gadget(const Graph& g, NodeId i, NodeId j) {
   const std::size_t n = g.node_count();
   WB_CHECK(i >= 1 && j >= 1 && i < j && j <= n);
-  std::vector<Edge> edges = g.edges();
+  std::vector<Edge> edges = g.edge_vector();
   const NodeId apex = static_cast<NodeId>(n + 1);
   for (NodeId v = 1; v <= n; ++v) {
     if (v != i && v != j) edges.push_back(make_edge(v, apex));

@@ -10,7 +10,7 @@ namespace wb {
 Graph fig1_gadget(const Graph& g, NodeId s, NodeId t) {
   const std::size_t n = g.node_count();
   WB_CHECK(s >= 1 && t >= 1 && s < t && t <= n);
-  std::vector<Edge> edges = g.edges();
+  std::vector<Edge> edges = g.edge_vector();
   const NodeId apex = static_cast<NodeId>(n + 1);
   edges.push_back(make_edge(s, apex));
   edges.push_back(make_edge(t, apex));

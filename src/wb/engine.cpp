@@ -1,13 +1,15 @@
 #include "src/wb/engine.h"
 
 #include <algorithm>
+#include <numeric>
 #include <sstream>
 #include <utility>
 
 namespace wb {
 
 EngineState::EngineState(const Graph& g, const Protocol& p, EngineOptions opts)
-    : graph_(&g), protocol_(&p), opts_(opts), n_(g.node_count()) {
+    : graph_(&g), protocol_(&p), opts_(opts), n_(g.node_count()),
+      locality_(p.frontier_locality()) {
   WB_CHECK_MSG(n_ >= 1, "protocols run on graphs with at least one node");
   if (opts_.max_rounds == 0) opts_.max_rounds = 2 * n_ + 8;
   state_.assign(n_, NodeState::kAwake);
@@ -20,6 +22,10 @@ EngineState::EngineState(const Graph& g, const Protocol& p, EngineOptions opts)
   board_.reserve(n_);
   write_order_.reserve(n_);
   candidates_.reserve(n_);
+  if (opts_.frontier) {
+    awake_ids_.resize(n_);
+    std::iota(awake_ids_.begin(), awake_ids_.end(), NodeId{1});
+  }
 }
 
 void EngineState::trace(TraceEvent::Kind kind, NodeId v) {
@@ -58,6 +64,10 @@ void EngineState::set_journaling(bool on) {
   // silently cross into unrecorded history.
   WB_CHECK_MSG(!on || (journal_.empty() && round_ == 0),
                "enable journaling before the first begin_round()");
+  // Frontier mode mutates the candidate buffer and awake list incrementally;
+  // rewind() does not restore them, so the combination is rejected outright.
+  WB_CHECK_MSG(!on || !opts_.frontier,
+               "journaling is incompatible with frontier mode");
   journaling_ = on;
   if (!on) journal_.clear();
 }
@@ -144,7 +154,16 @@ void EngineState::begin_round() {
     fail(RunStatus::kProtocolError, "round limit exceeded without progress");
     return;
   }
+  if (opts_.frontier) {
+    begin_round_frontier();
+  } else {
+    begin_round_reference();
+  }
+  if (terminal()) return;
+  finish_round_bookkeeping();
+}
 
+void EngineState::begin_round_reference() {
   const bool sim = is_simultaneous(protocol_->model_class());
   const bool async = is_asynchronous(protocol_->model_class());
 
@@ -158,7 +177,6 @@ void EngineState::begin_round() {
   }
 
   // Phase 2: activations (+ compositions).
-  bool newly_active = false;
   for (NodeId v = 1; v <= n_; ++v) {
     if (state_[v - 1] != NodeState::kAwake) continue;
     const bool wants = protocol_->activate(view_of(v), board_);
@@ -174,7 +192,6 @@ void EngineState::begin_round() {
     state_[v - 1] = NodeState::kActive;
     journal_activation(v);
     stats_.activation_round[v - 1] = round_;
-    newly_active = true;
     trace(TraceEvent::Kind::kActivate, v);
     if (async) {
       // Asynchronous classes: the message is created now and frozen.
@@ -200,14 +217,136 @@ void EngineState::begin_round() {
       candidates_.push_back(v);
     }
   }
+}
 
+void EngineState::begin_round_frontier() {
+  const bool sim = is_simultaneous(protocol_->model_class());
+  const bool async = is_asynchronous(protocol_->model_class());
+  const NodeId writer = pending_writer_;
+  pending_writer_ = kNoNode;
+
+  // Phase 1: the only node that can newly be active+written is last round's
+  // writer (write_node requires an active node, and every earlier writer
+  // already terminated) — O(1) instead of the reference scan.
+  if (writer != kNoNode && state_[writer - 1] == NodeState::kActive) {
+    state_[writer - 1] = NodeState::kTerminated;
+    trace(TraceEvent::Kind::kTerminate, writer);
+  }
+
+  // Phase 2: activations. Everyone is evaluated in round 1; afterwards, if
+  // the protocol's activation is neighbor-local, only awake neighbors of the
+  // writer can change their answer. Both iteration orders are ascending, so
+  // activation/trace/compose order matches the reference engine exactly.
+  newly_activated_.clear();
+  const auto eval = [&](NodeId v) -> bool {
+    const bool wants = protocol_->activate(view_of(v), board_);
+    if (sim && round_ == 1 && !wants) {
+      std::ostringstream os;
+      os << "protocol declares a simultaneous class but node " << v
+         << " did not activate in round 1";
+      fail(RunStatus::kProtocolError, os.str());
+      return false;
+    }
+    if (!wants) return true;
+    state_[v - 1] = NodeState::kActive;
+    stats_.activation_round[v - 1] = round_;
+    trace(TraceEvent::Kind::kActivate, v);
+    newly_activated_.push_back(v);
+    if (async) {
+      compose_into(v);
+      if (terminal()) return false;
+    }
+    return true;
+  };
+  if (round_ == 1 || !locality_.activate_neighbor_local) {
+    for (NodeId v : awake_ids_) {
+      if (!eval(v)) return;
+    }
+  } else if (writer != kNoNode) {
+    const auto nb = graph_->neighbors(writer);
+    if (nb.size() <= awake_ids_.size()) {
+      // Top-down: walk the writer's (sorted) neighbor list.
+      for (NodeId w : nb) {
+        if (state_[w - 1] == NodeState::kAwake && !eval(w)) return;
+      }
+    } else {
+      // Bottom-up: the awake population is smaller than the writer's degree.
+      for (NodeId v : awake_ids_) {
+        if (graph_->has_edge(writer, v) && !eval(v)) return;
+      }
+    }
+  }
+  if (!newly_activated_.empty()) {
+    awake_ids_.erase(std::remove_if(awake_ids_.begin(), awake_ids_.end(),
+                                    [&](NodeId v) {
+                                      return state_[v - 1] !=
+                                             NodeState::kAwake;
+                                    }),
+                     awake_ids_.end());
+    // Merge the (ascending) new actives into the sorted candidate list.
+    const auto mid = static_cast<std::ptrdiff_t>(candidates_.size());
+    candidates_.insert(candidates_.end(), newly_activated_.begin(),
+                       newly_activated_.end());
+    std::inplace_merge(candidates_.begin(), candidates_.begin() + mid,
+                       candidates_.end());
+  }
+
+  if (!async) {
+    if (!locality_.compose_neighbor_local) {
+      // Recompose every active unwritten node, as the reference does.
+      for (NodeId v : candidates_) {
+        compose_into(v);
+        if (terminal()) return;
+      }
+    } else if (writer != kNoNode &&
+               graph_->degree(writer) > candidates_.size()) {
+      // Bottom-up: scan candidates; recompose the fresh ones and the
+      // writer's neighbors (the only memories that can change).
+      for (NodeId v : candidates_) {
+        if (std::binary_search(newly_activated_.begin(),
+                               newly_activated_.end(), v) ||
+            graph_->has_edge(writer, v)) {
+          compose_into(v);
+          if (terminal()) return;
+        }
+      }
+    } else {
+      // Top-down: merge-walk the new actives and the writer's candidate
+      // neighbors in ascending ID order, skipping duplicates.
+      const auto nb = writer == kNoNode ? std::span<const NodeId>{}
+                                        : graph_->neighbors(writer);
+      std::size_t ai = 0, bi = 0;
+      while (true) {
+        while (bi < nb.size() && (state_[nb[bi] - 1] != NodeState::kActive ||
+                                  written_[nb[bi] - 1])) {
+          ++bi;
+        }
+        NodeId v = kNoNode;
+        if (ai < newly_activated_.size() &&
+            (bi >= nb.size() || newly_activated_[ai] <= nb[bi])) {
+          v = newly_activated_[ai];
+          if (bi < nb.size() && nb[bi] == v) ++bi;  // present in both
+          ++ai;
+        } else if (bi < nb.size()) {
+          v = nb[bi];
+          ++bi;
+        } else {
+          break;
+        }
+        compose_into(v);
+        if (terminal()) return;
+      }
+    }
+  }
+}
+
+void EngineState::finish_round_bookkeeping() {
   if (candidates_.empty()) {
     if (stats_.writes == n_) {
       set_status(RunStatus::kSuccess);
     } else {
       // No node can write and — since the whiteboard can no longer change —
       // no awake node will ever activate: corrupted configuration.
-      (void)newly_active;  // newly_active implies non-empty candidates
       std::ostringstream os;
       os << "deadlock after " << stats_.writes << "/" << n_ << " writes";
       fail(RunStatus::kDeadlock, os.str());
@@ -218,8 +357,11 @@ void EngineState::begin_round() {
 void EngineState::write(std::size_t index) {
   WB_CHECK(!terminal());
   WB_CHECK_MSG(index < candidates_.size(), "adversary chose a non-candidate");
-  write_node(candidates_[index]);
-  candidates_.clear();
+  const NodeId v = candidates_[index];
+  write_node(v);
+  // Frontier mode maintains the candidate buffer incrementally (write_node
+  // removed v); the reference engine rebuilds it from scratch every round.
+  if (!opts_.frontier) candidates_.clear();
 }
 
 void EngineState::write_node(NodeId v) {
@@ -239,6 +381,12 @@ void EngineState::write_node(NodeId v) {
   ++stats_.writes;
   write_order_.push_back(v);
   trace(TraceEvent::Kind::kWrite, v);
+  if (opts_.frontier) {
+    pending_writer_ = v;
+    const auto it =
+        std::lower_bound(candidates_.begin(), candidates_.end(), v);
+    if (it != candidates_.end() && *it == v) candidates_.erase(it);
+  }
 }
 
 void EngineState::fail(RunStatus status, std::string error) {

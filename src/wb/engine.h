@@ -87,6 +87,15 @@ struct EngineOptions {
   /// Safety valve; 0 = automatic (writes can't exceed n, so 2n+8 rounds).
   std::size_t max_rounds = 0;
   bool record_trace = false;
+  /// Frontier-aware rounds: instead of rescanning all n nodes every round,
+  /// the engine tracks the awake/active sets incrementally and — where the
+  /// protocol's FrontierLocality contract allows — only re-activates and
+  /// recomposes nodes adjacent to the last writer, switching between
+  /// iterating the writer's neighbor list (top-down) and scanning the
+  /// tracked population (bottom-up) on frontier density. Executions are
+  /// bit-identical to the reference rounds. Incompatible with journaling
+  /// (the exhaustive explorer's rewind path keeps the reference engine).
+  bool frontier = false;
 };
 
 /// Stepwise engine state. Copyable (copies are O(n) — the board is shared
@@ -159,6 +168,9 @@ class EngineState {
   void rewind(const Checkpoint& cp);
 
  private:
+  void begin_round_reference();
+  void begin_round_frontier();
+  void finish_round_bookkeeping();
   void fail(RunStatus status, std::string error);
   void set_status(RunStatus status) { status_ = status; }
   [[nodiscard]] LocalView view_of(NodeId v) const {
@@ -210,6 +222,16 @@ class EngineState {
 
   bool journaling_ = false;
   std::vector<UndoRecord> journal_;
+
+  // --- Frontier mode (opts_.frontier) ---
+  /// The protocol's locality contract, cached at construction.
+  FrontierLocality locality_;
+  /// Writer of the previous round, kNoNode if that round wrote nothing.
+  NodeId pending_writer_ = kNoNode;
+  /// Awake node IDs, sorted; activated nodes are removed as they leave.
+  std::vector<NodeId> awake_ids_;
+  /// Per-round scratch: IDs activated this round, ascending.
+  std::vector<NodeId> newly_activated_;
 };
 
 /// Run `p` on `g` to completion under `adv`.

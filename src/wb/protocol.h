@@ -26,6 +26,25 @@
 
 namespace wb {
 
+/// A protocol's opt-in contract for the engine's frontier-aware rounds
+/// (EngineOptions::frontier). Both flags describe *data dependence*, not a
+/// different semantics — the engine uses them to skip re-evaluations that
+/// provably cannot change, and the result must stay bit-identical to the
+/// reference engine.
+struct FrontierLocality {
+  /// activate(view, board) is a pure function of (view, the subsequence of
+  /// board messages authored by neighbors of view.id()). Since the board only
+  /// grows, an awake node's activation verdict can then change only in a
+  /// round after one of its neighbors wrote — everyone else keeps last
+  /// round's (false) answer without being asked again.
+  bool activate_neighbor_local = false;
+  /// compose(view, board) is a pure function of (view, the subsequence of
+  /// board messages authored by neighbors of view.id()). Synchronous classes
+  /// then only need to recompose an active node when a neighbor wrote since
+  /// its memory was last computed.
+  bool compose_neighbor_local = false;
+};
+
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -59,6 +78,14 @@ class Protocol {
                                      BitWriter& scratch) const {
     (void)scratch;
     return compose(view, board);
+  }
+
+  /// Which frontier-engine shortcuts this protocol's functions admit. The
+  /// default claims nothing, which makes frontier mode safe (if slower) for
+  /// every protocol; claiming a flag the functions do not honor breaks the
+  /// bit-identical guarantee, so it is pinned by the equivalence suites.
+  [[nodiscard]] virtual FrontierLocality frontier_locality() const {
+    return {};
   }
 
   [[nodiscard]] virtual std::string name() const = 0;

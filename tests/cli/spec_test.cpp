@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "src/graph/algorithms.h"
 #include "src/graph/generators.h"
+#include "src/graph/io.h"
 
 namespace wb::cli {
 namespace {
@@ -179,6 +183,28 @@ TEST(GraphSpec, Errors) {
   EXPECT_THROW((void)graph_from_spec("path"), DataError);
   EXPECT_THROW((void)graph_from_spec("grid:3"), DataError);
   EXPECT_THROW((void)graph_from_spec("gnp:10:0.5:1"), DataError);
+}
+
+TEST(GraphSpec, ScaleFamilies) {
+  EXPECT_EQ(graph_from_spec("rmat:6:4:3"), rmat_graph(6, 4, 3));
+  EXPECT_EQ(graph_from_spec("powerlaw:50:3:9"),
+            random_power_law(50, 3, 2.5, 9));
+  EXPECT_THROW((void)graph_from_spec("rmat:6:4"), DataError);
+  EXPECT_THROW((void)graph_from_spec("powerlaw:50"), DataError);
+}
+
+TEST(GraphSpec, FileLoadsThroughTheStreamingReader) {
+  const Graph g = erdos_renyi(15, 1, 3, 8);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wb_spec_test.el").string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    write_edge_list(g, out);
+  }
+  EXPECT_EQ(graph_from_spec("file:" + path), g);
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)graph_from_spec("file:/no/such/file.el"), DataError);
+  EXPECT_THROW((void)graph_from_spec("file:"), DataError);
 }
 
 TEST(AdversarySpec, AllKinds) {

@@ -166,6 +166,52 @@ TEST(RandomRegular, DegreeAndSimplicity) {
   EXPECT_THROW((void)random_regular(5, 3, 1), LogicError);  // n*d odd
 }
 
+TEST(Rmat, SeedDeterministicAndShaped) {
+  const Graph a = rmat_graph(8, 8, 42);
+  const Graph b = rmat_graph(8, 8, 42);
+  EXPECT_EQ(a, b);  // same seed: bit-identical
+  const Graph c = rmat_graph(8, 8, 43);
+  EXPECT_NE(a, c);  // different seed: different graph
+  EXPECT_EQ(a.node_count(), std::size_t{1} << 8);
+  // Duplicates collapse, so m < samples; still a dense-ish core.
+  EXPECT_GT(a.edge_count(), a.node_count());
+  EXPECT_LE(a.edge_count(), (std::size_t{1} << 8) * 8);
+  // Skew: RMAT's recursive quadrants concentrate degree far above average.
+  std::size_t max_deg = 0;
+  for (NodeId v = 1; v <= a.node_count(); ++v) {
+    max_deg = std::max(max_deg, a.degree(v));
+  }
+  EXPECT_GT(max_deg, 4 * (2 * a.edge_count() / a.node_count()));
+}
+
+TEST(Rmat, ReportsBuildStats) {
+  Graph::BuildStats stats;
+  const Graph g = rmat_graph(6, 4, 7, &stats);
+  EXPECT_EQ(stats.pairs, (std::size_t{1} << 6) * 4);
+  EXPECT_EQ(stats.pairs, g.edge_count() + stats.self_loops_dropped +
+                             stats.duplicates_dropped);
+  EXPECT_GE(stats.peak_bytes, g.memory_bytes());
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  EXPECT_THROW((void)rmat_graph(0, 8, 1), LogicError);
+  EXPECT_THROW((void)rmat_graph(29, 8, 1), LogicError);
+  EXPECT_THROW((void)rmat_graph(8, 0, 1), LogicError);
+}
+
+TEST(PowerLaw, SeedDeterministicAndSkewed) {
+  const Graph a = random_power_law(300, 4, 2.5, 11);
+  EXPECT_EQ(a, random_power_law(300, 4, 2.5, 11));
+  EXPECT_NE(a, random_power_law(300, 4, 2.5, 12));
+  EXPECT_EQ(a.node_count(), 300u);
+  std::size_t max_deg = 0;
+  for (NodeId v = 1; v <= a.node_count(); ++v) {
+    max_deg = std::max(max_deg, a.degree(v));
+  }
+  const std::size_t avg = 2 * a.edge_count() / a.node_count();
+  EXPECT_GT(max_deg, 4 * avg);  // heavy head vs. the average degree
+}
+
 TEST(RandomRegular, SuppliesTwoCliquesNoInstances) {
   // (n-1)-regular on 2n nodes that is connected is a NO instance of
   // 2-CLIQUES; the pairing model gives connected samples routinely.

@@ -87,7 +87,7 @@ TEST(SpanningForest, TreeInputsReturnAllEdges) {
   const ExecutionResult r = run_protocol(g, p, adv);
   ASSERT_TRUE(r.ok());
   const SpanningForestOutput out = p.output(r.board, 30);
-  EXPECT_EQ(out.edges, g.edges());  // the only spanning tree of a tree
+  EXPECT_EQ(out.edges, g.edge_vector());  // the only spanning tree of a tree
   EXPECT_TRUE(out.connected);
 }
 

@@ -138,4 +138,83 @@ class FrozenBoardSizeProtocol final : public ProtocolWithOutput<int> {
   std::string name() const override { return "frozen-board-size"; }
 };
 
+/// ASYNC rumor flood exercising the frontier engine's *activation* locality:
+/// node 1 activates on the empty board; everyone else activates once a
+/// neighbor's message (an echoed ID) is on the board. Both the activation
+/// verdict and the (frozen) message depend only on neighbor-authored
+/// messages, so the protocol honestly claims both locality flags.
+class RumorProtocol final : public ProtocolWithOutput<int> {
+ public:
+  ModelClass model_class() const override { return ModelClass::kAsync; }
+  std::size_t message_bit_limit(std::size_t n) const override {
+    return static_cast<std::size_t>(codec::id_bits(n));
+  }
+  bool activate(const LocalView& view, const Whiteboard& board) const override {
+    if (view.id() == 1) return true;
+    for (const Bits& m : board.messages()) {
+      BitReader r(m);
+      if (view.has_neighbor(codec::read_id(r, view.n()))) return true;
+    }
+    return false;
+  }
+  Bits compose(const LocalView& view, const Whiteboard&) const override {
+    BitWriter w;
+    codec::write_id(w, view.id(), view.n());
+    return w.take();
+  }
+  FrontierLocality frontier_locality() const override {
+    return {.activate_neighbor_local = true, .compose_neighbor_local = true};
+  }
+  /// Output: number of messages (the rumor's reach).
+  int output(const Whiteboard& board, std::size_t) const override {
+    return static_cast<int>(board.message_count());
+  }
+  std::string name() const override { return "rumor"; }
+};
+
+/// SYNC cousin of RumorProtocol: same neighbor-triggered activation, but the
+/// message is (own ID, #neighbor messages currently on the board) and is
+/// recomposed every round — exercising the frontier engine's *recompose*
+/// locality paths (top-down and bottom-up) together with local activation.
+class GossipCountProtocol final : public ProtocolWithOutput<int> {
+ public:
+  ModelClass model_class() const override { return ModelClass::kSync; }
+  std::size_t message_bit_limit(std::size_t n) const override {
+    return static_cast<std::size_t>(codec::id_bits(n) + codec::count_bits(n));
+  }
+  bool activate(const LocalView& view, const Whiteboard& board) const override {
+    if (view.id() == 1) return true;
+    for (const Bits& m : board.messages()) {
+      BitReader r(m);
+      if (view.has_neighbor(codec::read_id(r, view.n()))) return true;
+    }
+    return false;
+  }
+  Bits compose(const LocalView& view, const Whiteboard& board) const override {
+    std::size_t from_neighbors = 0;
+    for (const Bits& m : board.messages()) {
+      BitReader r(m);
+      if (view.has_neighbor(codec::read_id(r, view.n()))) ++from_neighbors;
+    }
+    BitWriter w;
+    codec::write_id(w, view.id(), view.n());
+    codec::write_count(w, from_neighbors, view.n());
+    return w.take();
+  }
+  FrontierLocality frontier_locality() const override {
+    return {.activate_neighbor_local = true, .compose_neighbor_local = true};
+  }
+  /// Output: sum of the written neighbor counts.
+  int output(const Whiteboard& board, std::size_t n) const override {
+    int sum = 0;
+    for (const Bits& m : board.messages()) {
+      BitReader r(m);
+      codec::read_id(r, n);
+      sum += static_cast<int>(codec::read_count(r, n));
+    }
+    return sum;
+  }
+  std::string name() const override { return "gossip-count"; }
+};
+
 }  // namespace wb::testing
