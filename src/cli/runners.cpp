@@ -18,6 +18,7 @@
 #include "src/protocols/build_forest.h"
 #include "src/protocols/build_full.h"
 #include "src/protocols/eob_bfs.h"
+#include "src/protocols/krz.h"
 #include "src/protocols/mis.h"
 #include "src/protocols/oracles.h"
 #include "src/protocols/randomized.h"
@@ -28,6 +29,7 @@
 #include "src/wb/batch.h"
 #include "src/wb/engine.h"
 #include "src/wb/exhaustive.h"
+#include "src/wb/faults.h"
 
 namespace wb::cli {
 
@@ -118,6 +120,102 @@ struct CounterexampleTracker {
   }
 };
 
+/// The typed fault classifier every fault-aware sweep path shares. Verdict
+/// rules:
+///  - a successful execution is judged by the protocol's own check;
+///  - a crash execution's natural deadlock (crashed nodes never write) is
+///    judged on the partial board — crash-tolerant protocols still answer,
+///    and a wrong answer is kWrongOutput, not an engine failure;
+///  - every other engine failure, and a DataError from a robust decoder
+///    rejecting a corrupted/truncated board, is kDeadlockOrFault.
+template <typename P, typename Check>
+FaultClassifier make_fault_classifier(const P& protocol, const Graph& g,
+                                      const Check& check) {
+  const std::size_t n = g.node_count();
+  return [&protocol, n, check](const ExecutionResult& r,
+                               std::span<const NodeId> crashed) {
+    const bool judge_partial =
+        r.status == RunStatus::kDeadlock && !crashed.empty();
+    if (!r.ok() && !judge_partial) return FaultVerdict::kDeadlockOrFault;
+    thread_local std::ostringstream sink;
+    sink.seekp(0);
+    try {
+      return check(protocol.output(r.board, n), sink)
+                 ? FaultVerdict::kCorrect
+                 : FaultVerdict::kWrongOutput;
+    } catch (const DataError&) {
+      return FaultVerdict::kDeadlockOrFault;
+    }
+  };
+}
+
+/// Fault-model sweep: crash/corruption worlds exhaustively, the adaptive
+/// adversary statistically. Shares report shape (and the `schedules` /
+/// `verdict` line prefixes CI diffs) with the fault-free exhaustive runner.
+template <typename P, typename Check>
+std::vector<RunReport> run_exhaustive_faulty(const P& protocol, const Graph& g,
+                                             const ExhaustiveRunOptions& ropts,
+                                             const Check& check) {
+  const FaultClassifier classify = make_fault_classifier(protocol, g, check);
+  RunReport report;
+  report.executed = true;
+  std::ostringstream os;
+  os << "protocol   " << protocol.name() << " ("
+     << model_name(protocol.model_class()) << "["
+     << protocol.message_bit_limit(g.node_count()) << " bits])\n";
+  os << "graph      n=" << g.node_count() << " m=" << g.edge_count() << "\n";
+
+  const bool adaptive = ropts.faults.kind == FaultKind::kAdaptive;
+  if (adaptive || ropts.statistical_trials > 0) {
+    StatisticalOptions sopts;
+    sopts.trials = adaptive ? ropts.faults.trials : ropts.statistical_trials;
+    sopts.seed = ropts.faults.seed;
+    sopts.threads = ropts.threads;
+    const StatisticalTotals totals =
+        run_statistical_verdict(g, protocol, ropts.faults, classify, sopts);
+    report.statistical = true;
+    report.executions = totals.verdict.trials();
+    report.engine_failures = totals.engine_failures;
+    report.wrong_outputs = totals.wrong_outputs;
+    report.verdict_trials = totals.verdict.trials();
+    report.verdict_failures = totals.verdict.failures();
+    report.adversary = std::string(adaptive ? "adaptive" : "statistical") +
+                       "(threads=" + std::to_string(ropts.threads) +
+                       ", faults=" + fault_spec_to_string(ropts.faults) + ")";
+    report.correct = totals.verdict.failures() == 0;
+    report.status = report.correct ? "success" : "mixed";
+    os << "adversary  " << report.adversary << "\n";
+    os << "schedules  " << totals.verdict.trials()
+       << " sampled trials (statistical sweep)\n";
+    os << "verdict    " << verdict_summary(totals.verdict) << "\n";
+  } else {
+    ExhaustiveOptions opts;
+    opts.threads = ropts.threads;
+    opts.max_executions = ropts.max_executions;
+    opts.distinct = ropts.distinct;
+    const FaultSweepTotals totals =
+        sweep_faulty_executions(g, protocol, ropts.faults, classify, opts);
+    report.executions = totals.executions;
+    report.engine_failures = totals.engine_failures;
+    report.wrong_outputs = totals.wrong_outputs;
+    report.fault_worlds = totals.worlds;
+    report.adversary = "exhaustive(threads=" + std::to_string(ropts.threads) +
+                       ", faults=" + fault_spec_to_string(ropts.faults) + ")";
+    const std::uint64_t failures = totals.engine_failures + totals.wrong_outputs;
+    report.correct = failures == 0;
+    report.status = totals.engine_failures == 0 ? "success" : "mixed";
+    os << "adversary  " << report.adversary << " — " << totals.worlds
+       << " fault worlds\n";
+    const std::uint64_t distinct =
+        totals.distinct != nullptr ? totals.distinct->estimate() : 0;
+    os << exhaustive_summary_lines(totals.executions, totals.engine_failures,
+                                   totals.wrong_outputs, distinct,
+                                   ropts.distinct);
+  }
+  report.summary = os.str();
+  return {std::move(report)};
+}
+
 /// Exhaustive plan: one report aggregating every adversary schedule, from a
 /// SINGLE sweep — output validation and the distinct-board tally share one
 /// visitor instead of exploring the n! tree twice. The check callback is
@@ -132,6 +230,9 @@ template <typename P, typename Check>
 std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
                                       const ExhaustiveRunOptions& ropts,
                                       const Check& check) {
+  if (ropts.faults.kind != FaultKind::kNone || ropts.statistical_trials > 0) {
+    return run_exhaustive_faulty(protocol, g, ropts, check);
+  }
   ExhaustiveOptions opts;
   opts.threads = ropts.threads;
   opts.max_executions = ropts.max_executions;
@@ -190,6 +291,9 @@ std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
   report.executed = true;
   report.adversary =
       "exhaustive(threads=" + std::to_string(opts.threads) + ")";
+  report.executions = executions;
+  report.engine_failures = engine_failures.load();
+  report.wrong_outputs = wrong_outputs.load();
   const std::uint64_t failures = engine_failures.load() + wrong_outputs.load();
   report.correct = failures == 0;
   report.status = engine_failures.load() == 0 ? "success" : "mixed";
@@ -227,14 +331,9 @@ std::vector<RunReport> run_shard_typed(const P& protocol, const Graph& g,
                                        const ShardRunRequest& req,
                                        const Check& check) {
   const std::size_t n = g.node_count();
-  *req.out = shard::run_shard(
-      *req.spec, protocol,
-      [&](const ExecutionResult& r) {
-        thread_local std::ostringstream sink;
-        sink.seekp(0);
-        return check(protocol.output(r.board, n), sink);
-      },
-      req.threads);
+  *req.out = shard::run_shard(*req.spec, protocol,
+                              make_fault_classifier(protocol, g, check),
+                              req.threads);
   const shard::ShardResult& result = *req.out;
 
   RunReport report;
@@ -249,11 +348,24 @@ std::vector<RunReport> run_shard_typed(const P& protocol, const Graph& g,
      << model_name(protocol.model_class()) << "["
      << protocol.message_bit_limit(n) << " bits])\n";
   os << "graph      n=" << n << " m=" << g.edge_count() << "\n";
-  os << "adversary  " << report.adversary << " — " << req.spec->prefixes.size()
-     << " subtree prefixes\n";
+  os << "adversary  " << report.adversary << " — ";
+  if (result.faults.kind == FaultKind::kAdaptive) {
+    os << "statistical stride " << result.shard_index << "/"
+       << result.shard_count << " of " << result.faults.trials << " trials\n";
+  } else if (result.faults.kind != FaultKind::kNone) {
+    os << req.spec->fault_tasks.size() << " fault subtree prefixes\n";
+  } else {
+    os << req.spec->prefixes.size() << " subtree prefixes\n";
+  }
   if (result.budget_exceeded) {
     os << "schedules  budget of " << result.max_executions
        << " executions exceeded by this shard alone\n";
+  } else if (result.faults.kind == FaultKind::kAdaptive) {
+    os << "schedules  " << result.executions
+       << " sampled trials (statistical sweep)\n";
+    const VerdictAccumulator verdict(result.verdict_trials,
+                                     result.verdict_failures);
+    os << "verdict    " << verdict_summary(verdict) << "\n";
   } else {
     const std::uint64_t distinct =
         result.distinct.kind == DistinctKind::kExact
@@ -465,6 +577,26 @@ std::vector<RunReport> dispatch_spec(const std::string& spec, const Graph& g,
                        return ok;
                      });
   }
+  if (kind == "krz-triangle") {
+    WB_REQUIRE_MSG(parts.size() == 3, "expected krz-triangle:NUM/DEN:SEED");
+    const auto [num, den] = parse_prob(parts[1]);
+    const KrzTriangleProtocol p(num, den, parse_u64(parts[2], "seed"));
+    // The sampled subgraph is fixed by (graph, seed): compute the sampled
+    // truth once — a triangle whose edges all survive sampling. The check
+    // is exact agreement with *that*; the ε-error behavior (missing the
+    // real triangle with probability 1 - q^3) shows up when the seed is
+    // varied across statistical trials (tests/wb/faults_test.cpp).
+    GraphBuilder sampled_builder(n);
+    for (const Edge& e : g.edges()) {
+      if (p.edge_sampled(e.u, e.v)) sampled_builder.add_edge(e.u, e.v);
+    }
+    const bool truth = has_triangle(sampled_builder.build());
+    return run_typed(p, g, plan, [&, truth](bool out, std::ostringstream& os) {
+      os << "verdict    " << (out ? "TRIANGLE" : "none")
+         << " (sampled truth: " << (truth ? "TRIANGLE" : "none") << ")\n";
+      return out == truth;
+    });
+  }
   if (kind == "triangle-oracle" || kind == "pair-chase") {
     const bool truth = has_triangle(g);
     if (kind == "triangle-oracle") {
@@ -634,7 +766,7 @@ std::string protocol_spec_help() {
          "           two-cliques rand-two-cliques:SEED eob-bfs bipartite-bfs\n"
          "           sync-bfs subgraph:F triangle-oracle pair-chase\n"
          "           spanning-forest square-oracle diameter-oracle:D\n"
-         "           connectivity-oracle\n"
+         "           connectivity-oracle krz-triangle:NUM/DEN:SEED\n"
          "           broken-first:V (negative-testing fixture: correct iff\n"
          "           node V writes first — for --counterexample)";
 }

@@ -31,6 +31,18 @@ struct RunReport {
   /// failing schedule as a space-separated write order ("" = none found or
   /// not requested).
   std::string counterexample;
+  /// Numeric totals of exhaustive and fault sweeps (0/false elsewhere) —
+  /// what the verdict-matrix generator consumes without re-parsing the
+  /// human-readable summary.
+  std::uint64_t executions = 0;
+  std::uint64_t engine_failures = 0;
+  std::uint64_t wrong_outputs = 0;
+  std::uint64_t fault_worlds = 0;
+  /// Statistical (adaptive-adversary) sweeps: sampled trials instead of an
+  /// exhaustive visit set, with the verdict tally for Wilson intervals.
+  bool statistical = false;
+  std::uint64_t verdict_trials = 0;
+  std::uint64_t verdict_failures = 0;
 };
 
 /// Run `protocol_spec` on `g` under `adversary`. Throws wb::DataError for
@@ -58,6 +70,18 @@ struct ExhaustiveRunOptions {
   /// Distinct-board accumulator (src/wb/distinct.h): exact sorted-run dedup
   /// (default) or a HyperLogLog estimate with flat memory.
   DistinctConfig distinct{};
+  /// Failure model (src/wb/faults.h). Fault-free sweeps are byte-identical
+  /// to the pre-fault runner; crash/corruption models sweep every fault
+  /// world exhaustively; the adaptive model samples seeded trials and
+  /// reports a statistical verdict with a Wilson confidence interval.
+  FaultSpec faults{};
+  /// Nonzero = sample this many seeded trials of the configured failure
+  /// model instead of sweeping exhaustively (any fault kind, fault-free
+  /// included). This is how the verdict matrix (src/cli/verdicts.h) falls
+  /// back to a statistical verdict when a cell's schedule space exceeds the
+  /// budget. Adaptive specs are always statistical and ignore this knob in
+  /// favor of their own trial count.
+  std::uint64_t statistical_trials = 0;
 };
 
 /// Exhaustively validate `protocol_spec` on `g`: visit *every* adversary

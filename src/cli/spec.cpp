@@ -179,6 +179,16 @@ SweepSpec sweep_from_spec(const std::string& spec) {
         parse_distinct_config(spec.substr(distinct_pos + kDistinctKey.size()));
     head = spec.substr(0, distinct_pos);
   }
+  // Fault specs contain colons too (crash:1, adaptive:SEED:TRIALS), so
+  // `faults=` is the last option before distinct=: everything after it in
+  // the remaining head is the fault spec text.
+  constexpr std::string_view kFaultsKey = ":faults=";
+  const std::size_t faults_pos = head.find(kFaultsKey);
+  if (faults_pos != std::string::npos) {
+    out.faults =
+        parse_fault_spec(head.substr(faults_pos + kFaultsKey.size()));
+    head = head.substr(0, faults_pos);
+  }
   const auto parts = split_spec(head);
   WB_REQUIRE_MSG(parts[0] == "exhaustive",
                  "not an exhaustive spec: '" << spec << "'");
@@ -216,7 +226,7 @@ SweepSpec sweep_from_spec(const std::string& spec) {
     WB_REQUIRE_MSG(
         !token.empty() && token.find_first_not_of("0123456789") ==
                               std::string::npos,
-        "expected exhaustive[:THREADS][:shards=K][:budget=N]"
+        "expected exhaustive[:THREADS][:shards=K][:budget=N][:faults=F]"
         "[:distinct=exact|hll[:P]], got '"
             << spec << "'");
     out.threads = static_cast<std::size_t>(parse_u64(token, "threads"));
@@ -230,6 +240,9 @@ std::string format_sweep_spec(const SweepSpec& spec) {
   if (spec.shards != 0) out += ":shards=" + std::to_string(spec.shards);
   if (spec.max_executions != kDefaultSweepBudget) {
     out += ":budget=" + std::to_string(spec.max_executions);
+  }
+  if (spec.faults.kind != FaultKind::kNone) {
+    out += ":faults=" + fault_spec_to_string(spec.faults);
   }
   if (!(spec.distinct == DistinctConfig{})) {
     out += ":distinct=" + to_string(spec.distinct);

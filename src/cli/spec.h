@@ -30,6 +30,7 @@
 #include "src/graph/graph.h"
 #include "src/wb/adversary.h"
 #include "src/wb/distinct.h"
+#include "src/wb/faults.h"
 
 namespace wb::cli {
 
@@ -61,18 +62,24 @@ inline constexpr std::uint64_t kDefaultSweepBudget = 2'000'000;
 /// and print exactly this (PR 6 consolidated the previously per-command
 /// option handling):
 ///
-///   exhaustive[:THREADS][:shards=K][:budget=N][:distinct=exact|hll[:P]]
+///   exhaustive[:THREADS][:shards=K][:budget=N][:faults=F]
+///             [:distinct=exact|hll[:P]]
 ///
 ///   exhaustive                 every schedule, all cores, in-process
 ///   exhaustive:1               the serial oracle
 ///   exhaustive:shards=4        4 worker processes (fleet), merged
 ///   exhaustive:2:shards=4      4 workers, 2 sweep threads each
 ///   exhaustive:budget=100000   stop (loudly) after 100000 executions
+///   exhaustive:faults=crash:1  sweep every 1-crash world exhaustively
+///   exhaustive:faults=corrupt:1/8:3   corrupt posted messages (p=1/8)
+///   exhaustive:faults=adaptive:7:1024 statistical verdict, 1024 trials
 ///   exhaustive:distinct=hll:14 HyperLogLog distinct-board estimate
 ///
 /// Because the hll config itself contains a colon, `distinct=` must be the
-/// final option. The legacy PR 4 order `exhaustive:shards=K:T` still
-/// parses; format_sweep_spec always prints the canonical order above, and
+/// final option; and because fault specs contain colons too (see
+/// src/wb/faults.h), `faults=` must be the last option before it. The
+/// legacy PR 4 order `exhaustive:shards=K:T` still parses;
+/// format_sweep_spec always prints the canonical order above, and
 /// parse(format(s)) == s for every SweepSpec (round-trip pinned in
 /// tests/cli/spec_test.cpp).
 struct SweepSpec {
@@ -87,10 +94,14 @@ struct SweepSpec {
   std::uint64_t max_executions = kDefaultSweepBudget;
   /// Distinct-board accumulator: exact (default) or HyperLogLog.
   DistinctConfig distinct{};
+  /// Failure model: fault-free (default), crash:F, corrupt:NUM/DEN[:SEED],
+  /// or adaptive:SEED[:TRIALS] (statistical verdict).
+  FaultSpec faults{};
 
   friend bool operator==(const SweepSpec& a, const SweepSpec& b) {
     return a.threads == b.threads && a.shards == b.shards &&
-           a.max_executions == b.max_executions && a.distinct == b.distinct;
+           a.max_executions == b.max_executions && a.distinct == b.distinct &&
+           a.faults == b.faults;
   }
 };
 

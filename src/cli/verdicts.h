@@ -1,0 +1,59 @@
+// The verdict matrix: every protocol of the zoo crossed with every failure
+// model (src/wb/faults.h), swept exhaustively where the schedule/world space
+// fits a budget and statistically (sampled trials with a Wilson confidence
+// interval) where it does not.
+//
+// The matrix is a deterministic text artifact (`wb-verdicts v1`) committed at
+// tests/wb/data/verdicts.golden: `wbsim verdicts` regenerates it and CI diffs
+// the bytes, so any change to engine semantics, fault injection, classifier
+// verdicts, or protocol decoders shows up as a reviewable golden diff.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/cli/runners.h"
+
+namespace wb::cli {
+
+/// One (protocol, graph, failure model) cell.
+struct VerdictCell {
+  std::string protocol_spec;
+  std::string graph_spec;
+  FaultSpec faults{};
+  /// False: every fault world swept exhaustively (worlds/executions below
+  /// are exact totals). True: sampled trials with a verdict tally — either
+  /// an adaptive spec (always statistical) or the budget fallback.
+  bool statistical = false;
+  std::uint64_t worlds = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t engine_failures = 0;
+  std::uint64_t wrong_outputs = 0;
+  std::uint64_t verdict_trials = 0;
+  std::uint64_t verdict_failures = 0;
+};
+
+/// Execution budget per cell: a cell whose exhaustive space exceeds this
+/// falls back to a statistical verdict over kFallbackTrials sampled trials
+/// of the same failure model.
+inline constexpr std::uint64_t kVerdictCellBudget = 100'000;
+inline constexpr std::uint64_t kFallbackTrials = 512;
+
+/// Run one cell. Exhaustive first (except adaptive specs, which are
+/// statistical by definition); on BudgetExceededError, rerun statistically.
+[[nodiscard]] VerdictCell run_verdict_cell(const std::string& protocol_spec,
+                                           const std::string& graph_spec,
+                                           const FaultSpec& faults,
+                                           std::size_t threads = 0);
+
+/// One serialized `cell ...` line (no trailing context, "\n"-terminated).
+[[nodiscard]] std::string format_verdict_cell(const VerdictCell& cell);
+
+/// The full matrix: the protocol zoo x {none, crash:1, corrupt, adaptive},
+/// serialized as the `wb-verdicts v1` artifact. `filter` (substring of the
+/// protocol spec) restricts to matching rows — the filtered output is the
+/// corresponding subset of the full matrix's cell lines.
+[[nodiscard]] std::string generate_verdict_matrix(const std::string& filter,
+                                                  std::size_t threads = 0);
+
+}  // namespace wb::cli

@@ -132,7 +132,19 @@ void EngineState::compose_into(NodeId v) {
   // Defensive reset (a no-op after a well-behaved take()): the compose
   // contract hands the protocol an *empty* writer.
   compose_scratch_.reset();
-  Bits message = protocol_->compose(view_of(v), board_, compose_scratch_);
+  Bits message;
+  try {
+    message = protocol_->compose(view_of(v), board_, compose_scratch_);
+  } catch (const DataError& e) {
+    // Fault firewall: under crash/corruption failure models the board can be
+    // one the protocol never promised to decode. A robust decoder signals
+    // that with DataError; turn it into a clean terminal status instead of
+    // letting it abort the whole sweep.
+    std::ostringstream os;
+    os << "node " << v << " compose rejected the whiteboard: " << e.what();
+    fail(RunStatus::kFault, os.str());
+    return;
+  }
   const std::size_t limit = protocol_->message_bit_limit(n_);
   if (message.size() > limit) {
     std::ostringstream os;
@@ -179,7 +191,8 @@ void EngineState::begin_round_reference() {
   // Phase 2: activations (+ compositions).
   for (NodeId v = 1; v <= n_; ++v) {
     if (state_[v - 1] != NodeState::kAwake) continue;
-    const bool wants = protocol_->activate(view_of(v), board_);
+    const bool wants = activate_of(v);
+    if (terminal()) return;
     if (sim && round_ == 1 && !wants) {
       std::ostringstream os;
       os << "protocol declares a simultaneous class but node " << v
@@ -239,7 +252,8 @@ void EngineState::begin_round_frontier() {
   // activation/trace/compose order matches the reference engine exactly.
   newly_activated_.clear();
   const auto eval = [&](NodeId v) -> bool {
-    const bool wants = protocol_->activate(view_of(v), board_);
+    const bool wants = activate_of(v);
+    if (terminal()) return false;
     if (sim && round_ == 1 && !wants) {
       std::ostringstream os;
       os << "protocol declares a simultaneous class but node " << v
@@ -386,6 +400,17 @@ void EngineState::write_node(NodeId v) {
     const auto it =
         std::lower_bound(candidates_.begin(), candidates_.end(), v);
     if (it != candidates_.end() && *it == v) candidates_.erase(it);
+  }
+}
+
+bool EngineState::activate_of(NodeId v) {
+  try {
+    return protocol_->activate(view_of(v), board_);
+  } catch (const DataError& e) {
+    std::ostringstream os;
+    os << "node " << v << " activate rejected the whiteboard: " << e.what();
+    fail(RunStatus::kFault, os.str());
+    return false;
   }
 }
 

@@ -38,6 +38,8 @@ enum class RunStatus {
   kDeadlock,         // corrupted configuration: stuck before n writes
   kMessageOverflow,  // a node composed more bits than message_bit_limit(n)
   kProtocolError,    // protocol violated its declared model class / no progress
+  kFault,            // a protocol callback rejected the whiteboard (DataError)
+                     // — a corrupted or crash-truncated board it cannot decode
 };
 
 [[nodiscard]] constexpr std::string_view status_name(RunStatus s) noexcept {
@@ -46,6 +48,7 @@ enum class RunStatus {
     case RunStatus::kDeadlock: return "deadlock";
     case RunStatus::kMessageOverflow: return "message-overflow";
     case RunStatus::kProtocolError: return "protocol-error";
+    case RunStatus::kFault: return "fault";
   }
   return "?";
 }
@@ -177,6 +180,10 @@ class EngineState {
     return LocalView(v, graph_->neighbors(v), graph_->node_count());
   }
   void compose_into(NodeId v);
+  /// activate() through the fault firewall (see compose_into): a DataError
+  /// from the protocol becomes a kFault terminal status. Callers must check
+  /// terminal() after; the returned verdict is false on fault.
+  [[nodiscard]] bool activate_of(NodeId v);
   void trace(TraceEvent::Kind kind, NodeId v);
 
   /// One reversible mutation. kStateChange restores a node's lifecycle

@@ -42,6 +42,30 @@ class LineParser {
     return line.substr(keyword.size() + 1);
   }
 
+  /// If the next line starts with `keyword`, consume it and return its
+  /// payload; otherwise leave the cursor untouched and return nullopt. For
+  /// optional fields — the `faults` line that fault-free documents omit —
+  /// so pre-fault v2 files keep parsing unchanged.
+  std::optional<std::string> try_expect(const std::string& keyword) {
+    if (pos_ >= text_->size()) return std::nullopt;
+    const std::size_t nl = text_->find('\n', pos_);
+    if (nl == std::string::npos) return std::nullopt;
+    const std::string line = text_->substr(pos_, nl - pos_);
+    std::string payload;
+    if (line == keyword) {
+      payload = "";
+    } else if (line.size() > keyword.size() &&
+               line.compare(0, keyword.size(), keyword) == 0 &&
+               line[keyword.size()] == ' ') {
+      payload = line.substr(keyword.size() + 1);
+    } else {
+      return std::nullopt;
+    }
+    pos_ = nl + 1;
+    ++line_no_;
+    return payload;
+  }
+
   void expect_end() {
     const std::string line = next_line("end");
     WB_REQUIRE_MSG(line == "end", what_ << " line " << line_no_
@@ -169,6 +193,16 @@ DistinctConfig parse_distinct_field(const LineParser& lp,
   return {};  // unreachable
 }
 
+FaultSpec parse_fault_field(const LineParser& lp, const std::string& payload) {
+  try {
+    return parse_fault_spec(payload);
+  } catch (const DataError& e) {
+    WB_REQUIRE_MSG(false, lp.what() << " line " << lp.line_no() << ": "
+                                    << e.what());
+  }
+  return {};  // unreachable
+}
+
 /// Pack a byte string into the word-wise hasher (length-prefixed so
 /// concatenations can't collide trivially).
 void hash_bytes(Hasher128& h, const std::string& bytes) {
@@ -194,7 +228,8 @@ void hash_bytes(Hasher128& h, const std::string& bytes) {
 /// wrong (or silently mixed exact/approximate) totals.
 Hash128 fingerprint_plan(const std::string& protocol_spec, const Graph& g,
                          const PlanOptions& opts, std::size_t shard_count,
-                         std::span<const PrefixTask> all_tasks) {
+                         std::span<const PrefixTask> all_tasks,
+                         std::span<const FaultTask> all_fault_tasks) {
   Hasher128 h;
   hash_bytes(h, protocol_spec);
   h.update(g.node_count());
@@ -214,6 +249,25 @@ Hash128 fingerprint_plan(const std::string& protocol_spec, const Graph& g,
   for (const PrefixTask& t : all_tasks) {
     h.update(t.depth);
     for (const NodeId v : t.prefix()) h.update(v);
+  }
+  // Fault-model coverage: hashed only for faulty plans, so every fault-free
+  // fingerprint — including those already committed in golden artifacts —
+  // is unchanged. Mismatched fault specs (or the same spec with a different
+  // world partition) refuse to merge exactly like mismatched partitions.
+  if (opts.faults.kind != FaultKind::kNone) {
+    h.update(0x66756c74);  // domain tag: "fult"
+    h.update(static_cast<std::uint64_t>(opts.faults.kind));
+    h.update(opts.faults.crash_f);
+    h.update(opts.faults.prob_num);
+    h.update(opts.faults.prob_den);
+    h.update(opts.faults.seed);
+    h.update(opts.faults.trials);
+    h.update(all_fault_tasks.size());
+    for (const FaultTask& t : all_fault_tasks) {
+      h.update(t.world);
+      h.update(t.prefix.depth);
+      for (const NodeId v : t.prefix.prefix()) h.update(v);
+    }
   }
   return h.digest();
 }
@@ -305,10 +359,22 @@ std::vector<ShardSpec> plan_shards(const Graph& g, const Protocol& p,
   WB_REQUIRE_MSG(shard_count >= 1, "shard count must be at least 1");
   WB_REQUIRE_MSG(shard_count <= 1u << 20,
                  "shard count " << shard_count << " is not a serious plan");
-  const std::vector<PrefixTask> tasks = partition_executions(
-      g, p, opts.engine, shard_count * std::max<std::size_t>(1, opts.tasks_per_shard));
-  const Hash128 plan =
-      fingerprint_plan(protocol_spec, g, opts, shard_count, tasks);
+  const std::size_t target =
+      shard_count * std::max<std::size_t>(1, opts.tasks_per_shard);
+  std::vector<PrefixTask> tasks;
+  std::vector<FaultTask> fault_tasks;
+  if (opts.faults.kind == FaultKind::kNone) {
+    tasks = partition_executions(g, p, opts.engine, target);
+  } else if (opts.faults.kind != FaultKind::kAdaptive) {
+    // Crash/corruption sweeps partition (fault world × prefix) pairs; the
+    // world enumeration folds into the same round-robin distribution.
+    fault_tasks = partition_fault_tasks(g, p, opts.faults, opts.engine, target);
+  }
+  // Adaptive plans carry no partition: shard k of K runs trial indices
+  // k, k+K, k+2K, ... — the stride split run_shard derives from the shard
+  // coordinates, which merges to exactly the single-stream trial set.
+  const Hash128 plan = fingerprint_plan(protocol_spec, g, opts, shard_count,
+                                        tasks, fault_tasks);
   std::vector<ShardSpec> specs(shard_count);
   for (std::size_t k = 0; k < shard_count; ++k) {
     specs[k].protocol_spec = protocol_spec;
@@ -319,9 +385,13 @@ std::vector<ShardSpec> plan_shards(const Graph& g, const Protocol& p,
     specs[k].plan = plan;
     specs[k].shard_index = static_cast<std::uint32_t>(k);
     specs[k].shard_count = static_cast<std::uint32_t>(shard_count);
+    specs[k].faults = opts.faults;
   }
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     specs[t % shard_count].prefixes.push_back(tasks[t]);
+  }
+  for (std::size_t t = 0; t < fault_tasks.size(); ++t) {
+    specs[t % shard_count].fault_tasks.push_back(fault_tasks[t]);
   }
   return specs;
 }
@@ -338,6 +408,7 @@ ShardManifest make_manifest(std::span<const ShardSpec> specs) {
   manifest.shard_count = first.shard_count;
   manifest.max_executions = first.max_executions;
   manifest.distinct = first.distinct;
+  manifest.faults = first.faults;
   manifest.spec_hashes.reserve(specs.size());
   for (std::size_t k = 0; k < specs.size(); ++k) {
     WB_REQUIRE_MSG(specs[k].plan == first.plan,
@@ -360,6 +431,9 @@ std::string serialize(const ShardSpec& spec) {
     os << "edge " << e.u << " " << e.v << "\n";
   }
   os << "max-executions " << spec.max_executions << "\n";
+  if (spec.faults.kind != FaultKind::kNone) {
+    os << "faults " << fault_spec_to_string(spec.faults) << "\n";
+  }
   os << "engine " << spec.engine.max_rounds << " "
      << (spec.engine.record_trace ? 1 : 0) << "\n";
   os << "distinct " << to_string(spec.distinct) << "\n";
@@ -372,6 +446,15 @@ std::string serialize(const ShardSpec& spec) {
     os << "prefix " << t.depth;
     for (const NodeId v : t.prefix()) os << " " << v;
     os << "\n";
+  }
+  if (spec.faults.kind == FaultKind::kCrash ||
+      spec.faults.kind == FaultKind::kCorrupt) {
+    os << "fprefixes " << spec.fault_tasks.size() << "\n";
+    for (const FaultTask& t : spec.fault_tasks) {
+      os << "fprefix " << t.world << " " << t.prefix.depth;
+      for (const NodeId v : t.prefix.prefix()) os << " " << v;
+      os << "\n";
+    }
   }
   os << "end\n";
   return os.str();
@@ -410,6 +493,13 @@ ShardSpec parse_shard_spec(const std::string& text) {
 
   spec.max_executions =
       parse_u64_field(lp, lp.expect("max-executions"), "max-executions");
+
+  // Optional: v2 documents without a `faults` line are fault-free.
+  if (version >= 2) {
+    if (const auto payload = lp.try_expect("faults")) {
+      spec.faults = parse_fault_field(lp, *payload);
+    }
+  }
 
   const auto engine_fields = split_fields(lp.expect("engine"));
   WB_REQUIRE_MSG(engine_fields.size() == 2,
@@ -473,6 +563,61 @@ ShardSpec parse_shard_spec(const std::string& text) {
     }
     spec.prefixes.push_back(task);
   }
+
+  // Crash/corruption specs carry their (world × prefix) partition; the
+  // `fprefixes` section is rejected for every other fault kind (expect_end
+  // below refuses it), and required for these two.
+  if (spec.faults.kind == FaultKind::kCrash ||
+      spec.faults.kind == FaultKind::kCorrupt) {
+    std::uint64_t worlds = 1;
+    if (spec.faults.kind == FaultKind::kCrash) {
+      try {
+        worlds = crash_world_count(spec.graph.node_count(),
+                                   spec.faults.crash_f);
+      } catch (const std::exception& e) {
+        WB_REQUIRE_MSG(false, "shard spec line " << lp.line_no() << ": "
+                                                 << e.what());
+      }
+    }
+    const std::uint64_t fcount =
+        parse_u64_field(lp, lp.expect("fprefixes"), "fault prefix count");
+    spec.fault_tasks.reserve(clamped_reserve(fcount, text));
+    for (std::uint64_t i = 0; i < fcount; ++i) {
+      const auto pf = split_fields(lp.expect("fprefix"));
+      WB_REQUIRE_MSG(pf.size() >= 2,
+                     "shard spec line "
+                         << lp.line_no()
+                         << ": expected 'fprefix <world> <depth> ...'");
+      FaultTask task;
+      task.world = parse_u64_field(lp, pf[0], "fault world");
+      WB_REQUIRE_MSG(task.world < worlds,
+                     "shard spec line " << lp.line_no() << ": fault world "
+                                        << task.world << " out of range 0.."
+                                        << worlds - 1);
+      task.prefix.depth = static_cast<std::size_t>(
+          parse_u64_field(lp, pf[1], "prefix depth"));
+      WB_REQUIRE_MSG(task.prefix.depth <= task.prefix.decision.size(),
+                     "shard spec line "
+                         << lp.line_no() << ": prefix depth "
+                         << task.prefix.depth << " exceeds the maximum "
+                         << task.prefix.decision.size());
+      WB_REQUIRE_MSG(pf.size() == 2 + task.prefix.depth,
+                     "shard spec line " << lp.line_no()
+                                        << ": fprefix of depth "
+                                        << task.prefix.depth
+                                        << " must carry exactly "
+                                        << task.prefix.depth << " node ids");
+      for (std::size_t d = 0; d < task.prefix.depth; ++d) {
+        const std::uint64_t v =
+            parse_u64_field(lp, pf[2 + d], "prefix node");
+        WB_REQUIRE_MSG(v >= 1 && v <= n,
+                       "shard spec line " << lp.line_no() << ": prefix node "
+                                          << v << " out of range 1.." << n);
+        task.prefix.decision[d] = static_cast<NodeId>(v);
+      }
+      spec.fault_tasks.push_back(task);
+    }
+  }
   lp.expect_end();
   return spec;
 }
@@ -483,11 +628,18 @@ std::string serialize(const ShardResult& result) {
   out += "shard " + std::to_string(result.shard_index) + " " +
          std::to_string(result.shard_count) + "\n";
   out += "max-executions " + std::to_string(result.max_executions) + "\n";
+  if (result.faults.kind != FaultKind::kNone) {
+    out += "faults " + fault_spec_to_string(result.faults) + "\n";
+  }
   out += "executions " + std::to_string(result.executions) + "\n";
   out += "engine-failures " + std::to_string(result.engine_failures) + "\n";
   out += "wrong-outputs " + std::to_string(result.wrong_outputs) + "\n";
   out += std::string("budget-exceeded ") +
          (result.budget_exceeded ? "1" : "0") + "\n";
+  if (result.faults.kind == FaultKind::kAdaptive) {
+    out += "verdict " + std::to_string(result.verdict_trials) + " " +
+           std::to_string(result.verdict_failures) + "\n";
+  }
   out += "distinct-kind " + to_string(result.distinct) + "\n";
   if (result.distinct.kind == DistinctKind::kExact) {
     out += "distinct " + std::to_string(result.board_hashes.size()) + "\n";
@@ -528,6 +680,14 @@ ShardResult parse_shard_result(const std::string& text) {
 
   result.max_executions =
       parse_u64_field(lp, lp.expect("max-executions"), "max-executions");
+
+  // Optional: v2 documents without a `faults` line are fault-free.
+  if (version >= 2) {
+    if (const auto payload = lp.try_expect("faults")) {
+      result.faults = parse_fault_field(lp, *payload);
+    }
+  }
+
   result.executions =
       parse_u64_field(lp, lp.expect("executions"), "executions");
   result.engine_failures =
@@ -540,6 +700,24 @@ ShardResult parse_shard_result(const std::string& text) {
                                     << lp.line_no()
                                     << ": budget-exceeded must be 0 or 1");
   result.budget_exceeded = exceeded == 1;
+
+  // Adaptive results must carry their statistical verdict; every other
+  // fault kind must not (a stray `verdict` line fails the distinct-kind
+  // expectation below).
+  if (result.faults.kind == FaultKind::kAdaptive) {
+    const auto vf = split_fields(lp.expect("verdict"));
+    WB_REQUIRE_MSG(vf.size() == 2,
+                   "shard result line "
+                       << lp.line_no()
+                       << ": expected 'verdict <trials> <failures>'");
+    result.verdict_trials = parse_u64_field(lp, vf[0], "verdict trials");
+    result.verdict_failures = parse_u64_field(lp, vf[1], "verdict failures");
+    WB_REQUIRE_MSG(result.verdict_failures <= result.verdict_trials,
+                   "shard result line " << lp.line_no() << ": "
+                                        << result.verdict_failures
+                                        << " failures out of "
+                                        << result.verdict_trials << " trials");
+  }
 
   // v1 predates the pluggable distinct accumulator; those results are exact.
   result.distinct = version >= 2
@@ -572,6 +750,9 @@ std::string serialize(const ShardManifest& manifest) {
   out += "shards " + std::to_string(manifest.shard_count) + "\n";
   out += "max-executions " + std::to_string(manifest.max_executions) + "\n";
   out += "distinct " + to_string(manifest.distinct) + "\n";
+  if (manifest.faults.kind != FaultKind::kNone) {
+    out += "faults " + fault_spec_to_string(manifest.faults) + "\n";
+  }
   for (const Hash128& h : manifest.spec_hashes) {
     append_hash_line(out, "spec", h);
   }
@@ -592,6 +773,9 @@ ShardManifest parse_shard_manifest(const std::string& text) {
   manifest.max_executions =
       parse_u64_field(lp, lp.expect("max-executions"), "max-executions");
   manifest.distinct = parse_distinct_field(lp, lp.expect("distinct"));
+  if (const auto payload = lp.try_expect("faults")) {
+    manifest.faults = parse_fault_field(lp, *payload);
+  }
   manifest.spec_hashes.reserve(
       clamped_reserve(manifest.shard_count, text));
   for (std::uint32_t k = 0; k < manifest.shard_count; ++k) {
@@ -604,18 +788,89 @@ ShardManifest parse_shard_manifest(const std::string& text) {
 ShardResult run_shard(const ShardSpec& spec, const Protocol& p,
                       const std::function<bool(const ExecutionResult&)>& accept,
                       std::size_t threads) {
+  // The canonical classifier: engine failures are terminal, accept (when
+  // given) judges successful executions. Field-for-field the pre-fault
+  // behavior of this overload.
+  const FaultClassifier classify = [&accept](const ExecutionResult& r,
+                                             std::span<const NodeId>) {
+    if (!r.ok()) return FaultVerdict::kDeadlockOrFault;
+    if (accept != nullptr && !accept(r)) return FaultVerdict::kWrongOutput;
+    return FaultVerdict::kCorrect;
+  };
+  return run_shard(spec, p, classify, threads);
+}
+
+ShardResult run_shard(const ShardSpec& spec, const Protocol& p,
+                      const FaultClassifier& classify, std::size_t threads) {
+  WB_CHECK_MSG(classify != nullptr, "run_shard needs a fault classifier");
   ShardResult out;
   out.plan = spec.plan;
   out.shard_index = spec.shard_index;
   out.shard_count = spec.shard_count;
   out.max_executions = spec.max_executions;
   out.distinct = spec.distinct;
+  out.faults = spec.faults;
+
+  const auto cleared_payload = [&] {
+    if (spec.distinct.kind == DistinctKind::kHll) {
+      out.hll = HyperLogLog(spec.distinct.hll_precision);
+    }
+  };
+
+  if (spec.faults.kind == FaultKind::kAdaptive) {
+    // Statistical mode: this shard runs its stride of the trial index
+    // space. No distinct-board payload — the sampled board population is
+    // not a deterministic set.
+    StatisticalOptions sopts;
+    sopts.trials = spec.faults.trials;
+    sopts.seed = spec.faults.seed;
+    sopts.stride = spec.shard_count;
+    sopts.offset = spec.shard_index;
+    sopts.threads = threads;
+    sopts.engine = spec.engine;
+    const StatisticalTotals totals =
+        run_statistical_verdict(spec.graph, p, spec.faults, classify, sopts);
+    out.executions = totals.verdict.trials();
+    out.engine_failures = totals.engine_failures;
+    out.wrong_outputs = totals.wrong_outputs;
+    out.verdict_trials = totals.verdict.trials();
+    out.verdict_failures = totals.verdict.failures();
+    cleared_payload();
+    return out;
+  }
 
   ExhaustiveOptions opts;
   opts.max_executions = spec.max_executions;
   opts.threads = threads;
   opts.distinct = spec.distinct;
   opts.engine = spec.engine;
+
+  if (spec.faults.kind != FaultKind::kNone) {
+    FaultSweepTotals totals;
+    try {
+      totals = sweep_fault_tasks(spec.graph, p, spec.faults, spec.fault_tasks,
+                                 classify, opts);
+    } catch (const BudgetExceededError&) {
+      out.budget_exceeded = true;
+      out.executions = spec.max_executions;
+      cleared_payload();
+      return out;
+    }
+    out.executions = totals.executions;
+    out.engine_failures = totals.engine_failures;
+    out.wrong_outputs = totals.wrong_outputs;
+    if (totals.distinct == nullptr) {
+      cleared_payload();
+    } else if (spec.distinct.kind == DistinctKind::kExact) {
+      out.board_hashes =
+          static_cast<ExactDistinctAccumulator&>(*totals.distinct)
+              .take_sorted();
+    } else {
+      out.hll = static_cast<HllDistinctAccumulator&>(*totals.distinct)
+                    .take_sketch();
+    }
+    return out;
+  }
 
   std::atomic<std::uint64_t> engine_failures{0};
   std::atomic<std::uint64_t> wrong_outputs{0};
@@ -624,22 +879,20 @@ ShardResult run_shard(const ShardSpec& spec, const Protocol& p,
   for (std::size_t t = 0; t < spec.prefixes.size(); ++t) {
     accumulators.push_back(make_distinct_accumulator(spec.distinct));
   }
-  const auto cleared_payload = [&] {
-    if (spec.distinct.kind == DistinctKind::kHll) {
-      out.hll = HyperLogLog(spec.distinct.hll_precision);
-    }
-  };
   try {
     out.executions = for_each_execution_under(
         spec.graph, p, spec.prefixes,
         [&](const ExecutionResult& r, std::size_t task) {
           accumulators[task]->insert(r.board.content_hash());
-          if (!r.ok()) {
-            engine_failures.fetch_add(1, std::memory_order_relaxed);
-            return true;
-          }
-          if (accept != nullptr && !accept(r)) {
-            wrong_outputs.fetch_add(1, std::memory_order_relaxed);
+          switch (classify(r, {})) {
+            case FaultVerdict::kCorrect:
+              break;
+            case FaultVerdict::kWrongOutput:
+              wrong_outputs.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case FaultVerdict::kDeadlockOrFault:
+              engine_failures.fetch_add(1, std::memory_order_relaxed);
+              break;
           }
           return true;
         },
@@ -679,6 +932,7 @@ MergedResult merge_shard_results(std::span<const ShardResult> results) {
   MergedResult merged;
   merged.shard_count = first.shard_count;
   merged.distinct = first.distinct;
+  merged.faults = first.faults;
   std::vector<bool> seen(first.shard_count, false);
   std::vector<std::vector<Hash128>> runs;
   runs.reserve(results.size());
@@ -692,6 +946,12 @@ MergedResult merge_shard_results(std::span<const ShardResult> results) {
                             << to_string(first.distinct)
                             << " — refusing to merge exact and approximate "
                                "artifacts");
+    WB_REQUIRE_MSG(r.faults == first.faults,
+                   "shard " << r.shard_index << " ran fault model '"
+                            << fault_spec_to_string(r.faults)
+                            << "', expected '"
+                            << fault_spec_to_string(first.faults)
+                            << "' — refusing to merge");
     WB_REQUIRE_MSG(r.plan == first.plan,
                    "shard " << r.shard_index
                             << " belongs to a different plan (fingerprint "
@@ -707,6 +967,8 @@ MergedResult merge_shard_results(std::span<const ShardResult> results) {
     merged.executions += r.executions;
     merged.engine_failures += r.engine_failures;
     merged.wrong_outputs += r.wrong_outputs;
+    merged.verdict_trials += r.verdict_trials;
+    merged.verdict_failures += r.verdict_failures;
     exceeded = exceeded || r.budget_exceeded;
     if (first.distinct.kind == DistinctKind::kExact) {
       runs.push_back(r.board_hashes);
@@ -726,7 +988,10 @@ MergedResult merge_shard_results(std::span<const ShardResult> results) {
     WB_REQUIRE_MSG(seen[k], "missing result for shard " << k << " of "
                                                         << first.shard_count);
   }
-  if (exceeded || merged.executions > first.max_executions) {
+  // Adaptive sweeps count trials, not exhaustive visits — their trial
+  // budget is the fault spec's, not max_executions.
+  if (first.faults.kind != FaultKind::kAdaptive &&
+      (exceeded || merged.executions > first.max_executions)) {
     throw BudgetExceededError(first.max_executions);
   }
   if (first.distinct.kind == DistinctKind::kExact) {

@@ -59,12 +59,16 @@
 #include "src/support/hll.h"
 #include "src/wb/distinct.h"
 #include "src/wb/exhaustive.h"
+#include "src/wb/faults.h"
 
 namespace wb::shard {
 
 /// Bumped on any change to the text formats below. v2 added the distinct
 /// accumulator field (spec + result), the hll register block, and the
-/// manifest format; v1 spec/result files still parse (as exact).
+/// manifest format; v1 spec/result files still parse (as exact). The
+/// failure-model fields (`faults`, `fprefix`, `verdict`) are *optional* v2
+/// lines: fault-free documents serialize without them byte-for-byte as
+/// before, and v2 documents without a fault field parse as fault-free.
 inline constexpr int kFormatVersion = 2;
 
 /// One shard of a planned exhaustive sweep: the instance (graph + opaque
@@ -92,6 +96,15 @@ struct ShardSpec {
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 1;
   std::vector<PrefixTask> prefixes;
+  /// Failure model every shard of this plan runs under (default: fault-free,
+  /// which serializes without a `faults` line — fault-free documents are
+  /// byte-identical to pre-fault v2 files). Covered by the plan fingerprint,
+  /// so artifacts swept under different fault specs refuse to merge.
+  FaultSpec faults{};
+  /// Crash/corruption plans partition (world × prefix) pairs instead of bare
+  /// prefixes; `prefixes` stays empty for them. Adaptive plans carry neither
+  /// — trials are split by index stride across shards.
+  std::vector<FaultTask> fault_tasks;
 };
 
 /// What one shard's sweep produced. All fields are bit-identical for any
@@ -119,6 +132,15 @@ struct ShardResult {
   DistinctConfig distinct{};
   std::vector<Hash128> board_hashes;  // exact mode: sorted, unique
   std::optional<HyperLogLog> hll;     // hll mode: the shard's sketch
+  /// Failure model the shard ran under (copied from the spec; merge refuses
+  /// fault-spec mismatches). Fault-free results serialize without it.
+  FaultSpec faults{};
+  /// Statistical verdict tally — populated (and serialized as a `verdict`
+  /// line) iff faults.kind == kAdaptive. Merges by summation: shards split
+  /// the trial index space by stride, so the union over shards is exactly
+  /// the single-stream trial set.
+  std::uint64_t verdict_trials = 0;
+  std::uint64_t verdict_failures = 0;
 };
 
 /// The merged totals of a complete result set — field-for-field what the
@@ -131,6 +153,12 @@ struct MergedResult {
   std::uint64_t wrong_outputs = 0;
   std::uint64_t distinct_boards = 0;
   DistinctConfig distinct{};
+  /// Failure model of the plan, and (for adaptive plans) the summed
+  /// statistical verdict — feed into a VerdictAccumulator for the rate and
+  /// Wilson interval, bit-identical to the single-stream sweep.
+  FaultSpec faults{};
+  std::uint64_t verdict_trials = 0;
+  std::uint64_t verdict_failures = 0;
 };
 
 struct PlanOptions {
@@ -144,6 +172,10 @@ struct PlanOptions {
   /// exact and hll artifacts of one instance can never cross-merge).
   DistinctConfig distinct{};
   EngineOptions engine;
+  /// Failure model for the whole plan (fingerprinted). Crash/corruption
+  /// plans fold the fault worlds into the partition; adaptive plans split
+  /// the trial index space by stride across shards.
+  FaultSpec faults{};
 };
 
 /// Partition the schedule tree of (g, p) and distribute the prefix tasks
@@ -167,6 +199,8 @@ struct ShardManifest {
   std::uint32_t shard_count = 1;
   std::uint64_t max_executions = 0;
   DistinctConfig distinct{};
+  /// Failure model of the plan (fault-free manifests serialize without it).
+  FaultSpec faults{};
   std::vector<Hash128> spec_hashes;  // hash_document of each serialized spec
 };
 
@@ -206,6 +240,19 @@ struct ShardManifest {
     const ShardSpec& spec, const Protocol& p,
     const std::function<bool(const ExecutionResult&)>& accept,
     std::size_t threads = 0);
+
+/// Failure-model-aware shard sweep. Dispatches on spec.faults.kind:
+/// fault-free specs sweep spec.prefixes exactly as the accept overload
+/// (which delegates here with the canonical ok/accept classifier);
+/// crash/corruption specs sweep spec.fault_tasks via sweep_fault_tasks;
+/// adaptive specs run this shard's stride of the trial index space through
+/// run_statistical_verdict and record the verdict tally. The classifier is
+/// consulted for every execution; kWrongOutput tallies into wrong_outputs
+/// and kDeadlockOrFault into engine_failures, so fault-free results are
+/// field-for-field those of the accept overload.
+[[nodiscard]] ShardResult run_shard(const ShardSpec& spec, const Protocol& p,
+                                    const FaultClassifier& classify,
+                                    std::size_t threads);
 
 /// Merge a complete result set (any order) into the sweep's totals.
 /// Throws wb::DataError when the set is not exactly one result per shard of

@@ -125,6 +125,30 @@ TEST(SweepSpec, ParsesTheTrailingDistinctOption) {
   EXPECT_THROW((void)sweep_from_spec("exhaustive:distinct="), DataError);
 }
 
+TEST(SweepSpec, ParsesTheFaultsOption) {
+  // faults= is the last option before distinct= (fault specs contain
+  // colons too).
+  SweepSpec spec = sweep_from_spec("exhaustive");
+  EXPECT_EQ(spec.faults, FaultSpec::None());
+
+  spec = sweep_from_spec("exhaustive:faults=crash:1");
+  EXPECT_EQ(spec.faults, FaultSpec::Crash(1));
+
+  spec = sweep_from_spec("exhaustive:2:faults=corrupt:1/8:3");
+  EXPECT_EQ(spec.threads, 2u);
+  EXPECT_EQ(spec.faults, FaultSpec::Corrupt(1, 8, 3));
+
+  spec = sweep_from_spec(
+      "exhaustive:shards=4:faults=adaptive:7:1024:distinct=hll:12");
+  EXPECT_EQ(spec.shards, 4u);
+  EXPECT_EQ(spec.faults, FaultSpec::Adaptive(7, 1024));
+  EXPECT_EQ(spec.distinct, DistinctConfig::Hll(12));
+
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:faults=bogus:1"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:faults="), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:faults=crash:x"), DataError);
+}
+
 TEST(SweepSpec, FormatParseRoundTrip) {
   // format ∘ parse is the identity on canonical text...
   for (const char* canonical : {
@@ -134,7 +158,11 @@ TEST(SweepSpec, FormatParseRoundTrip) {
            "exhaustive:2:shards=4",
            "exhaustive:budget=100000",
            "exhaustive:distinct=hll:14",
+           "exhaustive:faults=crash:2",
+           "exhaustive:4:faults=corrupt:1/8:3:distinct=hll:10",
            "exhaustive:1:shards=8:budget=5000:distinct=hll:12",
+           "exhaustive:1:shards=2:budget=5000:faults=adaptive:7:64"
+           ":distinct=hll:12",
        }) {
     EXPECT_EQ(format_sweep_spec(sweep_from_spec(canonical)), canonical)
         << canonical;

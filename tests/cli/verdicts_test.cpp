@@ -1,0 +1,124 @@
+// The verdict matrix (ISSUE 9 deliverable): every zoo protocol x every
+// failure model, exhaustive where the schedule/world space fits the per-cell
+// budget, statistical (Wilson CI) where not. The committed golden at
+// tests/wb/data/verdicts.golden is regenerated here and diffed byte-exact —
+// any change to engine semantics, fault injection, classifier verdicts, or a
+// protocol decoder must show up as a reviewable golden update, never as a
+// silent drift.
+#include "src/cli/verdicts.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace wb::cli {
+namespace {
+
+std::string data_file(const std::string& name) {
+  const std::string path = std::string(WB_TEST_DATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(VerdictMatrix, RegeneratedMatrixIsByteIdenticalToTheCommittedGolden) {
+  const std::string golden = data_file("verdicts.golden");
+  const std::string regenerated = generate_verdict_matrix("");
+  EXPECT_EQ(regenerated, golden)
+      << "verdict matrix drifted — if the change is intentional, regenerate "
+         "with `wbsim verdicts --out=tests/wb/data/verdicts.golden`";
+}
+
+TEST(VerdictMatrix, CoversEveryFailureModelForEveryRow) {
+  const std::vector<std::string> lines = lines_of(data_file("verdicts.golden"));
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines.front(), "wb-verdicts v1");
+  EXPECT_EQ(lines.back(), "end");
+  // Every row of the zoo gets all four fault columns, in canonical order.
+  const char* columns[] = {" none ", " crash:1 ", " corrupt:1/8:1 ",
+                           " adaptive:7:256 "};
+  std::size_t cells = 0;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    ASSERT_TRUE(line.rfind("cell ", 0) == 0) << line;
+    EXPECT_NE(line.find(columns[(i - 1) % 4]), std::string::npos) << line;
+    // Every cell names its mode.
+    EXPECT_TRUE(line.find(" mode=exhaustive ") != std::string::npos ||
+                line.find(" mode=statistical ") != std::string::npos)
+        << line;
+    ++cells;
+  }
+  EXPECT_EQ(cells % 4, 0u);
+  EXPECT_GE(cells / 4, 17u) << "zoo shrank below the protocol roster";
+  // Adaptive columns are always statistical; the oversized build-forest
+  // instance falls back to statistical for every fault model.
+  for (const std::string& line : lines) {
+    if (line.find(" adaptive:") != std::string::npos) {
+      EXPECT_NE(line.find("mode=statistical"), std::string::npos) << line;
+      EXPECT_NE(line.find(" ci="), std::string::npos) << line;
+    }
+    if (line.rfind("cell build-forest path:9 ", 0) == 0) {
+      EXPECT_NE(line.find("mode=statistical"), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(VerdictMatrix, FilteredMatrixIsTheMatchingSubsetOfTheGolden) {
+  const std::vector<std::string> golden =
+      lines_of(data_file("verdicts.golden"));
+  const std::vector<std::string> filtered =
+      lines_of(generate_verdict_matrix("krz-triangle"));
+  ASSERT_EQ(filtered.size(), 2u + 4u);  // header + 4 fault columns + end
+  for (const std::string& line : filtered) {
+    if (line.rfind("cell ", 0) != 0) continue;
+    EXPECT_NE(std::find(golden.begin(), golden.end(), line), golden.end())
+        << "filtered cell not in golden: " << line;
+  }
+  EXPECT_THROW((void)generate_verdict_matrix("no-such-protocol"), DataError);
+}
+
+TEST(VerdictMatrix, CellRunnerReportsExhaustiveTotals) {
+  // path:3 fault-free: 3! = 6 schedules, one world.
+  const VerdictCell cell =
+      run_verdict_cell("connectivity-oracle", "path:3", FaultSpec::None());
+  EXPECT_FALSE(cell.statistical);
+  EXPECT_EQ(cell.worlds, 1u);
+  EXPECT_EQ(cell.executions, 6u);
+  EXPECT_EQ(cell.engine_failures, 0u);
+  EXPECT_EQ(cell.wrong_outputs, 0u);
+  EXPECT_EQ(format_verdict_cell(cell),
+            "cell connectivity-oracle path:3 none mode=exhaustive worlds=1 "
+            "executions=6 failures=0 wrong=0\n");
+}
+
+TEST(VerdictMatrix, OversizedCellFallsBackToAStatisticalVerdict) {
+  // 9! = 362880 > kVerdictCellBudget: the cell must degrade to sampled
+  // trials instead of failing.
+  const VerdictCell cell =
+      run_verdict_cell("build-forest", "path:9", FaultSpec::None());
+  EXPECT_TRUE(cell.statistical);
+  EXPECT_EQ(cell.verdict_trials, kFallbackTrials);
+  EXPECT_EQ(cell.verdict_failures, 0u);  // fault-free build-forest is correct
+  const std::string line = format_verdict_cell(cell);
+  EXPECT_NE(line.find("mode=statistical"), std::string::npos);
+  EXPECT_NE(line.find("rate=0.0000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wb::cli

@@ -17,28 +17,20 @@
 #include "src/protocols/build_forest.h"
 #include "src/protocols/build_full.h"
 #include "src/protocols/eob_bfs.h"
+#include "src/protocols/krz.h"
 #include "src/protocols/mis.h"
 #include "src/protocols/subgraph.h"
 #include "src/protocols/triangle.h"
 #include "src/protocols/two_cliques.h"
 #include "src/wb/engine.h"
+#include "src/wb/faults.h"
 
 namespace wb {
 namespace {
-
-Bits flip_bit(const Bits& m, std::size_t pos) {
-  BitWriter w;
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    w.write_bit(i == pos ? !m.bit(i) : m.bit(i));
-  }
-  return w.take();
-}
-
-Bits truncate(const Bits& m, std::size_t bits) {
-  BitWriter w;
-  for (std::size_t i = 0; i < bits && i < m.size(); ++i) w.write_bit(m.bit(i));
-  return w.take();
-}
+// Bit surgery comes from the failure-model layer (src/wb/faults.h) — the
+// same flip_bit / truncate_bits the corruption adapter applies in-engine, so
+// this suite fuzzes decoders with exactly the mutations the corrupt:* fault
+// model can produce.
 
 /// Apply `decode` to every mutation of `board`; returns the number of boards
 /// tried. EXPECTs that only DataError escapes.
@@ -73,7 +65,7 @@ std::size_t fuzz_decoder(const Whiteboard& board,
     for (std::size_t keep : {std::size_t{0}, board.message(mi).size() / 2}) {
       Whiteboard mutated;
       for (std::size_t j = 0; j < board.message_count(); ++j) {
-        mutated.append(j == mi ? truncate(board.message(j), keep)
+        mutated.append(j == mi ? truncate_bits(board.message(j), keep)
                                : board.message(j));
       }
       probe(mutated);
@@ -183,6 +175,33 @@ TEST(CorruptionFuzz, PairChase) {
   const Whiteboard board = valid_board(g, p);
   (void)fuzz_decoder(
       board, [&](const Whiteboard& b) { (void)p.output(b, 6); }, p.name());
+}
+
+TEST(CorruptionFuzz, KrzTriangle) {
+  const KrzTriangleProtocol p(1, 2, 3);
+  const Graph g = complete_graph(5);
+  const Whiteboard board = valid_board(g, p);
+  (void)fuzz_decoder(
+      board, [&](const Whiteboard& b) { (void)p.output(b, 5); }, p.name());
+}
+
+TEST(CorruptionFuzz, CorruptingAdapterBoardsStayDecodable) {
+  // Boards produced *through* the corruption adapter (the corrupt:* fault
+  // model) must already be survivable: the engine firewall expects decoders
+  // to raise DataError, never anything else.
+  const BuildForestProtocol p;
+  const Graph g = random_tree(8, 3);
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const CorruptingAdapter adapted(p, CorruptionModel(1, 2, seed));
+    const ExecutionResult r = run_protocol(g, adapted);
+    try {
+      (void)p.output(r.board, 8);  // value or clean rejection: both fine
+    } catch (const DataError&) {
+      // loud, typed failure: fine
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "seed " << seed << ": decoder leaked " << e.what();
+    }
+  }
 }
 
 }  // namespace

@@ -42,6 +42,10 @@ using shard::ShardSpec;
 
 using Accept = std::function<bool(const ExecutionResult&)>;
 
+/// A typed empty accept callback: run_shard is overloaded on the classifier
+/// type (Accept vs FaultClassifier), so a bare nullptr is ambiguous.
+const Accept kNoAccept = nullptr;
+
 std::string data_file(const std::string& name) {
   const std::string path = std::string(WB_TEST_DATA_DIR) + "/" + name;
   std::ifstream in(path, std::ios::binary);
@@ -184,10 +188,10 @@ TEST(ShardOracle, WorkerThreadCountNeverChangesAResult) {
       shard::plan_shards(g, p, "test-protocol", 3);
   for (const ShardSpec& spec : specs) {
     const std::string reference =
-        shard::serialize(shard::run_shard(spec, p, nullptr, 1));
+        shard::serialize(shard::run_shard(spec, p, kNoAccept, 1));
     for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
                                       std::size_t{8}, std::size_t{0}}) {
-      EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, nullptr, threads)),
+      EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, kNoAccept, threads)),
                 reference)
           << "shard " << spec.shard_index << " threads=" << threads;
     }
@@ -214,8 +218,8 @@ TEST(ShardOracle, ReRunningAShardIsByteIdenticalSoReissuesAreSafe) {
       // run it twice at different thread counts.
       const ShardSpec resent =
           shard::parse_shard_spec(shard::serialize(spec));
-      first_runs.push_back(shard::run_shard(resent, p, nullptr, 1));
-      const ShardResult rerun = shard::run_shard(resent, p, nullptr, 2);
+      first_runs.push_back(shard::run_shard(resent, p, kNoAccept, 1));
+      const ShardResult rerun = shard::run_shard(resent, p, kNoAccept, 2);
       EXPECT_EQ(shard::serialize(rerun), shard::serialize(first_runs.back()))
           << "shard " << spec.shard_index;
     }
@@ -223,7 +227,7 @@ TEST(ShardOracle, ReRunningAShardIsByteIdenticalSoReissuesAreSafe) {
     const MergedResult original = shard::merge_shard_results(first_runs);
     std::vector<ShardResult> with_rerun = first_runs;
     with_rerun[0] = shard::parse_shard_result(
-        shard::serialize(shard::run_shard(specs[0], p, nullptr, 0)));
+        shard::serialize(shard::run_shard(specs[0], p, kNoAccept, 0)));
     const MergedResult substituted = shard::merge_shard_results(with_rerun);
     EXPECT_EQ(substituted.executions, original.executions);
     EXPECT_EQ(substituted.engine_failures, original.engine_failures);
@@ -323,11 +327,11 @@ TEST(ShardHll, ResultFilesAreWorkerThreadCountInvariant) {
   const auto specs = shard::plan_shards(g, p, "echo", 3, plan);
   for (const ShardSpec& spec : specs) {
     const std::string reference =
-        shard::serialize(shard::run_shard(spec, p, nullptr, 1));
+        shard::serialize(shard::run_shard(spec, p, kNoAccept, 1));
     EXPECT_NE(reference.find("distinct-kind hll:8"), std::string::npos);
     for (const std::size_t threads : {std::size_t{2}, std::size_t{8},
                                       std::size_t{0}}) {
-      EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, nullptr, threads)),
+      EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, kNoAccept, threads)),
                 reference)
           << "shard " << spec.shard_index << " threads=" << threads;
     }
@@ -383,7 +387,7 @@ TEST(ShardHll, HllResultWithoutARegisterBlockIsRejectedAtMergeTime) {
   const auto specs = shard::plan_shards(g, p, "echo", 2, plan);
   std::vector<ShardResult> results;
   for (const ShardSpec& spec : specs) {
-    results.push_back(shard::run_shard(spec, p, nullptr, 1));
+    results.push_back(shard::run_shard(spec, p, kNoAccept, 1));
   }
   results[1].hll.reset();
   EXPECT_THROW((void)shard::merge_shard_results(results), DataError);
@@ -401,8 +405,8 @@ TEST(ShardHll, MixingExactAndHllArtifactsIsRejectedWithADiagnostic) {
   ASSERT_NE(exact_specs[0].plan, hll_specs[0].plan);
 
   std::vector<ShardResult> mixed = {
-      shard::run_shard(exact_specs[0], p, nullptr, 1),
-      shard::run_shard(hll_specs[1], p, nullptr, 1)};
+      shard::run_shard(exact_specs[0], p, kNoAccept, 1),
+      shard::run_shard(hll_specs[1], p, kNoAccept, 1)};
   try {
     (void)shard::merge_shard_results(mixed);
     FAIL() << "mixed exact/hll merge was not rejected";
@@ -462,11 +466,11 @@ TEST(ShardOracle, WorkerBudgetOverrunProducesDeterministicResultFile) {
   plan.max_executions = 5;  // every shard overruns its share
   const auto specs = shard::plan_shards(g, p, "echo", 2, plan);
   const std::string reference =
-      shard::serialize(shard::run_shard(specs[0], p, nullptr, 1));
+      shard::serialize(shard::run_shard(specs[0], p, kNoAccept, 1));
   EXPECT_NE(reference.find("budget-exceeded 1"), std::string::npos);
   EXPECT_NE(reference.find("distinct 0"), std::string::npos);
   for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
-    EXPECT_EQ(shard::serialize(shard::run_shard(specs[0], p, nullptr, threads)),
+    EXPECT_EQ(shard::serialize(shard::run_shard(specs[0], p, kNoAccept, threads)),
               reference)
         << "threads=" << threads;
   }
@@ -479,13 +483,13 @@ TEST(ShardOracle, HllWorkerBudgetOverrunClearsTheSketchDeterministically) {
   plan.max_executions = 5;
   plan.distinct = DistinctConfig::Hll(8);
   const auto specs = shard::plan_shards(g, p, "echo", 2, plan);
-  const ShardResult overrun = shard::run_shard(specs[0], p, nullptr, 4);
+  const ShardResult overrun = shard::run_shard(specs[0], p, kNoAccept, 4);
   EXPECT_TRUE(overrun.budget_exceeded);
   ASSERT_TRUE(overrun.hll.has_value());
   EXPECT_EQ(overrun.hll->estimate(), 0u);  // cleared, like the exact hashes
   const std::string reference = shard::serialize(overrun);
   for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
-    EXPECT_EQ(shard::serialize(shard::run_shard(specs[0], p, nullptr, threads)),
+    EXPECT_EQ(shard::serialize(shard::run_shard(specs[0], p, kNoAccept, threads)),
               reference)
         << "threads=" << threads;
   }
@@ -581,7 +585,7 @@ TEST(ShardGolden, V2ResultFileRoundTripsByteIdentically) {
   const testing::EchoIdProtocol p;
   const ShardSpec spec =
       shard::parse_shard_spec(data_file("path3_echo_v2.0.shard"));
-  EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, nullptr, 1)), text);
+  EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, kNoAccept, 1)), text);
 }
 
 TEST(ShardGolden, V2HllSpecAndResultRoundTripByteIdentically) {
@@ -601,7 +605,7 @@ TEST(ShardGolden, V2HllSpecAndResultRoundTripByteIdentically) {
   EXPECT_EQ(result.distinct, DistinctConfig::Hll(8));
   ASSERT_TRUE(result.hll.has_value());
   EXPECT_EQ(shard::serialize(result), result_text);
-  EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, nullptr, 1)),
+  EXPECT_EQ(shard::serialize(shard::run_shard(spec, p, kNoAccept, 1)),
             result_text);
 }
 
@@ -742,7 +746,7 @@ TEST(ShardFormats, MalformedSpecsAreRejectedWithDiagnostics) {
 std::string valid_result_text() {
   const testing::EchoIdProtocol p;
   const auto specs = shard::plan_shards(path_graph(3), p, "echo-id", 2);
-  return shard::serialize(shard::run_shard(specs[0], p, nullptr, 1));
+  return shard::serialize(shard::run_shard(specs[0], p, kNoAccept, 1));
 }
 
 TEST(ShardFormats, MalformedResultsAreRejectedWithDiagnostics) {
@@ -798,7 +802,7 @@ TEST(ShardFormats, MalformedHllResultsAreRejectedWithDiagnostics) {
   plan.distinct = DistinctConfig::Hll(4);  // 16 registers: one reg line
   const auto specs = shard::plan_shards(path_graph(3), p, "echo-id", 1, plan);
   const std::string valid =
-      shard::serialize(shard::run_shard(specs[0], p, nullptr, 1));
+      shard::serialize(shard::run_shard(specs[0], p, kNoAccept, 1));
   const ShardResult parsed = shard::parse_shard_result(valid);  // sanity
   ASSERT_TRUE(parsed.hll.has_value());
 
@@ -895,7 +899,7 @@ TEST(ShardMerge, RejectsIncompleteOrInconsistentResultSets) {
   const auto specs = shard::plan_shards(g, p, "echo", 3);
   std::vector<ShardResult> results;
   for (const ShardSpec& spec : specs) {
-    results.push_back(shard::run_shard(spec, p, nullptr, 1));
+    results.push_back(shard::run_shard(spec, p, kNoAccept, 1));
   }
 
   EXPECT_THROW((void)shard::merge_shard_results({}), DataError);
@@ -910,7 +914,7 @@ TEST(ShardMerge, RejectsIncompleteOrInconsistentResultSets) {
   // fingerprint) must be refused even if its shard index fits.
   const auto other = shard::plan_shards(g, p, "echo-variant", 3);
   std::vector<ShardResult> mixed = {results[0], results[1],
-                                    shard::run_shard(other[2], p, nullptr, 1)};
+                                    shard::run_shard(other[2], p, kNoAccept, 1)};
   EXPECT_THROW((void)shard::merge_shard_results(mixed), DataError);
 
   // Same instance, same K, but a *different partition* (coarser
@@ -921,7 +925,7 @@ TEST(ShardMerge, RejectsIncompleteOrInconsistentResultSets) {
   const auto repartitioned = shard::plan_shards(g, p, "echo", 3, coarse);
   ASSERT_NE(shard::serialize(repartitioned[2]), shard::serialize(specs[2]));
   std::vector<ShardResult> cross_partition = {
-      results[0], results[1], shard::run_shard(repartitioned[2], p, nullptr, 1)};
+      results[0], results[1], shard::run_shard(repartitioned[2], p, kNoAccept, 1)};
   EXPECT_THROW((void)shard::merge_shard_results(cross_partition), DataError);
 
   // The intact set merges fine (and in any order).

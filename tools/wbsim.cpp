@@ -55,6 +55,7 @@
 #include "src/graph/io.h"
 #include "src/cli/runners.h"
 #include "src/cli/spec.h"
+#include "src/cli/verdicts.h"
 #include "src/fleet/controller.h"
 #include "src/fleet/socket.h"
 #include "src/fleet/worker.h"
@@ -129,12 +130,23 @@ int print_report(const wb::cli::RunReport& report) {
 
 int print_merged(const wb::shard::MergedResult& merged) {
   std::printf("shards     %u results merged\n", merged.shard_count);
-  std::printf("%s",
-              wb::cli::exhaustive_summary_lines(
-                  merged.executions, merged.engine_failures,
-                  merged.wrong_outputs, merged.distinct_boards,
-                  merged.distinct)
-                  .c_str());
+  if (merged.faults.kind == wb::FaultKind::kAdaptive) {
+    // Statistical sweeps merge verdict tallies, not schedule counts — print
+    // the same `schedules`/`verdict` lines the in-process statistical report
+    // uses so CI can diff a sharded adaptive sweep against the serial one.
+    const wb::VerdictAccumulator verdict(merged.verdict_trials,
+                                         merged.verdict_failures);
+    std::printf("schedules  %llu sampled trials (statistical sweep)\n",
+                static_cast<unsigned long long>(verdict.trials()));
+    std::printf("verdict    %s\n", wb::verdict_summary(verdict).c_str());
+  } else {
+    std::printf("%s",
+                wb::cli::exhaustive_summary_lines(
+                    merged.executions, merged.engine_failures,
+                    merged.wrong_outputs, merged.distinct_boards,
+                    merged.distinct)
+                    .c_str());
+  }
   const bool correct =
       merged.engine_failures == 0 && merged.wrong_outputs == 0;
   std::printf("result     %s\n", correct ? "PASS" : "FAIL");
@@ -378,6 +390,7 @@ int run_fleet_exhaustive(const wb::Graph& g, const std::string& protocol,
   wb::shard::PlanOptions popts;
   popts.max_executions = sweep.max_executions;
   popts.distinct = sweep.distinct;
+  popts.faults = sweep.faults;
   const auto specs =
       wb::cli::plan_protocol_spec_shards(protocol, g, sweep.shards, popts);
 
@@ -540,14 +553,23 @@ int cmd_shard_plan(const std::vector<std::string>& args) {
   wb::shard::PlanOptions opts;
   opts.max_executions = sweep.max_executions;
   opts.distinct = sweep.distinct;
+  opts.faults = sweep.faults;
   const auto specs =
       wb::cli::plan_protocol_spec_shards(protocol, g, sweep.shards, opts);
   for (const wb::shard::ShardSpec& spec : specs) {
     const std::string path =
         base + "." + std::to_string(spec.shard_index) + ".shard";
     write_file(path, wb::shard::serialize(spec));
-    std::printf("wrote %s (%zu subtree prefixes)\n", path.c_str(),
-                spec.prefixes.size());
+    if (spec.faults.kind == wb::FaultKind::kAdaptive) {
+      std::printf("wrote %s (statistical stride %u/%u)\n", path.c_str(),
+                  spec.shard_index, spec.shard_count);
+    } else if (spec.faults.kind != wb::FaultKind::kNone) {
+      std::printf("wrote %s (%zu fault subtree prefixes)\n", path.c_str(),
+                  spec.fault_tasks.size());
+    } else {
+      std::printf("wrote %s (%zu subtree prefixes)\n", path.c_str(),
+                  spec.prefixes.size());
+    }
   }
   const std::string manifest_path = base + ".manifest";
   write_file(manifest_path,
@@ -774,6 +796,30 @@ int cmd_graph(const std::vector<std::string>& args) {
   return args[0] == "gen" ? cmd_graph_gen(rest) : cmd_graph_stats(rest);
 }
 
+// --- The verdict matrix ------------------------------------------------------
+
+int cmd_verdicts(std::vector<std::string> args) {
+  std::vector<std::string> values;
+  take_options(args, {"--out", "--threads"}, &values);
+  const std::string& out_path = values[0];
+  const std::size_t threads =
+      values[1].empty()
+          ? 0
+          : static_cast<std::size_t>(parse_u64_arg(values[1], "threads"));
+  WB_REQUIRE_MSG(args.size() <= 1,
+                 "usage: wbsim verdicts [FILTER] [--out=FILE] [--threads=T]");
+  const std::string filter = args.empty() ? "" : args[0];
+  const std::string matrix =
+      wb::cli::generate_verdict_matrix(filter, threads);
+  if (!out_path.empty()) {
+    write_file(out_path, matrix);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("%s", matrix.c_str());
+  }
+  return kExitPass;
+}
+
 // --- The commandless (classic) invocation ------------------------------------
 
 int cmd_classic(const std::vector<std::string>& all_args) {
@@ -807,11 +853,16 @@ int cmd_classic(const std::vector<std::string>& all_args) {
                      "exhaustive[:THREADS]");
       return run_fleet_exhaustive(g, args[1], sweep);
     }
+    WB_REQUIRE_MSG(!counterexample ||
+                       sweep.faults.kind == wb::FaultKind::kNone,
+                   "--counterexample is fault-free only (drop the faults= "
+                   "option)");
     wb::cli::ExhaustiveRunOptions opts;
     opts.threads = sweep.threads;
     opts.max_executions = sweep.max_executions;
     opts.counterexample = counterexample;
     opts.distinct = sweep.distinct;
+    opts.faults = sweep.faults;
     return print_report(
         wb::cli::run_protocol_spec_exhaustive(args[1], g, opts));
   }
@@ -827,8 +878,10 @@ wb::cli::CommandRegistry build_registry() {
       "",
       "specs — " + wb::cli::graph_spec_help() + "\n" +
           wb::cli::adversary_spec_help() +
-          "\nsweeps: exhaustive[:THREADS][:shards=K][:budget=N]"
-          "[:distinct=exact|hll[:P]]",
+          "\nsweeps: exhaustive[:THREADS][:shards=K][:budget=N][:faults=F]"
+          "[:distinct=exact|hll[:P]]"
+          "\nfaults: none crash:F corrupt:NUM/DEN[:SEED] "
+          "adaptive:SEED[:TRIALS]",
       "wbsim <graph-spec> <protocol-spec> [adversary-spec] "
       "[--counterexample]",
       cmd_classic});
@@ -838,8 +891,12 @@ wb::cli::CommandRegistry build_registry() {
       "plus a tracking manifest",
       "wbsim shard-plan <graph-spec> <protocol-spec> <sweep-spec> <out-base>"
       "\n\nThe sweep spec must name a shard count — e.g. "
-      "exhaustive:shards=4:budget=100000:distinct=hll:14.\nWrites "
-      "<out-base>.<k>.shard for k = 0..K-1 and <out-base>.manifest.",
+      "exhaustive:shards=4:budget=100000:distinct=hll:14 or "
+      "exhaustive:shards=2:faults=crash:1.\nWrites "
+      "<out-base>.<k>.shard for k = 0..K-1 and <out-base>.manifest.\n"
+      "Crash/corruption sweeps partition (world, subtree) fault tasks; "
+      "adaptive sweeps stride their\nsampled trials across the shards "
+      "(shard k runs trials k, k+K, ...).",
       cmd_shard_plan});
   registry.add(wb::cli::Command{
       "shard-run",
@@ -860,6 +917,20 @@ wb::cli::CommandRegistry build_registry() {
       "(byte-identical to the exhaustive:1 report)",
       "wbsim shard-merge <result-file>...",
       cmd_shard_merge});
+  registry.add(wb::cli::Command{
+      "verdicts",
+      "regenerate the zoo x failure-model verdict matrix "
+      "(tests/wb/data/verdicts.golden)",
+      "wbsim verdicts [FILTER] [--out=FILE] [--threads=T]\n\n"
+      "Sweeps every zoo protocol under every failure model — none, crash:1, "
+      "corrupt:1/8:1,\nadaptive:7:256 — exhaustively where the schedule/world "
+      "space fits the per-cell budget\nand statistically (sampled trials, "
+      "Wilson 95% CI) where it does not, and prints the\n`wb-verdicts v1` "
+      "text matrix. FILTER restricts rows to protocol specs containing "
+      "the\nsubstring. The committed golden is regenerated with `wbsim "
+      "verdicts --out=tests/wb/data/verdicts.golden`\nand diffed byte-exact "
+      "by CI and tests/cli/verdicts_test.cpp.",
+      cmd_verdicts});
   registry.add(wb::cli::Command{
       "graph",
       "generate edge-list files from any graph spec, or report a graph's "
