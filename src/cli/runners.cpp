@@ -12,6 +12,7 @@
 #include "src/analysis/schedule_stats.h"
 #include "src/cli/spec.h"
 #include "src/graph/algorithms.h"
+#include "src/protocols/anon_frontier.h"
 #include "src/protocols/bfs_sync.h"
 #include "src/protocols/codec.h"
 #include "src/protocols/build_degenerate.h"
@@ -26,6 +27,7 @@
 #include "src/protocols/triangle.h"
 #include "src/protocols/two_cliques.h"
 #include "src/support/hash.h"
+#include "src/sym/reach.h"
 #include "src/wb/batch.h"
 #include "src/wb/engine.h"
 #include "src/wb/exhaustive.h"
@@ -62,6 +64,7 @@ struct RunPlan {
   std::uint64_t seed = 0;       // else: standard_adversaries(g, seed)
   BatchOptions batch;
   const ExhaustiveRunOptions* exhaustive = nullptr;  // set: sweep every schedule
+  const SymbolicRunOptions* symbolic = nullptr;  // set: BDD sweep, no schedules
   const ShardRunRequest* shard_run = nullptr;    // set: run one shard
   const ShardPlanRequest* shard_plan = nullptr;  // set: emit the plan only
 };
@@ -216,6 +219,114 @@ std::vector<RunReport> run_exhaustive_faulty(const P& protocol, const Graph& g,
   return {std::move(report)};
 }
 
+/// Symbolic plan (src/sym/reach.h): the serial enumerator's exact
+/// schedules/distinct/verdict accounting from a BDD fixpoint, enumerating
+/// zero schedules. The per-protocol check is wrapped into the judge the
+/// frontier engine calls once per distinct final state; the circuit engine
+/// carries its own decoded-incorrect set and never calls it — equivalence
+/// of the two is pinned by tests/sym/sym_equiv_test.cpp.
+template <typename P, typename Check>
+std::vector<RunReport> run_symbolic(const P& protocol, const Graph& g,
+                                    const SymbolicRunOptions& ropts,
+                                    const Check& check) {
+  sym::SymbolicOptions opts;
+  opts.order = ropts.order;
+  opts.engine = ropts.engine;
+  const auto judge = [&](const ExecutionResult& r) {
+    thread_local std::ostringstream sink;
+    sink.seekp(0);
+    return check(protocol.output(r.board, g.node_count()), sink);
+  };
+  const sym::SymbolicTotals totals =
+      sym::symbolic_sweep(g, protocol, judge, opts);
+
+  RunReport report;
+  report.executed = true;
+  report.adversary = "symbolic(order=" + sym::to_string(ropts.order) +
+                     ", engine=" + sym::to_string(totals.engine) + ")";
+  report.executions = totals.executions;
+  report.engine_failures = totals.engine_failures;
+  report.wrong_outputs = totals.wrong_outputs;
+  const std::uint64_t failures = totals.engine_failures + totals.wrong_outputs;
+  report.correct = failures == 0;
+  report.status = totals.engine_failures == 0 ? "success" : "mixed";
+  std::ostringstream os;
+  os << "protocol   " << protocol.name() << " ("
+     << model_name(protocol.model_class()) << "["
+     << protocol.message_bit_limit(g.node_count()) << " bits])\n";
+  os << "graph      n=" << g.node_count() << " m=" << g.edge_count() << "\n";
+  os << "adversary  " << report.adversary << " — " << totals.vars << " vars, "
+     << totals.layers << " layers, 0 schedules enumerated\n";
+  // DistinctConfig{} (exact): the symbolic distinct count is exact by
+  // construction, and the default config keeps these lines byte-identical
+  // to the `exhaustive:1` oracle's — what the CI smoke diffs.
+  os << exhaustive_summary_lines(totals.executions, totals.engine_failures,
+                                 totals.wrong_outputs, totals.distinct,
+                                 DistinctConfig{});
+  os << "bdd        " << totals.bdd.nodes << " nodes, " << totals.bdd.cache_hits
+     << "/" << totals.bdd.cache_lookups << " cache hits";
+  if (totals.engine == sym::SymEngine::kFrontier) {
+    os << ", " << totals.states << " frontier states";
+  }
+  os << "\n";
+  report.summary = os.str();
+  return {std::move(report)};
+}
+
+/// Memoized exhaustive plan (wb::sweep_memoized): serial sweep answering
+/// repeated engine states from a memo table. The schedules/verdict lines
+/// are byte-identical to the unmemoized serial sweep's; the adversary line
+/// reports the collapse.
+template <typename P, typename Check>
+std::vector<RunReport> run_exhaustive_memoized(const P& protocol,
+                                               const Graph& g,
+                                               const ExhaustiveRunOptions& ropts,
+                                               const Check& check) {
+  WB_REQUIRE_MSG(!ropts.counterexample,
+                 "memoize does not track counterexamples (memo-hit subtrees "
+                 "are never re-visited)");
+  WB_REQUIRE_MSG(ropts.faults.kind == FaultKind::kNone &&
+                     ropts.statistical_trials == 0,
+                 "memoize is fault-free only");
+  WB_REQUIRE_MSG(ropts.threads <= 1, "memoized sweeps are serial");
+  ExhaustiveOptions opts;
+  opts.threads = 1;
+  opts.max_executions = ropts.max_executions;
+  opts.distinct = ropts.distinct;
+  opts.memoize = true;
+  const MemoizedTotals totals = sweep_memoized(
+      g, protocol,
+      [&](const ExecutionResult& r) {
+        thread_local std::ostringstream sink;
+        sink.seekp(0);
+        return check(protocol.output(r.board, g.node_count()), sink);
+      },
+      opts);
+
+  RunReport report;
+  report.executed = true;
+  report.adversary = "exhaustive(threads=1, memoize)";
+  report.executions = totals.executions;
+  report.engine_failures = totals.engine_failures;
+  report.wrong_outputs = totals.wrong_outputs;
+  const std::uint64_t failures = totals.engine_failures + totals.wrong_outputs;
+  report.correct = failures == 0;
+  report.status = totals.engine_failures == 0 ? "success" : "mixed";
+  std::ostringstream os;
+  os << "protocol   " << protocol.name() << " ("
+     << model_name(protocol.model_class()) << "["
+     << protocol.message_bit_limit(g.node_count()) << " bits])\n";
+  os << "graph      n=" << g.node_count() << " m=" << g.edge_count() << "\n";
+  os << "adversary  " << report.adversary << " — " << totals.states_explored
+     << " states, " << totals.memo_hits << " memo hits, "
+     << totals.terminals_visited << " terminals visited\n";
+  os << exhaustive_summary_lines(totals.executions, totals.engine_failures,
+                                 totals.wrong_outputs, totals.distinct,
+                                 ropts.distinct);
+  report.summary = os.str();
+  return {std::move(report)};
+}
+
 /// Exhaustive plan: one report aggregating every adversary schedule, from a
 /// SINGLE sweep — output validation and the distinct-board tally share one
 /// visitor instead of exploring the n! tree twice. The check callback is
@@ -230,6 +341,11 @@ template <typename P, typename Check>
 std::vector<RunReport> run_exhaustive(const P& protocol, const Graph& g,
                                       const ExhaustiveRunOptions& ropts,
                                       const Check& check) {
+  if (ropts.memoize) {
+    // First, so memoize+faults misuse hits the memoized runner's loud
+    // rejection instead of silently dropping the flag.
+    return run_exhaustive_memoized(protocol, g, ropts, check);
+  }
   if (ropts.faults.kind != FaultKind::kNone || ropts.statistical_trials > 0) {
     return run_exhaustive_faulty(protocol, g, ropts, check);
   }
@@ -396,6 +512,9 @@ std::vector<RunReport> run_typed(const P& protocol, const Graph& g,
   }
   if (plan.exhaustive != nullptr) {
     return run_exhaustive(protocol, g, *plan.exhaustive, check);
+  }
+  if (plan.symbolic != nullptr) {
+    return run_symbolic(protocol, g, *plan.symbolic, check);
   }
   std::vector<BatteryRun> runs;
   if (plan.single != nullptr) {
@@ -637,6 +756,22 @@ std::vector<RunReport> dispatch_spec(const std::string& spec, const Graph& g,
                        return ok;
                      });
   }
+  if (kind == "anon-degree") {
+    const AnonDegreeProtocol p;
+    AnonDegreeOutput expect;  // sorted degree multiset: once, not per run
+    expect.reserve(n);
+    for (NodeId v = 1; v <= n; ++v) expect.push_back(g.degree(v));
+    std::sort(expect.begin(), expect.end());
+    return run_typed(p, g, plan,
+                     [expect = std::move(expect)](const AnonDegreeOutput& out,
+                                                  std::ostringstream& os) {
+                       const bool ok = out == expect;
+                       os << "verdict    " << out.size()
+                          << " anonymous degrees — "
+                          << (ok ? "exact multiset" : "WRONG") << "\n";
+                       return ok;
+                     });
+  }
   if (kind == "spanning-forest") {
     const SpanningForestProtocol p;
     return run_typed(p, g, plan,
@@ -714,6 +849,13 @@ RunReport run_protocol_spec_exhaustive(const std::string& spec, const Graph& g,
   return run_protocol_spec_exhaustive(spec, g, opts);
 }
 
+RunReport run_protocol_spec_symbolic(const std::string& spec, const Graph& g,
+                                     const SymbolicRunOptions& opts) {
+  RunPlan plan;
+  plan.symbolic = &opts;
+  return std::move(dispatch_spec(spec, g, plan).front());
+}
+
 std::vector<shard::ShardSpec> plan_protocol_spec_shards(
     const std::string& protocol_spec, const Graph& g, std::size_t shard_count,
     const shard::PlanOptions& opts) {
@@ -765,8 +907,9 @@ std::string protocol_spec_help() {
   return "protocols: build-forest build-degenerate:K build-full mis:ROOT\n"
          "           two-cliques rand-two-cliques:SEED eob-bfs bipartite-bfs\n"
          "           sync-bfs subgraph:F triangle-oracle pair-chase\n"
-         "           spanning-forest square-oracle diameter-oracle:D\n"
-         "           connectivity-oracle krz-triangle:NUM/DEN:SEED\n"
+         "           spanning-forest anon-degree square-oracle\n"
+         "           diameter-oracle:D connectivity-oracle\n"
+         "           krz-triangle:NUM/DEN:SEED\n"
          "           broken-first:V (negative-testing fixture: correct iff\n"
          "           node V writes first — for --counterexample)";
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/sym/encode.h"
 #include "src/wb/adversary.h"
 #include "src/wb/batch.h"
 #include "src/wb/shard.h"
@@ -67,6 +68,10 @@ struct ExhaustiveRunOptions {
   /// minimum — while parallel sweeps keep the running minimum over every
   /// failure they visit.
   bool counterexample = false;
+  /// Hash-consed state memoization (wb::sweep_memoized): serial, fault-free,
+  /// no counterexample tracking; the report's schedules/verdict lines are
+  /// byte-identical to the unmemoized serial sweep's.
+  bool memoize = false;
   /// Distinct-board accumulator (src/wb/distinct.h): exact sorted-run dedup
   /// (default) or a HyperLogLog estimate with flat memory.
   DistinctConfig distinct{};
@@ -98,6 +103,20 @@ struct ExhaustiveRunOptions {
 [[nodiscard]] RunReport run_protocol_spec_exhaustive(
     const std::string& protocol_spec, const Graph& g, std::size_t threads = 0,
     std::uint64_t max_executions = 2'000'000);
+
+struct SymbolicRunOptions {
+  sym::VarOrder order = sym::VarOrder::kInterleave;
+  sym::SymEngine engine = sym::SymEngine::kAuto;
+};
+
+/// Validate `protocol_spec` on `g` with the symbolic (BDD) backend
+/// (src/sym/reach.h): the same exact schedules/distinct/verdict accounting
+/// as run_protocol_spec_exhaustive with threads=1, computed without
+/// enumerating any schedule. Throws wb::sym::SymUnsupportedError for model
+/// classes and options the backend refuses (CLI exit 2).
+[[nodiscard]] RunReport run_protocol_spec_symbolic(
+    const std::string& protocol_spec, const Graph& g,
+    const SymbolicRunOptions& opts = {});
 
 /// Plan a sharded exhaustive sweep: construct the protocol named by
 /// `protocol_spec`, partition its schedule tree on `g`, and distribute the

@@ -203,6 +203,11 @@ SweepSpec sweep_from_spec(const std::string& spec) {
   };
   for (std::size_t i = 1; i < parts.size(); ++i) {
     const std::string& token = parts[i];
+    if (token == "memoize") {
+      reject_duplicate(out.memoize, "memoize option");
+      out.memoize = true;
+      continue;
+    }
     if (token.starts_with(kShardsKey)) {
       reject_duplicate(seen_shards, "shards= option");
       seen_shards = true;
@@ -231,12 +236,24 @@ SweepSpec sweep_from_spec(const std::string& spec) {
             << spec << "'");
     out.threads = static_cast<std::size_t>(parse_u64(token, "threads"));
   }
+  if (out.memoize) {
+    // The memo table is a serial in-process structure, and its soundness
+    // argument (board + written set determine the future) is fault-free.
+    WB_REQUIRE_MSG(out.threads <= 1,
+                   "memoized sweeps are serial — drop the thread count in '"
+                       << spec << "'");
+    WB_REQUIRE_MSG(out.shards == 0,
+                   "memoize does not combine with shards= in '" << spec << "'");
+    WB_REQUIRE_MSG(out.faults.kind == FaultKind::kNone,
+                   "memoize does not combine with faults= in '" << spec << "'");
+  }
   return out;
 }
 
 std::string format_sweep_spec(const SweepSpec& spec) {
   std::string out = "exhaustive";
   if (spec.threads != 0) out += ":" + std::to_string(spec.threads);
+  if (spec.memoize) out += ":memoize";
   if (spec.shards != 0) out += ":shards=" + std::to_string(spec.shards);
   if (spec.max_executions != kDefaultSweepBudget) {
     out += ":budget=" + std::to_string(spec.max_executions);
@@ -246,6 +263,101 @@ std::string format_sweep_spec(const SweepSpec& spec) {
   }
   if (!(spec.distinct == DistinctConfig{})) {
     out += ":distinct=" + to_string(spec.distinct);
+  }
+  return out;
+}
+
+bool is_symbolic_spec(const std::string& spec) {
+  return split_spec(spec)[0] == "symbolic";
+}
+
+SymbolicSpec symbolic_from_spec(const std::string& spec) {
+  SymbolicSpec out;
+  const auto parts = split_spec(spec);
+  WB_REQUIRE_MSG(parts[0] == "symbolic",
+                 "not a symbolic spec: '" << spec << "'");
+  constexpr std::string_view kOrderKey = "order=";
+  constexpr std::string_view kEngineKey = "engine=";
+  bool seen_order = false;
+  bool seen_engine = false;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string& token = parts[i];
+    if (token.starts_with(kOrderKey)) {
+      WB_REQUIRE_MSG(!seen_order,
+                     "duplicate order= option in symbolic spec '" << spec
+                                                                  << "'");
+      seen_order = true;
+      const std::string value = token.substr(kOrderKey.size());
+      if (value == "interleave") {
+        out.order = sym::VarOrder::kInterleave;
+      } else if (value == "grouped") {
+        out.order = sym::VarOrder::kGrouped;
+      } else {
+        WB_REQUIRE_MSG(false, "order= must be interleave or grouped, got '"
+                                  << value << "'");
+      }
+      continue;
+    }
+    if (token.starts_with(kEngineKey)) {
+      WB_REQUIRE_MSG(!seen_engine,
+                     "duplicate engine= option in symbolic spec '" << spec
+                                                                   << "'");
+      seen_engine = true;
+      const std::string value = token.substr(kEngineKey.size());
+      if (value == "auto") {
+        out.engine = sym::SymEngine::kAuto;
+      } else if (value == "circuit") {
+        out.engine = sym::SymEngine::kCircuit;
+      } else if (value == "frontier") {
+        out.engine = sym::SymEngine::kFrontier;
+      } else {
+        WB_REQUIRE_MSG(false, "engine= must be auto, circuit or frontier, "
+                              "got '"
+                                  << value << "'");
+      }
+      continue;
+    }
+    // Enumerator options get the typed refusal so callers (and exit codes)
+    // can tell "the backend does not do this" from "you typo'd the spec".
+    if (token.starts_with("faults=")) {
+      throw sym::SymUnsupportedError(
+          "fault models — the BDD transition relation is fault-free; use "
+          "exhaustive:faults=...");
+    }
+    if (token.starts_with("distinct=")) {
+      throw sym::SymUnsupportedError(
+          "distinct= accumulators — the symbolic distinct count is exact by "
+          "construction");
+    }
+    if (token.starts_with("budget=")) {
+      throw sym::SymUnsupportedError(
+          "budget= — no schedules are enumerated, so there is no execution "
+          "budget to bound");
+    }
+    if (token.starts_with("shards=")) {
+      throw sym::SymUnsupportedError(
+          "shards= — the symbolic sweep is one in-process fixpoint");
+    }
+    if (!token.empty() &&
+        token.find_first_not_of("0123456789") == std::string::npos) {
+      throw sym::SymUnsupportedError(
+          "thread counts — the symbolic sweep is one in-process fixpoint");
+    }
+    WB_REQUIRE_MSG(false,
+                   "expected symbolic[:order=interleave|grouped]"
+                   "[:engine=auto|circuit|frontier], got '"
+                       << spec << "'");
+  }
+  return out;
+}
+
+std::string format_symbolic_spec(const SymbolicSpec& spec) {
+  std::string out = "symbolic";
+  if (spec.order != sym::VarOrder::kInterleave) {
+    out += ":order=" + sym::to_string(spec.order);
+  }
+  if (spec.engine != sym::SymEngine::kAuto) {
+    out += ":engine=" + sym::to_string(spec.engine);
   }
   return out;
 }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/sym/encode.h"
 #include "src/wb/adversary.h"
 #include "src/wb/distinct.h"
 #include "src/wb/faults.h"
@@ -62,11 +63,12 @@ inline constexpr std::uint64_t kDefaultSweepBudget = 2'000'000;
 /// and print exactly this (PR 6 consolidated the previously per-command
 /// option handling):
 ///
-///   exhaustive[:THREADS][:shards=K][:budget=N][:faults=F]
+///   exhaustive[:THREADS][:memoize][:shards=K][:budget=N][:faults=F]
 ///             [:distinct=exact|hll[:P]]
 ///
 ///   exhaustive                 every schedule, all cores, in-process
 ///   exhaustive:1               the serial oracle
+///   exhaustive:memoize         serial sweep with hash-consed state memo
 ///   exhaustive:shards=4        4 worker processes (fleet), merged
 ///   exhaustive:2:shards=4      4 workers, 2 sweep threads each
 ///   exhaustive:budget=100000   stop (loudly) after 100000 executions
@@ -97,11 +99,15 @@ struct SweepSpec {
   /// Failure model: fault-free (default), crash:F, corrupt:NUM/DEN[:SEED],
   /// or adaptive:SEED[:TRIALS] (statistical verdict).
   FaultSpec faults{};
+  /// Hash-consed state memoization (wb::sweep_memoized): totals are
+  /// bit-identical to the unmemoized serial sweep. Serial in-process only —
+  /// the parser rejects it with threads > 1, shards, or faults.
+  bool memoize = false;
 
   friend bool operator==(const SweepSpec& a, const SweepSpec& b) {
     return a.threads == b.threads && a.shards == b.shards &&
            a.max_executions == b.max_executions && a.distinct == b.distinct &&
-           a.faults == b.faults;
+           a.faults == b.faults && a.memoize == b.memoize;
   }
 };
 
@@ -111,6 +117,34 @@ struct SweepSpec {
 /// Canonical text of a SweepSpec: defaulted fields are omitted, options
 /// appear in the grammar order. parse ∘ format is the identity.
 [[nodiscard]] std::string format_sweep_spec(const SweepSpec& spec);
+
+/// The grammar for the symbolic (BDD) sweep backend (src/sym/reach.h):
+///
+///   symbolic[:order=interleave|grouped][:engine=auto|circuit|frontier]
+///
+///   symbolic                   auto engine, interleaved variable order
+///   symbolic:order=grouped     order fields first, then message fields
+///   symbolic:engine=frontier   force the explicit-frontier engine
+///
+/// The backend answers exactly what the serial enumerator answers
+/// (schedules / distinct / verdict) — so the enumerator-only options are
+/// refused with a typed wb::sym::SymUnsupportedError (CLI exit 2):
+/// thread counts, shards=, budget= (nothing is enumerated, no budget to
+/// exceed), faults=, and distinct= (the count is exact by construction).
+/// Unknown tokens are plain DataErrors, as everywhere in the grammar.
+struct SymbolicSpec {
+  sym::VarOrder order = sym::VarOrder::kInterleave;
+  sym::SymEngine engine = sym::SymEngine::kAuto;
+
+  friend bool operator==(const SymbolicSpec&, const SymbolicSpec&) = default;
+};
+
+[[nodiscard]] bool is_symbolic_spec(const std::string& spec);
+/// Parse a `symbolic...` spec. Throws SymUnsupportedError for enumerator
+/// options the backend refuses, wb::DataError on malformed input.
+[[nodiscard]] SymbolicSpec symbolic_from_spec(const std::string& spec);
+/// Canonical text; defaulted fields are omitted. parse ∘ format = identity.
+[[nodiscard]] std::string format_symbolic_spec(const SymbolicSpec& spec);
 
 /// Human-readable lists for --help.
 [[nodiscard]] std::string graph_spec_help();

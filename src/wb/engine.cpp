@@ -447,6 +447,25 @@ ExecutionResult EngineState::finish() && {
   return r;
 }
 
+Hash128 EngineState::memo_key() const {
+  Hasher128 h;
+  const Hash128 content = board_.content_hash();
+  h.update(content.lo);
+  h.update(content.hi);
+  // The written set, packed 64 nodes per word. Not derivable from the board
+  // for protocols whose messages do not embed the writer's id.
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (written_[i]) word |= std::uint64_t{1} << (i % 64);
+    if (i % 64 == 63) {
+      h.update(word);
+      word = 0;
+    }
+  }
+  if (n_ % 64 != 0) h.update(word);
+  return h.digest();
+}
+
 ExecutionResult run_protocol(const Graph& g, const Protocol& p, Adversary& adv,
                              EngineOptions opts) {
   adv.reset();

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/support/hash.h"
 #include "src/wb/adversary.h"
 #include "src/wb/protocol.h"
 
@@ -141,6 +142,17 @@ class EngineState {
 
   [[nodiscard]] const Whiteboard& board() const noexcept { return board_; }
   [[nodiscard]] std::size_t round() const noexcept { return round_; }
+
+  /// State-identity key for memoized exploration: a 128-bit hash of the
+  /// board content and the written set. In the fault-free reference engine
+  /// these determine every other component at a branch point — activations
+  /// are monotone functions of the board history (itself the prefix chain of
+  /// the content), memories are frozen at activation (asynchronous) or
+  /// recomposed from the current board (synchronous), and the round counter
+  /// tracks the write count — so two non-terminal states with equal keys
+  /// behave identically under every future schedule. Used by the memoizing
+  /// exhaustive sweep and the symbolic frontier engine.
+  [[nodiscard]] Hash128 memo_key() const;
 
   // --- Backtracking API (the exhaustive explorer) ---
 

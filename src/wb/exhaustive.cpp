@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/support/thread_pool.h"
@@ -263,6 +264,98 @@ bool all_executions_ok(
         return true;
       });
   return ok.load(std::memory_order_relaxed);
+}
+
+MemoizedTotals sweep_memoized(
+    const Graph& g, const Protocol& p,
+    const std::function<bool(const ExecutionResult&)>& judge,
+    const ExhaustiveOptions& opts) {
+  WB_REQUIRE_MSG(opts.threads == 1, "memoized sweeps are serial");
+
+  struct MemoEntry {
+    std::uint64_t executions = 0;
+    std::uint64_t engine_failures = 0;
+    std::uint64_t wrong_outputs = 0;
+  };
+  struct KeyHasher {
+    std::size_t operator()(const Hash128& h) const noexcept {
+      return static_cast<std::size_t>(h.lo ^ h.hi);
+    }
+  };
+  std::unordered_map<Hash128, MemoEntry, KeyHasher> memo;
+
+  MemoizedTotals totals;
+  std::unique_ptr<DistinctAccumulator> distinct =
+      make_distinct_accumulator(opts.distinct);
+  std::uint64_t charged = 0;  // executions accounted so far — the budget
+                              // counter the unmemoized sweep would hold at
+                              // the same point of its identical visit order
+  const auto charge = [&](std::uint64_t executions) {
+    if (executions > opts.max_executions - charged) {
+      throw BudgetExceededError(opts.max_executions);
+    }
+    charged += executions;
+  };
+
+  EngineState state(g, p, opts.engine);
+  state.set_journaling(true);
+  ExecutionResult scratch;
+
+  // Invariant (as in Backtracker::explore): returns with the state rewound
+  // to how it found it, and returns the subtree's totals.
+  const auto explore = [&](const auto& self) -> MemoEntry {
+    const EngineState::Checkpoint pre_round = state.checkpoint();
+    state.begin_round();
+    if (state.terminal()) {
+      charge(1);
+      ++totals.terminals_visited;
+      state.finish_into(scratch);
+      MemoEntry leaf{1, 0, 0};
+      if (!scratch.ok()) {
+        leaf.engine_failures = 1;
+      } else if (!judge(scratch)) {
+        leaf.wrong_outputs = 1;
+      }
+      distinct->insert(scratch.board.content_hash());
+      state.rewind(pre_round);
+      return leaf;
+    }
+    const Hash128 key = state.memo_key();
+    if (const auto it = memo.find(key); it != memo.end()) {
+      // The whole subtree was explored from an identical state: its
+      // terminals, in the same relative order, contribute the same totals —
+      // and its distinct boards are already in the accumulator (set-union
+      // and register-max are idempotent, so skipping the re-inserts leaves
+      // exact and hll counts alike unchanged).
+      ++totals.memo_hits;
+      charge(it->second.executions);
+      state.rewind(pre_round);
+      return it->second;
+    }
+    ++totals.states_explored;
+    MemoEntry sum;
+    const std::vector<NodeId> branches(state.candidates().begin(),
+                                       state.candidates().end());
+    const EngineState::Checkpoint pre_write = state.checkpoint();
+    for (const NodeId v : branches) {
+      state.write_node(v);
+      const MemoEntry sub = self(self);
+      sum.executions += sub.executions;
+      sum.engine_failures += sub.engine_failures;
+      sum.wrong_outputs += sub.wrong_outputs;
+      state.rewind(pre_write);
+    }
+    memo.emplace(key, sum);
+    state.rewind(pre_round);
+    return sum;
+  };
+
+  const MemoEntry root = explore(explore);
+  totals.executions = root.executions;
+  totals.engine_failures = root.engine_failures;
+  totals.wrong_outputs = root.wrong_outputs;
+  totals.distinct = distinct->estimate();
+  return totals;
 }
 
 std::uint64_t count_distinct_final_boards(const Graph& g, const Protocol& p,

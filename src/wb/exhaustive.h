@@ -58,6 +58,13 @@ struct ExhaustiveOptions {
   /// layer above it): exact sorted-run dedup, or a HyperLogLog sketch whose
   /// memory is flat in the cardinality. See src/wb/distinct.h.
   DistinctConfig distinct{};
+  /// Hash-consed state memoization (sweep_memoized below): branches whose
+  /// engine state — board content + written set, EngineState::memo_key() —
+  /// was already explored are answered from a memo table instead of
+  /// re-descending. Totals are bit-identical to the unmemoized serial sweep;
+  /// the visitor-level APIs (for_each_execution*) ignore the flag, since
+  /// their contract is one visit per execution. Serial only.
+  bool memoize = false;
   EngineOptions engine;
 };
 
@@ -148,6 +155,35 @@ std::uint64_t for_each_execution_under(
 [[nodiscard]] bool all_executions_ok(
     const Graph& g, const Protocol& p,
     const std::function<bool(const ExecutionResult&)>& accept,
+    const ExhaustiveOptions& opts = {});
+
+/// Aggregates of one memoized sweep. The first four are pinned bit-identical
+/// to the unmemoized serial sweep's accounting (same executions, same
+/// verdict arithmetic, same distinct count — exact or hll); the rest report
+/// how much the memo collapsed the schedule tree.
+struct MemoizedTotals {
+  std::uint64_t executions = 0;
+  std::uint64_t engine_failures = 0;  // non-success terminal statuses
+  std::uint64_t wrong_outputs = 0;    // successful but judge(result) == false
+  std::uint64_t distinct = 0;         // distinct final boards, per opts.distinct
+  std::uint64_t states_explored = 0;  // distinct non-terminal states expanded
+  std::uint64_t memo_hits = 0;        // branches answered from the table
+  std::uint64_t terminals_visited = 0;  // judge invocations (≤ executions)
+};
+
+/// Exhaustive sweep with hash-consed state memoization: a depth-first walk
+/// on one journaling EngineState that keys every branch point by
+/// EngineState::memo_key() and reuses the (executions, failures, wrong)
+/// subtree totals of states it has seen before. Protocols whose messages
+/// embed the writer's id never collapse (every board is order-unique — the
+/// memo is pure overhead); anonymous-message protocols (anon-degree)
+/// collapse factorially. Honors opts.max_executions with the same
+/// observable as the unmemoized sweep (throws BudgetExceededError iff it
+/// would); requires opts.threads == 1 and fault-free engine options.
+/// `judge` is invoked once per distinct terminal state, not per execution.
+[[nodiscard]] MemoizedTotals sweep_memoized(
+    const Graph& g, const Protocol& p,
+    const std::function<bool(const ExecutionResult&)>& judge,
     const ExhaustiveOptions& opts = {});
 
 /// Count distinct final whiteboards over all executions (by content, keyed

@@ -149,11 +149,105 @@ TEST(SweepSpec, ParsesTheFaultsOption) {
   EXPECT_THROW((void)sweep_from_spec("exhaustive:faults=crash:x"), DataError);
 }
 
+TEST(SweepSpec, ParsesTheMemoizeOption) {
+  SweepSpec spec = sweep_from_spec("exhaustive:memoize");
+  EXPECT_TRUE(spec.memoize);
+  EXPECT_EQ(spec.threads, 0u);
+
+  spec = sweep_from_spec("exhaustive:1:memoize");
+  EXPECT_TRUE(spec.memoize);
+  EXPECT_EQ(spec.threads, 1u);
+
+  spec = sweep_from_spec("exhaustive:memoize:budget=500");
+  EXPECT_TRUE(spec.memoize);
+  EXPECT_EQ(spec.max_executions, 500u);
+
+  spec = sweep_from_spec("exhaustive:memoize:distinct=hll:12");
+  EXPECT_TRUE(spec.memoize);
+  EXPECT_EQ(spec.distinct, DistinctConfig::Hll(12));
+
+  // The memoized sweep is serial, in-process, and fault-free — the parser
+  // rejects contradictions instead of silently ignoring the flag.
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:4:memoize"), DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:memoize:shards=2"),
+               DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:memoize:faults=crash:1"),
+               DataError);
+  EXPECT_THROW((void)sweep_from_spec("exhaustive:memoize:memoize"), DataError);
+}
+
+TEST(SymbolicSpec, ParsesOrderAndEngine) {
+  EXPECT_TRUE(is_symbolic_spec("symbolic"));
+  EXPECT_TRUE(is_symbolic_spec("symbolic:order=grouped"));
+  EXPECT_FALSE(is_symbolic_spec("exhaustive"));
+  EXPECT_FALSE(is_symbolic_spec("battery"));
+
+  wb::cli::SymbolicSpec spec = symbolic_from_spec("symbolic");
+  EXPECT_EQ(spec.order, sym::VarOrder::kInterleave);
+  EXPECT_EQ(spec.engine, sym::SymEngine::kAuto);
+
+  spec = symbolic_from_spec("symbolic:order=grouped");
+  EXPECT_EQ(spec.order, sym::VarOrder::kGrouped);
+
+  spec = symbolic_from_spec("symbolic:engine=frontier");
+  EXPECT_EQ(spec.engine, sym::SymEngine::kFrontier);
+
+  spec = symbolic_from_spec("symbolic:order=interleave:engine=circuit");
+  EXPECT_EQ(spec.order, sym::VarOrder::kInterleave);
+  EXPECT_EQ(spec.engine, sym::SymEngine::kCircuit);
+
+  EXPECT_THROW((void)symbolic_from_spec("symbolic:order=bogus"), DataError);
+  EXPECT_THROW((void)symbolic_from_spec("symbolic:engine="), DataError);
+  EXPECT_THROW((void)symbolic_from_spec("symbolic:junk"), DataError);
+  EXPECT_THROW((void)symbolic_from_spec("symbolic:order=grouped"
+                                        ":order=interleave"),
+               DataError);
+}
+
+TEST(SymbolicSpec, EnumeratorOptionsAreTypedRefusals) {
+  // The backend enumerates nothing: thread counts, budgets, shards, fault
+  // models, and distinct accumulators have no symbolic meaning. Each is a
+  // SymUnsupportedError (exit 2), not a generic parse error.
+  for (const char* spec :
+       {"symbolic:1", "symbolic:4", "symbolic:budget=1000",
+        "symbolic:shards=2", "symbolic:faults=crash:1",
+        "symbolic:distinct=hll:12"}) {
+    EXPECT_THROW((void)symbolic_from_spec(spec), sym::SymUnsupportedError)
+        << spec;
+  }
+  // memoize belongs to the enumerator grammar; here it is just an unknown
+  // token, not a capability the backend declines.
+  EXPECT_THROW((void)symbolic_from_spec("symbolic:memoize"), DataError);
+}
+
+TEST(SymbolicSpec, FormatParseRoundTrip) {
+  for (const char* canonical : {
+           "symbolic",
+           "symbolic:order=grouped",
+           "symbolic:engine=circuit",
+           "symbolic:engine=frontier",
+           "symbolic:order=grouped:engine=frontier",
+       }) {
+    EXPECT_EQ(format_symbolic_spec(symbolic_from_spec(canonical)), canonical)
+        << canonical;
+  }
+  for (const wb::cli::SymbolicSpec spec :
+       {wb::cli::SymbolicSpec{},
+        wb::cli::SymbolicSpec{.order = sym::VarOrder::kGrouped},
+        wb::cli::SymbolicSpec{.engine = sym::SymEngine::kCircuit},
+        wb::cli::SymbolicSpec{.order = sym::VarOrder::kGrouped,
+                              .engine = sym::SymEngine::kFrontier}}) {
+    EXPECT_EQ(symbolic_from_spec(format_symbolic_spec(spec)), spec);
+  }
+}
+
 TEST(SweepSpec, FormatParseRoundTrip) {
   // format ∘ parse is the identity on canonical text...
   for (const char* canonical : {
            "exhaustive",
            "exhaustive:1",
+           "exhaustive:memoize",
+           "exhaustive:1:memoize:budget=7",
            "exhaustive:shards=4",
            "exhaustive:2:shards=4",
            "exhaustive:budget=100000",
@@ -171,7 +265,7 @@ TEST(SweepSpec, FormatParseRoundTrip) {
   // defaults format omits.
   for (const SweepSpec spec :
        {SweepSpec{}, SweepSpec{.threads = 3}, SweepSpec{.shards = 2},
-        SweepSpec{.max_executions = 1},
+        SweepSpec{.max_executions = 1}, SweepSpec{.memoize = true},
         SweepSpec{.threads = 1, .shards = 4, .max_executions = 9,
                   .distinct = DistinctConfig::Hll(9)}}) {
     EXPECT_EQ(sweep_from_spec(format_sweep_spec(spec)), spec);

@@ -12,10 +12,14 @@
 //   wbsim twocliques:16   rand-two-cliques:99
 //
 // The pseudo-adversaries `battery[:SEED]` (the standard adversary battery,
-// parallel) and `exhaustive...` (every schedule — the paper's correctness
-// quantifier) accept the unified sweep grammar of src/cli/spec.h:
+// parallel), `exhaustive...` (every schedule — the paper's correctness
+// quantifier) and `symbolic...` (the same answer from a BDD fixpoint,
+// enumerating zero schedules — src/sym/reach.h) accept the unified sweep
+// grammar of src/cli/spec.h:
 //
-//   exhaustive[:THREADS][:shards=K][:budget=N][:distinct=exact|hll[:P]]
+//   exhaustive[:THREADS][:memoize][:shards=K][:budget=N]
+//            [:distinct=exact|hll[:P]]
+//   symbolic[:order=interleave|grouped][:engine=auto|circuit|frontier]
 //
 // `shards=K` runs the sweep as a K-worker *fleet*: the schedule tree is
 // planned into K shard specs, K persistent worker processes are spawned, and
@@ -845,6 +849,17 @@ int cmd_classic(const std::vector<std::string>& all_args) {
                    "--counterexample needs an exhaustive adversary spec");
     return run_battery(g, args[1], adversary_spec);
   }
+  if (wb::cli::is_symbolic_spec(adversary_spec)) {
+    WB_REQUIRE_MSG(!counterexample,
+                   "--counterexample needs an exhaustive adversary spec "
+                   "(the symbolic backend enumerates no schedules)");
+    const wb::cli::SymbolicSpec symbolic =
+        wb::cli::symbolic_from_spec(adversary_spec);
+    wb::cli::SymbolicRunOptions opts;
+    opts.order = symbolic.order;
+    opts.engine = symbolic.engine;
+    return print_report(wb::cli::run_protocol_spec_symbolic(args[1], g, opts));
+  }
   if (wb::cli::is_exhaustive_spec(adversary_spec)) {
     const wb::cli::SweepSpec sweep = wb::cli::sweep_from_spec(adversary_spec);
     if (sweep.shards > 0) {
@@ -857,12 +872,15 @@ int cmd_classic(const std::vector<std::string>& all_args) {
                        sweep.faults.kind == wb::FaultKind::kNone,
                    "--counterexample is fault-free only (drop the faults= "
                    "option)");
+    WB_REQUIRE_MSG(!counterexample || !sweep.memoize,
+                   "--counterexample does not combine with memoize");
     wb::cli::ExhaustiveRunOptions opts;
     opts.threads = sweep.threads;
     opts.max_executions = sweep.max_executions;
     opts.counterexample = counterexample;
     opts.distinct = sweep.distinct;
     opts.faults = sweep.faults;
+    opts.memoize = sweep.memoize;
     return print_report(
         wb::cli::run_protocol_spec_exhaustive(args[1], g, opts));
   }
@@ -878,8 +896,10 @@ wb::cli::CommandRegistry build_registry() {
       "",
       "specs — " + wb::cli::graph_spec_help() + "\n" +
           wb::cli::adversary_spec_help() +
-          "\nsweeps: exhaustive[:THREADS][:shards=K][:budget=N][:faults=F]"
-          "[:distinct=exact|hll[:P]]"
+          "\nsweeps: exhaustive[:THREADS][:memoize][:shards=K][:budget=N]"
+          "[:faults=F][:distinct=exact|hll[:P]]"
+          "\n        symbolic[:order=interleave|grouped]"
+          "[:engine=auto|circuit|frontier]"
           "\nfaults: none crash:F corrupt:NUM/DEN[:SEED] "
           "adaptive:SEED[:TRIALS]",
       "wbsim <graph-spec> <protocol-spec> [adversary-spec] "
